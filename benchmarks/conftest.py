@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to the laptop scale (see ``repro.experiments.scale``);
+set ``REPRO_PAPER_SCALE=1`` to run the published configuration (slow: the
+paper reports ~500 s per 100-task schedule at budget 1000).
+
+The trained guidance network is cached under ``REPRO_CACHE_DIR`` (default
+``.repro_cache/``), so the first benchmark session trains it once and
+later sessions reuse it.
+"""
+
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_CACHE_DIR", ".repro_cache")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.experiments.scale import resolve_scale
+
+    return resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def shared_network(scale):
+    """The session's trained guidance network (trained once, cached)."""
+    from repro.experiments.networks import cached_network
+
+    return cached_network(scale, seed=0)

@@ -1,0 +1,26 @@
+"""Workload-diversity benchmark (beyond-paper robustness check).
+
+Runs every baseline plus MCTS across the structured DAG families of the
+scheduling literature (Gaussian elimination, FFT, stencil, Cholesky).
+Asserted shape: search (MCTS at the Spear budget) is (co-)best on at
+least half of the families — the paper's central claim should not be an
+artifact of the layered-random topology.
+"""
+
+from repro.experiments.diversity import diversity_study
+
+
+def test_workload_diversity(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: diversity_study(seed=0), rounds=1, iterations=1
+    )
+    print("\n" + result.report())
+    for family in result.makespans:
+        benchmark.extra_info[family] = result.makespans[family]
+
+    num_families = len(result.makespans)
+    assert result.wins("mcts") >= num_families // 2
+    # Everything stays within 2x of the per-family best (sanity).
+    for family, per in result.makespans.items():
+        best = min(per.values())
+        assert all(m <= 2 * best for m in per.values())

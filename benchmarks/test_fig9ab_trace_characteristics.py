@@ -1,0 +1,50 @@
+"""Fig. 9(a)/(b) benchmark: trace workload characterization.
+
+Paper: 99 jobs; per-job map/reduce task counts with medians 14/17 and
+maxima 29/38; per-stage runtime CDFs with reduce tasks markedly heavier
+(per-job mean map runtimes span ~2..17 s, reduce ~17..141 s).
+
+The regenerated rows are the four CDFs; the asserted shape is the
+calibration of the synthetic trace against every published statistic.
+"""
+
+from repro.experiments.fig9 import trace_characteristics
+from repro.experiments.reporting import format_cdf
+
+
+def test_fig9ab_trace_characteristics(benchmark, scale):
+    stats = benchmark.pedantic(
+        lambda: trace_characteristics(paper_scale=True, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    map_counts, reduce_counts = stats.count_cdfs()
+    map_runtimes, reduce_runtimes = stats.runtime_cdfs()
+    print("\n" + format_cdf(map_counts, "#map", title="Fig 9(a) map tasks"))
+    print(format_cdf(reduce_counts, "#reduce", title="Fig 9(a) reduce tasks"))
+    print(format_cdf(map_runtimes, "map runtime", title="Fig 9(b) map stage"))
+    print(format_cdf(reduce_runtimes, "reduce runtime", title="Fig 9(b) reduce stage"))
+
+    benchmark.extra_info.update(
+        {
+            "num_jobs": stats.num_jobs,
+            "median_map_count": stats.median_map_count,
+            "median_reduce_count": stats.median_reduce_count,
+            "max_map_count": stats.max_map_count,
+            "max_reduce_count": stats.max_reduce_count,
+            "median_map_runtime": stats.median_map_runtime,
+            "median_reduce_runtime": stats.median_reduce_runtime,
+        }
+    )
+
+    assert stats.num_jobs == 99
+    # Fig. 9(a): medians near 14 / 17, maxima bounded by 29 / 38.
+    assert 10 <= stats.median_map_count <= 18
+    assert 13 <= stats.median_reduce_count <= 21
+    assert stats.max_map_count <= 29
+    assert stats.max_reduce_count <= 38
+    # Every job passed the > 5 maps and > 5 reduces filter.
+    assert min(stats.map_counts) >= 6
+    assert min(stats.reduce_counts) >= 6
+    # Fig. 9(b): reduce tasks run markedly longer than map tasks.
+    assert stats.median_reduce_runtime > 2 * stats.median_map_runtime

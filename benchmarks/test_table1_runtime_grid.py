@@ -1,0 +1,32 @@
+"""Table I benchmark: MCTS runtime vs graph size x budget.
+
+Paper (GCE 24-core VM): runtimes grow along both axes.  Absolute seconds
+are hardware-dependent; the regenerated table is the wall-clock grid and
+the reproduced claim is monotone growth (with generous noise tolerance at
+reduced scale).
+"""
+
+from repro.experiments.table1 import runtime_grid
+
+
+def test_table1_runtime_grid(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: runtime_grid(seed=0), rounds=1, iterations=1
+    )
+    print("\n" + result.report())
+
+    for (size, budget), seconds in result.seconds.items():
+        benchmark.extra_info[f"seconds_{size}tasks_{budget}budget"] = seconds
+        assert seconds >= 0.0
+        assert result.makespans[(size, budget)] > 0
+
+    sizes, budgets = result.graph_sizes, result.budgets
+    # More budget -> at least ~as much time, per graph size.
+    for size in sizes:
+        row = result.row(size)
+        assert row[-1] >= row[0] * 0.5
+    # Bigger graphs -> at least ~as much time, per budget.
+    for budget in budgets:
+        small = result.seconds[(sizes[0], budget)]
+        large = result.seconds[(sizes[-1], budget)]
+        assert large >= small * 0.5

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Replay the (synthetic) production Hive trace — the Sec. V-C experiment.
+
+Generates the calibrated 99-job MapReduce trace, characterizes it
+(Fig. 9(a)/(b) statistics), then replays a handful of jobs through Spear
+and Graphene and reports the per-job reduction in job duration
+(Fig. 9(c)'s metric).
+
+Run (takes ~1 minute):
+    python examples/trace_replay.py
+"""
+
+from repro import EnvConfig, MctsConfig, make_scheduler, validate_schedule
+from repro.core import build_spear, train_spear_network
+from repro.config import TrainingConfig
+from repro.metrics import reduction
+from repro.traces import TraceConfig, generate_production_trace, trace_statistics
+
+
+def main() -> None:
+    # Compressed runtimes (scale 0.2) keep this demo quick; drop
+    # runtime_scale for the paper's full second-granularity runtimes.
+    trace = generate_production_trace(
+        TraceConfig(num_jobs=30, runtime_scale=0.2), seed=7
+    )
+    stats = trace_statistics(trace)
+    print(f"trace: {stats.num_jobs} MapReduce jobs")
+    print(f"  map tasks    median {stats.median_map_count:.0f} "
+          f"max {stats.max_map_count}")
+    print(f"  reduce tasks median {stats.median_reduce_count:.0f} "
+          f"max {stats.max_reduce_count}")
+    print(f"  runtimes     median map {stats.median_map_runtime:.0f}, "
+          f"median reduce {stats.median_reduce_runtime:.0f}")
+
+    env_config = EnvConfig(process_until_completion=True)
+    print("\ntraining a small guidance network...")
+    network, _ = train_spear_network(
+        env_config=env_config,
+        training=TrainingConfig(
+            num_examples=10,
+            example_num_tasks=12,
+            rollouts_per_example=6,
+            epochs=10,
+            supervised_epochs=30,
+            batch_size=4,
+        ),
+        seed=0,
+    )
+
+    # Sec. V-C budget shape: small initial budget, half of it as the floor.
+    spear = build_spear(
+        network, MctsConfig(initial_budget=20, min_budget=10), env_config, seed=1
+    )
+    graphene = make_scheduler("graphene", env_config)
+    capacities = env_config.cluster.capacities
+
+    print("\nreplaying the first 8 jobs (Fig. 9(c) metric):")
+    reductions = []
+    for job in trace.jobs[:8]:
+        ours = spear.schedule(job.graph)
+        base = graphene.schedule(job.graph)
+        validate_schedule(ours, job.graph, capacities)
+        validate_schedule(base, job.graph, capacities)
+        r = reduction(ours.makespan, base.makespan)
+        reductions.append(r)
+        print(f"  job {job.job_id:>3} ({job.num_map}m/{job.num_reduce}r): "
+              f"spear {ours.makespan:>4} graphene {base.makespan:>4} "
+              f"reduction {r:+.1%}")
+
+    no_worse = sum(1 for r in reductions if r >= 0) / len(reductions)
+    print(f"\nno worse than Graphene on {no_worse:.0%} of replayed jobs; "
+          f"best reduction {max(reductions):+.1%}")
+
+
+if __name__ == "__main__":
+    main()

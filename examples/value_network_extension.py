@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The AlphaZero-style value-network extension.
+
+Spear rolls every MCTS simulation to termination; AlphaZero replaces deep
+rollouts with a learned value estimate.  This example trains a small value
+network on heuristic rollouts, then runs MCTS with *truncated* rollouts
+(play 5 policy steps, score the rest with the value net) and compares
+against full rollouts at the same budget.
+
+Run (takes ~1 minute):
+    python examples/value_network_extension.py
+"""
+
+from repro import EnvConfig, MctsConfig, WorkloadConfig, random_layered_dag
+from repro.core import NetworkExpansion, TruncatedRollout, build_spear, train_spear_network
+from repro.config import TrainingConfig
+from repro.mcts import MctsScheduler
+from repro.metrics import validate_schedule
+from repro.rl import train_value_network
+from repro.schedulers import SjfPolicy
+from repro.utils.rng import as_generator, spawn
+
+
+def main() -> None:
+    env_config = EnvConfig(process_until_completion=True)
+
+    print("training the policy network (demonstration scale)...")
+    policy_net, _ = train_spear_network(
+        env_config=env_config,
+        training=TrainingConfig(
+            num_examples=8,
+            example_num_tasks=12,
+            rollouts_per_example=5,
+            epochs=8,
+            supervised_epochs=25,
+            batch_size=4,
+        ),
+        seed=0,
+    )
+
+    print("training the value network on heuristic rollouts...")
+    rng = as_generator(1)
+    value_graphs = [
+        random_layered_dag(WorkloadConfig(num_tasks=20), seed=child)
+        for child in spawn(rng, 6)
+    ]
+    value_net = train_value_network(
+        value_graphs, SjfPolicy, env_config, episodes_per_graph=1, epochs=40, seed=0
+    )
+    print(f"  value network: {value_net.num_parameters()} parameters")
+
+    eval_graphs = [
+        random_layered_dag(WorkloadConfig(num_tasks=25), seed=900 + i)
+        for i in range(3)
+    ]
+    config = MctsConfig(initial_budget=30, min_budget=10)
+
+    full = build_spear(policy_net, config, env_config, seed=2)
+    truncated = MctsScheduler(
+        config,
+        env_config,
+        expansion=NetworkExpansion(policy_net),
+        rollout=TruncatedRollout(policy_net, value_net, depth_limit=5, seed=2),
+        seed=2,
+        name="spear-truncated",
+    )
+
+    print("\nfull rollouts vs value-truncated rollouts (same budget):")
+    capacities = env_config.cluster.capacities
+    for i, graph in enumerate(eval_graphs):
+        a = full.schedule(graph)
+        b = truncated.schedule(graph)
+        validate_schedule(a, graph, capacities)
+        validate_schedule(b, graph, capacities)
+        print(
+            f"  dag {i}: full {a.makespan} ({a.wall_time:.2f}s) | "
+            f"truncated {b.makespan} ({b.wall_time:.2f}s)"
+        )
+    print("\nTruncation trades estimator bias for rollout cost — ablate on "
+          "your workload before adopting it.")
+
+
+if __name__ == "__main__":
+    main()

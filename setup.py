@@ -1,0 +1,13 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so editable installs work on
+environments without the ``wheel`` package (PEP 660 editable builds need
+``bdist_wheel``; the legacy path used by ``pip install -e . --no-use-pep517``
+does not)::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — a full reproduction of *Spear: Optimized Dependency-Aware Task
+Scheduling with Deep Reinforcement Learning* (Hu, Tu, Li — ICDCS 2019).
+
+Public API quick reference
+--------------------------
+
+Workloads:
+    :func:`repro.dag.random_layered_dag`, :func:`repro.dag.mapreduce_dag`,
+    :func:`repro.dag.motivating_example`, :mod:`repro.traces`
+
+Schedulers:
+    baselines — ``make_scheduler("tetris" | "sjf" | "cp" | "graphene" |
+    "optimal" | "random")``;
+    search — :class:`repro.mcts.MctsScheduler`;
+    Spear — :func:`repro.core.train_spear_network` +
+    :class:`repro.core.SpearScheduler`.
+
+Evaluation:
+    :func:`repro.metrics.validate_schedule`,
+    :func:`repro.metrics.compare_makespans`, :mod:`repro.experiments`.
+
+See README.md for a guided tour and DESIGN.md for the paper-to-module map.
+"""
+
+from .config import (
+    ClusterConfig,
+    EnvConfig,
+    GrapheneConfig,
+    MctsConfig,
+    NetworkConfig,
+    TrainingConfig,
+    WorkloadConfig,
+)
+from .dag import Task, TaskGraph, random_layered_dag, mapreduce_dag, motivating_example
+from .env import PROCESS, SchedulingEnv
+from .metrics import Schedule, validate_schedule, compare_makespans
+from .schedulers import (
+    GrapheneScheduler,
+    TetrisPolicy,
+    available_schedulers,
+    make_scheduler,
+)
+from .mcts import MctsScheduler
+from .core import SpearScheduler, build_spear, train_spear_network
+from .rl import PolicyNetwork, load_checkpoint, save_checkpoint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "EnvConfig",
+    "GrapheneConfig",
+    "MctsConfig",
+    "NetworkConfig",
+    "TrainingConfig",
+    "WorkloadConfig",
+    "Task",
+    "TaskGraph",
+    "random_layered_dag",
+    "mapreduce_dag",
+    "motivating_example",
+    "PROCESS",
+    "SchedulingEnv",
+    "Schedule",
+    "validate_schedule",
+    "compare_makespans",
+    "GrapheneScheduler",
+    "TetrisPolicy",
+    "available_schedulers",
+    "make_scheduler",
+    "MctsScheduler",
+    "SpearScheduler",
+    "build_spear",
+    "train_spear_network",
+    "PolicyNetwork",
+    "load_checkpoint",
+    "save_checkpoint",
+    "__version__",
+]

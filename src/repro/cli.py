@@ -1,0 +1,377 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands::
+
+    repro simulate   --scheduler tetris --tasks 50 --seed 0
+    repro train      --epochs 50 --out spear.npz --seed 0
+    repro trace      --out trace.json --seed 0 [--stats]
+    repro experiment fig6a|fig6b|fig7|fig8a|fig8b|fig9ab|fig9c|table1 \
+                     [--paper-scale] [--seed N]
+    repro ablation   expansion-filters|budget-decay|max-value-ucb|...
+    repro motivating
+
+Every command prints a plain-text report to stdout and exits non-zero on
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import EnvConfig, MctsConfig, TrainingConfig, WorkloadConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spear (ICDCS 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="schedule one random DAG")
+    simulate.add_argument("--scheduler", default="tetris")
+    simulate.add_argument("--tasks", type=int, default=50)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--budget", type=int, default=100)
+    simulate.add_argument("--min-budget", type=int, default=20)
+
+    train = sub.add_parser("train", help="train a Spear policy network")
+    train.add_argument("--epochs", type=int, default=50)
+    train.add_argument("--examples", type=int, default=24)
+    train.add_argument("--example-tasks", type=int, default=15)
+    train.add_argument("--rollouts", type=int, default=8)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", default="spear-network.npz")
+    train.add_argument("--log-every", type=int, default=10)
+
+    trace = sub.add_parser("trace", help="generate/characterize a trace")
+    trace.add_argument("--out", default=None)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--jobs", type=int, default=99)
+    trace.add_argument("--stats", action="store_true")
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument(
+        "name",
+        choices=[
+            "fig6a",
+            "fig6b",
+            "fig7",
+            "fig8a",
+            "fig8b",
+            "fig9ab",
+            "fig9c",
+            "table1",
+        ],
+    )
+    experiment.add_argument("--paper-scale", action="store_true")
+    experiment.add_argument("--seed", type=int, default=0)
+
+    ablation = sub.add_parser("ablation", help="run a design-choice ablation")
+    ablation.add_argument("name")
+    ablation.add_argument("--paper-scale", action="store_true")
+    ablation.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("motivating", help="run the Fig. 3 motivating example")
+
+    compare = sub.add_parser(
+        "compare", help="round-robin tournament over random DAGs"
+    )
+    compare.add_argument(
+        "--schedulers",
+        default="tetris,sjf,cp,graphene,heft",
+        help="comma-separated registry names (plus 'mcts')",
+    )
+    compare.add_argument("--jobs", type=int, default=5)
+    compare.add_argument("--tasks", type=int, default=30)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--budget", type=int, default=50)
+    compare.add_argument("--min-budget", type=int, default=10)
+    compare.add_argument("--reference", default=None)
+
+    online = sub.add_parser(
+        "online", help="multi-job arrival-stream simulation on a trace"
+    )
+    online.add_argument("--jobs", type=int, default=10)
+    online.add_argument("--seed", type=int, default=0)
+    online.add_argument("--mean-interarrival", type=float, default=25.0)
+    online.add_argument("--runtime-scale", type=float, default=0.2)
+    online.add_argument(
+        "--rankers", default="fifo,sjf,cp,tetris", help="comma-separated"
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# command implementations
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .dag.generators import random_layered_dag
+    from .mcts.search import MctsScheduler
+    from .metrics.schedule import validate_schedule
+    from .schedulers.registry import available_schedulers, make_scheduler
+
+    graph = random_layered_dag(WorkloadConfig(num_tasks=args.tasks), seed=args.seed)
+    env_config = EnvConfig(process_until_completion=True)
+    if args.scheduler == "mcts":
+        scheduler = MctsScheduler(
+            MctsConfig(initial_budget=args.budget, min_budget=args.min_budget),
+            env_config,
+            seed=args.seed,
+        )
+    elif args.scheduler in available_schedulers():
+        scheduler = make_scheduler(args.scheduler, env_config)
+    else:
+        print(
+            f"unknown scheduler {args.scheduler!r}; "
+            f"choose from {available_schedulers() + ['mcts']}",
+            file=sys.stderr,
+        )
+        return 2
+    schedule = scheduler.schedule(graph)
+    validate_schedule(schedule, graph, env_config.cluster.capacities)
+    print(
+        f"{args.scheduler}: {graph.num_tasks} tasks, makespan "
+        f"{schedule.makespan} slots, planned in {schedule.wall_time:.2f}s"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .core.pipeline import train_spear_network
+    from .rl.checkpoints import save_checkpoint
+
+    training = TrainingConfig(
+        num_examples=args.examples,
+        example_num_tasks=args.example_tasks,
+        rollouts_per_example=args.rollouts,
+        epochs=args.epochs,
+    )
+    network, history = train_spear_network(
+        env_config=EnvConfig(process_until_completion=True),
+        training=training,
+        seed=args.seed,
+        log_every=args.log_every,
+    )
+    save_checkpoint(network, args.out)
+    final = history[-1].mean_makespan if history else float("nan")
+    print(f"trained {args.epochs} epochs; final mean makespan {final:.1f}")
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .experiments.reporting import format_cdf
+    from .traces.stats import trace_statistics
+    from .traces.synthetic import TraceConfig, generate_production_trace
+
+    trace = generate_production_trace(
+        TraceConfig(num_jobs=args.jobs), seed=args.seed
+    )
+    if args.out:
+        trace.save(args.out)
+        print(f"wrote {len(trace)} jobs to {args.out}")
+    if args.stats or not args.out:
+        stats = trace_statistics(trace)
+        print(
+            f"{stats.num_jobs} jobs | map tasks median "
+            f"{stats.median_map_count:.0f} max {stats.max_map_count} | "
+            f"reduce tasks median {stats.median_reduce_count:.0f} max "
+            f"{stats.max_reduce_count}"
+        )
+        map_cdf, reduce_cdf = stats.runtime_cdfs()
+        print(format_cdf(map_cdf, "map runtime", title="Fig 9(b) map stage"))
+        print(format_cdf(reduce_cdf, "reduce runtime", title="Fig 9(b) reduce stage"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from . import experiments
+    from .experiments.reporting import format_cdf
+
+    scale = args.paper_scale or None
+    name = args.name
+    if name == "fig6a":
+        print(experiments.makespan_comparison(scale, seed=args.seed).report())
+    elif name == "fig6b":
+        times = experiments.runtime_comparison(scale, seed=args.seed)
+        for scheduler, series in times.items():
+            mean = sum(series) / len(series)
+            print(f"{scheduler}: mean {mean:.2f}s, max {max(series):.2f}s")
+    elif name == "fig7":
+        print(experiments.budget_sweep(scale, seed=args.seed).report())
+    elif name == "fig8a":
+        print(experiments.budget_reduction(scale, seed=args.seed).report())
+    elif name == "fig8b":
+        print(experiments.learning_curve(scale, seed=args.seed).report())
+    elif name == "fig9ab":
+        stats = experiments.trace_characteristics(scale, seed=args.seed)
+        map_cdf, reduce_cdf = stats.count_cdfs()
+        print(format_cdf(map_cdf, "#map", title="Fig 9(a) map tasks"))
+        print(format_cdf(reduce_cdf, "#reduce", title="Fig 9(a) reduce tasks"))
+    elif name == "fig9c":
+        print(experiments.reduction_cdf(scale, seed=args.seed).report())
+    elif name == "table1":
+        print(experiments.runtime_grid(scale, seed=args.seed).report())
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from .experiments.ablations import ABLATIONS, feature_ablation, run_ablation
+
+    scale = args.paper_scale or None
+    if args.name == "graph-features":
+        print(feature_ablation(scale, seed=args.seed).report())
+        return 0
+    if args.name not in ABLATIONS:
+        print(
+            f"unknown ablation {args.name!r}; choose from "
+            f"{sorted(ABLATIONS) + ['graph-features']}",
+            file=sys.stderr,
+        )
+        return 2
+    print(run_ablation(args.name, scale, seed=args.seed).report())
+    return 0
+
+
+def _cmd_motivating(_: argparse.Namespace) -> int:
+    from .config import ClusterConfig
+    from .dag.examples import MOTIVATING_CAPACITY, MOTIVATING_T, motivating_example
+    from .metrics.schedule import validate_schedule
+    from .schedulers.registry import make_scheduler
+
+    graph = motivating_example()
+    env_config = EnvConfig(
+        cluster=ClusterConfig(capacities=MOTIVATING_CAPACITY, horizon=20)
+    )
+    print("Fig. 3 motivating example (T =", MOTIVATING_T, "slots):")
+    for name in ("optimal", "tetris", "sjf", "cp", "graphene"):
+        schedule = make_scheduler(name, env_config).schedule(graph)
+        validate_schedule(schedule, graph, MOTIVATING_CAPACITY)
+        print(f"  {name:<9} makespan {schedule.makespan} "
+              f"({schedule.makespan / MOTIVATING_T:.0f}T)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .dag.generators import random_layered_dag
+    from .experiments.tournament import run_tournament
+    from .mcts.search import MctsScheduler
+    from .schedulers.registry import available_schedulers, make_scheduler
+    from .utils.rng import as_generator, spawn
+
+    env_config = EnvConfig(process_until_completion=True)
+    schedulers = {}
+    for name in [n.strip() for n in args.schedulers.split(",") if n.strip()]:
+        if name == "mcts":
+            schedulers[name] = MctsScheduler(
+                MctsConfig(
+                    initial_budget=args.budget, min_budget=args.min_budget
+                ),
+                env_config,
+                seed=args.seed,
+            )
+        elif name in available_schedulers():
+            schedulers[name] = make_scheduler(name, env_config)
+        else:
+            print(
+                f"unknown scheduler {name!r}; choose from "
+                f"{available_schedulers() + ['mcts']}",
+                file=sys.stderr,
+            )
+            return 2
+    rng = as_generator(args.seed)
+    graphs = [
+        random_layered_dag(WorkloadConfig(num_tasks=args.tasks), seed=child)
+        for child in spawn(rng, args.jobs)
+    ]
+    result = run_tournament(
+        schedulers, graphs, env_config, reference=args.reference
+    )
+    print(result.report())
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    from .experiments.reporting import format_table
+    from .online import (
+        OnlineSimulator,
+        cp_ranker,
+        fifo_ranker,
+        sjf_ranker,
+        tetris_ranker,
+    )
+    from .traces.arrivals import poisson_arrivals
+    from .traces.synthetic import TraceConfig, generate_production_trace
+
+    known = {
+        "fifo": fifo_ranker,
+        "sjf": sjf_ranker,
+        "cp": cp_ranker,
+        "tetris": tetris_ranker,
+    }
+    names = [n.strip() for n in args.rankers.split(",") if n.strip()]
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        print(
+            f"unknown rankers {unknown}; choose from {sorted(known)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    trace = generate_production_trace(
+        TraceConfig(num_jobs=args.jobs, runtime_scale=args.runtime_scale),
+        seed=args.seed,
+    )
+    stream = poisson_arrivals(trace, args.mean_interarrival, seed=args.seed)
+    simulator = OnlineSimulator()
+    rows = []
+    for name in names:
+        result = simulator.run(stream, known[name])
+        cpu, mem = result.mean_utilization
+        rows.append(
+            (name, result.mean_jct, result.max_jct, result.makespan,
+             f"{cpu:.0%}/{mem:.0%}")
+        )
+    print(
+        format_table(
+            ["ranker", "mean JCT", "max JCT", "makespan", "util cpu/mem"],
+            rows,
+            title=(
+                f"Online: {len(stream)} jobs, Poisson mean interarrival "
+                f"{args.mean_interarrival:g} slots"
+            ),
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "train": _cmd_train,
+    "trace": _cmd_trace,
+    "experiment": _cmd_experiment,
+    "ablation": _cmd_ablation,
+    "motivating": _cmd_motivating,
+    "compare": _cmd_compare,
+    "online": _cmd_online,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""Live cluster state: running tasks, free capacity, event-driven time.
+
+:class:`ClusterState` is the hot data structure of the whole library — the
+scheduling environment steps it, MCTS clones it thousands of times per
+decision, and every baseline policy queries it.  It is therefore designed
+for cheap cloning: running tasks are immutable tuples kept in a min-heap
+keyed by finish time, and a clone is a shallow list copy.
+
+Time semantics: ``now`` is the current slot index.  Starting a task
+occupies its demands immediately; the task finishes at ``now + runtime``.
+``advance(dt)`` moves time forward and releases every task whose finish
+time has been reached; ``advance_to_next_event()`` jumps straight to the
+earliest finish time (the Sec. III-C tree-depth optimization: "we will only
+proceed until at least one task finishes, since no new information arrives
+prior").
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, NamedTuple, Sequence, Tuple
+
+from ..errors import CapacityError, EnvironmentStateError
+from .resources import ResourceVector, fits, validate_demands
+
+__all__ = ["RunningTask", "ClusterState"]
+
+
+class RunningTask(NamedTuple):
+    """A task currently occupying the cluster.
+
+    Heap ordering is by ``finish_time`` then ``task_id``, which makes the
+    completion order deterministic.
+    """
+
+    finish_time: int
+    task_id: int
+    demands: Tuple[int, ...]
+
+
+class ClusterState:
+    """Mutable multi-resource cluster simulator state.
+
+    Args:
+        capacities: total slots per resource dimension.
+        now: initial simulation time (default 0).
+
+    Example:
+        >>> state = ClusterState((10, 10))
+        >>> state.start(task_id=1, demands=(4, 2), runtime=3)
+        >>> state.available
+        (6, 8)
+        >>> state.advance_to_next_event()
+        (3, [1])
+        >>> state.available
+        (10, 10)
+    """
+
+    __slots__ = ("capacities", "_available", "_running", "now")
+
+    def __init__(self, capacities: Sequence[int], now: int = 0) -> None:
+        if not capacities or any(c <= 0 for c in capacities):
+            raise CapacityError(f"invalid capacities {tuple(capacities)}")
+        self.capacities: ResourceVector = tuple(int(c) for c in capacities)
+        self._available: List[int] = list(self.capacities)
+        self._running: List[RunningTask] = []
+        self.now: int = int(now)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def available(self) -> ResourceVector:
+        """Currently free slots per resource."""
+        return tuple(self._available)
+
+    @property
+    def num_resources(self) -> int:
+        """Resource dimensionality."""
+        return len(self.capacities)
+
+    @property
+    def num_running(self) -> int:
+        """Number of tasks currently occupying the cluster."""
+        return len(self._running)
+
+    @property
+    def is_idle(self) -> bool:
+        """True iff no task is running."""
+        return not self._running
+
+    def running_tasks(self) -> List[RunningTask]:
+        """Running tasks sorted by (finish_time, task_id)."""
+        return sorted(self._running)
+
+    def running_ids(self) -> List[int]:
+        """Ids of running tasks, in completion order."""
+        return [entry.task_id for entry in sorted(self._running)]
+
+    def can_fit(self, demands: Sequence[int]) -> bool:
+        """True iff ``demands`` fit in the currently free capacity."""
+        return fits(demands, self._available)
+
+    def earliest_finish_time(self) -> int:
+        """Finish time of the next task to complete.
+
+        Raises:
+            EnvironmentStateError: if the cluster is idle.
+        """
+        if not self._running:
+            raise EnvironmentStateError("no running tasks: no next event")
+        return self._running[0].finish_time
+
+    def utilization(self) -> Tuple[float, ...]:
+        """Fraction of each resource currently in use."""
+        return tuple(
+            (cap - avail) / cap
+            for cap, avail in zip(self.capacities, self._available)
+        )
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def start(self, task_id: int, demands: Sequence[int], runtime: int) -> None:
+        """Begin running a task now, occupying its demands.
+
+        Raises:
+            CapacityError: if the demands exceed free capacity (or can never
+                fit at all).
+            EnvironmentStateError: on a non-positive runtime.
+        """
+        if runtime < 1:
+            raise EnvironmentStateError(
+                f"task {task_id}: runtime must be >= 1, got {runtime}"
+            )
+        validate_demands(demands, self.capacities, label=f"task {task_id}")
+        if not fits(demands, self._available):
+            raise CapacityError(
+                f"task {task_id}: demands {tuple(demands)} exceed free "
+                f"capacity {self.available}"
+            )
+        for r, demand in enumerate(demands):
+            self._available[r] -= demand
+        heapq.heappush(
+            self._running,
+            RunningTask(self.now + int(runtime), int(task_id), tuple(demands)),
+        )
+
+    def advance(self, dt: int) -> List[int]:
+        """Move time forward by ``dt`` slots; release finished tasks.
+
+        Returns:
+            Ids of tasks that completed in ``(now, now + dt]``, in
+            completion order.
+
+        Raises:
+            EnvironmentStateError: if ``dt`` is not positive.
+        """
+        if dt < 1:
+            raise EnvironmentStateError(f"dt must be >= 1, got {dt}")
+        self.now += int(dt)
+        completed: List[int] = []
+        while self._running and self._running[0].finish_time <= self.now:
+            entry = heapq.heappop(self._running)
+            for r, demand in enumerate(entry.demands):
+                self._available[r] += demand
+            completed.append(entry.task_id)
+        return completed
+
+    def advance_to_next_event(self) -> Tuple[int, List[int]]:
+        """Jump time to the earliest finish and release finished tasks.
+
+        Returns:
+            ``(new_now, completed_ids)``; at least one task completes.
+
+        Raises:
+            EnvironmentStateError: if the cluster is idle.
+        """
+        target = self.earliest_finish_time()
+        completed = self.advance(target - self.now)
+        return self.now, completed
+
+    # ------------------------------------------------------------------ #
+    # copying / equality
+    # ------------------------------------------------------------------ #
+
+    def clone(self) -> "ClusterState":
+        """Cheap deep-enough copy (running entries are immutable tuples)."""
+        copy = ClusterState.__new__(ClusterState)
+        copy.capacities = self.capacities
+        copy._available = list(self._available)
+        copy._running = list(self._running)
+        copy.now = self.now
+        return copy
+
+    def signature(self) -> Tuple:
+        """Hashable snapshot of the state (for transposition detection)."""
+        return (self.now, tuple(self._available), tuple(sorted(self._running)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClusterState):
+            return NotImplemented
+        return (
+            self.capacities == other.capacities
+            and self.signature() == other.signature()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.capacities, self.signature()))
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterState(now={self.now}, available={self.available}, "
+            f"running={len(self._running)})"
+        )

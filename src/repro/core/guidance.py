@@ -1,0 +1,141 @@
+"""Network-guided expansion and rollout policies for MCTS.
+
+These are the two integration points of Sec. III-A: "the DRL agent can
+choose an action leading to the next state during expansion and rollout,
+whereas the default MCTS strategy uses a random policy during these steps."
+
+* :class:`NetworkExpansion` — orders a node's untried actions by the
+  policy's probabilities, so the search "can focus on more promising
+  subtrees instead of a randomly selected one".
+* :class:`NetworkRollout` — simulates to termination by sampling from the
+  policy ("our DRL model will simulate the DAG scheduling problem with
+  expertise and provide a more meaningful estimation of the makespan").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..env.actions import Action
+from ..env.scheduling_env import SchedulingEnv
+from ..errors import EnvironmentStateError
+from ..mcts.policies import ExpansionPolicy, RolloutPolicy
+from ..rl.agent import NetworkPolicy
+from ..rl.network import PolicyNetwork
+from ..utils.rng import SeedLike
+
+__all__ = ["NetworkExpansion", "NetworkRollout", "TruncatedRollout"]
+
+
+class NetworkExpansion(ExpansionPolicy):
+    """Order untried actions by descending policy probability.
+
+    Args:
+        network: the trained policy network.
+        work_conserving: must match the search's expansion-filter setting
+            so probabilities are computed over the same action set.
+    """
+
+    def __init__(self, network: PolicyNetwork, work_conserving: bool = True) -> None:
+        self._policy = NetworkPolicy(
+            network, mode="greedy", work_conserving=work_conserving
+        )
+
+    def prioritize(self, env: SchedulingEnv, actions: List[Action]) -> List[Action]:
+        probabilities = self._policy.action_probabilities(env)
+        return sorted(
+            actions,
+            key=lambda a: (-probabilities.get(a, 0.0), a),
+        )
+
+
+class NetworkRollout(RolloutPolicy):
+    """Simulate to termination with the trained policy.
+
+    Args:
+        network: the trained policy network.
+        seed: sampling RNG (ignored in greedy mode).
+        mode: ``"sample"`` (default — diverse rollouts, matching how the
+            network was trained) or ``"greedy"``.
+        work_conserving: apply the Spear action filter during rollout.
+        max_steps_factor: livelock guard multiplier.
+    """
+
+    def __init__(
+        self,
+        network: PolicyNetwork,
+        seed: SeedLike = None,
+        mode: str = "sample",
+        work_conserving: bool = True,
+        max_steps_factor: int = 50,
+    ) -> None:
+        self._policy = NetworkPolicy(
+            network, mode=mode, seed=seed, work_conserving=work_conserving
+        )
+        self._max_steps_factor = max_steps_factor
+
+    def rollout(self, env: SchedulingEnv) -> int:
+        limit = self._max_steps_factor * (
+            sum(task.runtime for task in env.graph) + env.graph.num_tasks
+        )
+        steps = 0
+        while not env.done:
+            if steps >= limit:
+                raise EnvironmentStateError("network rollout livelocked")
+            env.step(self._policy.select(env))
+            steps += 1
+        return env.makespan
+
+
+class TruncatedRollout(RolloutPolicy):
+    """Depth-limited rollout scored by a value network (AlphaZero-style).
+
+    Plays the guidance policy for at most ``depth_limit`` decisions; if
+    the episode has not terminated, the remaining makespan is estimated by
+    the value network and added to the elapsed time.  This extension of
+    Spear caps rollout cost on deep DAGs at the price of estimator bias —
+    ablate it against full rollouts before trusting it on a new workload.
+
+    Args:
+        policy_network: the trained policy used to play the prefix.
+        value_network: :class:`repro.rl.value_network.ValueNetwork`
+            predicting remaining makespan from an observation.
+        depth_limit: decisions to play before consulting the value net
+            (>= 1).
+        seed: sampling RNG for the prefix.
+        work_conserving: action-filter setting (match the search's).
+    """
+
+    def __init__(
+        self,
+        policy_network: PolicyNetwork,
+        value_network,
+        depth_limit: int,
+        seed: SeedLike = None,
+        work_conserving: bool = True,
+    ) -> None:
+        if depth_limit < 1:
+            raise ValueError("depth_limit must be >= 1")
+        self._policy = NetworkPolicy(
+            policy_network, mode="sample", seed=seed,
+            work_conserving=work_conserving,
+        )
+        self._value = value_network
+        self._depth_limit = depth_limit
+
+    def rollout(self, env: SchedulingEnv) -> int:
+        from ..env.observation import ObservationBuilder
+
+        steps = 0
+        while not env.done and steps < self._depth_limit:
+            env.step(self._policy.select(env))
+            steps += 1
+        if env.done:
+            return env.makespan
+        builder = ObservationBuilder(env.graph, env.config)
+        remaining = float(self._value.predict(builder.build(env))[0])
+        # A terminal state can never precede the running tasks' finishes.
+        floor = 0
+        if not env.cluster.is_idle:
+            floor = env.cluster.earliest_finish_time() - env.now
+        return env.now + max(int(round(remaining)), floor, 1)

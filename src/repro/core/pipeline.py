@@ -1,0 +1,135 @@
+"""End-to-end training pipeline: graphs -> imitation -> REINFORCE -> Spear.
+
+Reproduces the Sec. IV recipe:
+
+1. Generate the training set (paper: 144 random DAGs of 25 tasks each).
+2. Supervised pre-training to imitate the critical-path heuristic.
+3. REINFORCE with the 20-rollout average baseline.
+4. Wrap the trained network into a :class:`SpearScheduler`.
+
+Every step is reproducible from a single seed, and the trained network can
+be checkpointed with :mod:`repro.rl.checkpoints`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from ..config import EnvConfig, MctsConfig, NetworkConfig, TrainingConfig, WorkloadConfig
+from ..dag.generators import random_layered_dag
+from ..dag.graph import TaskGraph
+from ..env.observation import observation_size
+from ..rl.imitation import ImitationTrainer
+from ..rl.network import PolicyNetwork
+from ..rl.reinforce import EpochStats, ReinforceTrainer
+from ..utils.rng import SeedLike, as_generator, spawn
+from .spear import SpearScheduler
+
+__all__ = [
+    "default_network",
+    "training_graphs",
+    "pretrain_network",
+    "train_spear_network",
+    "build_spear",
+]
+
+
+def default_network(
+    env_config: EnvConfig | None = None,
+    network_config: NetworkConfig | None = None,
+    seed: SeedLike = None,
+) -> PolicyNetwork:
+    """A freshly initialized policy network matching ``env_config``'s
+    observation layout and visibility window."""
+    env_config = env_config if env_config is not None else EnvConfig()
+    network_config = (
+        network_config
+        if network_config is not None
+        else NetworkConfig(max_ready=env_config.max_ready)
+    )
+    if network_config.max_ready != env_config.max_ready:
+        network_config = replace(network_config, max_ready=env_config.max_ready)
+    size = observation_size(env_config)
+    return PolicyNetwork(size, network_config, seed=seed)
+
+
+def training_graphs(
+    training: TrainingConfig | None = None,
+    workload: WorkloadConfig | None = None,
+    seed: SeedLike = None,
+) -> List[TaskGraph]:
+    """The training set: ``num_examples`` random DAGs of
+    ``example_num_tasks`` tasks (paper: 144 x 25)."""
+    training = training if training is not None else TrainingConfig()
+    base = workload if workload is not None else WorkloadConfig()
+    workload = replace(base, num_tasks=training.example_num_tasks)
+    rng = as_generator(seed)
+    return [
+        random_layered_dag(workload, seed=child)
+        for child in spawn(rng, training.num_examples)
+    ]
+
+
+def pretrain_network(
+    network: PolicyNetwork,
+    graphs: List[TaskGraph],
+    env_config: EnvConfig | None = None,
+    training: TrainingConfig | None = None,
+    seed: SeedLike = None,
+) -> List[float]:
+    """Imitation pre-training on the critical-path teacher; returns the
+    supervised loss curve."""
+    trainer = ImitationTrainer(
+        network, env_config=env_config, training=training, seed=seed
+    )
+    return trainer.fit(graphs)
+
+
+def train_spear_network(
+    env_config: EnvConfig | None = None,
+    training: TrainingConfig | None = None,
+    workload: WorkloadConfig | None = None,
+    seed: SeedLike = None,
+    epochs: Optional[int] = None,
+    log_every: int = 0,
+) -> Tuple[PolicyNetwork, List[EpochStats]]:
+    """Full Sec. IV pipeline; returns the network and the learning curve.
+
+    Args:
+        env_config: cluster shape for the training environments.
+        training: hyper-parameters; ``epochs`` overrides
+            ``training.epochs`` for quick runs.
+        workload: base workload for the training DAGs.
+        seed: master seed (graphs, init, sampling all derive from it).
+        log_every: print progress every N epochs (0 = silent).
+    """
+    env_config = env_config if env_config is not None else EnvConfig(
+        process_until_completion=True
+    )
+    training = training if training is not None else TrainingConfig()
+    rng = as_generator(seed)
+    graph_rng, net_rng, imit_rng, rl_rng = spawn(rng, 4)
+
+    graphs = training_graphs(training, workload, seed=graph_rng)
+    network = default_network(env_config, seed=net_rng)
+    pretrain_network(
+        network, graphs, env_config=env_config, training=training, seed=imit_rng
+    )
+    trainer = ReinforceTrainer(
+        network, graphs, env_config=env_config, training=training, seed=rl_rng
+    )
+    history = trainer.train(epochs=epochs, log_every=log_every)
+    return network, history
+
+
+def build_spear(
+    network: PolicyNetwork,
+    config: MctsConfig | None = None,
+    env_config: EnvConfig | None = None,
+    seed: SeedLike = None,
+) -> SpearScheduler:
+    """Convenience constructor for a ready-to-run Spear scheduler."""
+    return SpearScheduler(
+        network, config=config, env_config=env_config, seed=seed
+    )

@@ -1,0 +1,91 @@
+"""Structural analysis helpers for task graphs.
+
+These summaries drive workload characterization (Fig. 9(a)/(b)) and the
+lower bounds used to sanity-check scheduler output in tests: no valid
+schedule can beat ``max(critical path, work volume / capacity)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from .features import compute_features
+from .graph import TaskGraph
+
+__all__ = ["GraphSummary", "summarize", "makespan_lower_bound"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Descriptive statistics of one task graph."""
+
+    num_tasks: int
+    num_edges: int
+    depth: int
+    width: int
+    critical_path: int
+    total_runtime: int
+    total_work: Tuple[int, ...]
+    mean_runtime: float
+    max_runtime: int
+    mean_demand: Tuple[float, ...]
+    max_demand: Tuple[int, ...]
+
+
+def summarize(graph: TaskGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``."""
+
+    runtimes = [task.runtime for task in graph]
+    num_resources = graph.num_resources
+    demands_by_dim = [
+        [task.demands[r] for task in graph] for r in range(num_resources)
+    ]
+    features = compute_features(graph)
+    return GraphSummary(
+        num_tasks=graph.num_tasks,
+        num_edges=graph.num_edges,
+        depth=graph.depth(),
+        width=graph.width(),
+        critical_path=features.critical_path,
+        total_runtime=sum(runtimes),
+        total_work=tuple(graph.total_work(r) for r in range(num_resources)),
+        mean_runtime=sum(runtimes) / len(runtimes),
+        max_runtime=max(runtimes),
+        mean_demand=tuple(
+            sum(dim) / len(dim) for dim in demands_by_dim
+        ),
+        max_demand=tuple(max(dim) for dim in demands_by_dim),
+    )
+
+
+def makespan_lower_bound(graph: TaskGraph, capacities: Sequence[int]) -> int:
+    """A makespan lower bound valid for every feasible schedule.
+
+    The bound is the maximum of:
+
+    * the critical-path length (dependencies alone), and
+    * for each resource ``r``, ``ceil(total_work_r / capacity_r)``
+      (capacity alone).
+
+    Args:
+        graph: the job DAG.
+        capacities: cluster capacity per resource dimension; must match the
+            graph's resource dimensionality.
+
+    Raises:
+        ValueError: on dimension mismatch or non-positive capacity.
+    """
+
+    if len(capacities) != graph.num_resources:
+        raise ValueError(
+            f"capacities has {len(capacities)} dims, graph has "
+            f"{graph.num_resources}"
+        )
+    if any(c <= 0 for c in capacities):
+        raise ValueError("capacities must be positive")
+    bound = graph.critical_path_length()
+    for r, capacity in enumerate(capacities):
+        bound = max(bound, math.ceil(graph.total_work(r) / capacity))
+    return bound

@@ -1,0 +1,106 @@
+"""Composing jobs into larger workloads.
+
+The trace experiments schedule jobs one at a time (per-job makespan, as in
+the paper), but a cluster scheduler also faces *batches*: several DAGs
+sharing the resource pool.  These combinators build such workloads while
+keeping every graph invariant intact:
+
+* :func:`disjoint_union` — run jobs concurrently: one graph whose
+  components are the input jobs (ids re-based, no cross edges).
+* :func:`serialize_jobs` — run jobs back to back: every sink of job ``k``
+  feeds every source of job ``k+1`` (a strict barrier between jobs).
+* :func:`with_barrier_task` — add a zero-ish-cost sink that depends on all
+  current sinks, giving multi-sink jobs a single completion point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import GraphError
+from .graph import TaskGraph
+from .task import Task
+
+__all__ = ["disjoint_union", "serialize_jobs", "with_barrier_task", "relabel"]
+
+
+def relabel(graph: TaskGraph, offset: int) -> Tuple[List[Task], List[Tuple[int, int]]]:
+    """Return ``graph``'s tasks and edges with ids shifted by ``offset``."""
+    if offset < 0:
+        raise GraphError("offset must be >= 0")
+    tasks = [
+        Task(task.task_id + offset, task.runtime, task.demands, task.name)
+        for task in graph
+    ]
+    edges = [(u + offset, v + offset) for u, v in graph.edges()]
+    return tasks, edges
+
+
+def _concatenate(graphs: Sequence[TaskGraph]) -> Tuple[List[Task], List[Tuple[int, int]], List[int]]:
+    """Re-base all graphs onto one id space; return (tasks, edges, offsets)."""
+    if not graphs:
+        raise GraphError("need at least one graph to compose")
+    dims = {g.num_resources for g in graphs}
+    if len(dims) != 1:
+        raise GraphError(f"mixed resource dimensionality: {sorted(dims)}")
+    tasks: List[Task] = []
+    edges: List[Tuple[int, int]] = []
+    offsets: List[int] = []
+    offset = 0
+    for graph in graphs:
+        offsets.append(offset)
+        shifted_tasks, shifted_edges = relabel(graph, offset)
+        tasks.extend(shifted_tasks)
+        edges.extend(shifted_edges)
+        offset += graph.num_tasks
+    return tasks, edges, offsets
+
+
+def disjoint_union(graphs: Sequence[TaskGraph]) -> TaskGraph:
+    """Concurrent batch: all jobs in one graph, no cross-job edges.
+
+    The makespan of a schedule of the union is the batch completion time;
+    task ids of job ``k`` are shifted by the total size of jobs ``< k``.
+    """
+
+    tasks, edges, _ = _concatenate(graphs)
+    return TaskGraph(tasks, edges)
+
+
+def serialize_jobs(graphs: Sequence[TaskGraph]) -> TaskGraph:
+    """Sequential batch: job ``k+1`` may only start after job ``k`` ends.
+
+    Realized by a complete bipartite edge set from each job's sinks to the
+    next job's sources — a strict barrier, matching how a FIFO cluster
+    queue would run the jobs.
+    """
+
+    tasks, edges, offsets = _concatenate(graphs)
+    for (prev, prev_offset), (nxt, next_offset) in zip(
+        zip(graphs, offsets), list(zip(graphs, offsets))[1:]
+    ):
+        for sink in prev.sinks():
+            for source in nxt.sources():
+                edges.append((sink + prev_offset, source + next_offset))
+    return TaskGraph(tasks, edges)
+
+
+def with_barrier_task(
+    graph: TaskGraph,
+    runtime: int = 1,
+    demands: Tuple[int, ...] | None = None,
+    name: str = "barrier",
+) -> TaskGraph:
+    """Append a single sink depending on every current sink.
+
+    Useful when an algorithm (or a metric) wants a unique exit node; the
+    barrier's default demand is zero in every dimension, so it does not
+    perturb packing beyond its (1-slot) runtime.
+    """
+
+    if demands is None:
+        demands = (0,) * graph.num_resources
+    barrier_id = max(graph.task_ids) + 1
+    tasks = list(graph) + [Task(barrier_id, runtime, demands, name=name)]
+    edges = list(graph.edges()) + [(sink, barrier_id) for sink in graph.sinks()]
+    return TaskGraph(tasks, edges)

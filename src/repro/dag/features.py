@@ -1,0 +1,116 @@
+"""Graph-topology features used by the DRL state (Sec. III-D).
+
+The paper augments per-task resource demands with features that capture how
+important a task is for the makespan of the whole DAG:
+
+* **b-level** — length of the longest runtime-weighted path from the task to
+  an exit node, *including* the task's own runtime.  The maximum b-level over
+  all tasks equals the critical-path length.
+* **#children** — out-degree, the classic b-level tiebreaker.
+* **b-load(r)** — accumulated load (``runtime * demand[r]``) along the
+  task's b-level path, one value per resource dimension.  Where several
+  children attain the same b-level, the child with the larger accumulated
+  load is followed (deterministic tie-break by task id thereafter).
+
+Also provided: **t-level** (longest path from a source to the task,
+excluding the task), used by analysis tooling and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .graph import TaskGraph
+
+__all__ = ["GraphFeatures", "compute_features"]
+
+
+@dataclass(frozen=True)
+class GraphFeatures:
+    """Per-task topology features for one :class:`TaskGraph`.
+
+    All mappings are keyed by task id and cover every task in the graph.
+
+    Attributes:
+        b_level: longest downstream runtime-weighted path, inclusive.
+        t_level: longest upstream runtime-weighted path, exclusive.
+        num_children: out-degree of each task.
+        b_load: per-task tuple with one accumulated-load entry per
+            resource dimension, measured along the b-level path.
+        critical_path: the maximum b-level (= DAG critical-path length).
+    """
+
+    b_level: Dict[int, int]
+    t_level: Dict[int, int]
+    num_children: Dict[int, int]
+    b_load: Dict[int, Tuple[int, ...]]
+    critical_path: int
+
+    def priority_order(self) -> Tuple[int, ...]:
+        """Task ids sorted by descending b-level (the CP heuristic order).
+
+        Ties break on descending #children, then ascending id, matching the
+        tie-breaking convention described in Sec. III-D.
+        """
+        return tuple(
+            sorted(
+                self.b_level,
+                key=lambda tid: (
+                    -self.b_level[tid],
+                    -self.num_children[tid],
+                    tid,
+                ),
+            )
+        )
+
+
+def compute_features(graph: TaskGraph) -> GraphFeatures:
+    """Compute :class:`GraphFeatures` for ``graph`` in O(V + E).
+
+    A single reverse-topological sweep yields b-level and b-load together;
+    a forward sweep yields t-level.
+    """
+
+    order = graph.topological_order()
+    num_resources = graph.num_resources
+
+    b_level: Dict[int, int] = {}
+    b_load: Dict[int, Tuple[int, ...]] = {}
+    for tid in reversed(order):
+        task = graph.task(tid)
+        own_load = tuple(task.load(r) for r in range(num_resources))
+        kids = graph.children(tid)
+        if not kids:
+            b_level[tid] = task.runtime
+            b_load[tid] = own_load
+            continue
+        # Follow the child with the largest b-level; among equals prefer the
+        # heavier accumulated load, then the smallest id (determinism).
+        best = max(
+            kids, key=lambda k: (b_level[k], sum(b_load[k]), -k)
+        )
+        b_level[tid] = task.runtime + b_level[best]
+        b_load[tid] = tuple(
+            own + downstream for own, downstream in zip(own_load, b_load[best])
+        )
+
+    t_level: Dict[int, int] = {}
+    for tid in order:
+        parents = graph.parents(tid)
+        if not parents:
+            t_level[tid] = 0
+        else:
+            t_level[tid] = max(
+                t_level[p] + graph.task(p).runtime for p in parents
+            )
+
+    num_children = {tid: len(graph.children(tid)) for tid in order}
+    critical_path = max(b_level.values())
+    return GraphFeatures(
+        b_level=b_level,
+        t_level=t_level,
+        num_children=num_children,
+        b_load=b_load,
+        critical_path=critical_path,
+    )

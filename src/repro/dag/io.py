@@ -1,0 +1,89 @@
+"""JSON (de)serialization of task graphs.
+
+The schema is intentionally flat and versioned so saved workloads remain
+loadable across library versions:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "tasks": [{"id": 0, "runtime": 3, "demands": [2, 1], "name": "map-0"}],
+      "edges": [[0, 1]]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..errors import TraceError
+from .graph import TaskGraph
+from .task import Task
+
+__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
+
+SCHEMA_VERSION = 1
+
+
+def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    """Serialize ``graph`` to a JSON-compatible dictionary."""
+
+    return {
+        "version": SCHEMA_VERSION,
+        "tasks": [
+            {
+                "id": task.task_id,
+                "runtime": task.runtime,
+                "demands": list(task.demands),
+                "name": task.name,
+            }
+            for task in graph
+        ],
+        "edges": [list(edge) for edge in graph.edges()],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> TaskGraph:
+    """Reconstruct a :class:`TaskGraph` from :func:`graph_to_dict` output.
+
+    Raises:
+        TraceError: if the payload is missing fields or has a wrong version.
+    """
+
+    if not isinstance(payload, dict):
+        raise TraceError(f"expected a dict payload, got {type(payload).__name__}")
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise TraceError(f"unsupported graph schema version {version!r}")
+    try:
+        tasks = [
+            Task(
+                task_id=entry["id"],
+                runtime=entry["runtime"],
+                demands=tuple(entry["demands"]),
+                name=entry.get("name"),
+            )
+            for entry in payload["tasks"]
+        ]
+        edges = [(int(u), int(v)) for u, v in payload.get("edges", [])]
+    except (KeyError, TypeError) as exc:
+        raise TraceError(f"malformed graph payload: {exc}") from exc
+    return TaskGraph(tasks, edges)
+
+
+def save_graph(graph: TaskGraph, path: Union[str, Path]) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def load_graph(path: Union[str, Path]) -> TaskGraph:
+    """Load a graph previously written with :func:`save_graph`."""
+
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"invalid JSON in {path}: {exc}") from exc
+    return graph_from_dict(payload)

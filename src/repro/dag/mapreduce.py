@@ -1,0 +1,97 @@
+"""Two-stage MapReduce DAG construction.
+
+The trace-driven experiments of Sec. V-C replay Hive MapReduce jobs: a map
+stage of ``m`` parallel tasks feeding a reduce stage of ``r`` parallel
+tasks, with a complete bipartite dependency (every reduce task consumes
+every map task's output — the shuffle barrier).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import ConfigError
+from .graph import TaskGraph
+from .task import Task
+
+__all__ = ["mapreduce_dag"]
+
+
+def mapreduce_dag(
+    map_runtimes: Sequence[int],
+    reduce_runtimes: Sequence[int],
+    *,
+    map_demands: Sequence[Tuple[int, ...]] | None = None,
+    reduce_demands: Sequence[Tuple[int, ...]] | None = None,
+    default_map_demand: Tuple[int, ...] = (2, 1),
+    default_reduce_demand: Tuple[int, ...] = (1, 2),
+    shuffle: str = "full",
+) -> TaskGraph:
+    """Build a two-stage MapReduce DAG.
+
+    Map tasks get ids ``0..m-1`` and names ``map-i``; reduce tasks get ids
+    ``m..m+r-1`` and names ``reduce-j``.
+
+    Args:
+        map_runtimes: runtime per map task (slots, >= 1 each).
+        reduce_runtimes: runtime per reduce task.
+        map_demands: optional per-map demand vectors; defaults to
+            ``default_map_demand`` (CPU-leaning, matching the common
+            observation that map tasks are lighter than reduce tasks).
+        reduce_demands: optional per-reduce demand vectors; defaults to
+            ``default_reduce_demand``.
+        shuffle: ``"full"`` for a complete bipartite map->reduce barrier
+            (Hive semantics); ``"striped"`` wires reduce ``j`` only to maps
+            with ``i % r == j % m``-style stripes — a lighter topology used
+            by ablation workloads.
+
+    Returns:
+        A validated :class:`TaskGraph` with ``m + r`` tasks.
+    """
+
+    num_map = len(map_runtimes)
+    num_reduce = len(reduce_runtimes)
+    if num_map < 1 or num_reduce < 1:
+        raise ConfigError("need at least one map and one reduce task")
+    if map_demands is None:
+        map_demands = [default_map_demand] * num_map
+    if reduce_demands is None:
+        reduce_demands = [default_reduce_demand] * num_reduce
+    if len(map_demands) != num_map:
+        raise ConfigError("map_demands length mismatch")
+    if len(reduce_demands) != num_reduce:
+        raise ConfigError("reduce_demands length mismatch")
+    if shuffle not in ("full", "striped"):
+        raise ConfigError(f"unknown shuffle mode {shuffle!r}")
+
+    tasks = [
+        Task(i, int(map_runtimes[i]), tuple(map_demands[i]), name=f"map-{i}")
+        for i in range(num_map)
+    ]
+    tasks += [
+        Task(
+            num_map + j,
+            int(reduce_runtimes[j]),
+            tuple(reduce_demands[j]),
+            name=f"reduce-{j}",
+        )
+        for j in range(num_reduce)
+    ]
+
+    edges = []
+    if shuffle == "full":
+        for i in range(num_map):
+            for j in range(num_reduce):
+                edges.append((i, num_map + j))
+    else:  # striped
+        for j in range(num_reduce):
+            for i in range(num_map):
+                if i % num_reduce == j % max(num_map, 1) % num_reduce or i == j % num_map:
+                    edges.append((i, num_map + j))
+        # Guarantee each reduce has at least one upstream map.
+        covered = {down for _, down in edges}
+        for j in range(num_reduce):
+            if num_map + j not in covered:
+                edges.append((j % num_map, num_map + j))
+
+    return TaskGraph(tasks, edges)

@@ -1,0 +1,255 @@
+"""Classic DAG-scheduling benchmark topologies.
+
+The DAG-scheduling literature the paper builds on ([8]-[10], [15])
+evaluates on structured task graphs from numerical kernels.  These
+parametric builders provide the standard suite, usable anywhere a
+:class:`TaskGraph` is — tests, ablations, and workload-diversity studies
+beyond the paper's layered random DAGs:
+
+* :func:`gaussian_elimination_dag` — the triangular dependence pattern of
+  column-wise Gaussian elimination on an ``n x n`` matrix.
+* :func:`fft_dag` — the butterfly graph of a radix-2 FFT on ``2^k``
+  points (recursive splits followed by butterfly combines).
+* :func:`stencil_dag` — a 1-D Jacobi/Laplace stencil unrolled over time:
+  cell (t+1, i) depends on cells (t, i-1..i+1).
+* :func:`cholesky_dag` — the task graph of a tiled Cholesky factorization
+  (POTRF/TRSM/SYRK/GEMM kernels on a ``b x b`` tile grid).
+
+Runtimes and demands default to per-kernel constants but accept
+overrides, so resource heterogeneity can be dialed in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+from .graph import TaskGraph
+from .task import Task
+
+__all__ = [
+    "gaussian_elimination_dag",
+    "fft_dag",
+    "stencil_dag",
+    "cholesky_dag",
+]
+
+Demand = Tuple[int, ...]
+
+
+def gaussian_elimination_dag(
+    n: int,
+    *,
+    pivot_runtime: int = 2,
+    update_runtime: int = 1,
+    pivot_demand: Demand = (4, 2),
+    update_demand: Demand = (2, 2),
+) -> TaskGraph:
+    """Column-oriented Gaussian elimination on an ``n x n`` system.
+
+    For every elimination step ``k`` there is one pivot task ``T(k, k)``
+    followed by update tasks ``T(k, j)`` for ``j > k``; the pivot of step
+    ``k+1`` depends on update ``T(k, k+1)``, and update ``T(k+1, j)``
+    depends on both ``T(k, j)`` and the new pivot — the classic triangular
+    DAG with ``n(n+1)/2 - 1`` tasks for ``n >= 2``.
+    """
+
+    if n < 2:
+        raise ConfigError("gaussian elimination needs n >= 2")
+    tasks: List[Task] = []
+    edges: List[Tuple[int, int]] = []
+    ids: Dict[Tuple[int, int], int] = {}
+
+    def add(step: int, column: int, is_pivot: bool) -> int:
+        tid = len(tasks)
+        ids[(step, column)] = tid
+        if is_pivot:
+            tasks.append(
+                Task(tid, pivot_runtime, pivot_demand, name=f"pivot-{step}")
+            )
+        else:
+            tasks.append(
+                Task(
+                    tid,
+                    update_runtime,
+                    update_demand,
+                    name=f"update-{step}-{column}",
+                )
+            )
+        return tid
+
+    for k in range(n - 1):
+        pivot = add(k, k, is_pivot=True)
+        if k > 0:
+            # The pivot consumes the previous step's update of its column.
+            edges.append((ids[(k - 1, k)], pivot))
+        for j in range(k + 1, n):
+            update = add(k, j, is_pivot=False)
+            edges.append((pivot, update))
+            if k > 0:
+                edges.append((ids[(k - 1, j)], update))
+    return TaskGraph(tasks, edges)
+
+
+def fft_dag(
+    points: int,
+    *,
+    split_runtime: int = 1,
+    combine_runtime: int = 2,
+    split_demand: Demand = (2, 1),
+    combine_demand: Demand = (3, 2),
+) -> TaskGraph:
+    """Radix-2 FFT butterfly on ``points = 2^k`` inputs (k >= 1).
+
+    The canonical shape from the scheduling literature: a binary tree of
+    recursive *split* tasks (depth ``k``) feeding ``k`` layers of
+    ``points/2``-wide *butterfly* combine stages... simplified to the
+    standard 2-phase form: ``points - 1`` splits (a binary out-tree) then
+    ``k`` combine layers of ``points / 2`` tasks each, where combine
+    ``(layer, i)`` depends on the two combines (or leaf splits) whose
+    index ranges it merges.
+    """
+
+    if points < 2 or points & (points - 1):
+        raise ConfigError("points must be a power of two >= 2")
+    k = points.bit_length() - 1
+    tasks: List[Task] = []
+    edges: List[Tuple[int, int]] = []
+
+    # Split phase: binary out-tree with `points` leaves.
+    split_ids: Dict[Tuple[int, int], int] = {}
+    for depth in range(k + 1):
+        for i in range(2**depth):
+            tid = len(tasks)
+            split_ids[(depth, i)] = tid
+            tasks.append(
+                Task(tid, split_runtime, split_demand, name=f"split-{depth}-{i}")
+            )
+            if depth > 0:
+                edges.append((split_ids[(depth - 1, i // 2)], tid))
+
+    # Combine phase: k layers of points/2 butterflies.
+    prev_layer: List[int] = [split_ids[(k, i)] for i in range(points)]
+    for layer in range(k):
+        width = points // 2
+        current: List[int] = []
+        group = 2 ** (layer + 1)
+        for i in range(width):
+            tid = len(tasks)
+            tasks.append(
+                Task(
+                    tid,
+                    combine_runtime,
+                    combine_demand,
+                    name=f"butterfly-{layer}-{i}",
+                )
+            )
+            current.append(tid)
+        # Wire: butterfly i of this layer reads a pair of previous outputs.
+        if layer == 0:
+            for i in range(width):
+                edges.append((prev_layer[2 * i], current[i]))
+                edges.append((prev_layer[2 * i + 1], current[i]))
+        else:
+            prev_width = len(prev_layer)
+            for i in range(width):
+                partner = i ^ (1 << (layer - 1)) if prev_width == width else i
+                edges.append((prev_layer[i % prev_width], current[i]))
+                edges.append((prev_layer[partner % prev_width], current[i]))
+        prev_layer = current
+    return TaskGraph(tasks, edges)
+
+
+def stencil_dag(
+    width: int,
+    steps: int,
+    *,
+    runtime: int = 1,
+    demand: Demand = (2, 2),
+) -> TaskGraph:
+    """1-D Jacobi stencil unrolled over ``steps`` time steps.
+
+    Cell ``(t+1, i)`` depends on cells ``(t, i-1)``, ``(t, i)`` and
+    ``(t, i+1)`` (boundaries clamp) — a wide, regular DAG whose critical
+    path is ``steps x runtime``.
+    """
+
+    if width < 1 or steps < 1:
+        raise ConfigError("width and steps must be >= 1")
+    tasks = [
+        Task(t * width + i, runtime, demand, name=f"cell-{t}-{i}")
+        for t in range(steps)
+        for i in range(width)
+    ]
+    edges: List[Tuple[int, int]] = []
+    for t in range(steps - 1):
+        for i in range(width):
+            target = (t + 1) * width + i
+            for j in (i - 1, i, i + 1):
+                if 0 <= j < width:
+                    edges.append((t * width + j, target))
+    return TaskGraph(tasks, edges)
+
+
+def cholesky_dag(
+    tiles: int,
+    *,
+    potrf_runtime: int = 3,
+    trsm_runtime: int = 2,
+    syrk_runtime: int = 2,
+    gemm_runtime: int = 1,
+    potrf_demand: Demand = (4, 3),
+    trsm_demand: Demand = (3, 2),
+    syrk_demand: Demand = (3, 3),
+    gemm_demand: Demand = (2, 2),
+) -> TaskGraph:
+    """Tiled (right-looking) Cholesky factorization on a ``tiles x tiles``
+    lower-triangular tile grid.
+
+    Kernels and dependencies per step ``k``:
+
+    * ``POTRF(k)`` factors the diagonal tile (after its SYRK updates);
+    * ``TRSM(k, i)`` for ``i > k`` solves the panel (needs POTRF(k) and
+      the tile's GEMM updates);
+    * ``SYRK(k, i)`` updates diagonal tile ``i`` with panel row ``i``;
+    * ``GEMM(k, i, j)`` updates tile ``(i, j)`` with panel rows i and j.
+    """
+
+    if tiles < 1:
+        raise ConfigError("tiles must be >= 1")
+    tasks: List[Task] = []
+    edges: List[Tuple[int, int]] = []
+    # Last writer of each tile (i, j), i >= j.
+    last_writer: Dict[Tuple[int, int], int] = {}
+
+    def add(name: str, runtime: int, demand: Demand) -> int:
+        tid = len(tasks)
+        tasks.append(Task(tid, runtime, demand, name=name))
+        return tid
+
+    def read(tile: Tuple[int, int], consumer: int) -> None:
+        writer = last_writer.get(tile)
+        if writer is not None:
+            edges.append((writer, consumer))
+
+    for k in range(tiles):
+        potrf = add(f"potrf-{k}", potrf_runtime, potrf_demand)
+        read((k, k), potrf)
+        last_writer[(k, k)] = potrf
+        for i in range(k + 1, tiles):
+            trsm = add(f"trsm-{k}-{i}", trsm_runtime, trsm_demand)
+            edges.append((potrf, trsm))
+            read((i, k), trsm)
+            last_writer[(i, k)] = trsm
+        for i in range(k + 1, tiles):
+            syrk = add(f"syrk-{k}-{i}", syrk_runtime, syrk_demand)
+            edges.append((last_writer[(i, k)], syrk))
+            read((i, i), syrk)
+            last_writer[(i, i)] = syrk
+            for j in range(k + 1, i):
+                gemm = add(f"gemm-{k}-{i}-{j}", gemm_runtime, gemm_demand)
+                edges.append((last_writer[(i, k)], gemm))
+                edges.append((last_writer[(j, k)], gemm))
+                read((i, j), gemm)
+                last_writer[(i, j)] = gemm
+    return TaskGraph(tasks, edges)

@@ -1,0 +1,79 @@
+"""The :class:`Task` value type.
+
+A task is the unit of scheduling: it runs for an integer number of time
+slots and, while running, occupies an integer number of slots in each
+resource dimension (Sec. II-C: "the top number denotes the runtime of the
+task and the bottom vector shows the resource demands").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["Task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """An immutable task with runtime and multi-resource demands.
+
+    Attributes:
+        task_id: unique non-negative identifier within a graph.
+        runtime: execution duration in time slots (>= 1); a task runs
+            non-preemptively once started.
+        demands: slots required per resource dimension while running.
+            Each entry must be >= 0 and at least one must be positive for a
+            task to occupy the cluster meaningfully; zero-demand tasks are
+            permitted (pure synchronization barriers).
+        name: optional human-readable label (e.g. ``"map-7"``).
+    """
+
+    task_id: int
+    runtime: int
+    demands: Tuple[int, ...]
+    name: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise ConfigError(f"task_id must be >= 0, got {self.task_id}")
+        if self.runtime < 1:
+            raise ConfigError(
+                f"task {self.task_id}: runtime must be >= 1, got {self.runtime}"
+            )
+        if not self.demands:
+            raise ConfigError(f"task {self.task_id}: needs >= 1 resource dimension")
+        if any(d < 0 for d in self.demands):
+            raise ConfigError(
+                f"task {self.task_id}: demands must be >= 0, got {self.demands}"
+            )
+        # Normalize to a plain tuple of ints so hashing/serialization is stable.
+        object.__setattr__(self, "demands", tuple(int(d) for d in self.demands))
+        object.__setattr__(self, "runtime", int(self.runtime))
+        object.__setattr__(self, "task_id", int(self.task_id))
+
+    @property
+    def num_resources(self) -> int:
+        """Number of resource dimensions this task's demand vector spans."""
+        return len(self.demands)
+
+    def load(self, resource: int) -> int:
+        """Work volume in one dimension: ``runtime * demands[resource]``.
+
+        This is the per-task term of the *b-load* feature of Sec. III-D.
+        """
+        return self.runtime * self.demands[resource]
+
+    def total_load(self) -> int:
+        """Work volume summed over all resource dimensions."""
+        return self.runtime * sum(self.demands)
+
+    def label(self) -> str:
+        """Display label: the explicit name if set, else ``"task-<id>"``."""
+        return self.name if self.name is not None else f"task-{self.task_id}"
+
+    def with_runtime(self, runtime: int) -> "Task":
+        """Return a copy with a different runtime (used by trace scaling)."""
+        return Task(self.task_id, runtime, self.demands, self.name)

@@ -1,0 +1,149 @@
+"""State featurization for the DRL agent (Sec. III-D).
+
+The observation concatenates:
+
+1. **Cluster image** — for every resource, the occupied fraction of each of
+   the next ``horizon`` slots, computed from the remaining runtimes of the
+   running tasks (the "resource-time space" rendered as rectangles).
+2. **Ready-task block** — for each of the ``max_ready`` visible slots, the
+   task's normalized demands, runtime, and the graph features the paper
+   adds on top of Tetris-style demand-only states: **b-level**,
+   **#children**, and **b-load** per resource.  Empty slots are zero.
+3. **Scalars** — normalized backlog length and completed fraction, giving
+   the network the context the visibility window hides.
+
+All features are normalized to roughly [0, 1] using per-graph constants
+(critical path, total work, max runtime), so one trained network transfers
+across DAG instances of similar scale — the property Fig. 8(b) relies on
+(train on 25-task DAGs, deploy inside Spear on 100-task DAGs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import EnvConfig
+from ..dag.features import GraphFeatures, compute_features
+from ..dag.graph import TaskGraph
+from .scheduling_env import SchedulingEnv
+
+__all__ = ["ObservationBuilder", "observation_size"]
+
+#: Feature count per visible ready-task slot, excluding demands and b-loads
+#: (runtime, b-level, #children).
+_PER_TASK_SCALARS = 3
+
+#: Trailing global scalars (backlog fill, completed fraction).
+_GLOBAL_SCALARS = 2
+
+
+def observation_size(config: EnvConfig, num_resources: int | None = None) -> int:
+    """Dimensionality of observations produced under ``config``.
+
+    Args:
+        config: environment configuration.
+        num_resources: defaults to the configured cluster's dimensionality.
+    """
+
+    resources = (
+        num_resources
+        if num_resources is not None
+        else config.cluster.num_resources
+    )
+    per_task = resources + _PER_TASK_SCALARS + resources  # demands + scalars + b-loads
+    return (
+        resources * config.cluster.horizon
+        + config.max_ready * per_task
+        + _GLOBAL_SCALARS
+    )
+
+
+class ObservationBuilder:
+    """Renders :class:`SchedulingEnv` states as fixed-size float vectors.
+
+    Graph features are computed once per graph and cached; building an
+    observation is then O(horizon * resources + max_ready).
+
+    Args:
+        graph: the job the environment schedules.
+        config: environment configuration (must match the env's).
+    """
+
+    def __init__(self, graph: TaskGraph, config: EnvConfig) -> None:
+        self.graph = graph
+        self.config = config
+        self.features: GraphFeatures = compute_features(graph)
+        self._capacities = config.cluster.capacities
+        self._horizon = config.cluster.horizon
+        # Normalizers (>= 1 so zero-division is impossible).
+        self._max_runtime = max(task.runtime for task in graph)
+        self._critical_path = max(1, self.features.critical_path)
+        self._max_children = max(
+            1, max(self.features.num_children.values(), default=1)
+        )
+        self._max_bload = tuple(
+            max(1, max(bl[r] for bl in self.features.b_load.values()))
+            for r in range(graph.num_resources)
+        )
+        self.size = observation_size(config, graph.num_resources)
+
+    # ------------------------------------------------------------------ #
+
+    def cluster_image(self, env: SchedulingEnv) -> np.ndarray:
+        """Occupancy image of shape ``(num_resources, horizon)`` in [0, 1]."""
+        resources = len(self._capacities)
+        image = np.zeros((resources, self._horizon), dtype=np.float64)
+        now = env.cluster.now
+        for entry in env.cluster.running_tasks():
+            remaining = min(entry.finish_time - now, self._horizon)
+            if remaining <= 0:
+                continue
+            for r, demand in enumerate(entry.demands):
+                image[r, :remaining] += demand
+        caps = np.asarray(self._capacities, dtype=np.float64)[:, None]
+        return image / caps
+
+    def task_features(self, task_id: int) -> np.ndarray:
+        """Normalized feature vector for one ready task.
+
+        Layout: demands (per resource) | runtime | b-level | #children |
+        b-load (per resource).
+        """
+        task = self.graph.task(task_id)
+        demands = [
+            d / c for d, c in zip(task.demands, self._capacities)
+        ]
+        if self.config.include_graph_features:
+            scalars = [
+                task.runtime / self._max_runtime,
+                self.features.b_level[task_id] / self._critical_path,
+                self.features.num_children[task_id] / self._max_children,
+            ]
+            bloads = [
+                self.features.b_load[task_id][r] / self._max_bload[r]
+                for r in range(self.graph.num_resources)
+            ]
+        else:
+            # Demand-only ablation: the runtime stays (Tetris-style states
+            # know durations) but every graph-topology feature is zeroed.
+            scalars = [task.runtime / self._max_runtime, 0.0, 0.0]
+            bloads = [0.0] * self.graph.num_resources
+        return np.asarray(demands + scalars + bloads, dtype=np.float64)
+
+    def build(self, env: SchedulingEnv) -> np.ndarray:
+        """Full observation vector for the env's current state."""
+        parts = [self.cluster_image(env).ravel()]
+        per_task = self.graph.num_resources * 2 + _PER_TASK_SCALARS
+        block = np.zeros((self.config.max_ready, per_task), dtype=np.float64)
+        for slot, tid in enumerate(env.visible_ready()):
+            block[slot] = self.task_features(tid)
+        parts.append(block.ravel())
+        backlog_norm = env.backlog_size / max(1, self.graph.num_tasks)
+        finished_norm = env.num_finished / self.graph.num_tasks
+        parts.append(np.asarray([backlog_norm, finished_norm], dtype=np.float64))
+        observation = np.concatenate(parts)
+        if observation.shape[0] != self.size:
+            raise AssertionError(
+                f"observation size mismatch: {observation.shape[0]} != {self.size}"
+            )
+        return observation

@@ -1,0 +1,311 @@
+"""The scheduling environment (Sec. III-B).
+
+:class:`SchedulingEnv` is a deterministic, clonable MDP:
+
+* **State** — cluster occupancy + the job's ready / pending / finished
+  bookkeeping.  Ready tasks beyond the ``max_ready`` visibility window wait
+  in a FIFO backlog ("if there are more ready tasks, the remaining tasks
+  will be placed in a backlog queue", Sec. V-A).
+* **Actions** — ``PROCESS`` advances time (one slot, or — in the MCTS
+  event-skipping mode — until the next task completion); index ``i``
+  starts the ``i``-th visible ready task *now* without advancing time.
+* **Reward** — ``-dt`` per processing action, so an episode's return is
+  exactly the negative makespan (Sec. III-D).
+* **Termination** — every task has finished.
+
+Determinism + cheap :meth:`clone` are what make the same class usable as
+the MCTS simulation model and the DRL training environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.resources import fits, validate_demands
+from ..cluster.state import ClusterState
+from ..config import EnvConfig
+from ..dag.graph import TaskGraph
+from ..errors import EnvironmentStateError
+from ..metrics.schedule import Schedule
+from .actions import PROCESS, Action
+
+__all__ = ["SchedulingEnv", "StepResult"]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one :meth:`SchedulingEnv.step` call."""
+
+    reward: int
+    done: bool
+    completed: Tuple[int, ...]
+    scheduled: Optional[int] = None
+
+
+class SchedulingEnv:
+    """Deterministic scheduling MDP over one job DAG.
+
+    Args:
+        graph: the job to schedule.  Every task's demand vector must fit
+            within cluster capacity or construction fails fast.
+        config: environment shape (cluster capacities, visibility window,
+            processing granularity).
+
+    Example:
+        >>> from repro.dag import chain_dag
+        >>> from repro.config import EnvConfig, ClusterConfig
+        >>> env = SchedulingEnv(
+        ...     chain_dag([2, 3]),
+        ...     EnvConfig(cluster=ClusterConfig(capacities=(4, 4), horizon=8)),
+        ... )
+        >>> env.step(0).scheduled  # start the chain head
+        0
+        >>> while not env.done:
+        ...     _ = env.step(PROCESS) if 0 not in env.visible_ready() \
+        ...         else env.step(env.visible_ready().index(0))
+        >>> env.makespan
+        5
+    """
+
+    def __init__(self, graph: TaskGraph, config: EnvConfig | None = None) -> None:
+        self.graph = graph
+        self.config = config if config is not None else EnvConfig()
+        capacities = self.config.cluster.capacities
+        if len(capacities) != graph.num_resources:
+            raise EnvironmentStateError(
+                f"cluster has {len(capacities)} resource dims, graph has "
+                f"{graph.num_resources}"
+            )
+        for task in graph:
+            validate_demands(task.demands, capacities, label=task.label())
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Return the environment to the initial state of the episode."""
+        graph = self.graph
+        self.cluster = ClusterState(self.config.cluster.capacities)
+        self._unmet: Dict[int, int] = {
+            tid: len(graph.parents(tid)) for tid in graph.task_ids
+        }
+        # Ready queue holds *all* ready tasks in arrival order; the visible
+        # window is its first ``max_ready`` entries.
+        self._ready: List[int] = [
+            tid for tid in graph.topological_order() if self._unmet[tid] == 0
+        ]
+        self._finished: set[int] = set()
+        self._running: set[int] = set()
+        self._starts: Dict[int, int] = {}
+        self.steps_taken: int = 0
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def done(self) -> bool:
+        """True iff every task in the graph has finished."""
+        return len(self._finished) == self.graph.num_tasks
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (slots)."""
+        return self.cluster.now
+
+    @property
+    def makespan(self) -> int:
+        """Completion time of the job; only meaningful once :attr:`done`."""
+        if not self.done:
+            raise EnvironmentStateError("episode not finished")
+        return self.cluster.now
+
+    @property
+    def num_finished(self) -> int:
+        """Number of completed tasks."""
+        return len(self._finished)
+
+    @property
+    def backlog_size(self) -> int:
+        """Ready tasks hidden beyond the visibility window."""
+        return max(0, len(self._ready) - self.config.max_ready)
+
+    def visible_ready(self) -> List[int]:
+        """Task ids in the visibility window, in backlog arrival order."""
+        return self._ready[: self.config.max_ready]
+
+    def all_ready(self) -> List[int]:
+        """All ready task ids (visible + backlog)."""
+        return list(self._ready)
+
+    def running_ids(self) -> List[int]:
+        """Ids of currently running tasks in completion order."""
+        return self.cluster.running_ids()
+
+    def finished_ids(self) -> List[int]:
+        """Ids of completed tasks (sorted)."""
+        return sorted(self._finished)
+
+    def unfinished_ids(self) -> List[int]:
+        """Ids of tasks not yet completed (running, ready or pending)."""
+        return [tid for tid in self.graph.task_ids if tid not in self._finished]
+
+    def start_times(self) -> Dict[int, int]:
+        """Start slot of every task started so far."""
+        return dict(self._starts)
+
+    def legal_actions(self) -> List[Action]:
+        """Actions valid in the current state.
+
+        A schedule action is legal when the task fits in currently free
+        capacity; ``PROCESS`` is legal whenever at least one task is
+        running (processing an idle cluster is the "superficial action"
+        Sec. III-A excludes from the search space).
+        """
+        actions: List[Action] = []
+        available = self.cluster.available
+        for index, tid in enumerate(self.visible_ready()):
+            if fits(self.graph.task(tid).demands, available):
+                actions.append(index)
+        if not self.cluster.is_idle:
+            actions.append(PROCESS)
+        return actions
+
+    def expansion_actions(self, work_conserving: bool = True) -> List[Action]:
+        """Candidate actions for MCTS expansion (Sec. III-C filters).
+
+        The two breadth filters of Sec. III-C map onto this environment's
+        immediate-start semantics as follows:
+
+        * "if there are no tasks in the cluster, then the processing action
+          is redundant" — structural here: ``PROCESS`` is only legal with
+          running tasks, in both modes.
+        * "we only consider the tasks that can be scheduled to start before
+          the earliest finish time of tasks in the cluster" — a task starts
+          the moment it is placed, so the startable-now set is exactly the
+          fitting set; the bite of the filter is that whenever *some* task
+          fits, deferring every placement via ``PROCESS`` wastes a
+          scheduling opportunity: with ``work_conserving=True`` (Spear's
+          setting) ``PROCESS`` is therefore dropped unless no visible ready
+          task fits.
+
+        With ``work_conserving=False`` (the raw-space ablation) the full
+        legal action set is returned and the search may idle capacity on
+        purpose.
+        """
+        actions = self.legal_actions()
+        if not work_conserving:
+            return actions
+        schedule_actions = [a for a in actions if a != PROCESS]
+        if schedule_actions:
+            return schedule_actions
+        return actions
+
+    # ------------------------------------------------------------------ #
+    # dynamics
+    # ------------------------------------------------------------------ #
+
+    def step(self, action: Action) -> StepResult:
+        """Apply ``action``; return reward, termination and side effects.
+
+        Raises:
+            EnvironmentStateError: on an illegal action (episode done,
+                index out of window, task does not fit, or PROCESS on an
+                idle cluster).
+        """
+        if self.done:
+            raise EnvironmentStateError("episode already finished")
+        self.steps_taken += 1
+        if action == PROCESS:
+            return self._process()
+        return self._schedule(action)
+
+    def _schedule(self, index: int) -> StepResult:
+        visible = self.visible_ready()
+        if not 0 <= index < len(visible):
+            raise EnvironmentStateError(
+                f"schedule index {index} out of range (visible={len(visible)})"
+            )
+        tid = visible[index]
+        task = self.graph.task(tid)
+        # ClusterState.start re-checks capacity and raises CapacityError.
+        self.cluster.start(tid, task.demands, task.runtime)
+        self._ready.remove(tid)
+        self._running.add(tid)
+        self._starts[tid] = self.cluster.now
+        return StepResult(reward=0, done=False, completed=(), scheduled=tid)
+
+    def _process(self) -> StepResult:
+        if self.cluster.is_idle:
+            raise EnvironmentStateError("PROCESS on an idle cluster")
+        if self.config.process_until_completion:
+            before = self.cluster.now
+            _, completed = self.cluster.advance_to_next_event()
+            dt = self.cluster.now - before
+        else:
+            completed = self.cluster.advance(1)
+            dt = 1
+        self._on_completions(completed)
+        return StepResult(
+            reward=-dt, done=self.done, completed=tuple(completed)
+        )
+
+    def _on_completions(self, completed: Sequence[int]) -> None:
+        for tid in completed:
+            self._running.discard(tid)
+            self._finished.add(tid)
+            newly_ready = []
+            for child in self.graph.children(tid):
+                self._unmet[child] -= 1
+                if self._unmet[child] == 0:
+                    newly_ready.append(child)
+            # Deterministic arrival order within one completion.
+            self._ready.extend(sorted(newly_ready))
+
+    # ------------------------------------------------------------------ #
+    # copying / export
+    # ------------------------------------------------------------------ #
+
+    def clone(self) -> "SchedulingEnv":
+        """Cheap independent copy sharing the immutable graph/config."""
+        copy = SchedulingEnv.__new__(SchedulingEnv)
+        copy.graph = self.graph
+        copy.config = self.config
+        copy.cluster = self.cluster.clone()
+        copy._unmet = dict(self._unmet)
+        copy._ready = list(self._ready)
+        copy._finished = set(self._finished)
+        copy._running = set(self._running)
+        copy._starts = dict(self._starts)
+        copy.steps_taken = self.steps_taken
+        return copy
+
+    def signature(self) -> Tuple:
+        """Hashable snapshot for transposition/uniqueness checks."""
+        return (
+            self.cluster.signature(),
+            tuple(self._ready),
+            frozenset(self._finished),
+        )
+
+    def to_schedule(self, scheduler: str = "unknown", wall_time: float = 0.0) -> Schedule:
+        """Export the finished episode as a validated-shape :class:`Schedule`.
+
+        Raises:
+            EnvironmentStateError: if the episode has not terminated.
+        """
+        if not self.done:
+            raise EnvironmentStateError("episode not finished")
+        return Schedule.from_starts(
+            self._starts, self.graph, scheduler=scheduler, wall_time=wall_time
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SchedulingEnv(now={self.now}, ready={len(self._ready)}, "
+            f"running={len(self._running)}, finished={len(self._finished)}/"
+            f"{self.graph.num_tasks})"
+        )

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  Specific subclasses signal distinct failure
+modes: malformed DAGs, infeasible placements, invalid schedules, bad
+configuration values, and checkpoint/serialization problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A task graph is structurally invalid (cycle, dangling edge, ...)."""
+
+
+class CycleError(GraphError):
+    """A task graph contains a dependency cycle."""
+
+
+class UnknownTaskError(GraphError, KeyError):
+    """A task id was referenced that does not exist in the graph."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable.
+        return Exception.__str__(self)
+
+
+class CapacityError(ReproError):
+    """A task demands more of some resource than the cluster's capacity."""
+
+
+class PlacementError(ReproError):
+    """A task could not be placed into the resource-time space."""
+
+
+class ScheduleError(ReproError):
+    """A produced schedule violates dependency or capacity invariants."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class EnvironmentStateError(ReproError):
+    """The scheduling environment was driven with an illegal action/state."""
+
+
+class CheckpointError(ReproError):
+    """A model checkpoint could not be saved or restored."""
+
+
+class TraceError(ReproError):
+    """A workload trace file is malformed or inconsistent."""

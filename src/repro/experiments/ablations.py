@@ -1,0 +1,252 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation flips exactly one Spear/MCTS design decision and measures
+mean makespan over a shared DAG batch:
+
+1. **graph features** — train/evaluate the DRL state with and without
+   b-level / #children / b-load (Sec. III-D claims demand-only states are
+   "suboptimal ... like Tetris");
+2. **expansion filters** — work-conserving candidate filtering vs the raw
+   legal action space (Sec. III-C);
+3. **budget decay** — Eq. (4) vs a flat budget at every decision;
+4. **max-value UCB** — Eq. (5) vs classic mean-value UCB (Eq. 1);
+5. **guided rollout** — DRL rollouts vs random rollouts at equal budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import EnvConfig, MctsConfig, WorkloadConfig
+from ..core.pipeline import train_spear_network
+from ..core.spear import SpearScheduler
+from ..dag.graph import TaskGraph
+from ..mcts.search import MctsScheduler
+from ..metrics.schedule import validate_schedule
+from ..rl.network import PolicyNetwork
+from ..schedulers.base import Scheduler
+from .fig6 import generate_dags
+from .networks import cached_network, training_config_for_scale
+from .reporting import format_table
+from .scale import ExperimentScale, resolve_scale
+
+__all__ = [
+    "AblationResult",
+    "run_ablation",
+    "feature_ablation",
+    "exploration_sensitivity",
+    "ABLATIONS",
+]
+
+
+@dataclass
+class AblationResult:
+    """Mean makespans of the on/off variants of one design choice."""
+
+    name: str
+    scale: str
+    num_dags: int
+    makespans: Dict[str, List[int]]
+
+    def mean(self, variant: str) -> float:
+        """Mean makespan of one variant."""
+        values = self.makespans[variant]
+        return sum(values) / len(values)
+
+    def report(self) -> str:
+        rows = [(variant, self.mean(variant)) for variant in self.makespans]
+        return format_table(
+            ["variant", "mean makespan"],
+            rows,
+            title=f"Ablation: {self.name} ({self.scale} scale)",
+        )
+
+
+def _evaluate(
+    schedulers: Dict[str, Scheduler],
+    graphs: Sequence[TaskGraph],
+    env_config: EnvConfig,
+) -> Dict[str, List[int]]:
+    capacities = env_config.cluster.capacities
+    makespans: Dict[str, List[int]] = {}
+    for variant, scheduler in schedulers.items():
+        values = []
+        for graph in graphs:
+            schedule = scheduler.schedule(graph)
+            validate_schedule(schedule, graph, capacities)
+            values.append(schedule.makespan)
+        makespans[variant] = values
+    return makespans
+
+
+def _mcts_pair(
+    scale: ExperimentScale, seed: int, on: MctsConfig, off: MctsConfig
+) -> Dict[str, Scheduler]:
+    env_config = EnvConfig(process_until_completion=True)
+    return {
+        "on": MctsScheduler(on, env_config, seed=seed),
+        "off": MctsScheduler(off, env_config, seed=seed),
+    }
+
+
+def _base_config(scale: ExperimentScale) -> MctsConfig:
+    return MctsConfig(
+        initial_budget=scale.mcts_budget, min_budget=scale.mcts_min_budget
+    )
+
+
+def expansion_filter_ablation(scale: ExperimentScale, seed: int) -> Dict[str, Scheduler]:
+    """Ablation 2: Sec. III-C expansion filters on vs off."""
+    base = _base_config(scale)
+    return _mcts_pair(
+        scale, seed, base, replace(base, use_expansion_filters=False)
+    )
+
+
+def budget_decay_ablation(scale: ExperimentScale, seed: int) -> Dict[str, Scheduler]:
+    """Ablation 3: Eq. (4) budget decay vs flat budget."""
+    base = _base_config(scale)
+    return _mcts_pair(scale, seed, base, replace(base, use_budget_decay=False))
+
+
+def max_value_ucb_ablation(scale: ExperimentScale, seed: int) -> Dict[str, Scheduler]:
+    """Ablation 4: Eq. (5) max-value UCB vs classic mean UCB."""
+    base = _base_config(scale)
+    return _mcts_pair(scale, seed, base, replace(base, use_max_value_ucb=False))
+
+
+def guided_rollout_ablation(scale: ExperimentScale, seed: int) -> Dict[str, Scheduler]:
+    """Ablation 5: network-guided vs random rollout/expansion at the same
+    (Spear-sized) budget."""
+    env_config = EnvConfig(process_until_completion=True)
+    network = cached_network(scale, env_config, seed=seed)
+    config = MctsConfig(
+        initial_budget=scale.spear_budget, min_budget=scale.spear_min_budget
+    )
+    return {
+        "on": SpearScheduler(network, config, env_config, seed=seed),
+        "off": MctsScheduler(config, env_config, seed=seed),
+    }
+
+
+ABLATIONS: Dict[str, Callable[[ExperimentScale, int], Dict[str, Scheduler]]] = {
+    "expansion-filters": expansion_filter_ablation,
+    "budget-decay": budget_decay_ablation,
+    "max-value-ucb": max_value_ucb_ablation,
+    "guided-rollout": guided_rollout_ablation,
+}
+
+
+def run_ablation(
+    name: str,
+    paper_scale: Optional[bool] = None,
+    seed: int = 0,
+    graphs: Optional[Sequence[TaskGraph]] = None,
+) -> AblationResult:
+    """Run one named ablation (see :data:`ABLATIONS`) over a DAG batch."""
+    if name not in ABLATIONS:
+        raise KeyError(f"unknown ablation {name!r}; have {sorted(ABLATIONS)}")
+    scale = resolve_scale(paper_scale)
+    env_config = EnvConfig(process_until_completion=True)
+    if graphs is None:
+        graphs = generate_dags(scale, seed)
+    schedulers = ABLATIONS[name](scale, seed)
+    return AblationResult(
+        name=name,
+        scale=scale.label,
+        num_dags=len(graphs),
+        makespans=_evaluate(schedulers, graphs, env_config),
+    )
+
+
+def exploration_sensitivity(
+    paper_scale: Optional[bool] = None,
+    seed: int = 0,
+    scales: Sequence[float] = (0.1, 0.5, 1.0, 2.0, 10.0),
+    graphs: Optional[Sequence[TaskGraph]] = None,
+) -> AblationResult:
+    """Sensitivity of MCTS to the exploration-constant multiplier.
+
+    Sec. III-C argues ``c`` must be "in the same order of the makespan of
+    the DAG"; Sec. IV scales it by a greedy-packing estimate.  This sweep
+    varies the multiplier around 1.0 to show the estimate's scale is in
+    the right regime: both starving exploration (0.1x) and swamping
+    exploitation (10x) should do no better than 1x.
+    """
+    scale = resolve_scale(paper_scale)
+    env_config = EnvConfig(process_until_completion=True)
+    if graphs is None:
+        graphs = generate_dags(scale, seed)
+    schedulers: Dict[str, Scheduler] = {
+        f"c={multiplier:g}x": MctsScheduler(
+            replace(_base_config(scale), exploration_scale=multiplier),
+            env_config,
+            seed=seed,
+        )
+        for multiplier in scales
+    }
+    return AblationResult(
+        name="exploration-scale",
+        scale=scale.label,
+        num_dags=len(graphs),
+        makespans=_evaluate(schedulers, graphs, env_config),
+    )
+
+
+def feature_ablation(
+    paper_scale: Optional[bool] = None,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+) -> AblationResult:
+    """Ablation 1: graph features in the DRL state, on vs off.
+
+    Two networks are trained from the same seed — one with the full
+    Sec. III-D state, one with topology features zeroed — and evaluated
+    greedily (pure policy, no search) on a held-out batch, isolating what
+    the features buy the *agent*.
+    """
+    scale = resolve_scale(paper_scale)
+    training = training_config_for_scale(scale)
+    run_epochs = epochs if epochs is not None else scale.train_epochs
+    makespans: Dict[str, List[int]] = {}
+    eval_env_configs: Dict[str, EnvConfig] = {}
+    networks: Dict[str, PolicyNetwork] = {}
+    for variant, include in (("on", True), ("off", False)):
+        env_config = EnvConfig(
+            process_until_completion=True, include_graph_features=include
+        )
+        network, _ = train_spear_network(
+            env_config=env_config,
+            training=training,
+            workload=WorkloadConfig(),
+            seed=seed,
+            epochs=run_epochs,
+        )
+        networks[variant] = network
+        eval_env_configs[variant] = env_config
+
+    graphs = generate_dags(scale, seed + 1)
+    from ..rl.agent import NetworkPolicy
+    from ..schedulers.base import PolicyScheduler
+
+    for variant, network in networks.items():
+        scheduler = PolicyScheduler(
+            lambda net=network: NetworkPolicy(net, mode="greedy"),
+            eval_env_configs[variant],
+            name=f"drl-features-{variant}",
+        )
+        values = []
+        for graph in graphs:
+            schedule = scheduler.schedule(graph)
+            validate_schedule(
+                schedule, graph, eval_env_configs[variant].cluster.capacities
+            )
+            values.append(schedule.makespan)
+        makespans[variant] = values
+    return AblationResult(
+        name="graph-features",
+        scale=scale.label,
+        num_dags=len(graphs),
+        makespans=makespans,
+    )

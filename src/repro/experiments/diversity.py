@@ -1,0 +1,125 @@
+"""Workload-diversity study: schedulers across structured DAG families.
+
+The paper evaluates on layered random DAGs and MapReduce trace jobs.  The
+DAG-scheduling literature it cites ([8]-[10], [15]) additionally uses
+structured numerical-kernel graphs; this experiment runs every baseline
+across those families (:mod:`repro.dag.suites`) to check that the
+qualitative ranking is not an artifact of one topology class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..config import EnvConfig, MctsConfig
+from ..dag.graph import TaskGraph
+from ..dag.suites import (
+    cholesky_dag,
+    fft_dag,
+    gaussian_elimination_dag,
+    stencil_dag,
+)
+from ..mcts.search import MctsScheduler
+from ..metrics.schedule import validate_schedule
+from ..schedulers.registry import make_scheduler
+from .reporting import format_table
+from .scale import resolve_scale
+
+__all__ = ["DiversityResult", "workload_families", "diversity_study"]
+
+
+def workload_families(size_hint: int = 5) -> Dict[str, TaskGraph]:
+    """One representative graph per structured family.
+
+    Args:
+        size_hint: scales each family's parameter (matrix order, tile
+            count, stencil width) so families have comparable task counts.
+    """
+
+    return {
+        "gaussian": gaussian_elimination_dag(max(2, size_hint)),
+        "fft": fft_dag(2 ** max(1, size_hint.bit_length() - 1)),
+        "stencil": stencil_dag(max(1, size_hint), max(1, size_hint)),
+        "cholesky": cholesky_dag(max(1, size_hint - 1)),
+    }
+
+
+@dataclass
+class DiversityResult:
+    """Makespans per (family, scheduler)."""
+
+    scale: str
+    families: Dict[str, TaskGraph]
+    makespans: Dict[str, Dict[str, int]]  # family -> scheduler -> makespan
+
+    def ranking(self, family: str) -> List[str]:
+        """Schedulers best-first for one family."""
+        per = self.makespans[family]
+        return sorted(per, key=lambda name: (per[name], name))
+
+    def wins(self, scheduler: str) -> int:
+        """Number of families where ``scheduler`` is (co-)best."""
+        count = 0
+        for family, per in self.makespans.items():
+            if per[scheduler] == min(per.values()):
+                count += 1
+        return count
+
+    def report(self) -> str:
+        schedulers = sorted(next(iter(self.makespans.values())))
+        rows = []
+        for family in sorted(self.makespans):
+            per = self.makespans[family]
+            rows.append(
+                [
+                    f"{family} ({self.families[family].num_tasks}t)",
+                    *[per[name] for name in schedulers],
+                ]
+            )
+        return format_table(
+            ["family", *schedulers],
+            rows,
+            title=f"Workload diversity ({self.scale} scale)",
+        )
+
+
+def diversity_study(
+    paper_scale: Optional[bool] = None,
+    seed: int = 0,
+    schedulers: Sequence[str] = ("tetris", "sjf", "cp", "graphene", "heft"),
+    include_mcts: bool = True,
+    size_hint: Optional[int] = None,
+) -> DiversityResult:
+    """Run every scheduler on every structured family.
+
+    MCTS uses the scale's Spear budget; everything is validated.
+    """
+
+    scale = resolve_scale(paper_scale)
+    env_config = EnvConfig(process_until_completion=True)
+    capacities = env_config.cluster.capacities
+    hint = size_hint if size_hint is not None else (8 if scale.label == "paper" else 5)
+    families = workload_families(hint)
+
+    makespans: Dict[str, Dict[str, int]] = {name: {} for name in families}
+    for family, graph in families.items():
+        for name in schedulers:
+            schedule = make_scheduler(name, env_config).schedule(graph)
+            validate_schedule(schedule, graph, capacities)
+            makespans[family][name] = schedule.makespan
+        if include_mcts:
+            mcts = MctsScheduler(
+                MctsConfig(
+                    initial_budget=scale.spear_budget,
+                    min_budget=scale.spear_min_budget,
+                ),
+                env_config,
+                seed=seed,
+            )
+            schedule = mcts.schedule(graph)
+            validate_schedule(schedule, graph, capacities)
+            makespans[family]["mcts"] = schedule.makespan
+    return DiversityResult(
+        scale=scale.label, families=families, makespans=makespans
+    )

@@ -1,0 +1,143 @@
+"""Fig. 9: the trace-driven experiments (Sec. V-C).
+
+Fig. 9(a)/(b) — workload characterization of the 99-job production trace
+(task-count and runtime CDFs per stage).
+
+Fig. 9(c) — CDF of the per-job *reduction in job duration*
+``(makespan_Graphene - makespan_Spear) / makespan_Graphene``.  Published
+result: Spear is no worse than Graphene on ~90% of jobs and up to ~20%
+better; Spear runs with a small budget (100 initial / 50 minimum) here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..config import EnvConfig, MctsConfig
+from ..core.spear import SpearScheduler
+from ..metrics.cdf import empirical_cdf, percentile
+from ..metrics.comparison import reduction_series
+from ..metrics.schedule import validate_schedule
+from ..rl.network import PolicyNetwork
+from ..schedulers.registry import make_scheduler
+from ..traces.job import Trace
+from ..traces.stats import TraceStatistics, trace_statistics
+from ..traces.synthetic import TraceConfig, generate_production_trace
+from .networks import cached_network
+from .reporting import format_cdf
+from .scale import resolve_scale
+
+__all__ = [
+    "trace_characteristics",
+    "Fig9cResult",
+    "reduction_cdf",
+    "build_trace",
+]
+
+
+def build_trace(
+    paper_scale: Optional[bool] = None, seed: int = 0
+) -> Trace:
+    """The (synthetic) production trace at the requested scale.
+
+    At laptop scale the job count is reduced and runtimes are compressed
+    (scale 0.2) so trace makespans stay small enough for in-CI search; the
+    paper scale keeps all 99 jobs at full runtimes.
+    """
+    scale = resolve_scale(paper_scale)
+    if scale.label == "paper":
+        config = TraceConfig()
+    else:
+        config = TraceConfig(num_jobs=scale.trace_jobs, runtime_scale=0.2)
+    return generate_production_trace(config, seed=seed)
+
+
+def trace_characteristics(
+    paper_scale: Optional[bool] = None, seed: int = 0
+) -> TraceStatistics:
+    """Fig. 9(a)/(b): characterize the trace workload."""
+    return trace_statistics(build_trace(paper_scale, seed))
+
+
+@dataclass
+class Fig9cResult:
+    """Per-job Spear vs Graphene outcome on the trace."""
+
+    scale: str
+    num_jobs: int
+    spear_makespans: List[int]
+    graphene_makespans: List[int]
+    reductions: List[float]
+
+    def no_worse_fraction(self) -> float:
+        """Fraction of jobs where Spear is no worse (paper: ~90%)."""
+        wins = sum(1 for r in self.reductions if r >= 0.0)
+        return wins / len(self.reductions)
+
+    def max_reduction(self) -> float:
+        """Largest per-job reduction (paper: up to ~20%)."""
+        return max(self.reductions)
+
+    def median_reduction(self) -> float:
+        """Median per-job reduction."""
+        return percentile(self.reductions, 50)
+
+    def cdf(self) -> List[Tuple[float, float]]:
+        """The Fig. 9(c) CDF of reductions."""
+        return empirical_cdf(self.reductions)
+
+    def report(self) -> str:
+        cdf = format_cdf(self.cdf(), value_label="reduction", title="Fig 9(c)")
+        return (
+            f"{cdf}\nno-worse fraction {self.no_worse_fraction():.0%}, "
+            f"max reduction {self.max_reduction():.1%}"
+        )
+
+
+def reduction_cdf(
+    paper_scale: Optional[bool] = None,
+    seed: int = 0,
+    network: Optional[PolicyNetwork] = None,
+    trace: Optional[Trace] = None,
+) -> Fig9cResult:
+    """Fig. 9(c): schedule every trace job with Spear and Graphene.
+
+    Spear uses the trace budget of Sec. V-C (100/50 at paper scale).
+    """
+    scale = resolve_scale(paper_scale)
+    env_config = EnvConfig(process_until_completion=True)
+    if network is None:
+        network = cached_network(scale, env_config, seed=seed)
+    if trace is None:
+        trace = build_trace(paper_scale, seed)
+
+    spear = SpearScheduler(
+        network,
+        MctsConfig(
+            initial_budget=scale.trace_spear_budget,
+            min_budget=scale.trace_spear_min_budget,
+        ),
+        env_config,
+        seed=seed,
+    )
+    graphene = make_scheduler("graphene", env_config)
+    capacities = env_config.cluster.capacities
+
+    spear_makespans: List[int] = []
+    graphene_makespans: List[int] = []
+    for job in trace:
+        spear_schedule = spear.schedule(job.graph)
+        validate_schedule(spear_schedule, job.graph, capacities)
+        spear_makespans.append(spear_schedule.makespan)
+        graphene_schedule = graphene.schedule(job.graph)
+        validate_schedule(graphene_schedule, job.graph, capacities)
+        graphene_makespans.append(graphene_schedule.makespan)
+
+    return Fig9cResult(
+        scale=scale.label,
+        num_jobs=len(trace),
+        spear_makespans=spear_makespans,
+        graphene_makespans=graphene_makespans,
+        reductions=reduction_series(spear_makespans, graphene_makespans),
+    )

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are CDFs and bar/line plots; the harness reports the
+same data as aligned text tables so results are diffable and greppable in
+CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["format_table", "format_cdf"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` as an aligned monospace table.
+
+    Floats are shown with one decimal; everything else via ``str``.
+    """
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.1f}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cdf(
+    points: Sequence[Tuple[float, float]],
+    value_label: str = "value",
+    title: str = "",
+    max_points: int = 20,
+) -> str:
+    """Render an empirical CDF as a compact table (down-sampled evenly)."""
+
+    if not points:
+        raise ValueError("empty CDF")
+    if len(points) > max_points:
+        step = (len(points) - 1) / (max_points - 1)
+        indices = sorted({round(i * step) for i in range(max_points)})
+        points = [points[i] for i in indices]
+    rows = [(value, f"{fraction:.2f}") for value, fraction in points]
+    return format_table([value_label, "CDF"], rows, title=title)

@@ -1,0 +1,97 @@
+"""Table I: runtime of the MCTS-only approach across scales.
+
+"The runtimes of MCTS grow with the graph size and the amount of budget"
+— the grid sweeps graph size x budget and records wall-clock seconds per
+schedule.  Absolute numbers are hardware-dependent; the reproduced claim
+is the monotone growth along both axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import EnvConfig, MctsConfig, WorkloadConfig
+from ..dag.generators import random_layered_dag
+from ..mcts.search import MctsScheduler
+from ..metrics.schedule import validate_schedule
+from ..utils.rng import as_generator, derive_seed
+from .reporting import format_table
+from .scale import resolve_scale
+
+__all__ = ["Table1Result", "runtime_grid"]
+
+
+@dataclass
+class Table1Result:
+    """Wall-clock grid: ``seconds[(graph_size, budget)]``."""
+
+    scale: str
+    graph_sizes: Tuple[int, ...]
+    budgets: Tuple[int, ...]
+    seconds: Dict[Tuple[int, int], float]
+    makespans: Dict[Tuple[int, int], int]
+
+    def row(self, graph_size: int) -> List[float]:
+        """Seconds for one graph size across budgets (a table row)."""
+        return [self.seconds[(graph_size, b)] for b in self.budgets]
+
+    def report(self) -> str:
+        """Text rendering in the paper's layout (rows = sizes)."""
+        rows = [
+            [size, *self.row(size)]
+            for size in self.graph_sizes
+        ]
+        return format_table(
+            ["tasks \\ budget", *[str(b) for b in self.budgets]],
+            rows,
+            title=f"Table I: MCTS runtime seconds ({self.scale} scale)",
+        )
+
+
+def runtime_grid(
+    paper_scale: Optional[bool] = None,
+    seed: int = 0,
+    graph_sizes: Optional[Sequence[int]] = None,
+    budgets: Optional[Sequence[int]] = None,
+    min_budget: int = 5,
+) -> Table1Result:
+    """Measure MCTS scheduling wall-time over the size x budget grid.
+
+    One random DAG per graph size (shared across budgets, so the budget
+    axis is measured on identical instances).
+    """
+    scale = resolve_scale(paper_scale)
+    env_config = EnvConfig(process_until_completion=True)
+    sizes = tuple(graph_sizes if graph_sizes is not None else scale.grid_sizes)
+    budget_list = tuple(budgets if budgets is not None else scale.grid_budgets)
+    rng = as_generator(seed)
+    capacities = env_config.cluster.capacities
+
+    graphs = {
+        size: random_layered_dag(
+            WorkloadConfig(num_tasks=size), seed=derive_seed(rng)
+        )
+        for size in sizes
+    }
+
+    seconds: Dict[Tuple[int, int], float] = {}
+    makespans: Dict[Tuple[int, int], int] = {}
+    for size in sizes:
+        for budget in budget_list:
+            scheduler = MctsScheduler(
+                MctsConfig(initial_budget=budget, min_budget=min_budget),
+                env_config,
+                seed=derive_seed(rng),
+            )
+            schedule = scheduler.schedule(graphs[size])
+            validate_schedule(schedule, graphs[size], capacities)
+            seconds[(size, budget)] = schedule.wall_time
+            makespans[(size, budget)] = schedule.makespan
+    return Table1Result(
+        scale=scale.label,
+        graph_sizes=sizes,
+        budgets=budget_list,
+        seconds=seconds,
+        makespans=makespans,
+    )

@@ -1,0 +1,37 @@
+"""Monte Carlo Tree Search for dependency-aware scheduling (Sec. III-C).
+
+The search tree's nodes are environment states (unique action histories);
+edges are scheduling/processing actions.  Sec. III-C's adaptations are all
+here: event-skipping process transitions, expansion filters, max-value UCB
+with mean tiebreak (Eq. 5), an exploration constant scaled by a greedy
+makespan estimate, and per-depth budget decay (Eq. 4).
+"""
+
+from .node import Node
+from .budget import budget_at_depth
+from .policies import (
+    ExpansionPolicy,
+    RolloutPolicy,
+    RandomExpansion,
+    RandomRollout,
+    GreedyRollout,
+)
+from .search import MctsScheduler, SearchStatistics
+from .parallel import RootParallelMcts
+from .introspection import render_tree, tree_statistics, TreeStatistics
+
+__all__ = [
+    "Node",
+    "budget_at_depth",
+    "ExpansionPolicy",
+    "RolloutPolicy",
+    "RandomExpansion",
+    "RandomRollout",
+    "GreedyRollout",
+    "MctsScheduler",
+    "SearchStatistics",
+    "RootParallelMcts",
+    "render_tree",
+    "tree_statistics",
+    "TreeStatistics",
+]

@@ -1,0 +1,31 @@
+"""The per-depth budget decay of Eq. (4).
+
+"Our strategy is to make the available budget inversely proportional to
+the depth of the current node.  Additionally, we also guarantee a minimum
+budget for the deeper nodes": ``max(b_initial / d, b_min)``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+__all__ = ["budget_at_depth"]
+
+
+def budget_at_depth(initial_budget: int, min_budget: int, depth: int) -> int:
+    """Iterations available for the decision at ``depth`` (1-based).
+
+    Args:
+        initial_budget: the root decision's budget ``b_initial``.
+        min_budget: the floor ``b_min``.
+        depth: 1 for the first decision of the episode.
+
+    Raises:
+        ConfigError: for a depth below 1 or non-positive budgets.
+    """
+
+    if depth < 1:
+        raise ConfigError(f"depth must be >= 1, got {depth}")
+    if initial_budget < 1 or min_budget < 1:
+        raise ConfigError("budgets must be >= 1")
+    return max(initial_budget // depth, min_budget)

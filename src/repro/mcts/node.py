@@ -1,0 +1,156 @@
+"""Search-tree nodes.
+
+Each node represents the environment state reached by a unique action
+history ("given the same initial state, we can always reach the same state
+given the same sequence of actions", Sec. III-C).  Per Sec. IV, every node
+tracks **both** the maximum and the mean of the rollout values observed
+through it: selection exploits the maximum (Eq. 5) and breaks ties on the
+mean.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..env.actions import Action
+from ..env.scheduling_env import SchedulingEnv
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One state in the MCTS tree.
+
+    Args:
+        env: the environment state this node represents (owned: callers
+            must pass a clone they will not mutate).
+        parent: parent node, ``None`` for the root.
+        action: the action that led here from the parent.
+        untried: expansion candidates not yet turned into children, in
+            priority order (the expansion policy decides the order; the
+            search pops from the front).
+    """
+
+    __slots__ = (
+        "env",
+        "parent",
+        "action",
+        "children",
+        "untried",
+        "visits",
+        "max_value",
+        "sum_value",
+    )
+
+    def __init__(
+        self,
+        env: SchedulingEnv,
+        parent: Optional["Node"] = None,
+        action: Optional[Action] = None,
+        untried: Optional[List[Action]] = None,
+    ) -> None:
+        self.env = env
+        self.parent = parent
+        self.action = action
+        self.children: Dict[Action, "Node"] = {}
+        self.untried: List[Action] = list(untried) if untried is not None else []
+        self.visits: int = 0
+        self.max_value: float = -math.inf
+        self.sum_value: float = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_terminal(self) -> bool:
+        """True iff the underlying episode has finished."""
+        return self.env.done
+
+    @property
+    def fully_expanded(self) -> bool:
+        """True iff every candidate action has a child node."""
+        return not self.untried
+
+    @property
+    def mean_value(self) -> float:
+        """Average rollout value through this node (0 before any visit)."""
+        if self.visits == 0:
+            return 0.0
+        return self.sum_value / self.visits
+
+    def depth(self) -> int:
+        """Distance from the tree root (root = 0)."""
+        node, distance = self, 0
+        while node.parent is not None:
+            node = node.parent
+            distance += 1
+        return distance
+
+    def ucb_score(self, child: "Node", c: float, use_max: bool = True) -> float:
+        """Eq. (5): ``max_i + c * sqrt(ln n / n_i)``.
+
+        With ``use_max=False`` falls back to the classic mean-value UCB of
+        Eq. (1) (the ablation baseline).  An unvisited child scores
+        infinity so it is selected first.
+        """
+        if child.visits == 0:
+            return math.inf
+        exploit = child.max_value if use_max else child.mean_value
+        explore = c * math.sqrt(math.log(max(self.visits, 1)) / child.visits)
+        return exploit + explore
+
+    def best_child(self, c: float, use_max: bool = True) -> "Node":
+        """Child maximizing :meth:`ucb_score`; mean value breaks ties,
+        then visit count, then action id (determinism)."""
+        if not self.children:
+            raise ValueError("node has no children")
+        return max(
+            self.children.values(),
+            key=lambda ch: (
+                self.ucb_score(ch, c, use_max),
+                ch.mean_value,
+                ch.visits,
+                -(ch.action if ch.action is not None else 0),
+            ),
+        )
+
+    def exploitation_child(self, use_max: bool = True) -> "Node":
+        """Child with the best exploitation score (no exploration term) —
+        the action actually committed after the budget is spent."""
+        if not self.children:
+            raise ValueError("node has no children")
+        return max(
+            self.children.values(),
+            key=lambda ch: (
+                (ch.max_value if use_max else ch.mean_value),
+                ch.mean_value,
+                ch.visits,
+                -(ch.action if ch.action is not None else 0),
+            ),
+        )
+
+    def update(self, value: float) -> None:
+        """Fold one rollout outcome into this node's statistics.
+
+        "For each node, the value is updated to be the maximum of current
+        value and new value ... we also keep track of the average of all
+        relevant simulations to use as a tiebreaker." (Sec. III-C)
+        """
+        self.visits += 1
+        self.sum_value += value
+        if value > self.max_value:
+            self.max_value = value
+
+    def tree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (including self)."""
+        total = 1
+        for child in self.children.values():
+            total += child.tree_size()
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"Node(action={self.action}, visits={self.visits}, "
+            f"max={self.max_value:.1f}, mean={self.mean_value:.1f}, "
+            f"children={len(self.children)}, untried={len(self.untried)})"
+        )

@@ -1,0 +1,113 @@
+"""Expansion and rollout policies for MCTS.
+
+Classic MCTS expands a random untried action and rolls out with a random
+policy; Spear replaces both with a trained DRL agent (Sec. III).  The two
+protocols here are the seam: :class:`RandomExpansion` / :class:`RandomRollout`
+give the pure-MCTS baseline of Sec. V-B2, :class:`GreedyRollout` wraps any
+heuristic policy (used both as a rollout and to produce the greedy
+makespan estimate that scales the exploration constant), and
+:mod:`repro.core.spear` provides the network-guided implementations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List
+
+from ..env.actions import Action
+from ..env.scheduling_env import SchedulingEnv
+from ..schedulers.base import Policy
+from ..utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "ExpansionPolicy",
+    "RolloutPolicy",
+    "RandomExpansion",
+    "RandomRollout",
+    "GreedyRollout",
+]
+
+
+class ExpansionPolicy(abc.ABC):
+    """Orders a node's untried actions from most to least promising.
+
+    The search pops candidates from the front of the returned list, so the
+    first element is the action expanded next ("the DRL agent will be able
+    to choose the best unexplored node").
+    """
+
+    @abc.abstractmethod
+    def prioritize(self, env: SchedulingEnv, actions: List[Action]) -> List[Action]:
+        """Return ``actions`` reordered by descending priority."""
+
+
+class RolloutPolicy(abc.ABC):
+    """Simulates an episode to termination and returns its makespan."""
+
+    @abc.abstractmethod
+    def rollout(self, env: SchedulingEnv) -> int:
+        """Play ``env`` (mutating it) until done; return the makespan."""
+
+
+class RandomExpansion(ExpansionPolicy):
+    """Classic MCTS: expand untried actions in uniformly random order."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = as_generator(seed)
+
+    def prioritize(self, env: SchedulingEnv, actions: List[Action]) -> List[Action]:
+        order = list(actions)
+        self._rng.shuffle(order)
+        return order
+
+
+class _PolicyRollout(RolloutPolicy):
+    """Shared machinery: run a :class:`Policy` to termination."""
+
+    def __init__(self, policy_factory: Callable[[], Policy], max_steps_factor: int = 50) -> None:
+        self._factory = policy_factory
+        self._max_steps_factor = max_steps_factor
+
+    def rollout(self, env: SchedulingEnv) -> int:
+        policy = self._factory()
+        policy.begin_episode(env)
+        # Generous cap: a livelocked rollout policy is a bug, not a result.
+        limit = self._max_steps_factor * (
+            sum(task.runtime for task in env.graph) + env.graph.num_tasks
+        )
+        steps = 0
+        while not env.done:
+            if steps >= limit:
+                raise RuntimeError("rollout exceeded step limit; livelocked policy")
+            env.step(policy.select(env))
+            steps += 1
+        return env.makespan
+
+
+class RandomRollout(_PolicyRollout):
+    """Classic MCTS rollout: uniformly random work-conserving play."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        from ..schedulers.policies import RandomPolicy
+
+        rng = as_generator(seed)
+        super().__init__(lambda: RandomPolicy(seed=rng))
+
+
+class GreedyRollout(_PolicyRollout):
+    """Rollout with a deterministic heuristic policy.
+
+    Used for the greedy-packing makespan estimate that scales the UCB
+    exploration constant (Sec. IV), and available as a stronger-than-random
+    rollout in ablations.
+
+    Args:
+        policy_factory: builds the heuristic (default: Tetris packing).
+    """
+
+    def __init__(self, policy_factory: Callable[[], Policy] | None = None) -> None:
+        if policy_factory is None:
+            from ..schedulers.tetris import TetrisPolicy
+
+            policy_factory = TetrisPolicy
+        super().__init__(policy_factory)

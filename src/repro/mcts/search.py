@@ -1,0 +1,184 @@
+"""The MCTS scheduler: iterate select / expand / simulate / backpropagate.
+
+For every decision of the episode the search spends the Eq. (4) budget
+building (or extending — the chosen child becomes the next root, so the
+relevant subtree is reused) a tree of states, then commits the action with
+the best exploitation score.  Per Sec. III-C/IV:
+
+* **Selection** descends via Eq. (5) UCB — max value plus a scaled
+  exploration term, mean value as tiebreaker.
+* **Expansion** pops the highest-priority untried action; the candidate
+  set is the environment's filtered action set, and the priority order is
+  the pluggable expansion policy (random for pure MCTS, the DRL network
+  for Spear).
+* **Simulation** plays the pluggable rollout policy to termination; the
+  value of the outcome is the *negative makespan*.
+* **Backpropagation** folds the value into every ancestor (max + mean).
+* The exploration constant is ``exploration_scale x`` a greedy-packing
+  makespan estimate of the instance, putting the exploration term on the
+  same scale as the exploitation score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..config import EnvConfig, MctsConfig
+from ..dag.graph import TaskGraph
+from ..env.scheduling_env import SchedulingEnv
+from ..errors import ConfigError
+from ..metrics.schedule import Schedule
+from ..schedulers.base import Scheduler
+from ..utils.rng import SeedLike, as_generator
+from ..utils.timing import Stopwatch
+from .budget import budget_at_depth
+from .node import Node
+from .policies import (
+    ExpansionPolicy,
+    GreedyRollout,
+    RandomExpansion,
+    RandomRollout,
+    RolloutPolicy,
+)
+
+__all__ = ["MctsScheduler", "SearchStatistics"]
+
+
+@dataclass
+class SearchStatistics:
+    """Telemetry of one :meth:`MctsScheduler.schedule` call."""
+
+    decisions: int = 0
+    iterations: int = 0
+    rollouts: int = 0
+    max_tree_depth: int = 0
+    exploration_constant: float = 0.0
+    budgets: List[int] = field(default_factory=list)
+
+
+class MctsScheduler(Scheduler):
+    """Monte Carlo Tree Search scheduling (pure MCTS when the policies are
+    random; Spear plugs in network-guided policies).
+
+    Args:
+        config: search parameters (budgets, filters, UCB variant).
+        env_config: cluster shape; ``process_until_completion`` defaults to
+            ``True`` here, implementing the Sec. III-C depth reduction
+            ("only proceed until at least one task finishes").
+        expansion: expansion-ordering policy (default: random).
+        rollout: rollout policy (default: random work-conserving play).
+        seed: seeds the default policies when they are not given.
+        name: report label (default ``"mcts"``).
+    """
+
+    def __init__(
+        self,
+        config: MctsConfig | None = None,
+        env_config: EnvConfig | None = None,
+        expansion: Optional[ExpansionPolicy] = None,
+        rollout: Optional[RolloutPolicy] = None,
+        seed: SeedLike = None,
+        name: str = "mcts",
+    ) -> None:
+        self.config = config if config is not None else MctsConfig()
+        if env_config is None:
+            env_config = EnvConfig(process_until_completion=True)
+        self.env_config = env_config
+        rng = as_generator(seed)
+        self.expansion = expansion if expansion is not None else RandomExpansion(rng)
+        self.rollout = rollout if rollout is not None else RandomRollout(rng)
+        self.name = name
+        self.last_statistics: Optional[SearchStatistics] = None
+
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        """Search a full schedule for ``graph``; statistics are kept in
+        :attr:`last_statistics`."""
+        stats = SearchStatistics()
+        watch = Stopwatch()
+        with watch:
+            env = SchedulingEnv(graph, self.env_config)
+            exploration = self._exploration_constant(graph, stats)
+            root = Node(env.clone(), untried=self._candidates(env))
+            depth = 1
+            while not env.done:
+                budget = (
+                    budget_at_depth(
+                        self.config.initial_budget, self.config.min_budget, depth
+                    )
+                    if self.config.use_budget_decay
+                    else self.config.initial_budget
+                )
+                stats.budgets.append(budget)
+                for _ in range(budget):
+                    self._iterate(root, exploration, stats)
+                    stats.iterations += 1
+                if not root.children:
+                    # All candidates exhausted without a single expansion —
+                    # cannot happen while the env is live, but guard anyway.
+                    raise ConfigError("MCTS made no progress; zero candidates")
+                chosen = root.exploitation_child(self.config.use_max_value_ucb)
+                env.step(chosen.action)
+                root = chosen
+                root.parent = None  # detach: the subtree is reused
+                stats.decisions += 1
+                depth += 1
+        self.last_statistics = stats
+        stats.exploration_constant = exploration
+        return env.to_schedule(scheduler=self.name, wall_time=watch.elapsed)
+
+    # ------------------------------------------------------------------ #
+
+    def _candidates(self, env: SchedulingEnv) -> List[int]:
+        """Expansion candidates after the (configurable) Sec. III-C filters."""
+        return env.expansion_actions(
+            work_conserving=self.config.use_expansion_filters
+        )
+
+    def _exploration_constant(
+        self, graph: TaskGraph, stats: SearchStatistics
+    ) -> float:
+        """Scale ``c`` to the instance: greedy-packing makespan estimate
+        times the configured multiplier (Sec. IV)."""
+        probe = SchedulingEnv(graph, self.env_config)
+        estimate = GreedyRollout().rollout(probe)
+        return self.config.exploration_scale * max(1, estimate)
+
+    def _iterate(self, root: Node, exploration: float, stats: SearchStatistics) -> None:
+        """One budget unit: select, expand, simulate, backpropagate."""
+        node = root
+        # Selection: descend while fully expanded and non-terminal.
+        while not node.is_terminal and node.fully_expanded and node.children:
+            node = node.best_child(exploration, self.config.use_max_value_ucb)
+        # Expansion: realize the most promising untried action.
+        if not node.is_terminal and node.untried:
+            if len(node.untried) > 1:
+                node.untried = self.expansion.prioritize(node.env, node.untried)
+            action = node.untried.pop(0)
+            child_env = node.env.clone()
+            child_env.step(action)
+            child = Node(
+                child_env,
+                parent=node,
+                action=action,
+                untried=self._candidates(child_env) if not child_env.done else [],
+            )
+            node.children[action] = child
+            node = child
+        # Simulation: value = negative makespan.
+        if node.is_terminal:
+            value = float(-node.env.makespan)
+        else:
+            sim = node.env.clone()
+            value = float(-self.rollout.rollout(sim))
+            stats.rollouts += 1
+        # Backpropagation.
+        depth = 0
+        walker: Optional[Node] = node
+        while walker is not None:
+            walker.update(value)
+            walker = walker.parent
+            depth += 1
+        stats.max_tree_depth = max(stats.max_tree_depth, depth)

@@ -1,0 +1,49 @@
+"""Empirical CDF helpers for the figure-style reports.
+
+Fig. 6(a)/(b), Fig. 9(a)/(b)/(c) are all CDF plots; the harness reproduces
+them as tables of (value, cumulative fraction) pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["empirical_cdf", "percentile"]
+
+
+def empirical_cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Return the empirical CDF of ``values`` as ``(value, F(value))`` pairs.
+
+    Duplicate values are collapsed to a single step at the highest
+    cumulative fraction, so the result is strictly increasing in both
+    coordinates and directly plottable.
+    """
+
+    if not values:
+        raise ValueError("cannot build a CDF from no values")
+    ordered = sorted(values)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for i, value in enumerate(ordered, start=1):
+        fraction = i / n
+        if points and points[-1][0] == value:
+            points[-1] = (value, fraction)
+        else:
+            points.append((float(value), fraction))
+    return points
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile ``q`` in [0, 100] of ``values``."""
+
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must lie in [0, 100]")
+    ordered = sorted(values)
+    if q == 0.0:
+        return float(ordered[0])
+    import math
+
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])

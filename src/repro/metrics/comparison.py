@@ -1,0 +1,121 @@
+"""Cross-scheduler comparison metrics.
+
+These implement the quantities the paper reports:
+
+* average makespans per algorithm (Fig. 6(a), Fig. 8(a));
+* win rate of one algorithm over another (Fig. 7(b): "% of jobs where MCTS
+  surpasses Tetris");
+* per-job *reduction in job duration*
+  ``(makespan_baseline - makespan_ours) / makespan_baseline`` (Fig. 9(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
+
+__all__ = [
+    "ComparisonRow",
+    "compare_makespans",
+    "win_rate",
+    "reduction",
+    "reduction_series",
+]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Aggregate makespan statistics for one scheduler over a workload."""
+
+    scheduler: str
+    mean: float
+    median: float
+    best: int
+    worst: int
+    num_jobs: int
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def compare_makespans(
+    makespans: Mapping[str, Sequence[int]],
+) -> List[ComparisonRow]:
+    """Summarize per-scheduler makespans over a common set of jobs.
+
+    Args:
+        makespans: mapping ``scheduler name -> makespan per job``; all value
+            sequences must be non-empty and equally long (same jobs).
+
+    Returns:
+        One :class:`ComparisonRow` per scheduler, sorted by mean makespan
+        (best first).
+    """
+
+    lengths = {len(v) for v in makespans.values()}
+    if not makespans:
+        raise ValueError("no schedulers to compare")
+    if len(lengths) != 1 or 0 in lengths:
+        raise ValueError(f"inconsistent or empty makespan series: {lengths}")
+    rows = [
+        ComparisonRow(
+            scheduler=name,
+            mean=sum(values) / len(values),
+            median=_median(values),
+            best=min(values),
+            worst=max(values),
+            num_jobs=len(values),
+        )
+        for name, values in makespans.items()
+    ]
+    return sorted(rows, key=lambda row: row.mean)
+
+
+def win_rate(
+    ours: Sequence[int],
+    baseline: Sequence[int],
+    *,
+    strict: bool = True,
+) -> float:
+    """Fraction of jobs where ``ours`` beats ``baseline``.
+
+    Args:
+        ours / baseline: per-job makespans over the same job list.
+        strict: with ``True`` count strictly smaller makespans; with
+            ``False`` count ties as wins ("no worse than").
+    """
+
+    if len(ours) != len(baseline) or not ours:
+        raise ValueError("series must be non-empty and equally long")
+    if strict:
+        wins = sum(1 for a, b in zip(ours, baseline) if a < b)
+    else:
+        wins = sum(1 for a, b in zip(ours, baseline) if a <= b)
+    return wins / len(ours)
+
+
+def reduction(ours: int, baseline: int) -> float:
+    """Relative makespan reduction ``(baseline - ours) / baseline``.
+
+    Positive values mean ``ours`` is faster; this is the Fig. 9(c) metric.
+    """
+
+    if baseline <= 0:
+        raise ValueError("baseline makespan must be positive")
+    return (baseline - ours) / baseline
+
+
+def reduction_series(
+    ours: Sequence[int], baseline: Sequence[int]
+) -> List[float]:
+    """Per-job :func:`reduction` over aligned makespan series."""
+
+    if len(ours) != len(baseline):
+        raise ValueError("series must be equally long")
+    return [reduction(a, b) for a, b in zip(ours, baseline)]

@@ -1,0 +1,79 @@
+"""ASCII Gantt rendering of schedules.
+
+Turns a :class:`Schedule` into a per-task timeline plus a per-resource
+utilization strip — handy for eyeballing why one scheduler beats another
+(the examples use it to show the Fig. 3 story visually).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..dag.graph import TaskGraph
+from .schedule import Schedule
+
+__all__ = ["render_gantt", "render_utilization"]
+
+
+def render_gantt(
+    schedule: Schedule,
+    graph: TaskGraph,
+    width: int = 60,
+    char: str = "#",
+) -> str:
+    """Render one row per task: ``name |  ###   |`` over the makespan.
+
+    Args:
+        schedule: the schedule to draw.
+        graph: its job (for names/durations).
+        width: maximum number of columns for the time axis; longer
+            makespans are scaled down proportionally.
+        char: fill character for running intervals.
+    """
+
+    makespan = max(schedule.makespan, 1)
+    scale = min(1.0, width / makespan)
+    label_width = max(len(graph.task(p.task_id).label()) for p in schedule.placements)
+    lines: List[str] = []
+    axis_len = max(1, round(makespan * scale))
+    for placement in sorted(schedule.placements, key=lambda p: (p.start, p.task_id)):
+        start = round(placement.start * scale)
+        end = max(start + 1, round(placement.finish * scale))
+        bar = " " * start + char * (end - start)
+        bar = bar.ljust(axis_len)
+        label = graph.task(placement.task_id).label().ljust(label_width)
+        lines.append(f"{label} |{bar}| {placement.start}..{placement.finish}")
+    footer = f"{'makespan'.ljust(label_width)} |{'-' * axis_len}| {schedule.makespan}"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_utilization(
+    schedule: Schedule,
+    graph: TaskGraph,
+    capacities: Sequence[int],
+    width: int = 60,
+) -> str:
+    """Render per-resource utilization over time as digit strips (0-9).
+
+    Each column shows the decile of utilization of that resource during
+    the corresponding time slice.
+    """
+
+    makespan = max(schedule.makespan, 1)
+    columns = min(width, makespan)
+    lines: List[str] = []
+    for r, capacity in enumerate(capacities):
+        strip = []
+        for col in range(columns):
+            # Sample utilization at the slot at the center of the column.
+            t = int(col * makespan / columns)
+            used = sum(
+                graph.task(p.task_id).demands[r]
+                for p in schedule.placements
+                if p.start <= t < p.finish
+            )
+            decile = min(9, (10 * used) // max(capacity, 1))
+            strip.append(str(decile))
+        lines.append(f"resource {r} |{''.join(strip)}|")
+    return "\n".join(lines)

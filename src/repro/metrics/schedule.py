@@ -1,0 +1,171 @@
+"""Schedule records and feasibility validation.
+
+A :class:`Schedule` is the output of every scheduler in the library: for
+each task, the slot at which it started.  :func:`validate_schedule` checks
+the three invariants any feasible schedule must satisfy:
+
+1. **Completeness** — every task in the graph is scheduled exactly once.
+2. **Dependencies** — no task starts before all of its parents finished.
+3. **Capacity** — at every time slot, the summed demands of concurrently
+   running tasks fit within cluster capacity in every dimension.
+
+Property-based tests drive random schedulers through the environment and
+assert these invariants on everything they emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..dag.graph import TaskGraph
+from ..errors import ScheduleError
+
+__all__ = ["ScheduledTask", "Schedule", "validate_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task's placement: ``[start, finish)`` in time slots."""
+
+    task_id: int
+    start: int
+    finish: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ScheduleError(f"task {self.task_id}: negative start")
+        if self.finish <= self.start:
+            raise ScheduleError(
+                f"task {self.task_id}: finish {self.finish} <= start {self.start}"
+            )
+
+    @property
+    def duration(self) -> int:
+        """Occupied slots."""
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete schedule for one job.
+
+    Attributes:
+        placements: one :class:`ScheduledTask` per task.
+        scheduler: name of the scheduler that produced it.
+        wall_time: seconds the scheduler spent deciding (not simulated time).
+    """
+
+    placements: Tuple[ScheduledTask, ...]
+    scheduler: str = "unknown"
+    wall_time: float = 0.0
+
+    @staticmethod
+    def from_starts(
+        starts: Dict[int, int],
+        graph: TaskGraph,
+        scheduler: str = "unknown",
+        wall_time: float = 0.0,
+    ) -> "Schedule":
+        """Build a schedule from a ``task_id -> start_slot`` mapping, taking
+        durations from the graph."""
+        placements = tuple(
+            ScheduledTask(tid, start, start + graph.task(tid).runtime)
+            for tid, start in sorted(starts.items())
+        )
+        return Schedule(placements, scheduler=scheduler, wall_time=wall_time)
+
+    @property
+    def makespan(self) -> int:
+        """Finish time of the last task (0 for an empty schedule)."""
+        return max((p.finish for p in self.placements), default=0)
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of scheduled tasks."""
+        return len(self.placements)
+
+    def start_of(self, task_id: int) -> int:
+        """Start slot of ``task_id``.
+
+        Raises:
+            ScheduleError: if the task is not in the schedule.
+        """
+        for placement in self.placements:
+            if placement.task_id == task_id:
+                return placement.start
+        raise ScheduleError(f"task {task_id} not in schedule")
+
+    def as_dict(self) -> Dict[int, Tuple[int, int]]:
+        """Mapping ``task_id -> (start, finish)``."""
+        return {p.task_id: (p.start, p.finish) for p in self.placements}
+
+    def tasks_running_at(self, t: int, graph: TaskGraph) -> List[int]:
+        """Ids of tasks occupying the cluster during slot ``t``."""
+        return [p.task_id for p in self.placements if p.start <= t < p.finish]
+
+
+def validate_schedule(
+    schedule: Schedule,
+    graph: TaskGraph,
+    capacities: Sequence[int],
+) -> None:
+    """Check the three feasibility invariants; raise on violation.
+
+    Raises:
+        ScheduleError: naming the violated invariant, the offending task(s)
+            and the time slot involved.
+    """
+
+    placed = {p.task_id for p in schedule.placements}
+    expected = set(graph.task_ids)
+    if placed != expected:
+        missing = sorted(expected - placed)
+        extra = sorted(placed - expected)
+        raise ScheduleError(
+            f"completeness violated: missing={missing[:5]} extra={extra[:5]}"
+        )
+    if len(schedule.placements) != len(placed):
+        raise ScheduleError("a task appears more than once in the schedule")
+
+    by_id = {p.task_id: p for p in schedule.placements}
+
+    # Durations must match the graph.
+    for placement in schedule.placements:
+        runtime = graph.task(placement.task_id).runtime
+        if placement.duration != runtime:
+            raise ScheduleError(
+                f"task {placement.task_id}: schedule duration "
+                f"{placement.duration} != task runtime {runtime}"
+            )
+
+    # Dependencies.
+    for up, down in graph.edges():
+        if by_id[down].start < by_id[up].finish:
+            raise ScheduleError(
+                f"dependency violated: task {down} starts at "
+                f"{by_id[down].start} before parent {up} finishes at "
+                f"{by_id[up].finish}"
+            )
+
+    # Capacity: sweep start/finish events.
+    if len(capacities) != graph.num_resources:
+        raise ScheduleError(
+            f"capacities have {len(capacities)} dims, graph has "
+            f"{graph.num_resources}"
+        )
+    events: List[Tuple[int, int, Tuple[int, ...]]] = []
+    for placement in schedule.placements:
+        demands = graph.task(placement.task_id).demands
+        events.append((placement.start, 1, demands))
+        events.append((placement.finish, -1, demands))
+    events.sort(key=lambda e: (e[0], e[1]))  # releases before grabs at same t
+    usage = [0] * len(capacities)
+    for t, kind, demands in events:
+        for r, demand in enumerate(demands):
+            usage[r] += kind * demand
+            if usage[r] > capacities[r]:
+                raise ScheduleError(
+                    f"capacity violated: resource {r} usage {usage[r]} > "
+                    f"{capacities[r]} at t={t}"
+                )

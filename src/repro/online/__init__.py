@@ -1,0 +1,37 @@
+"""Online multi-job cluster scheduling.
+
+The paper evaluates Spear per job (one DAG, empty cluster), but positions
+it as a *cluster scheduler*.  This package provides the deployment-mode
+substrate: jobs arrive over time, share the resource pool, and the
+scheduler ranks ready tasks across all active jobs.
+
+Search-based scheduling (MCTS/Spear) over an open arrival stream is
+future work even in the paper; here the online policies are *rankers* —
+pure functions from (task, job context, cluster) to a priority key — which
+covers every greedy baseline (SJF, CP within-job, Tetris packing, FIFO by
+arrival) and composes with per-job Spear planning via
+:func:`plan_priority_ranker`.
+"""
+
+from .rankers import (
+    Ranker,
+    fifo_ranker,
+    sjf_ranker,
+    cp_ranker,
+    tetris_ranker,
+    plan_priority_ranker,
+)
+from .simulator import ArrivingJob, JobOutcome, OnlineResult, OnlineSimulator
+
+__all__ = [
+    "Ranker",
+    "fifo_ranker",
+    "sjf_ranker",
+    "cp_ranker",
+    "tetris_ranker",
+    "plan_priority_ranker",
+    "ArrivingJob",
+    "JobOutcome",
+    "OnlineResult",
+    "OnlineSimulator",
+]

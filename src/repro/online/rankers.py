@@ -1,0 +1,103 @@
+"""Ranking functions for online multi-job scheduling.
+
+A :data:`Ranker` maps a candidate task to a sortable key; *smaller keys
+run first*.  The simulator is work-conserving: at every event it starts
+fitting candidates in key order until nothing fits.
+
+Rankers receive a :class:`TaskContext` carrying the task itself, its job's
+arrival metadata and precomputed graph features, plus the live free
+capacity — enough to express every greedy baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..dag.features import GraphFeatures
+from ..dag.task import Task
+
+__all__ = [
+    "TaskContext",
+    "Ranker",
+    "fifo_ranker",
+    "sjf_ranker",
+    "cp_ranker",
+    "tetris_ranker",
+    "plan_priority_ranker",
+]
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """Everything a ranker may look at for one candidate task.
+
+    Attributes:
+        task: the candidate (ids are per-job, not globally unique).
+        job_index: position of the owning job in arrival order.
+        arrival_time: when the owning job arrived.
+        features: the owning job's graph features (b-level etc.).
+        free: currently free slots per resource.
+        now: current simulation time.
+    """
+
+    task: Task
+    job_index: int
+    arrival_time: int
+    features: GraphFeatures
+    free: Tuple[int, ...]
+    now: int
+
+
+#: Smaller keys are scheduled first.
+Ranker = Callable[[TaskContext], Tuple]
+
+
+def fifo_ranker(ctx: TaskContext) -> Tuple:
+    """Jobs in arrival order; within a job, smaller task id first."""
+    return (ctx.arrival_time, ctx.job_index, ctx.task.task_id)
+
+
+def sjf_ranker(ctx: TaskContext) -> Tuple:
+    """Shortest task first across all jobs."""
+    return (ctx.task.runtime, ctx.job_index, ctx.task.task_id)
+
+
+def cp_ranker(ctx: TaskContext) -> Tuple:
+    """Largest within-job b-level first (ties: children, then FIFO)."""
+    return (
+        -ctx.features.b_level[ctx.task.task_id],
+        -ctx.features.num_children[ctx.task.task_id],
+        ctx.job_index,
+        ctx.task.task_id,
+    )
+
+
+def tetris_ranker(ctx: TaskContext) -> Tuple:
+    """Highest alignment score against free capacity first."""
+    score = sum(d * f for d, f in zip(ctx.task.demands, ctx.free))
+    return (-score, ctx.job_index, ctx.task.task_id)
+
+
+def plan_priority_ranker(
+    plans: Sequence[Sequence[int]],
+) -> Ranker:
+    """Follow a per-job precomputed priority order (e.g. a Graphene plan
+    or the action order Spear chose when planning the job offline).
+
+    Args:
+        plans: for each job (by arrival index) the task ids from highest
+            to lowest priority.  Jobs themselves are served FIFO.
+    """
+
+    ranks: Dict[int, Dict[int, int]] = {
+        job_index: {tid: rank for rank, tid in enumerate(order)}
+        for job_index, order in enumerate(plans)
+    }
+
+    def ranker(ctx: TaskContext) -> Tuple:
+        job_ranks = ranks.get(ctx.job_index, {})
+        rank = job_ranks.get(ctx.task.task_id, len(job_ranks))
+        return (ctx.job_index, rank, ctx.task.task_id)
+
+    return ranker

@@ -1,0 +1,257 @@
+"""Event-driven multi-job cluster simulation.
+
+Jobs arrive at given times; the simulator maintains one shared
+:class:`repro.cluster.ClusterState` and, at every event (a job arrival or
+a task completion), starts ready tasks in ranker order while they fit.
+It reports per-job completion times (JCT), the batch makespan, and mean
+utilization — the metrics an operator of a Spear-style scheduler would
+watch.
+
+Determinism: events at equal times process arrivals before completions'
+follow-up placements; candidate order under equal ranker keys falls back
+to (job index, task id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..cluster.resources import fits, validate_demands
+from ..cluster.state import ClusterState
+from ..config import ClusterConfig
+from ..dag.features import GraphFeatures, compute_features
+from ..dag.graph import TaskGraph
+from ..errors import ConfigError, EnvironmentStateError
+from .rankers import Ranker, TaskContext
+
+__all__ = ["ArrivingJob", "JobOutcome", "OnlineResult", "OnlineSimulator"]
+
+
+@dataclass(frozen=True)
+class ArrivingJob:
+    """One job of the arrival stream."""
+
+    arrival_time: int
+    graph: TaskGraph
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ConfigError("arrival_time must be >= 0")
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Completion record of one job."""
+
+    job_index: int
+    arrival_time: int
+    completion_time: int
+    num_tasks: int
+
+    @property
+    def jct(self) -> int:
+        """Job completion time (completion - arrival)."""
+        return self.completion_time - self.arrival_time
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Aggregate outcome of one simulation run."""
+
+    outcomes: Tuple[JobOutcome, ...]
+    makespan: int
+    mean_utilization: Tuple[float, ...]
+
+    @property
+    def mean_jct(self) -> float:
+        """Average job completion time."""
+        return sum(o.jct for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def max_jct(self) -> int:
+        """Worst job completion time."""
+        return max(o.jct for o in self.outcomes)
+
+
+class _ActiveJob:
+    """Mutable per-job bookkeeping inside the simulator."""
+
+    __slots__ = ("index", "arrival", "graph", "features", "unmet", "ready", "remaining")
+
+    def __init__(self, index: int, arrival: int, graph: TaskGraph) -> None:
+        self.index = index
+        self.arrival = arrival
+        self.graph = graph
+        self.features: GraphFeatures = compute_features(graph)
+        self.unmet: Dict[int, int] = {
+            tid: len(graph.parents(tid)) for tid in graph.task_ids
+        }
+        self.ready: List[int] = [
+            tid for tid in graph.topological_order() if self.unmet[tid] == 0
+        ]
+        self.remaining: int = graph.num_tasks
+
+
+class OnlineSimulator:
+    """Shared-cluster simulation of an arrival stream.
+
+    Args:
+        cluster: capacities (defaults to the paper's 20x20).
+        max_steps: global safety cap on scheduling events.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterConfig | None = None,
+        max_steps: int = 1_000_000,
+    ) -> None:
+        self.cluster_config = cluster if cluster is not None else ClusterConfig()
+        self.max_steps = max_steps
+
+    def run(self, jobs: Sequence[ArrivingJob], ranker: Ranker) -> OnlineResult:
+        """Simulate ``jobs`` under ``ranker``; return the outcome.
+
+        Raises:
+            ConfigError: on an empty stream or a task that can never fit.
+            EnvironmentStateError: if the event cap is exceeded.
+        """
+        if not jobs:
+            raise ConfigError("need at least one arriving job")
+        capacities = self.cluster_config.capacities
+        for job in jobs:
+            if job.graph.num_resources != len(capacities):
+                raise ConfigError(
+                    f"job graph has {job.graph.num_resources} resource dims, "
+                    f"cluster has {len(capacities)}"
+                )
+            for task in job.graph:
+                validate_demands(task.demands, capacities, label=task.label())
+
+        ordered = sorted(enumerate(jobs), key=lambda e: (e[1].arrival_time, e[0]))
+        pending = [(job.arrival_time, index, job) for index, job in ordered]
+        pending_pos = 0
+
+        state = ClusterState(capacities)
+        active: Dict[int, _ActiveJob] = {}
+        # Running task handle -> (job index, task id); cluster task ids must
+        # be globally unique, so encode as job_index * OFFSET + task_id.
+        offset = 1 + max(max(job.graph.task_ids) for job in jobs)
+        outcomes: List[JobOutcome] = []
+        busy_area = [0] * len(capacities)  # slot-weighted usage integral
+        last_time = 0
+        steps = 0
+
+        def admit_arrivals() -> None:
+            nonlocal pending_pos
+            while pending_pos < len(pending) and pending[pending_pos][0] <= state.now:
+                _, index, job = pending[pending_pos]
+                active[index] = _ActiveJob(index, job.arrival_time, job.graph)
+                pending_pos += 1
+
+        def start_fitting() -> None:
+            """Work-conserving fill in ranker order."""
+            while True:
+                free = state.available
+                candidates: List[Tuple[Tuple, int, int]] = []
+                for job in active.values():
+                    for tid in job.ready:
+                        task = job.graph.task(tid)
+                        if fits(task.demands, free):
+                            ctx = TaskContext(
+                                task=task,
+                                job_index=job.index,
+                                arrival_time=job.arrival,
+                                features=job.features,
+                                free=free,
+                                now=state.now,
+                            )
+                            candidates.append(
+                                (ranker(ctx), job.index, tid)
+                            )
+                if not candidates:
+                    return
+                _, job_index, tid = min(candidates)
+                job = active[job_index]
+                task = job.graph.task(tid)
+                state.start(job_index * offset + tid, task.demands, task.runtime)
+                job.ready.remove(tid)
+
+        def account_usage(until: int) -> None:
+            nonlocal last_time
+            if until <= last_time:
+                return
+            span = until - last_time
+            for r in range(len(capacities)):
+                busy_area[r] += span * (capacities[r] - state.available[r])
+            last_time = until
+
+        # Jump to the first arrival.
+        first_arrival = pending[0][0]
+        if first_arrival > 0:
+            state.now = first_arrival
+            last_time = first_arrival
+
+        admit_arrivals()
+        start_fitting()
+        while active or pending_pos < len(pending):
+            steps += 1
+            if steps > self.max_steps:
+                raise EnvironmentStateError("online simulation exceeded step cap")
+            next_arrival = (
+                pending[pending_pos][0] if pending_pos < len(pending) else None
+            )
+            if state.is_idle:
+                if next_arrival is None:
+                    raise EnvironmentStateError(
+                        "idle cluster with active jobs but nothing ready: "
+                        "inconsistent DAG state"
+                    )
+                account_usage(next_arrival)
+                state.now = max(state.now, next_arrival)
+                admit_arrivals()
+                start_fitting()
+                continue
+            next_completion = state.earliest_finish_time()
+            if next_arrival is not None and next_arrival < next_completion:
+                account_usage(next_arrival)
+                if next_arrival > state.now:
+                    # No completion can occur before the arrival.
+                    state.advance(next_arrival - state.now)
+                admit_arrivals()
+                start_fitting()
+                continue
+            account_usage(next_completion)
+            _, completed = state.advance_to_next_event()
+            admit_arrivals()
+            for handle in completed:
+                job_index, tid = divmod(handle, offset)
+                job = active[job_index]
+                job.remaining -= 1
+                for child in job.graph.children(tid):
+                    job.unmet[child] -= 1
+                    if job.unmet[child] == 0:
+                        job.ready.append(child)
+                if job.remaining == 0:
+                    outcomes.append(
+                        JobOutcome(
+                            job_index=job.index,
+                            arrival_time=job.arrival,
+                            completion_time=state.now,
+                            num_tasks=job.graph.num_tasks,
+                        )
+                    )
+                    del active[job_index]
+            start_fitting()
+
+        makespan = state.now
+        horizon = max(1, makespan - first_arrival)
+        utilization = tuple(
+            busy_area[r] / (horizon * capacities[r]) for r in range(len(capacities))
+        )
+        outcomes.sort(key=lambda o: o.job_index)
+        return OnlineResult(
+            outcomes=tuple(outcomes),
+            makespan=makespan,
+            mean_utilization=utilization,
+        )

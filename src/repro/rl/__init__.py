@@ -1,0 +1,44 @@
+"""Deep reinforcement learning for scheduling (Sec. III-D, IV).
+
+A from-scratch NumPy reproduction of the paper's Theano model:
+
+* :class:`PolicyNetwork` — 3 hidden layers (256/32/32, ReLU) + softmax
+  with action masking, manual backprop.
+* :class:`RmsProp` — the optimizer with the paper's hyper-parameters.
+* :class:`NetworkPolicy` — drives a :class:`repro.env.SchedulingEnv` with
+  the network (sampling or greedy).
+* :class:`ImitationTrainer` — supervised pre-training on the critical-path
+  heuristic ("it is necessary to teach the network to imitate a greedy
+  heuristic approach", Sec. IV).
+* :class:`ReinforceTrainer` — REINFORCE with a 20-rollout average baseline.
+"""
+
+from .network import PolicyNetwork
+from .optimizers import RmsProp
+from .agent import NetworkPolicy
+from .imitation import ImitationTrainer
+from .reinforce import ReinforceTrainer, EpochStats
+from .checkpoints import (
+    save_checkpoint,
+    load_checkpoint,
+    save_value_checkpoint,
+    load_value_checkpoint,
+)
+from .value_network import ValueNetwork
+from .value_training import collect_value_dataset, train_value_network
+
+__all__ = [
+    "PolicyNetwork",
+    "RmsProp",
+    "NetworkPolicy",
+    "ImitationTrainer",
+    "ReinforceTrainer",
+    "EpochStats",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_value_checkpoint",
+    "load_value_checkpoint",
+    "ValueNetwork",
+    "collect_value_dataset",
+    "train_value_network",
+]

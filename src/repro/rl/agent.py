@@ -1,0 +1,160 @@
+"""Driving the scheduling environment with the policy network.
+
+:class:`NetworkPolicy` adapts a :class:`PolicyNetwork` to the
+:class:`repro.schedulers.Policy` protocol: featurize the state, mask
+illegal actions, then sample from (or take the argmax of) the network's
+distribution — "each time when the DRL agent is called to take an action,
+it will draw one action from the distribution of the actions in the output
+layer" (Sec. III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..env.actions import PROCESS, Action
+from ..env.observation import ObservationBuilder
+from ..env.scheduling_env import SchedulingEnv
+from ..errors import ConfigError, EnvironmentStateError
+from ..schedulers.base import Policy
+from ..utils.rng import SeedLike, as_generator
+from .network import PolicyNetwork
+
+__all__ = ["NetworkPolicy", "build_action_mask"]
+
+
+def build_action_mask(
+    env: SchedulingEnv, num_actions: int, work_conserving: bool = False
+) -> np.ndarray:
+    """Boolean mask over the network's action layout.
+
+    Layout: indices ``0 .. max_ready-1`` schedule the corresponding visible
+    ready slot; index ``max_ready`` is PROCESS.
+
+    Args:
+        env: current environment.
+        num_actions: the network's output width (``max_ready + 1``).
+        work_conserving: apply the Spear expansion filter (drop PROCESS
+            whenever some task fits).
+    """
+    mask = np.zeros(num_actions, dtype=bool)
+    actions = (
+        env.expansion_actions(work_conserving=True)
+        if work_conserving
+        else env.legal_actions()
+    )
+    for action in actions:
+        if action == PROCESS:
+            mask[num_actions - 1] = True
+        else:
+            if action >= num_actions - 1:
+                raise ConfigError(
+                    f"visible slot {action} exceeds network window "
+                    f"{num_actions - 1}"
+                )
+            mask[action] = True
+    return mask
+
+
+class NetworkPolicy(Policy):
+    """Scheduling policy backed by a trained (or training) network.
+
+    Args:
+        network: the policy network; its ``max_ready`` must match the
+            environment's visibility window.
+        mode: ``"sample"`` draws from the distribution (training, rollout
+            diversity); ``"greedy"`` takes the argmax (evaluation).
+        seed: RNG for sampling.
+        work_conserving: mask PROCESS away whenever a task fits (matches
+            the MCTS expansion filter so the network sees the same action
+            space inside Spear as during training).
+    """
+
+    name = "drl"
+
+    def __init__(
+        self,
+        network: PolicyNetwork,
+        mode: str = "sample",
+        seed: SeedLike = None,
+        work_conserving: bool = True,
+    ) -> None:
+        if mode not in ("sample", "greedy"):
+            raise ConfigError(f"unknown mode {mode!r}")
+        self.network = network
+        self.mode = mode
+        self.work_conserving = work_conserving
+        self._rng = as_generator(seed)
+        self._builder: Optional[ObservationBuilder] = None
+
+    # ------------------------------------------------------------------ #
+
+    def begin_episode(self, env: SchedulingEnv) -> None:
+        if env.config.max_ready != self.network.num_actions - 1:
+            raise ConfigError(
+                f"env max_ready={env.config.max_ready} does not match "
+                f"network action space {self.network.num_actions}"
+            )
+        self._builder = ObservationBuilder(env.graph, env.config)
+        if self._builder.size != self.network.input_size:
+            raise ConfigError(
+                f"observation size {self._builder.size} != network input "
+                f"{self.network.input_size}"
+            )
+
+    def _ensure_builder(self, env: SchedulingEnv) -> ObservationBuilder:
+        if self._builder is None or self._builder.graph is not env.graph:
+            self.begin_episode(env)
+        assert self._builder is not None
+        return self._builder
+
+    def distribution(
+        self, env: SchedulingEnv
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(observation, mask, probabilities) for the current state."""
+        builder = self._ensure_builder(env)
+        observation = builder.build(env)
+        mask = build_action_mask(
+            env, self.network.num_actions, self.work_conserving
+        )
+        probs = self.network.probabilities(
+            observation[None, :], mask[None, :]
+        )[0]
+        return observation, mask, probs
+
+    def action_probabilities(self, env: SchedulingEnv) -> Dict[Action, float]:
+        """Env-action -> probability map (used by MCTS expansion/rollout)."""
+        _, mask, probs = self.distribution(env)
+        process_index = self.network.num_actions - 1
+        result: Dict[Action, float] = {}
+        for index in np.nonzero(mask)[0]:
+            action = PROCESS if index == process_index else int(index)
+            result[action] = float(probs[index])
+        return result
+
+    def select(self, env: SchedulingEnv) -> Action:
+        _, mask, probs = self.distribution(env)
+        if self.mode == "greedy":
+            index = int(np.argmax(probs))
+        else:
+            index = int(self._rng.choice(len(probs), p=probs))
+        if not mask[index]:
+            raise EnvironmentStateError("network selected a masked action")
+        process_index = self.network.num_actions - 1
+        return PROCESS if index == process_index else index
+
+    def select_with_trace(
+        self, env: SchedulingEnv
+    ) -> Tuple[Action, np.ndarray, np.ndarray, int]:
+        """Like :meth:`select` but also returns (observation, mask,
+        network-action-index) for trajectory recording."""
+        observation, mask, probs = self.distribution(env)
+        if self.mode == "greedy":
+            index = int(np.argmax(probs))
+        else:
+            index = int(self._rng.choice(len(probs), p=probs))
+        process_index = self.network.num_actions - 1
+        action = PROCESS if index == process_index else index
+        return action, observation, mask, index

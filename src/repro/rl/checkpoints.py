@@ -1,0 +1,128 @@
+"""Checkpointing trained networks to ``.npz`` files.
+
+The checkpoint records the weights plus the metadata needed to rebuild an
+identical network (input size, hidden sizes, action count), so loading
+never silently mismatches an observation layout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..config import NetworkConfig
+from ..errors import CheckpointError
+from .network import PolicyNetwork
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_value_checkpoint",
+    "load_value_checkpoint",
+]
+
+_FORMAT_VERSION = 1
+_VALUE_FORMAT_VERSION = 1
+
+
+def save_checkpoint(network: PolicyNetwork, path: Union[str, Path]) -> None:
+    """Write ``network`` (weights + architecture metadata) to ``path``."""
+
+    payload = {f"param_{k}": v for k, v in network.params.items()}
+    payload["meta_version"] = np.asarray([_FORMAT_VERSION])
+    payload["meta_input_size"] = np.asarray([network.input_size])
+    payload["meta_hidden_sizes"] = np.asarray(network.config.hidden_sizes)
+    payload["meta_max_ready"] = np.asarray([network.config.max_ready])
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(path: Union[str, Path]) -> PolicyNetwork:
+    """Rebuild the exact network stored at ``path``.
+
+    Raises:
+        CheckpointError: on missing files, wrong format versions or
+            corrupted payloads.
+    """
+
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        with np.load(path) as data:
+            version = int(data["meta_version"][0])
+            if version != _FORMAT_VERSION:
+                raise CheckpointError(
+                    f"unsupported checkpoint version {version}"
+                )
+            input_size = int(data["meta_input_size"][0])
+            hidden_sizes = tuple(int(h) for h in data["meta_hidden_sizes"])
+            max_ready = int(data["meta_max_ready"][0])
+            config = NetworkConfig(hidden_sizes=hidden_sizes, max_ready=max_ready)
+            network = PolicyNetwork(input_size, config, seed=0)
+            params = {
+                key[len("param_") :]: data[key]
+                for key in data.files
+                if key.startswith("param_")
+            }
+            network.set_params(params)
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+    return network
+
+
+def save_value_checkpoint(network, path: Union[str, Path]) -> None:
+    """Write a :class:`repro.rl.value_network.ValueNetwork` to ``path``."""
+
+    payload = {f"param_{k}": v for k, v in network.params.items()}
+    payload["meta_value_version"] = np.asarray([_VALUE_FORMAT_VERSION])
+    payload["meta_input_size"] = np.asarray([network.input_size])
+    payload["meta_hidden_sizes"] = np.asarray(network.hidden_sizes)
+    payload["meta_target_stats"] = np.asarray(
+        [network._target_mean, network._target_std, float(network._fitted)]
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_value_checkpoint(path: Union[str, Path]):
+    """Rebuild the value network stored at ``path``.
+
+    Raises:
+        CheckpointError: on missing files or corrupted payloads.
+    """
+
+    from .value_network import ValueNetwork
+
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        with np.load(path) as data:
+            version = int(data["meta_value_version"][0])
+            if version != _VALUE_FORMAT_VERSION:
+                raise CheckpointError(
+                    f"unsupported value-checkpoint version {version}"
+                )
+            input_size = int(data["meta_input_size"][0])
+            hidden_sizes = tuple(int(h) for h in data["meta_hidden_sizes"])
+            network = ValueNetwork(input_size, hidden_sizes, seed=0)
+            for key in data.files:
+                if key.startswith("param_"):
+                    name = key[len("param_") :]
+                    if name not in network.params:
+                        raise CheckpointError(f"unexpected parameter {name}")
+                    if network.params[name].shape != data[key].shape:
+                        raise CheckpointError(f"shape mismatch for {name}")
+                    network.params[name] = data[key].copy()
+            mean, std, fitted = data["meta_target_stats"]
+            network._target_mean = float(mean)
+            network._target_std = float(std)
+            network._fitted = bool(fitted)
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(f"corrupt value checkpoint {path}: {exc}") from exc
+    return network

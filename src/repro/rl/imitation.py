@@ -1,0 +1,144 @@
+"""Supervised pre-training on a heuristic teacher (Sec. IV).
+
+"Prior to reinforcement learning training, we initialize our network by
+using supervised training.  It is necessary to teach the network to
+imitate a greedy heuristic approach such as the critical path algorithm
+... otherwise, simulations with a completely random network result in
+extremely long and meaningless trajectories."
+
+The trainer rolls the teacher policy over the training graphs, records
+(state, mask, teacher action) triples at every decision, and minimizes the
+cross-entropy of the network's masked softmax against the teacher's
+choices with rmsprop mini-batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import EnvConfig, TrainingConfig
+from ..dag.graph import TaskGraph
+from ..env.actions import PROCESS
+from ..env.observation import ObservationBuilder
+from ..env.scheduling_env import SchedulingEnv
+from ..errors import EnvironmentStateError
+from ..schedulers.base import Policy
+from ..schedulers.policies import CriticalPathPolicy
+from ..utils.rng import SeedLike, as_generator
+from .agent import build_action_mask
+from .network import PolicyNetwork
+from .optimizers import RmsProp
+
+__all__ = ["ImitationTrainer", "ImitationDataset"]
+
+
+@dataclass
+class ImitationDataset:
+    """Stacked supervised examples: states, masks and teacher actions."""
+
+    states: np.ndarray
+    masks: np.ndarray
+    actions: np.ndarray
+
+    def __len__(self) -> int:
+        return self.states.shape[0]
+
+
+class ImitationTrainer:
+    """Cross-entropy imitation of a heuristic teacher.
+
+    Args:
+        network: the policy network to initialize.
+        env_config: environment shape for teacher rollouts.
+        teacher_factory: builds the teacher per episode (default: the
+            critical-path heuristic the paper names).
+        learning_rate / rho / eps: rmsprop hyper-parameters (paper values
+            via :class:`TrainingConfig` defaults).
+        seed: shuffling RNG.
+    """
+
+    def __init__(
+        self,
+        network: PolicyNetwork,
+        env_config: EnvConfig | None = None,
+        teacher_factory: Callable[[], Policy] | None = None,
+        training: TrainingConfig | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.network = network
+        self.env_config = env_config if env_config is not None else EnvConfig()
+        self.teacher_factory = (
+            teacher_factory if teacher_factory is not None else CriticalPathPolicy
+        )
+        self.training = training if training is not None else TrainingConfig()
+        self.optimizer = RmsProp(
+            self.training.learning_rate, self.training.rho, self.training.eps
+        )
+        self._rng = as_generator(seed)
+
+    # ------------------------------------------------------------------ #
+
+    def collect(self, graphs: Sequence[TaskGraph]) -> ImitationDataset:
+        """Roll the teacher over ``graphs`` and record every decision."""
+        states: List[np.ndarray] = []
+        masks: List[np.ndarray] = []
+        actions: List[int] = []
+        process_index = self.network.num_actions - 1
+        for graph in graphs:
+            env = SchedulingEnv(graph, self.env_config)
+            builder = ObservationBuilder(graph, self.env_config)
+            teacher = self.teacher_factory()
+            teacher.begin_episode(env)
+            steps = 0
+            while not env.done:
+                if steps >= self.training.max_episode_steps:
+                    raise EnvironmentStateError("teacher rollout livelocked")
+                action = teacher.select(env)
+                states.append(builder.build(env))
+                masks.append(
+                    build_action_mask(env, self.network.num_actions)
+                )
+                actions.append(process_index if action == PROCESS else action)
+                env.step(action)
+                steps += 1
+        return ImitationDataset(
+            states=np.stack(states),
+            masks=np.stack(masks),
+            actions=np.asarray(actions, dtype=int),
+        )
+
+    def train_epoch(self, dataset: ImitationDataset) -> float:
+        """One pass of shuffled mini-batch cross-entropy; returns mean NLL."""
+        indices = self._rng.permutation(len(dataset))
+        batch_size = self.training.batch_size
+        losses: List[float] = []
+        for start in range(0, len(dataset), batch_size):
+            batch = indices[start : start + batch_size]
+            grads, nll = self.network.policy_gradient(
+                dataset.states[batch],
+                dataset.masks[batch],
+                dataset.actions[batch],
+                np.ones(len(batch)),
+            )
+            self.optimizer.step(self.network.params, grads)
+            losses.append(nll)
+        return float(np.mean(losses))
+
+    def fit(
+        self,
+        graphs: Sequence[TaskGraph],
+        epochs: Optional[int] = None,
+    ) -> List[float]:
+        """Collect once, then train for ``epochs``; returns the loss curve."""
+        dataset = self.collect(graphs)
+        total = epochs if epochs is not None else self.training.supervised_epochs
+        return [self.train_epoch(dataset) for _ in range(total)]
+
+    def accuracy(self, dataset: ImitationDataset) -> float:
+        """Fraction of states where the network's argmax matches the teacher."""
+        probs = self.network.probabilities(dataset.states, dataset.masks)
+        predicted = probs.argmax(axis=1)
+        return float(np.mean(predicted == dataset.actions))

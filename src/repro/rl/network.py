@@ -1,0 +1,216 @@
+"""The policy network of Sec. IV, in pure NumPy.
+
+Architecture: ``input -> 256 -> 32 -> 32 -> num_actions`` with ReLU hidden
+activations and a masked softmax output ("a 3 hidden layer neural network
+with widths of 256, 32, and 32 ... at the output layer, a softmax function
+will be used").
+
+The network exposes exactly the two primitives both trainers need:
+
+* :meth:`probabilities` — masked action distribution for a batch of
+  states;
+* :meth:`backward_from_dlogits` — gradients of any loss whose derivative
+  w.r.t. the logits the caller supplies.  Both the cross-entropy loss of
+  imitation learning and the REINFORCE policy-gradient loss have the form
+  ``dlogits = weight * (probs - onehot(action))``, so a single backward
+  covers both.
+
+Action masking: illegal logits are driven to ``-inf`` before the softmax,
+so illegal actions have exactly zero probability and receive exactly zero
+gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import NetworkConfig
+from ..errors import ConfigError
+from ..utils.rng import SeedLike, as_generator
+
+__all__ = ["PolicyNetwork"]
+
+_NEG_INF = -1e30
+
+
+class PolicyNetwork:
+    """Masked-softmax MLP policy.
+
+    Args:
+        input_size: observation dimensionality.
+        config: architecture (hidden widths, action count).
+        seed: weight-initialization seed (He initialization for ReLU).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        config: NetworkConfig | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if input_size < 1:
+            raise ConfigError(f"input_size must be >= 1, got {input_size}")
+        self.config = config if config is not None else NetworkConfig()
+        self.input_size = input_size
+        self.num_actions = self.config.num_actions
+        rng = as_generator(seed)
+
+        sizes = [input_size, *self.config.hidden_sizes, self.num_actions]
+        self.params: Dict[str, np.ndarray] = {}
+        for layer, (fan_in, fan_out) in enumerate(zip(sizes, sizes[1:])):
+            scale = np.sqrt(2.0 / fan_in)
+            self.params[f"W{layer}"] = rng.normal(
+                0.0, scale, size=(fan_in, fan_out)
+            )
+            self.params[f"b{layer}"] = np.zeros(fan_out)
+        self.num_layers = len(sizes) - 1
+        self._cache: Optional[Dict[str, List[np.ndarray]]] = None
+
+    # ------------------------------------------------------------------ #
+    # forward
+    # ------------------------------------------------------------------ #
+
+    def logits(self, states: np.ndarray, keep_cache: bool = False) -> np.ndarray:
+        """Raw (unmasked) logits for a batch of states ``(B, input_size)``.
+
+        With ``keep_cache=True`` the layer activations are retained for a
+        subsequent :meth:`backward_from_dlogits`.
+        """
+        x = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if x.shape[1] != self.input_size:
+            raise ConfigError(
+                f"state has {x.shape[1]} features, network expects "
+                f"{self.input_size}"
+            )
+        pre_acts: List[np.ndarray] = []
+        acts: List[np.ndarray] = [x]
+        h = x
+        for layer in range(self.num_layers):
+            z = h @ self.params[f"W{layer}"] + self.params[f"b{layer}"]
+            pre_acts.append(z)
+            if layer < self.num_layers - 1:
+                h = np.maximum(z, 0.0)  # ReLU
+                acts.append(h)
+            else:
+                h = z
+        if keep_cache:
+            self._cache = {"pre": pre_acts, "act": acts}
+        return h
+
+    @staticmethod
+    def masked_softmax(logits: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        """Row-wise softmax with illegal entries forced to probability 0.
+
+        Args:
+            logits: ``(B, A)`` raw scores.
+            masks: ``(B, A)`` booleans, True = legal.  Every row must have
+                at least one legal action.
+        """
+        masks = np.asarray(masks, dtype=bool)
+        if masks.shape != logits.shape:
+            raise ConfigError(
+                f"mask shape {masks.shape} != logits shape {logits.shape}"
+            )
+        if not np.all(masks.any(axis=1)):
+            raise ConfigError("a state has no legal action")
+        masked = np.where(masks, logits, _NEG_INF)
+        shifted = masked - masked.max(axis=1, keepdims=True)
+        exp = np.exp(shifted) * masks
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def probabilities(
+        self,
+        states: np.ndarray,
+        masks: np.ndarray,
+        keep_cache: bool = False,
+    ) -> np.ndarray:
+        """Masked action distribution ``(B, A)`` for a batch of states."""
+        return self.masked_softmax(self.logits(states, keep_cache), masks)
+
+    # ------------------------------------------------------------------ #
+    # backward
+    # ------------------------------------------------------------------ #
+
+    def backward_from_dlogits(self, dlogits: np.ndarray) -> Dict[str, np.ndarray]:
+        """Backpropagate ``dLoss/dlogits`` through the cached forward pass.
+
+        Returns:
+            Gradient arrays keyed like :attr:`params`.  The cache is
+            consumed (one backward per forward).
+
+        Raises:
+            ConfigError: if no forward pass with ``keep_cache=True``
+                preceded this call.
+        """
+        if self._cache is None:
+            raise ConfigError("no cached forward pass; call logits(keep_cache=True)")
+        pre, act = self._cache["pre"], self._cache["act"]
+        self._cache = None
+        grads: Dict[str, np.ndarray] = {}
+        delta = np.asarray(dlogits, dtype=np.float64)
+        for layer in range(self.num_layers - 1, -1, -1):
+            grads[f"W{layer}"] = act[layer].T @ delta
+            grads[f"b{layer}"] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self.params[f"W{layer}"].T) * (pre[layer - 1] > 0)
+        return grads
+
+    def policy_gradient(
+        self,
+        states: np.ndarray,
+        masks: np.ndarray,
+        actions: Sequence[int],
+        weights: Sequence[float],
+    ) -> Tuple[Dict[str, np.ndarray], float]:
+        """Gradients of ``-sum_i weights_i * log pi(actions_i | states_i)``.
+
+        With ``weights = advantages`` this is the REINFORCE update of
+        Eq. (3); with ``weights = 1`` it is the imitation cross-entropy.
+
+        Returns:
+            ``(grads, mean_negative_log_likelihood)``.
+        """
+        probs = self.probabilities(states, masks, keep_cache=True)
+        batch = probs.shape[0]
+        actions = np.asarray(actions, dtype=int)
+        weights_arr = np.asarray(weights, dtype=np.float64)
+        if actions.shape[0] != batch or weights_arr.shape[0] != batch:
+            raise ConfigError("states, actions and weights must align")
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(batch), actions] = 1.0
+        if np.any(probs[np.arange(batch), actions] <= 0.0):
+            raise ConfigError("an illegal (zero-probability) action was taken")
+        # d(-w log pi_a)/dlogits = w * (probs - onehot); average over batch.
+        dlogits = weights_arr[:, None] * (probs - onehot) / batch
+        grads = self.backward_from_dlogits(dlogits)
+        nll = float(
+            -np.mean(np.log(probs[np.arange(batch), actions]))
+        )
+        return grads, nll
+
+    # ------------------------------------------------------------------ #
+    # parameter plumbing
+    # ------------------------------------------------------------------ #
+
+    def get_params(self) -> Dict[str, np.ndarray]:
+        """Copies of all parameter arrays."""
+        return {k: v.copy() for k, v in self.params.items()}
+
+    def set_params(self, params: Dict[str, np.ndarray]) -> None:
+        """Load parameters (shapes must match exactly)."""
+        for key, value in self.params.items():
+            if key not in params:
+                raise ConfigError(f"missing parameter {key}")
+            if params[key].shape != value.shape:
+                raise ConfigError(
+                    f"parameter {key}: shape {params[key].shape} != "
+                    f"{value.shape}"
+                )
+        for key in self.params:
+            self.params[key] = np.asarray(params[key], dtype=np.float64).copy()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(v.size for v in self.params.values())

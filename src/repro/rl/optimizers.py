@@ -1,0 +1,77 @@
+"""Optimizers.  The paper uses rmsprop with ``alpha=1e-4``, ``rho=0.9``
+and ``eps=1e-9`` for both supervised and reinforcement training (Sec. IV).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["RmsProp"]
+
+
+class RmsProp:
+    """RMSProp with per-parameter moving average of squared gradients.
+
+    Update rule (descent)::
+
+        cache = rho * cache + (1 - rho) * grad^2
+        param -= lr * grad / (sqrt(cache) + eps)
+
+    Args:
+        learning_rate: step size ``alpha``.
+        rho: decay of the squared-gradient average.
+        eps: numerical stabilizer.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-4,
+        rho: float = 0.9,
+        eps: float = 1e-9,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ConfigError("learning_rate must be positive")
+        if not 0.0 <= rho < 1.0:
+            raise ConfigError("rho must lie in [0, 1)")
+        if eps <= 0:
+            raise ConfigError("eps must be positive")
+        self.learning_rate = learning_rate
+        self.rho = rho
+        self.eps = eps
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def step(
+        self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]
+    ) -> None:
+        """Apply one in-place descent step to ``params``.
+
+        Raises:
+            ConfigError: if a gradient is missing or shaped wrong.
+        """
+        for key, param in params.items():
+            if key not in grads:
+                raise ConfigError(f"missing gradient for {key}")
+            grad = grads[key]
+            if grad.shape != param.shape:
+                raise ConfigError(
+                    f"gradient {key}: shape {grad.shape} != {param.shape}"
+                )
+            if not np.isfinite(grad).all():
+                # A NaN/inf gradient silently poisons every later update
+                # through the squared-gradient cache; fail loudly instead.
+                raise ConfigError(f"non-finite gradient for {key}")
+            cache = self._cache.get(key)
+            if cache is None:
+                cache = np.zeros_like(param)
+                self._cache[key] = cache
+            cache *= self.rho
+            cache += (1.0 - self.rho) * grad * grad
+            param -= self.learning_rate * grad / (np.sqrt(cache) + self.eps)
+
+    def reset(self) -> None:
+        """Drop accumulated state (fresh optimizer)."""
+        self._cache.clear()

@@ -1,0 +1,75 @@
+"""Episode rollout and return computation shared by both trainers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..env.scheduling_env import SchedulingEnv
+from ..errors import EnvironmentStateError
+from .agent import NetworkPolicy
+
+__all__ = ["Step", "Trajectory", "rollout_trajectory", "returns_to_go"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One decision: state, mask, chosen network-action index, reward."""
+
+    observation: np.ndarray
+    mask: np.ndarray
+    action_index: int
+    reward: int
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A full episode's decisions plus its outcome."""
+
+    steps: List[Step]
+    makespan: int
+
+    @property
+    def total_reward(self) -> int:
+        """Sum of rewards; equals ``-makespan`` by construction."""
+        return sum(step.reward for step in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def rollout_trajectory(
+    env: SchedulingEnv,
+    policy: NetworkPolicy,
+    max_steps: int,
+) -> Trajectory:
+    """Play ``policy`` on ``env`` to termination, recording every decision.
+
+    Raises:
+        EnvironmentStateError: if ``max_steps`` is exceeded (livelock guard).
+    """
+
+    policy.begin_episode(env)
+    steps: List[Step] = []
+    while not env.done:
+        if len(steps) >= max_steps:
+            raise EnvironmentStateError(
+                f"episode exceeded {max_steps} steps during training rollout"
+            )
+        action, observation, mask, index = policy.select_with_trace(env)
+        result = env.step(action)
+        steps.append(Step(observation, mask, index, result.reward))
+    return Trajectory(steps=steps, makespan=env.makespan)
+
+
+def returns_to_go(trajectory: Trajectory) -> np.ndarray:
+    """Undiscounted reward-to-go ``G_t`` per step.
+
+    ``G_0`` equals the negative makespan; schedule actions (reward 0)
+    inherit the return of the remaining episode.
+    """
+
+    rewards = np.asarray([step.reward for step in trajectory.steps], dtype=np.float64)
+    return np.cumsum(rewards[::-1])[::-1].copy()

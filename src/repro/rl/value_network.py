@@ -1,0 +1,149 @@
+"""A value network: state -> predicted remaining makespan.
+
+AlphaZero (which inspired Spear, Sec. I) pairs its policy with a *value*
+head so rollouts can be truncated and scored without playing to the end.
+The Spear paper keeps full rollouts; this module implements the natural
+extension: a small MLP regressor trained on (state, observed
+remaining-makespan) pairs from policy rollouts, used by
+:class:`repro.core.guidance.TruncatedRollout` to cap rollout depth.
+
+Architecture mirrors the policy trunk (ReLU MLP) with a single linear
+output; training is mean-squared-error with rmsprop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils.rng import SeedLike, as_generator
+from .optimizers import RmsProp
+
+__all__ = ["ValueNetwork"]
+
+
+class ValueNetwork:
+    """MLP regressor predicting the remaining makespan of a state.
+
+    Args:
+        input_size: observation dimensionality (same featurization as the
+            policy network).
+        hidden_sizes: ReLU hidden widths (default: a slim 64/32 trunk —
+            value targets are smoother than action preferences).
+        seed: weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_sizes: Tuple[int, ...] = (64, 32),
+        seed: SeedLike = None,
+    ) -> None:
+        if input_size < 1:
+            raise ConfigError("input_size must be >= 1")
+        if not hidden_sizes or any(h < 1 for h in hidden_sizes):
+            raise ConfigError("hidden_sizes must be positive")
+        self.input_size = input_size
+        self.hidden_sizes = tuple(hidden_sizes)
+        rng = as_generator(seed)
+        sizes = [input_size, *hidden_sizes, 1]
+        self.params: Dict[str, np.ndarray] = {}
+        for layer, (fan_in, fan_out) in enumerate(zip(sizes, sizes[1:])):
+            scale = np.sqrt(2.0 / fan_in)
+            self.params[f"W{layer}"] = rng.normal(0.0, scale, (fan_in, fan_out))
+            self.params[f"b{layer}"] = np.zeros(fan_out)
+        self.num_layers = len(sizes) - 1
+        # Target normalization, fit on the first training batch.
+        self._target_mean = 0.0
+        self._target_std = 1.0
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+
+    def _forward(
+        self, states: np.ndarray
+    ) -> Tuple[np.ndarray, List[np.ndarray], List[np.ndarray]]:
+        x = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if x.shape[1] != self.input_size:
+            raise ConfigError(
+                f"state has {x.shape[1]} features, expected {self.input_size}"
+            )
+        pre, act = [], [x]
+        h = x
+        for layer in range(self.num_layers):
+            z = h @ self.params[f"W{layer}"] + self.params[f"b{layer}"]
+            pre.append(z)
+            if layer < self.num_layers - 1:
+                h = np.maximum(z, 0.0)
+                act.append(h)
+            else:
+                h = z
+        return h[:, 0], pre, act
+
+    def predict(self, states: np.ndarray) -> np.ndarray:
+        """Predicted remaining makespans (slots, clipped to >= 0)."""
+        normalized, _, _ = self._forward(states)
+        return np.maximum(
+            normalized * self._target_std + self._target_mean, 0.0
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def fit(
+        self,
+        states: np.ndarray,
+        targets: Sequence[float],
+        epochs: int = 50,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        seed: SeedLike = None,
+    ) -> List[float]:
+        """Train by mini-batch MSE; returns per-epoch losses.
+
+        Targets are z-normalized internally using the first ``fit`` call's
+        statistics, so repeated fits refine the same scale.
+        """
+
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        targets_arr = np.asarray(targets, dtype=np.float64)
+        if states.shape[0] != targets_arr.shape[0]:
+            raise ConfigError("states and targets must align")
+        if states.shape[0] == 0:
+            raise ConfigError("cannot fit on an empty dataset")
+        if not self._fitted:
+            self._target_mean = float(targets_arr.mean())
+            self._target_std = float(max(targets_arr.std(), 1e-6))
+            self._fitted = True
+        normalized_targets = (targets_arr - self._target_mean) / self._target_std
+
+        optimizer = RmsProp(learning_rate=learning_rate)
+        rng = as_generator(seed)
+        losses: List[float] = []
+        n = states.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_losses = []
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                predictions, pre, act = self._forward(states[batch])
+                errors = predictions - normalized_targets[batch]
+                epoch_losses.append(float(np.mean(errors**2)))
+                # Backprop MSE: dL/dout = 2 * err / B.
+                delta = (2.0 * errors / len(batch))[:, None]
+                grads: Dict[str, np.ndarray] = {}
+                for layer in range(self.num_layers - 1, -1, -1):
+                    grads[f"W{layer}"] = act[layer].T @ delta
+                    grads[f"b{layer}"] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.params[f"W{layer}"].T) * (
+                            pre[layer - 1] > 0
+                        )
+                optimizer.step(self.params, grads)
+            losses.append(float(np.mean(epoch_losses)))
+        return losses
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(v.size for v in self.params.values())

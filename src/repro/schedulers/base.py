@@ -1,0 +1,120 @@
+"""Scheduler and policy abstractions.
+
+Two complementary interfaces coexist:
+
+* :class:`Policy` — a *dynamic* decision rule: given the live environment,
+  pick one action.  All greedy baselines (Tetris, SJF, CP) and the DRL
+  agent are policies.
+* :class:`Scheduler` — anything that turns a :class:`TaskGraph` into a
+  :class:`Schedule`.  :class:`PolicyScheduler` adapts a policy factory into
+  a scheduler by rolling an episode; planners like Graphene and search
+  methods like MCTS implement :class:`Scheduler` directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from ..config import EnvConfig
+from ..dag.graph import TaskGraph
+from ..env.actions import Action
+from ..env.scheduling_env import SchedulingEnv
+from ..errors import EnvironmentStateError
+from ..metrics.schedule import Schedule
+from ..utils.timing import Stopwatch
+
+__all__ = ["Policy", "Scheduler", "PolicyScheduler", "run_policy"]
+
+#: Hard cap on episode length as a multiple of the episode's work volume;
+#: tripping it indicates a livelocked policy, which is a bug worth raising.
+_STEP_LIMIT_FACTOR = 20
+
+
+class Policy(abc.ABC):
+    """A dynamic scheduling decision rule."""
+
+    #: Human-readable identifier used in reports.
+    name: str = "policy"
+
+    def begin_episode(self, env: SchedulingEnv) -> None:
+        """Hook called once at episode start (override to cache features)."""
+
+    @abc.abstractmethod
+    def select(self, env: SchedulingEnv) -> Action:
+        """Choose one action from ``env.legal_actions()``."""
+
+
+class Scheduler(abc.ABC):
+    """Anything that produces a complete schedule for a job DAG."""
+
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        """Plan and return a feasible schedule for ``graph``."""
+
+
+def run_policy(
+    env: SchedulingEnv,
+    policy: Policy,
+    max_steps: Optional[int] = None,
+) -> Schedule:
+    """Roll one episode of ``policy`` on ``env`` and export the schedule.
+
+    Args:
+        env: a freshly reset (or mid-episode) environment; it is mutated.
+        policy: the decision rule.
+        max_steps: optional explicit step cap; defaults to a generous
+            multiple of the job's total runtime plus task count.
+
+    Raises:
+        EnvironmentStateError: if the step cap is hit (livelocked policy)
+            or the policy returns an illegal action.
+    """
+
+    if max_steps is None:
+        total_runtime = sum(task.runtime for task in env.graph)
+        max_steps = _STEP_LIMIT_FACTOR * (total_runtime + env.graph.num_tasks)
+    policy.begin_episode(env)
+    watch = Stopwatch()
+    with watch:
+        steps = 0
+        while not env.done:
+            if steps >= max_steps:
+                raise EnvironmentStateError(
+                    f"policy {policy.name!r} exceeded {max_steps} steps; "
+                    "likely livelocked"
+                )
+            env.step(policy.select(env))
+            steps += 1
+    return env.to_schedule(scheduler=policy.name, wall_time=watch.elapsed)
+
+
+class PolicyScheduler(Scheduler):
+    """Adapts a policy factory into a :class:`Scheduler`.
+
+    Args:
+        policy_factory: zero-argument callable returning a fresh policy per
+            job (policies may carry per-episode state).
+        config: environment configuration used for every job.
+        name: report label; defaults to the first policy's name.
+    """
+
+    def __init__(
+        self,
+        policy_factory: Callable[[], Policy],
+        config: EnvConfig | None = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self._factory = policy_factory
+        self._config = config if config is not None else EnvConfig()
+        self.name = name if name is not None else policy_factory().name
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        env = SchedulingEnv(graph, self._config)
+        policy = self._factory()
+        schedule = run_policy(env, policy)
+        return Schedule(
+            schedule.placements, scheduler=self.name, wall_time=schedule.wall_time
+        )

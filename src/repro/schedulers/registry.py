@@ -1,0 +1,64 @@
+"""Name-based scheduler construction for the CLI and the experiment harness.
+
+``make_scheduler("tetris")`` returns a ready-to-use :class:`Scheduler`;
+the registry covers every baseline.  Spear and pure MCTS live in
+:mod:`repro.core` (they need extra machinery — search budgets, trained
+networks) and register themselves through :func:`register`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..config import EnvConfig
+from ..errors import ConfigError
+from .base import PolicyScheduler, Scheduler
+from .exact import BranchAndBoundScheduler
+from .graphene import GrapheneScheduler
+from .listsched import FifoPolicy, HeftPolicy, LptPolicy
+from .policies import CriticalPathPolicy, RandomPolicy, SjfPolicy
+from .tetris import TetrisPolicy
+
+__all__ = ["available_schedulers", "make_scheduler", "register"]
+
+_FACTORIES: Dict[str, Callable[[EnvConfig], Scheduler]] = {}
+
+
+def register(name: str, factory: Callable[[EnvConfig], Scheduler]) -> None:
+    """Register a scheduler factory under ``name`` (overwrites silently is
+    an error; names are unique)."""
+    if name in _FACTORIES:
+        raise ConfigError(f"scheduler {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def available_schedulers() -> List[str]:
+    """Sorted names of all registered schedulers."""
+    return sorted(_FACTORIES)
+
+
+def make_scheduler(name: str, env_config: EnvConfig | None = None) -> Scheduler:
+    """Instantiate the scheduler registered under ``name``.
+
+    Raises:
+        ConfigError: for unknown names (message lists what exists).
+    """
+    config = env_config if env_config is not None else EnvConfig()
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        ) from None
+    return factory(config)
+
+
+register("random", lambda cfg: PolicyScheduler(RandomPolicy, cfg, name="random"))
+register("sjf", lambda cfg: PolicyScheduler(SjfPolicy, cfg, name="sjf"))
+register("cp", lambda cfg: PolicyScheduler(CriticalPathPolicy, cfg, name="cp"))
+register("tetris", lambda cfg: PolicyScheduler(TetrisPolicy, cfg, name="tetris"))
+register("graphene", lambda cfg: GrapheneScheduler(env_config=cfg))
+register("optimal", lambda cfg: BranchAndBoundScheduler(env_config=cfg))
+register("heft", lambda cfg: PolicyScheduler(HeftPolicy, cfg, name="heft"))
+register("lpt", lambda cfg: PolicyScheduler(LptPolicy, cfg, name="lpt"))
+register("fifo", lambda cfg: PolicyScheduler(FifoPolicy, cfg, name="fifo"))

@@ -1,0 +1,27 @@
+"""Production-trace substrate (Sec. V-C).
+
+The paper replays 99 Hive MapReduce jobs from a production cluster.  That
+trace is proprietary, so this package provides a synthetic generator
+calibrated to every statistic the paper reports (job counts, map/reduce
+task-count medians and maxima, per-job mean-runtime ranges), plus the
+filtering, serialization and summary tooling the experiments need.
+"""
+
+from .job import TraceJob, Trace
+from .synthetic import TraceConfig, generate_production_trace, synthesize_job
+from .filters import filter_jobs
+from .stats import TraceStatistics, trace_statistics
+from .arrivals import poisson_arrivals, uniform_arrivals
+
+__all__ = [
+    "TraceJob",
+    "Trace",
+    "TraceConfig",
+    "generate_production_trace",
+    "synthesize_job",
+    "filter_jobs",
+    "TraceStatistics",
+    "trace_statistics",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]

@@ -1,0 +1,26 @@
+"""Trace filtering (Sec. V-C).
+
+"As we are only interested in the tasks with dependencies, we filtered out
+the jobs with no more than 5 map tasks or 5 reduce tasks."
+"""
+
+from __future__ import annotations
+
+from .job import Trace
+
+__all__ = ["filter_jobs"]
+
+
+def filter_jobs(trace: Trace, min_map: int = 6, min_reduce: int = 6) -> Trace:
+    """Keep only jobs with at least ``min_map`` map and ``min_reduce``
+    reduce tasks (paper defaults: more than 5 of each).
+
+    Returns a new :class:`Trace`; the input is not modified.
+    """
+
+    kept = [
+        job
+        for job in trace.jobs
+        if job.num_map >= min_map and job.num_reduce >= min_reduce
+    ]
+    return Trace(jobs=kept, name=f"{trace.name}-filtered")

@@ -1,0 +1,16 @@
+"""Small shared utilities: RNG plumbing, timing, and validation helpers."""
+
+from .rng import as_generator, spawn, derive_seed
+from .timing import Stopwatch, timed
+from .validation import check_positive, check_non_negative, check_probability
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "derive_seed",
+    "Stopwatch",
+    "timed",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+]

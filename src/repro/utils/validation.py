@@ -1,0 +1,28 @@
+"""Argument-validation helpers raising :class:`repro.errors.ConfigError`."""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+__all__ = ["check_positive", "check_non_negative", "check_probability"]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, else raise ``ConfigError``."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if >= 0, else raise ``ConfigError``."""
+    if value < 0:
+        raise ConfigError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if within [0, 1], else raise ``ConfigError``."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must lie in [0, 1], got {value!r}")
+    return value

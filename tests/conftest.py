@@ -1,0 +1,103 @@
+"""Shared fixtures for the test suite.
+
+Heavyweight artifacts (a trained policy network) are built once per
+session at tiny scale; everything else is cheap enough to rebuild per
+test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    EnvConfig,
+    TrainingConfig,
+    WorkloadConfig,
+)
+from repro.core.pipeline import default_network, pretrain_network, training_graphs
+from repro.dag.examples import MOTIVATING_CAPACITY, motivating_example
+from repro.dag.generators import chain_dag, fork_join_dag, random_layered_dag
+from repro.env.scheduling_env import SchedulingEnv
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cluster_config():
+    """A 10x10 cluster with a short horizon (fast observations)."""
+    return ClusterConfig(capacities=(10, 10), horizon=8)
+
+
+@pytest.fixture
+def env_config(small_cluster_config):
+    """Environment with slot-granularity processing."""
+    return EnvConfig(cluster=small_cluster_config, max_ready=5)
+
+
+@pytest.fixture
+def event_env_config(small_cluster_config):
+    """Environment with event-skipping processing (MCTS mode)."""
+    return EnvConfig(
+        cluster=small_cluster_config, max_ready=5, process_until_completion=True
+    )
+
+
+@pytest.fixture
+def chain3():
+    """A 3-task chain: runtimes 2, 3, 1; demands (2, 1) each."""
+    return chain_dag([2, 3, 1], demands=[(2, 1), (2, 1), (2, 1)])
+
+
+@pytest.fixture
+def diamond():
+    """Fork-join: head -> 3 branches -> tail."""
+    return fork_join_dag(3, branch_runtime=2, demand=(2, 2))
+
+
+@pytest.fixture
+def small_random_graph():
+    """A 12-task random layered DAG sized for the test cluster."""
+    workload = WorkloadConfig(
+        num_tasks=12, max_runtime=5, max_demand=4,
+        runtime_mean=3, runtime_std=1, demand_mean=2, demand_std=1,
+    )
+    return random_layered_dag(workload, seed=99)
+
+
+@pytest.fixture
+def motivating():
+    """The Fig. 3 example with its capacity."""
+    return motivating_example(), MOTIVATING_CAPACITY
+
+
+@pytest.fixture
+def chain_env(chain3, env_config):
+    """Fresh environment over the 3-chain."""
+    return SchedulingEnv(chain3, env_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_training_setup():
+    """A tiny pre-trained network + its env config, shared per session.
+
+    Imitation-only (no REINFORCE epochs) keeps it fast while still giving
+    a policy that meaningfully prefers good actions.
+    """
+    env_config = EnvConfig(process_until_completion=True)
+    training = TrainingConfig(
+        num_examples=6,
+        example_num_tasks=8,
+        rollouts_per_example=4,
+        supervised_epochs=25,
+        batch_size=4,
+    )
+    graphs = training_graphs(training, WorkloadConfig(), seed=7)
+    network = default_network(env_config, seed=3)
+    pretrain_network(network, graphs, env_config=env_config, training=training, seed=5)
+    return network, env_config, graphs, training

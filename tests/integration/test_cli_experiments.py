@@ -1,0 +1,64 @@
+"""Integration: the CLI experiment commands end to end at micro scale."""
+
+import pytest
+
+from repro.cli import main
+from tests.integration.test_experiments_smoke import MICRO
+
+
+@pytest.fixture(autouse=True)
+def micro_scale(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+    import repro.experiments.scale as scale_module
+
+    monkeypatch.setattr(scale_module, "LAPTOP", MICRO)
+    yield
+
+
+class TestExperimentCommands:
+    def test_fig6a(self, capsys):
+        assert main(["experiment", "fig6a"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 6(a)" in out
+        assert "spear" in out
+
+    def test_fig6b(self, capsys):
+        assert main(["experiment", "fig6b"]) == 0
+        out = capsys.readouterr().out
+        assert "spear" in out and "graphene" in out
+
+    def test_fig7(self, capsys):
+        assert main(["experiment", "fig7"]) == 0
+        assert "Tetris" in capsys.readouterr().out
+
+    def test_fig8a(self, capsys):
+        assert main(["experiment", "fig8a"]) == 0
+        assert "Fig 8(a)" in capsys.readouterr().out
+
+    def test_fig8b(self, capsys):
+        assert main(["experiment", "fig8b"]) == 0
+        assert "learning curve" in capsys.readouterr().out
+
+    def test_fig9ab(self, capsys):
+        assert main(["experiment", "fig9ab"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 9(a)" in out
+
+    def test_fig9c(self, capsys):
+        assert main(["experiment", "fig9c"]) == 0
+        assert "Fig 9(c)" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+
+class TestAblationCommands:
+    def test_named_ablation(self, capsys):
+        assert main(["ablation", "budget-decay"]) == 0
+        assert "budget-decay" in capsys.readouterr().out
+
+    def test_graph_features_ablation(self, capsys):
+        assert main(["ablation", "graph-features"]) == 0
+        assert "graph-features" in capsys.readouterr().out

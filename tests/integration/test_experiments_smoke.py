@@ -1,0 +1,163 @@
+"""Smoke integration of every experiment entry point at micro scale.
+
+These verify the harness wiring (data flow, report rendering, result
+invariants), not the paper's quantitative claims — those live in
+``benchmarks/`` where the laptop-scale configurations run.
+"""
+
+import pytest
+
+from repro.experiments import (
+    budget_reduction,
+    budget_sweep,
+    learning_curve,
+    makespan_comparison,
+    reduction_cdf,
+    runtime_comparison,
+    runtime_grid,
+    trace_characteristics,
+)
+from repro.experiments.ablations import run_ablation
+from repro.experiments.scale import ExperimentScale
+
+MICRO = ExperimentScale(
+    label="micro",
+    num_dags=2,
+    num_tasks=10,
+    spear_budget=6,
+    spear_min_budget=3,
+    mcts_budget=6,
+    mcts_min_budget=3,
+    sweep_budgets=(3, 6),
+    sweep_num_dags=2,
+    sweep_min_budget=2,
+    grid_sizes=(8,),
+    grid_budgets=(3, 6),
+    fig8_budget_divisor=2,
+    train_examples=2,
+    train_tasks=6,
+    train_epochs=1,
+    train_rollouts=2,
+    supervised_epochs=3,
+    trace_jobs=2,
+    trace_spear_budget=4,
+    trace_spear_min_budget=2,
+)
+
+
+@pytest.fixture(autouse=True)
+def micro_scale(monkeypatch, tmp_path):
+    """Force every experiment to the micro scale with an isolated cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+    import repro.experiments.scale as scale_module
+
+    monkeypatch.setattr(scale_module, "LAPTOP", MICRO)
+    yield
+
+
+class TestFig6:
+    def test_makespan_comparison(self):
+        result = makespan_comparison(seed=0)
+        assert set(result.makespans) == {"spear", "graphene", "tetris", "sjf", "cp"}
+        assert all(len(v) == 2 for v in result.makespans.values())
+        assert all(
+            len(v) == 2 and all(t >= 0 for t in v)
+            for v in result.wall_times.values()
+        )
+        rows = result.rows()
+        assert rows[0].mean <= rows[-1].mean
+        assert 0.0 <= result.win_rate_over("graphene") <= 1.0
+        assert "Fig 6(a)" in result.report()
+
+    def test_runtime_comparison_reuses_result(self):
+        result = makespan_comparison(seed=0)
+        times = runtime_comparison(result=result)
+        assert times["spear"] == result.wall_times["spear"]
+        assert times["graphene"] == result.wall_times["graphene"]
+
+
+class TestFig7:
+    def test_budget_sweep(self):
+        result = budget_sweep(seed=0)
+        assert [p.budget for p in result.points] == [3, 6]
+        for point in result.points:
+            assert point.mean_makespan > 0
+            assert 0.0 <= point.win_rate_vs_tetris <= 1.0
+            assert len(point.makespans) == 2
+        assert len(result.mean_makespans()) == 2
+        assert "budget" in result.report()
+
+
+class TestTable1:
+    def test_runtime_grid(self):
+        result = runtime_grid(seed=0)
+        assert set(result.seconds) == {(8, 3), (8, 6)}
+        assert all(s >= 0 for s in result.seconds.values())
+        assert all(m > 0 for m in result.makespans.values())
+        assert "Table I" in result.report()
+
+    def test_more_budget_more_time(self):
+        result = runtime_grid(seed=0)
+        row = result.row(8)
+        assert row[1] >= row[0] * 0.5  # noisy at micro scale; sanity only
+
+
+class TestFig8:
+    def test_budget_reduction(self):
+        result = budget_reduction(seed=0)
+        assert set(result.makespans) == {"mcts", "spear", "tetris", "sjf", "cp"}
+        assert result.budget_ratio() == 2.0
+        assert "Fig 8(a)" in result.report()
+
+    def test_learning_curve(self):
+        result = learning_curve(seed=0, epochs=2)
+        assert len(result.history) == 2
+        assert result.tetris_mean > 0
+        assert result.sjf_mean > 0
+        assert result.final_mean() > 0
+        assert len(result.curve()) == 2
+        assert "learning curve" in result.report()
+
+
+class TestFig9:
+    def test_trace_characteristics(self):
+        stats = trace_characteristics(seed=0)
+        assert stats.num_jobs == 2
+        map_cdf, reduce_cdf = stats.count_cdfs()
+        assert map_cdf[-1][1] == pytest.approx(1.0)
+        assert reduce_cdf[-1][1] == pytest.approx(1.0)
+
+    def test_reduction_cdf(self):
+        result = reduction_cdf(seed=0)
+        assert result.num_jobs == 2
+        assert len(result.reductions) == 2
+        assert all(-1.0 < r < 1.0 for r in result.reductions)
+        assert 0.0 <= result.no_worse_fraction() <= 1.0
+        assert "Fig 9(c)" in result.report()
+
+
+class TestAblations:
+    @pytest.mark.parametrize(
+        "name",
+        ["expansion-filters", "budget-decay", "max-value-ucb", "guided-rollout"],
+    )
+    def test_each_named_ablation_runs(self, name):
+        result = run_ablation(name, seed=0)
+        assert set(result.makespans) == {"on", "off"}
+        assert result.mean("on") > 0
+        assert result.mean("off") > 0
+        assert name in result.report()
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(KeyError):
+            run_ablation("warp-drive")
+
+    def test_exploration_sensitivity(self):
+        from repro.experiments.ablations import exploration_sensitivity
+
+        result = exploration_sensitivity(seed=0, scales=(0.5, 1.0))
+        assert set(result.makespans) == {"c=0.5x", "c=1x"}
+        assert all(
+            all(m > 0 for m in series) for series in result.makespans.values()
+        )

@@ -1,0 +1,104 @@
+"""Property-based tests on the cluster simulator and resource-time space."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.cluster import ClusterState, ResourceTimeSpace
+from repro.errors import CapacityError
+
+
+@st.composite
+def task_requests(draw, max_tasks=12, capacity=12):
+    count = draw(st.integers(1, max_tasks))
+    tasks = []
+    for tid in range(count):
+        demands = (
+            draw(st.integers(0, capacity)),
+            draw(st.integers(0, capacity)),
+        )
+        runtime = draw(st.integers(1, 8))
+        tasks.append((tid, demands, runtime))
+    return tasks
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=task_requests(), capacity=st.integers(6, 12))
+def test_cluster_conserves_resources(requests, capacity):
+    """At any moment available + sum(running demands) == capacities, and
+    every admitted task is eventually released in full."""
+    cluster = ClusterState((capacity, capacity))
+    admitted = []
+    for tid, demands, runtime in requests:
+        if max(demands) > capacity:
+            continue
+        if cluster.can_fit(demands):
+            cluster.start(tid, demands, runtime)
+            admitted.append(tid)
+        used = [
+            sum(e.demands[r] for e in cluster.running_tasks()) for r in (0, 1)
+        ]
+        assert tuple(a + u for a, u in zip(cluster.available, used)) == (
+            capacity,
+            capacity,
+        )
+    completed = []
+    while not cluster.is_idle:
+        _, done = cluster.advance_to_next_event()
+        completed.extend(done)
+    assert sorted(completed) == sorted(admitted)
+    assert cluster.available == (capacity, capacity)
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=task_requests())
+def test_cluster_never_oversubscribes(requests):
+    cluster = ClusterState((10, 10))
+    for tid, demands, runtime in requests:
+        try:
+            cluster.start(tid, demands, runtime)
+        except CapacityError:
+            pass
+        assert all(a >= 0 for a in cluster.available)
+
+
+@st.composite
+def placements(draw, capacity=10):
+    count = draw(st.integers(1, 10))
+    result = []
+    for _ in range(count):
+        demands = (draw(st.integers(1, capacity)), draw(st.integers(1, capacity)))
+        duration = draw(st.integers(1, 6))
+        result.append((demands, duration))
+    return result
+
+
+@settings(max_examples=60, deadline=None)
+@given(items=placements())
+def test_earliest_start_placements_never_overlap_capacity(items):
+    """Packing every rectangle at its earliest feasible start keeps usage
+    within capacity at every slot, and earliest_start is minimal: one slot
+    earlier always fails."""
+    space = ResourceTimeSpace((10, 10))
+    for demands, duration in items:
+        start = space.earliest_start(demands, duration)
+        if start > 0:
+            assert not space.fits_at(demands, start - 1, duration)
+        space.place(demands, start, duration)
+    horizon = space.makespan()
+    for t in range(horizon):
+        assert space.usage(0, t) <= 10
+        assert space.usage(1, t) <= 10
+
+
+@settings(max_examples=60, deadline=None)
+@given(items=placements())
+def test_place_remove_is_identity(items):
+    space = ResourceTimeSpace((10, 10))
+    starts = []
+    for demands, duration in items:
+        start = space.earliest_start(demands, duration)
+        space.place(demands, start, duration)
+        starts.append(start)
+    for (demands, duration), start in zip(reversed(items), reversed(starts)):
+        space.remove(demands, start, duration)
+    assert space.makespan() == 0

@@ -1,0 +1,120 @@
+"""Property-based tests on metrics: CDFs, win rates, schedule validation."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.dag import Task, TaskGraph
+from repro.errors import ScheduleError
+from repro.metrics import (
+    Schedule,
+    ScheduledTask,
+    empirical_cdf,
+    percentile,
+    reduction_series,
+    validate_schedule,
+    win_rate,
+)
+
+values = st.lists(st.integers(1, 1000), min_size=1, max_size=50)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=values)
+def test_cdf_is_a_distribution_function(data):
+    points = empirical_cdf(data)
+    xs = [x for x, _ in points]
+    fs = [f for _, f in points]
+    assert xs == sorted(set(xs))
+    assert fs == sorted(fs)
+    assert fs[-1] == pytest.approx(1.0)
+    assert all(0 < f <= 1 for f in fs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=values, q=st.floats(0, 100))
+def test_percentile_is_an_order_statistic(data, q):
+    p = percentile(data, q)
+    assert min(data) <= p <= max(data)
+    assert p in [float(v) for v in data]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(1, 1000), st.integers(0, 100)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_win_rate_bounds_and_dominance(pairs):
+    ours = [o for o, _ in pairs]
+    baseline = [o + d for o, d in pairs]
+    rate = win_rate(ours, baseline)
+    assert 0.0 <= rate <= 1.0
+    # We are never worse, so the non-strict rate is exactly 1.
+    assert win_rate(ours, baseline, strict=False) == 1.0
+    # Reductions are all non-negative.
+    assert all(r >= 0 for r in reduction_series(ours, baseline))
+
+
+@st.composite
+def serial_schedules(draw):
+    """A random serial (hence always feasible) schedule over a chain."""
+    count = draw(st.integers(1, 8))
+    runtimes = [draw(st.integers(1, 5)) for _ in range(count)]
+    tasks = [Task(i, runtimes[i], (2, 2)) for i in range(count)]
+    graph = TaskGraph(tasks, [(i, i + 1) for i in range(count - 1)])
+    gaps = [draw(st.integers(0, 3)) for _ in range(count)]
+    starts, t = {}, 0
+    for i in range(count):
+        t += gaps[i]
+        starts[i] = t
+        t += runtimes[i]
+    return graph, starts
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=serial_schedules())
+def test_serial_schedules_always_validate(data):
+    graph, starts = data
+    schedule = Schedule.from_starts(starts, graph)
+    validate_schedule(schedule, graph, (10, 10))
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=serial_schedules(), shift=st.integers(1, 10))
+def test_validator_catches_dependency_mutations(data, shift):
+    """Moving any non-first task earlier past its parent must be caught."""
+    graph, starts = data
+    assume(len(starts) >= 2)
+    victim = max(starts)  # last task in the chain
+    parent_finish = starts[victim - 1] + graph.task(victim - 1).runtime
+    mutated = dict(starts)
+    mutated[victim] = max(0, parent_finish - shift)
+    assume(mutated[victim] < parent_finish)
+    with pytest.raises(ScheduleError):
+        validate_schedule(
+            Schedule.from_starts(mutated, graph), graph, (10, 10)
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=serial_schedules())
+def test_validator_catches_capacity_mutations(data):
+    """Stacking a duplicate oversized task at the same slot must be caught
+    via the capacity sweep."""
+    graph, starts = data
+    first = graph.task(0)
+    fat_graph = TaskGraph(
+        [Task(t.task_id, t.runtime, (6, 6)) for t in graph],
+        list(graph.edges()),
+    )
+    # Squash all tasks to overlapping starts: dependencies break first or
+    # capacity breaks -- either way validation must fail for >= 2 tasks.
+    assume(len(starts) >= 2)
+    squashed = {tid: 0 for tid in starts}
+    with pytest.raises(ScheduleError):
+        validate_schedule(
+            Schedule.from_starts(squashed, fat_graph), fat_graph, (10, 10)
+        )

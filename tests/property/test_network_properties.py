@@ -1,0 +1,111 @@
+"""Property-based tests on the policy network's mathematical invariants."""
+
+import hypothesis.extra.numpy as hnp
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import assume, given, settings
+
+from repro.config import NetworkConfig
+from repro.rl import PolicyNetwork
+
+INPUT = 6
+ACTIONS = 4  # max_ready 3 + PROCESS
+
+
+def make_net(seed):
+    return PolicyNetwork(
+        INPUT, NetworkConfig(hidden_sizes=(8, 5), max_ready=ACTIONS - 1), seed=seed
+    )
+
+
+state_batches = hnp.arrays(
+    np.float64,
+    shape=st.tuples(st.integers(1, 6), st.just(INPUT)),
+    elements=st.floats(-5, 5, allow_nan=False),
+)
+
+@st.composite
+def states_with_masks(draw):
+    """A batch of states plus an aligned mask batch (>= 1 legal per row)."""
+    batch = draw(st.integers(1, 6))
+    states = draw(
+        hnp.arrays(
+            np.float64,
+            shape=(batch, INPUT),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    masks = [
+        draw(st.lists(st.booleans(), min_size=ACTIONS, max_size=ACTIONS).filter(any))
+        for _ in range(batch)
+    ]
+    return states, np.asarray(masks, dtype=bool)
+
+
+@settings(max_examples=60, deadline=None)
+@given(states=state_batches, seed=st.integers(0, 100))
+def test_probabilities_form_a_distribution(states, seed):
+    net = make_net(seed)
+    masks = np.ones((states.shape[0], ACTIONS), dtype=bool)
+    probs = net.probabilities(states, masks)
+    assert np.all(probs >= 0)
+    assert np.all(probs <= 1)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=states_with_masks(), seed=st.integers(0, 100))
+def test_masked_probabilities_exactly_zero(data, seed):
+    states, masks_arr = data
+    net = make_net(seed)
+    probs = net.probabilities(states, masks_arr)
+    assert np.all(probs[~masks_arr] == 0.0)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(states=state_batches, seed=st.integers(0, 100))
+def test_gradients_are_finite(states, seed):
+    net = make_net(seed)
+    batch = states.shape[0]
+    masks = np.ones((batch, ACTIONS), dtype=bool)
+    actions = [0] * batch
+    weights = [1.0] * batch
+    grads, nll = net.policy_gradient(states, masks, actions, weights)
+    assert np.isfinite(nll)
+    for grad in grads.values():
+        assert np.isfinite(grad).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    states=state_batches,
+    seed=st.integers(0, 100),
+    scale=st.floats(0.1, 10.0),
+)
+def test_gradient_scales_linearly_with_weights(states, seed, scale):
+    """policy_gradient is linear in the advantage weights."""
+    net = make_net(seed)
+    batch = states.shape[0]
+    masks = np.ones((batch, ACTIONS), dtype=bool)
+    actions = [1] * batch
+    base, _ = net.policy_gradient(states, masks, actions, [1.0] * batch)
+    scaled, _ = net.policy_gradient(states, masks, actions, [scale] * batch)
+    for key in base:
+        assert np.allclose(scaled[key], scale * base[key], atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(states=state_batches, seed=st.integers(0, 100))
+def test_masking_equals_renormalization(states, seed):
+    """Masked softmax equals the full softmax renormalized over the legal
+    set (the defining property of masking at the logit level)."""
+    net = make_net(seed)
+    batch = states.shape[0]
+    full_mask = np.ones((batch, ACTIONS), dtype=bool)
+    partial = full_mask.copy()
+    partial[:, -1] = False
+    full = net.probabilities(states, full_mask)
+    masked = net.probabilities(states, partial)
+    renorm = full[:, :-1] / full[:, :-1].sum(axis=1, keepdims=True)
+    assert np.allclose(masked[:, :-1], renorm, atol=1e-9)

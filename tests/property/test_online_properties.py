@@ -1,0 +1,75 @@
+"""Property-based tests on the online multi-job simulator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.config import ClusterConfig, WorkloadConfig
+from repro.dag.generators import random_layered_dag
+from repro.online import (
+    ArrivingJob,
+    OnlineSimulator,
+    cp_ranker,
+    fifo_ranker,
+    sjf_ranker,
+    tetris_ranker,
+)
+
+SIM = OnlineSimulator(ClusterConfig(capacities=(10, 10), horizon=8))
+
+
+@st.composite
+def job_streams(draw):
+    count = draw(st.integers(1, 5))
+    stream = []
+    for i in range(count):
+        arrival = draw(st.integers(0, 20))
+        seed = draw(st.integers(0, 2**31 - 1))
+        num_tasks = draw(st.integers(1, 8))
+        workload = WorkloadConfig(
+            num_tasks=num_tasks,
+            max_runtime=4,
+            max_demand=7,
+            runtime_mean=2,
+            runtime_std=1,
+            demand_mean=4,
+            demand_std=2,
+        )
+        stream.append(ArrivingJob(arrival, random_layered_dag(workload, seed=seed)))
+    return stream
+
+
+@settings(max_examples=30, deadline=None)
+@given(stream=job_streams())
+def test_every_job_completes_with_consistent_times(stream):
+    for ranker in (fifo_ranker, sjf_ranker, cp_ranker, tetris_ranker):
+        result = SIM.run(stream, ranker)
+        assert len(result.outcomes) == len(stream)
+        for outcome, arriving in zip(result.outcomes, stream):
+            # Completion after arrival + at least the critical path.
+            assert (
+                outcome.completion_time
+                >= arriving.arrival_time + arriving.graph.critical_path_length()
+            )
+            assert outcome.num_tasks == arriving.graph.num_tasks
+        assert result.makespan == max(o.completion_time for o in result.outcomes)
+        assert all(0.0 <= u <= 1.0 for u in result.mean_utilization)
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream=job_streams())
+def test_makespan_bounded_by_serial_execution(stream):
+    """No ranker can be worse than running everything back to back after
+    the last arrival."""
+    total_runtime = sum(t.runtime for job in stream for t in job.graph)
+    last_arrival = max(job.arrival_time for job in stream)
+    for ranker in (fifo_ranker, tetris_ranker):
+        result = SIM.run(stream, ranker)
+        assert result.makespan <= last_arrival + total_runtime
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream=job_streams())
+def test_determinism(stream):
+    a = SIM.run(stream, fifo_ranker)
+    b = SIM.run(stream, fifo_ranker)
+    assert a == b

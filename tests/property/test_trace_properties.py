@@ -1,0 +1,75 @@
+"""Property-based tests on the synthetic production trace.
+
+The calibration claims of EXPERIMENTS.md must hold for *every* seed, not
+just the one the benchmarks use.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.traces import (
+    TraceConfig,
+    filter_jobs,
+    generate_production_trace,
+    trace_statistics,
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_calibration_bounds_hold_for_every_seed(seed):
+    trace = generate_production_trace(TraceConfig(num_jobs=40), seed=seed)
+    stats = trace_statistics(trace)
+    assert stats.num_jobs == 40
+    # Hard bounds from the paper.
+    assert stats.max_map_count <= 29
+    assert stats.max_reduce_count <= 38
+    assert min(stats.map_counts) >= 6
+    assert min(stats.reduce_counts) >= 6
+    # Medians stay in a band around the published 14 / 17.
+    assert 9 <= stats.median_map_count <= 20
+    assert 11 <= stats.median_reduce_count <= 24
+    # Reduce stage is heavier than the map stage (the paper's qualitative
+    # claim; calibrated mean ranges are 2-17 s vs 17-141 s).
+    assert stats.median_reduce_runtime > stats.median_map_runtime
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_filter_is_idempotent_and_monotone(seed):
+    raw = generate_production_trace(
+        TraceConfig(num_jobs=15, small_job_fraction=0.4),
+        seed=seed,
+        include_filtered=True,
+    )
+    once = filter_jobs(raw)
+    twice = filter_jobs(once)
+    assert len(once) == len(twice)
+    assert len(once) <= len(raw)
+    assert all(j.num_map > 5 and j.num_reduce > 5 for j in once)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    scale=st.sampled_from([0.1, 0.5, 1.0]),
+)
+def test_runtime_scale_is_monotone(seed, scale):
+    """Compressed traces never have longer total runtimes than the
+    original at the same seed."""
+    full = generate_production_trace(
+        TraceConfig(num_jobs=10, runtime_scale=1.0), seed=seed
+    )
+    compressed = generate_production_trace(
+        TraceConfig(num_jobs=10, runtime_scale=scale), seed=seed
+    )
+
+    def total(trace):
+        return sum(
+            sum(job.map_runtimes) + sum(job.reduce_runtimes) for job in trace
+        )
+
+    assert total(compressed) <= total(full)
+    # Structure (counts, topology) is identical across scales.
+    assert [j.num_map for j in compressed] == [j.num_map for j in full]
+    assert [j.num_reduce for j in compressed] == [j.num_reduce for j in full]

@@ -1,0 +1,62 @@
+"""Unit tests for resource-vector arithmetic."""
+
+import pytest
+
+from repro.cluster import add, fits, subtract
+from repro.cluster.resources import validate_demands
+from repro.errors import CapacityError
+
+
+class TestFits:
+    def test_exact_fit(self):
+        assert fits((3, 4), (3, 4))
+
+    def test_strict_fit(self):
+        assert fits((1, 2), (3, 4))
+
+    def test_one_dimension_over(self):
+        assert not fits((4, 1), (3, 4))
+
+    def test_zero_demand_always_fits(self):
+        assert fits((0, 0), (0, 0))
+
+
+class TestSubtract:
+    def test_allocation(self):
+        assert subtract((5, 5), (2, 3)) == (3, 2)
+
+    def test_to_zero(self):
+        assert subtract((2, 3), (2, 3)) == (0, 0)
+
+    def test_overdraft_raises(self):
+        with pytest.raises(CapacityError):
+            subtract((1, 5), (2, 3))
+
+    def test_result_is_tuple(self):
+        assert isinstance(subtract((5,), (1,)), tuple)
+
+
+class TestAdd:
+    def test_release(self):
+        assert add((3, 2), (2, 3)) == (5, 5)
+
+    def test_inverse_of_subtract(self):
+        available, demands = (7, 9), (3, 4)
+        assert add(subtract(available, demands), demands) == available
+
+
+class TestValidateDemands:
+    def test_accepts_fitting(self):
+        validate_demands((5, 5), (10, 10))
+
+    def test_rejects_oversized(self):
+        with pytest.raises(CapacityError):
+            validate_demands((11, 5), (10, 10))
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(CapacityError):
+            validate_demands((5,), (10, 10))
+
+    def test_error_names_the_resource(self):
+        with pytest.raises(CapacityError, match="resource 1"):
+            validate_demands((5, 11), (10, 10), label="t9")

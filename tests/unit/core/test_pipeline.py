@@ -1,0 +1,92 @@
+"""Unit tests for the end-to-end training pipeline."""
+
+import pytest
+
+from repro.config import EnvConfig, NetworkConfig, TrainingConfig, WorkloadConfig
+from repro.core.pipeline import (
+    default_network,
+    pretrain_network,
+    train_spear_network,
+    training_graphs,
+)
+from repro.env.observation import observation_size
+
+
+class TestDefaultNetwork:
+    def test_matches_observation_layout(self):
+        env_config = EnvConfig()
+        network = default_network(env_config, seed=0)
+        assert network.input_size == observation_size(env_config)
+        assert network.num_actions == env_config.max_ready + 1
+
+    def test_custom_window_reconciled(self):
+        env_config = EnvConfig(max_ready=7)
+        network = default_network(
+            env_config, NetworkConfig(hidden_sizes=(8,), max_ready=15), seed=0
+        )
+        assert network.num_actions == 8
+
+
+class TestTrainingGraphs:
+    def test_count_and_size(self):
+        training = TrainingConfig(num_examples=5, example_num_tasks=9)
+        graphs = training_graphs(training, seed=0)
+        assert len(graphs) == 5
+        assert all(g.num_tasks == 9 for g in graphs)
+
+    def test_seeded_reproducibility(self):
+        training = TrainingConfig(num_examples=3, example_num_tasks=7)
+        assert training_graphs(training, seed=1) == training_graphs(training, seed=1)
+
+    def test_distinct_examples(self):
+        training = TrainingConfig(num_examples=3, example_num_tasks=7)
+        graphs = training_graphs(training, seed=1)
+        assert graphs[0] != graphs[1]
+
+
+class TestFullPipeline:
+    def test_returns_network_and_history(self):
+        env_config = EnvConfig(process_until_completion=True)
+        training = TrainingConfig(
+            num_examples=2,
+            example_num_tasks=6,
+            rollouts_per_example=3,
+            supervised_epochs=5,
+            batch_size=2,
+        )
+        network, history = train_spear_network(
+            env_config=env_config, training=training, seed=0, epochs=2
+        )
+        assert network.input_size == observation_size(env_config)
+        assert len(history) == 2
+        assert all(h.mean_makespan > 0 for h in history)
+
+    def test_pipeline_reproducible_from_seed(self):
+        import numpy as np
+
+        env_config = EnvConfig(process_until_completion=True)
+        training = TrainingConfig(
+            num_examples=2,
+            example_num_tasks=6,
+            rollouts_per_example=3,
+            supervised_epochs=3,
+            batch_size=2,
+        )
+        net_a, hist_a = train_spear_network(
+            env_config=env_config, training=training, seed=11, epochs=1
+        )
+        net_b, hist_b = train_spear_network(
+            env_config=env_config, training=training, seed=11, epochs=1
+        )
+        assert hist_a[0].mean_makespan == hist_b[0].mean_makespan
+        assert all(
+            np.array_equal(net_a.params[k], net_b.params[k]) for k in net_a.params
+        )
+
+    def test_pretrain_reduces_loss(self, tiny_training_setup):
+        network, env_config, graphs, training = tiny_training_setup
+        fresh = default_network(env_config, seed=123)
+        losses = pretrain_network(
+            fresh, graphs[:2], env_config=env_config, training=training, seed=0
+        )
+        assert losses[-1] < losses[0]

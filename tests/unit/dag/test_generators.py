@@ -1,0 +1,151 @@
+"""Unit tests for the DAG generators."""
+
+import numpy as np
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.dag import (
+    chain_dag,
+    fork_join_dag,
+    independent_tasks_dag,
+    random_layered_dag,
+)
+from repro.dag.generators import truncated_normal_int
+from repro.errors import ConfigError
+
+
+class TestTruncatedNormal:
+    def test_respects_bounds(self, rng):
+        draws = truncated_normal_int(rng, 10, 50, 1, 20, 1000)
+        assert draws.min() >= 1
+        assert draws.max() <= 20
+
+    def test_returns_ints(self, rng):
+        draws = truncated_normal_int(rng, 5, 1, 1, 10, 10)
+        assert draws.dtype.kind == "i"
+
+    def test_empty_range_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            truncated_normal_int(rng, 5, 1, 10, 1, 10)
+
+    def test_zero_std_is_constant(self, rng):
+        draws = truncated_normal_int(rng, 7, 0, 1, 20, 5)
+        assert set(draws.tolist()) == {7}
+
+
+class TestRandomLayeredDag:
+    def test_task_count_matches_config(self):
+        graph = random_layered_dag(WorkloadConfig(num_tasks=37), seed=0)
+        assert graph.num_tasks == 37
+
+    def test_runtimes_and_demands_in_range(self):
+        cfg = WorkloadConfig(num_tasks=50)
+        graph = random_layered_dag(cfg, seed=1)
+        for task in graph:
+            assert 1 <= task.runtime <= cfg.max_runtime
+            assert all(1 <= d <= cfg.max_demand for d in task.demands)
+
+    def test_layer_widths_within_range(self):
+        cfg = WorkloadConfig(num_tasks=60, min_width=2, max_width=5)
+        graph = random_layered_dag(cfg, seed=2)
+        # Generated layers are consecutive id blocks; graph.width() can be
+        # smaller than max_width but never larger.
+        assert graph.width() <= cfg.max_width
+
+    def test_every_non_source_has_a_parent(self):
+        graph = random_layered_dag(WorkloadConfig(num_tasks=40), seed=3)
+        sources = set(graph.sources())
+        first_layer = set(graph.levels()[0])
+        assert sources == first_layer
+
+    def test_every_non_sink_has_a_child(self):
+        graph = random_layered_dag(WorkloadConfig(num_tasks=40), seed=4)
+        last_layer = set(graph.levels()[-1])
+        assert set(graph.sinks()) == last_layer
+
+    def test_seed_reproducibility(self):
+        a = random_layered_dag(WorkloadConfig(num_tasks=30), seed=42)
+        b = random_layered_dag(WorkloadConfig(num_tasks=30), seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_layered_dag(WorkloadConfig(num_tasks=30), seed=1)
+        b = random_layered_dag(WorkloadConfig(num_tasks=30), seed=2)
+        assert a != b
+
+    def test_generator_instance_accepted(self):
+        rng = np.random.default_rng(5)
+        graph = random_layered_dag(WorkloadConfig(num_tasks=10), seed=rng)
+        assert graph.num_tasks == 10
+
+    def test_custom_resource_count(self):
+        graph = random_layered_dag(
+            WorkloadConfig(num_tasks=10), seed=0, num_resources=3
+        )
+        assert graph.num_resources == 3
+
+    def test_zero_resources_rejected(self):
+        with pytest.raises(ConfigError):
+            random_layered_dag(WorkloadConfig(num_tasks=5), num_resources=0)
+
+    def test_single_task(self):
+        graph = random_layered_dag(WorkloadConfig(num_tasks=1), seed=0)
+        assert graph.num_tasks == 1
+        assert graph.num_edges == 0
+
+
+class TestChainDag:
+    def test_structure(self):
+        graph = chain_dag([1, 2, 3])
+        assert graph.num_tasks == 3
+        assert list(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_runtimes_assigned_in_order(self):
+        graph = chain_dag([5, 7])
+        assert graph.task(0).runtime == 5
+        assert graph.task(1).runtime == 7
+
+    def test_explicit_demands(self):
+        graph = chain_dag([1, 1], demands=[(3, 4), (5, 6)])
+        assert graph.task(0).demands == (3, 4)
+        assert graph.task(1).demands == (5, 6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            chain_dag([])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            chain_dag([1, 2], demands=[(1, 1)])
+
+    def test_critical_path_is_total_runtime(self):
+        graph = chain_dag([2, 3, 4])
+        assert graph.critical_path_length() == 9
+
+
+class TestForkJoinDag:
+    def test_structure(self):
+        graph = fork_join_dag(3)
+        assert graph.num_tasks == 5
+        assert graph.sources() == (0,)
+        assert graph.sinks() == (4,)
+        assert len(graph.children(0)) == 3
+
+    def test_zero_fanout_rejected(self):
+        with pytest.raises(ConfigError):
+            fork_join_dag(0)
+
+    def test_critical_path(self):
+        graph = fork_join_dag(4, head_runtime=2, branch_runtime=3, tail_runtime=1)
+        assert graph.critical_path_length() == 6
+
+
+class TestIndependentTasksDag:
+    def test_no_edges(self):
+        graph = independent_tasks_dag([1, 2, 3])
+        assert graph.num_edges == 0
+        assert graph.sources() == (0, 1, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            independent_tasks_dag([])

@@ -1,0 +1,159 @@
+"""Unit tests for :class:`repro.dag.TaskGraph`."""
+
+import pytest
+
+from repro.dag import Task, TaskGraph
+from repro.errors import CycleError, GraphError, UnknownTaskError
+
+
+def make_tasks(n, runtime=1, demands=(1, 1)):
+    return [Task(i, runtime, demands) for i in range(n)]
+
+
+class TestConstruction:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph([Task(0, 1, (1,)), Task(0, 2, (1,))])
+
+    def test_mixed_dimensionality_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph([Task(0, 1, (1,)), Task(1, 1, (1, 2))])
+
+    def test_edge_to_unknown_task_rejected(self):
+        with pytest.raises(UnknownTaskError):
+            TaskGraph(make_tasks(2), [(0, 5)])
+
+    def test_edge_from_unknown_task_rejected(self):
+        with pytest.raises(UnknownTaskError):
+            TaskGraph(make_tasks(2), [(5, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph(make_tasks(2), [(1, 1)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            TaskGraph(make_tasks(3), [(0, 1), (1, 2), (2, 0)])
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            TaskGraph(make_tasks(2), [(0, 1), (1, 0)])
+
+    def test_duplicate_edges_collapsed(self):
+        graph = TaskGraph(make_tasks(2), [(0, 1), (0, 1)])
+        assert graph.num_edges == 1
+
+
+class TestQueries:
+    @pytest.fixture
+    def diamond(self):
+        # 0 -> {1, 2} -> 3
+        return TaskGraph(make_tasks(4), [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+    def test_counts(self, diamond):
+        assert diamond.num_tasks == 4
+        assert len(diamond) == 4
+        assert diamond.num_edges == 4
+        assert diamond.num_resources == 2
+
+    def test_contains(self, diamond):
+        assert 0 in diamond
+        assert 9 not in diamond
+
+    def test_task_lookup_raises_for_unknown(self, diamond):
+        with pytest.raises(UnknownTaskError):
+            diamond.task(42)
+
+    def test_children_and_parents(self, diamond):
+        assert diamond.children(0) == (1, 2)
+        assert diamond.parents(3) == (1, 2)
+        assert diamond.parents(0) == ()
+        assert diamond.children(3) == ()
+
+    def test_children_unknown_raises(self, diamond):
+        with pytest.raises(UnknownTaskError):
+            diamond.children(42)
+
+    def test_sources_and_sinks(self, diamond):
+        assert diamond.sources() == (0,)
+        assert diamond.sinks() == (3,)
+
+    def test_topological_order_respects_edges(self, diamond):
+        order = diamond.topological_order()
+        pos = {tid: i for i, tid in enumerate(order)}
+        for up, down in diamond.edges():
+            assert pos[up] < pos[down]
+
+    def test_iteration_in_topological_order(self, diamond):
+        ids = [task.task_id for task in diamond]
+        assert ids == list(diamond.topological_order())
+
+    def test_edges_enumeration(self, diamond):
+        assert set(diamond.edges()) == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_descendants(self, diamond):
+        assert diamond.descendants(0) == {1, 2, 3}
+        assert diamond.descendants(1) == {3}
+        assert diamond.descendants(3) == set()
+
+    def test_ancestors(self, diamond):
+        assert diamond.ancestors(3) == {0, 1, 2}
+        assert diamond.ancestors(0) == set()
+
+    def test_levels(self, diamond):
+        assert diamond.levels() == [(0,), (1, 2), (3,)]
+
+    def test_width_and_depth(self, diamond):
+        assert diamond.width() == 2
+        assert diamond.depth() == 3
+
+    def test_critical_path_unit_runtimes(self, diamond):
+        assert diamond.critical_path_length() == 3
+
+    def test_critical_path_weighted(self):
+        tasks = [Task(0, 5, (1,)), Task(1, 1, (1,)), Task(2, 10, (1,))]
+        graph = TaskGraph(tasks, [(0, 1), (1, 2)])
+        assert graph.critical_path_length() == 16
+
+    def test_total_work(self, diamond):
+        # 4 tasks x runtime 1 x demand 1 per resource
+        assert diamond.total_work(0) == 4
+        assert diamond.total_work() == 8
+
+    def test_subgraph(self, diamond):
+        sub = diamond.subgraph([0, 1, 3])
+        assert sub.num_tasks == 3
+        assert set(sub.edges()) == {(0, 1), (1, 3)}
+
+    def test_subgraph_unknown_id_raises(self, diamond):
+        with pytest.raises(UnknownTaskError):
+            diamond.subgraph([0, 99])
+
+    def test_equality_and_hash(self, diamond):
+        other = TaskGraph(make_tasks(4), [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert diamond == other
+        assert hash(diamond) == hash(other)
+
+    def test_inequality_on_different_edges(self, diamond):
+        other = TaskGraph(make_tasks(4), [(0, 1), (0, 2), (1, 3)])
+        assert diamond != other
+
+    def test_repr_mentions_sizes(self, diamond):
+        assert "num_tasks=4" in repr(diamond)
+
+
+class TestDeterminism:
+    def test_topo_order_is_deterministic(self):
+        tasks = make_tasks(6)
+        edges = [(0, 3), (1, 3), (2, 4), (3, 5), (4, 5)]
+        a = TaskGraph(tasks, edges).topological_order()
+        b = TaskGraph(tasks, list(reversed(edges))).topological_order()
+        assert a == b
+
+    def test_independent_tasks_sorted_by_id(self):
+        graph = TaskGraph(make_tasks(5))
+        assert graph.topological_order() == (0, 1, 2, 3, 4)

@@ -1,0 +1,79 @@
+"""Unit tests for the MapReduce DAG builder."""
+
+import pytest
+
+from repro.dag import mapreduce_dag
+from repro.errors import ConfigError
+
+
+class TestFullShuffle:
+    def test_complete_bipartite(self):
+        graph = mapreduce_dag([1, 2, 3], [4, 5])
+        assert graph.num_tasks == 5
+        assert graph.num_edges == 6  # 3 maps x 2 reduces
+        for j in (3, 4):
+            assert graph.parents(j) == (0, 1, 2)
+
+    def test_map_names_and_ids(self):
+        graph = mapreduce_dag([1, 1], [1])
+        assert graph.task(0).name == "map-0"
+        assert graph.task(1).name == "map-1"
+        assert graph.task(2).name == "reduce-0"
+
+    def test_runtimes_assigned(self):
+        graph = mapreduce_dag([7, 8], [9])
+        assert graph.task(0).runtime == 7
+        assert graph.task(2).runtime == 9
+
+    def test_default_demands_lean_correctly(self):
+        graph = mapreduce_dag([1], [1])
+        map_demands = graph.task(0).demands
+        reduce_demands = graph.task(1).demands
+        assert map_demands[0] > map_demands[1]      # map: CPU-leaning
+        assert reduce_demands[1] > reduce_demands[0]  # reduce: memory-leaning
+
+    def test_explicit_demands(self):
+        graph = mapreduce_dag(
+            [1], [1], map_demands=[(5, 5)], reduce_demands=[(7, 7)]
+        )
+        assert graph.task(0).demands == (5, 5)
+        assert graph.task(1).demands == (7, 7)
+
+    def test_sources_are_maps_sinks_are_reduces(self):
+        graph = mapreduce_dag([1, 1, 1], [1, 1])
+        assert graph.sources() == (0, 1, 2)
+        assert graph.sinks() == (3, 4)
+
+    def test_critical_path_is_slowest_map_plus_slowest_reduce(self):
+        graph = mapreduce_dag([3, 9], [2, 5])
+        assert graph.critical_path_length() == 14
+
+
+class TestStripedShuffle:
+    def test_every_reduce_has_a_parent(self):
+        graph = mapreduce_dag([1] * 5, [1] * 3, shuffle="striped")
+        for j in range(5, 8):
+            assert len(graph.parents(j)) >= 1
+
+    def test_striped_has_fewer_edges_than_full(self):
+        full = mapreduce_dag([1] * 6, [1] * 6)
+        striped = mapreduce_dag([1] * 6, [1] * 6, shuffle="striped")
+        assert striped.num_edges < full.num_edges
+
+
+class TestValidation:
+    def test_empty_map_stage_rejected(self):
+        with pytest.raises(ConfigError):
+            mapreduce_dag([], [1])
+
+    def test_empty_reduce_stage_rejected(self):
+        with pytest.raises(ConfigError):
+            mapreduce_dag([1], [])
+
+    def test_demand_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            mapreduce_dag([1, 1], [1], map_demands=[(1, 1)])
+
+    def test_unknown_shuffle_rejected(self):
+        with pytest.raises(ConfigError):
+            mapreduce_dag([1], [1], shuffle="ring")

@@ -1,0 +1,78 @@
+"""Unit tests for :class:`repro.dag.Task`."""
+
+import pytest
+
+from repro.dag import Task
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        task = Task(3, 5, (2, 4), name="map-3")
+        assert task.task_id == 3
+        assert task.runtime == 5
+        assert task.demands == (2, 4)
+        assert task.name == "map-3"
+
+    def test_demands_normalized_to_int_tuple(self):
+        task = Task(0, 1, [2.0, 3.0])
+        assert task.demands == (2, 3)
+        assert all(isinstance(d, int) for d in task.demands)
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ConfigError):
+            Task(-1, 1, (1,))
+
+    def test_rejects_zero_runtime(self):
+        with pytest.raises(ConfigError):
+            Task(0, 0, (1,))
+
+    def test_rejects_empty_demands(self):
+        with pytest.raises(ConfigError):
+            Task(0, 1, ())
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ConfigError):
+            Task(0, 1, (1, -2))
+
+    def test_zero_demand_allowed(self):
+        assert Task(0, 1, (0, 0)).demands == (0, 0)
+
+    def test_frozen(self):
+        task = Task(0, 1, (1,))
+        with pytest.raises(AttributeError):
+            task.runtime = 2
+
+
+class TestDerived:
+    def test_num_resources(self):
+        assert Task(0, 1, (1, 2, 3)).num_resources == 3
+
+    def test_load_per_resource(self):
+        task = Task(0, 4, (2, 5))
+        assert task.load(0) == 8
+        assert task.load(1) == 20
+
+    def test_total_load(self):
+        assert Task(0, 4, (2, 5)).total_load() == 28
+
+    def test_label_prefers_name(self):
+        assert Task(7, 1, (1,), name="reduce-1").label() == "reduce-1"
+
+    def test_label_fallback(self):
+        assert Task(7, 1, (1,)).label() == "task-7"
+
+    def test_with_runtime_copies(self):
+        task = Task(1, 3, (2, 2), name="x")
+        scaled = task.with_runtime(9)
+        assert scaled.runtime == 9
+        assert scaled.task_id == task.task_id
+        assert scaled.demands == task.demands
+        assert scaled.name == "x"
+        assert task.runtime == 3
+
+    def test_equality_ignores_name(self):
+        assert Task(0, 1, (1,), name="a") == Task(0, 1, (1,), name="b")
+
+    def test_hashable(self):
+        assert len({Task(0, 1, (1,)), Task(0, 1, (1,))}) == 1

@@ -1,0 +1,160 @@
+"""Unit tests for the experiment result dataclasses (no heavy runs)."""
+
+import pytest
+
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.fig7 import BudgetPoint, Fig7Result
+from repro.experiments.fig8 import Fig8aResult, Fig8bResult
+from repro.experiments.fig9 import Fig9cResult
+from repro.experiments.table1 import Table1Result
+from repro.rl.reinforce import EpochStats
+
+
+class TestFig6Result:
+    @pytest.fixture
+    def result(self):
+        return Fig6Result(
+            scale="unit",
+            num_dags=3,
+            makespans={
+                "spear": [100, 110, 120],
+                "graphene": [105, 110, 130],
+                "tetris": [120, 115, 125],
+            },
+            wall_times={
+                "spear": [1.0, 1.1, 0.9],
+                "graphene": [0.2, 0.3, 0.1],
+                "tetris": [0.01, 0.01, 0.01],
+            },
+        )
+
+    def test_rows_sorted_best_first(self, result):
+        rows = result.rows()
+        assert rows[0].scheduler == "spear"
+        assert rows[0].mean == 110.0
+
+    def test_win_rates(self, result):
+        assert result.win_rate_over("graphene") == pytest.approx(2 / 3)
+        assert result.no_worse_rate_over("graphene") == pytest.approx(1.0)
+
+    def test_report_contains_all_schedulers(self, result):
+        report = result.report()
+        for name in result.makespans:
+            assert name in report
+
+
+class TestFig7Result:
+    @pytest.fixture
+    def result(self):
+        points = [
+            BudgetPoint(10, 250.0, 240.0, 0.2, (250, 250)),
+            BudgetPoint(100, 235.0, 240.0, 0.7, (230, 240)),
+        ]
+        return Fig7Result(scale="unit", num_dags=2, points=points)
+
+    def test_series_extraction(self, result):
+        assert result.mean_makespans() == [(10, 250.0), (100, 235.0)]
+        assert result.win_rates() == [(10, 0.2), (100, 0.7)]
+
+    def test_report(self, result):
+        report = result.report()
+        assert "budget" in report
+        assert "70%" in report
+
+
+class TestTable1Result:
+    @pytest.fixture
+    def result(self):
+        return Table1Result(
+            scale="unit",
+            graph_sizes=(50, 100),
+            budgets=(500, 1000),
+            seconds={
+                (50, 500): 1.0,
+                (50, 1000): 2.0,
+                (100, 500): 3.0,
+                (100, 1000): 6.0,
+            },
+            makespans={key: 100 for key in [(50, 500), (50, 1000), (100, 500), (100, 1000)]},
+        )
+
+    def test_row_extraction(self, result):
+        assert result.row(50) == [1.0, 2.0]
+        assert result.row(100) == [3.0, 6.0]
+
+    def test_report_layout(self, result):
+        report = result.report()
+        assert "Table I" in report
+        assert "1000" in report
+
+
+class TestFig8Results:
+    def test_budget_ratio(self):
+        result = Fig8aResult(
+            scale="unit",
+            num_dags=1,
+            mcts_budget=1000,
+            spear_budget=100,
+            makespans={"mcts": [100], "spear": [101]},
+        )
+        assert result.budget_ratio() == 10.0
+        assert "Fig 8(a)" in result.report()
+
+    @pytest.fixture
+    def curve(self):
+        history = [
+            EpochStats(0, 120.0, 100, 140, 0.5, 10),
+            EpochStats(1, 110.0, 95, 130, 0.4, 10),
+            EpochStats(2, 101.0, 90, 120, 0.3, 10),
+        ]
+        return Fig8bResult(
+            scale="unit", history=history, tetris_mean=105.0, sjf_mean=115.0
+        )
+
+    def test_crossed_tetris_at(self, curve):
+        assert curve.crossed_tetris_at() == 2
+
+    def test_crossed_never(self):
+        history = [EpochStats(0, 120.0, 100, 140, 0.5, 10)]
+        result = Fig8bResult(
+            scale="unit", history=history, tetris_mean=100.0, sjf_mean=100.0
+        )
+        assert result.crossed_tetris_at() is None
+
+    def test_final_mean_and_curve(self, curve):
+        assert curve.final_mean() == 101.0
+        assert curve.curve() == [(0, 120.0), (1, 110.0), (2, 101.0)]
+
+    def test_report_mentions_references(self, curve):
+        report = curve.report()
+        assert "105.0" in report
+        assert "115.0" in report
+
+
+class TestFig9cResult:
+    @pytest.fixture
+    def result(self):
+        return Fig9cResult(
+            scale="unit",
+            num_jobs=4,
+            spear_makespans=[90, 100, 95, 105],
+            graphene_makespans=[100, 100, 100, 100],
+            reductions=[0.10, 0.0, 0.05, -0.05],
+        )
+
+    def test_no_worse_fraction(self, result):
+        assert result.no_worse_fraction() == pytest.approx(0.75)
+
+    def test_extremes(self, result):
+        assert result.max_reduction() == pytest.approx(0.10)
+        # Nearest-rank P50 of [-0.05, 0.0, 0.05, 0.10] is the 2nd value.
+        assert result.median_reduction() == pytest.approx(0.0)
+
+    def test_cdf_monotone(self, result):
+        cdf = result.cdf()
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+        assert cdf[-1][1] == pytest.approx(1.0)
+
+    def test_report(self, result):
+        assert "no-worse fraction 75%" in result.report()

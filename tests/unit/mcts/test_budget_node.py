@@ -1,0 +1,139 @@
+"""Unit tests for budget decay (Eq. 4) and tree nodes (Eq. 5)."""
+
+import math
+
+import pytest
+
+from repro.config import ClusterConfig, EnvConfig
+from repro.dag import independent_tasks_dag
+from repro.env import SchedulingEnv
+from repro.errors import ConfigError
+from repro.mcts import Node, budget_at_depth
+
+
+class TestBudgetDecay:
+    def test_root_gets_full_budget(self):
+        assert budget_at_depth(1000, 100, 1) == 1000
+
+    def test_inverse_proportionality(self):
+        assert budget_at_depth(1000, 100, 2) == 500
+        assert budget_at_depth(1000, 100, 5) == 200
+
+    def test_floor_applies(self):
+        assert budget_at_depth(1000, 100, 50) == 100
+
+    def test_exact_floor_boundary(self):
+        assert budget_at_depth(1000, 100, 10) == 100
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigError):
+            budget_at_depth(1000, 100, 0)
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ConfigError):
+            budget_at_depth(0, 1, 1)
+        with pytest.raises(ConfigError):
+            budget_at_depth(10, 0, 1)
+
+
+@pytest.fixture
+def env():
+    graph = independent_tasks_dag([2, 2], demands=[(3, 3), (3, 3)])
+    return SchedulingEnv(
+        graph,
+        EnvConfig(
+            cluster=ClusterConfig(capacities=(10, 10), horizon=6),
+            max_ready=4,
+            process_until_completion=True,
+        ),
+    )
+
+
+class TestNode:
+    def test_initial_statistics(self, env):
+        node = Node(env, untried=[0, 1])
+        assert node.visits == 0
+        assert node.max_value == -math.inf
+        assert node.mean_value == 0.0
+        assert not node.fully_expanded
+        assert not node.is_terminal
+
+    def test_update_tracks_max_and_mean(self, env):
+        node = Node(env)
+        node.update(-10.0)
+        node.update(-4.0)
+        node.update(-7.0)
+        assert node.visits == 3
+        assert node.max_value == -4.0
+        assert node.mean_value == pytest.approx(-7.0)
+
+    def test_unvisited_child_scores_infinity(self, env):
+        parent = Node(env, untried=[])
+        child = Node(env.clone(), parent=parent, action=0)
+        parent.children[0] = child
+        parent.visits = 1
+        assert parent.ucb_score(child, c=1.0) == math.inf
+
+    def test_ucb_matches_eq5(self, env):
+        parent = Node(env)
+        parent.visits = 10
+        child = Node(env.clone(), parent=parent, action=0)
+        child.visits = 4
+        child.max_value = -50.0
+        child.sum_value = -240.0
+        c = 30.0
+        expected = -50.0 + c * math.sqrt(math.log(10) / 4)
+        assert parent.ucb_score(child, c) == pytest.approx(expected)
+
+    def test_classic_ucb_uses_mean(self, env):
+        parent = Node(env)
+        parent.visits = 10
+        child = Node(env.clone(), parent=parent, action=0)
+        child.visits = 4
+        child.max_value = -50.0
+        child.sum_value = -240.0
+        expected = -60.0 + 30.0 * math.sqrt(math.log(10) / 4)
+        assert parent.ucb_score(child, 30.0, use_max=False) == pytest.approx(expected)
+
+    def test_best_child_prefers_max_value(self, env):
+        parent = Node(env)
+        parent.visits = 20
+        for action, (max_v, visits) in enumerate([(-50.0, 10), (-40.0, 10)]):
+            child = Node(env.clone(), parent=parent, action=action)
+            child.visits = visits
+            child.max_value = max_v
+            child.sum_value = max_v * visits
+            parent.children[action] = child
+        assert parent.best_child(c=0.001).action == 1
+
+    def test_best_child_tiebreaks_on_mean(self, env):
+        parent = Node(env)
+        parent.visits = 20
+        specs = [(-40.0, -45.0), (-40.0, -42.0)]  # same max, better mean
+        for action, (max_v, mean_v) in enumerate(specs):
+            child = Node(env.clone(), parent=parent, action=action)
+            child.visits = 10
+            child.max_value = max_v
+            child.sum_value = mean_v * 10
+            parent.children[action] = child
+        assert parent.exploitation_child().action == 1
+
+    def test_best_child_without_children_raises(self, env):
+        with pytest.raises(ValueError):
+            Node(env).best_child(1.0)
+
+    def test_depth(self, env):
+        root = Node(env)
+        child = Node(env.clone(), parent=root, action=0)
+        grandchild = Node(env.clone(), parent=child, action=1)
+        assert root.depth() == 0
+        assert grandchild.depth() == 2
+
+    def test_tree_size(self, env):
+        root = Node(env)
+        for action in (0, 1):
+            root.children[action] = Node(env.clone(), parent=root, action=action)
+        assert root.tree_size() == 3
+
+    def test_repr(self, env):
+        assert "visits=0" in repr(Node(env))

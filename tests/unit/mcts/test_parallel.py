@@ -1,0 +1,97 @@
+"""Unit tests for root-parallel MCTS."""
+
+import pytest
+
+from repro.config import ClusterConfig, EnvConfig, MctsConfig
+from repro.dag import chain_dag, motivating_example
+from repro.dag.examples import MOTIVATING_CAPACITY, MOTIVATING_T
+from repro.errors import ConfigError
+from repro.mcts import MctsScheduler, RootParallelMcts
+from repro.metrics import validate_schedule
+
+
+@pytest.fixture
+def env_config():
+    return EnvConfig(
+        cluster=ClusterConfig(capacities=(10, 10), horizon=8),
+        max_ready=8,
+        process_until_completion=True,
+    )
+
+
+class TestRootParallel:
+    def test_feasible_schedule(self, env_config, small_random_graph):
+        scheduler = RootParallelMcts(
+            MctsConfig(initial_budget=10, min_budget=3),
+            env_config,
+            workers=3,
+            seed=0,
+        )
+        schedule = scheduler.schedule(small_random_graph)
+        validate_schedule(schedule, small_random_graph, (10, 10))
+        assert schedule.scheduler == "mcts-parallel"
+
+    def test_zero_workers_rejected(self, env_config):
+        with pytest.raises(ConfigError):
+            RootParallelMcts(workers=0, env_config=env_config)
+
+    def test_best_of_k_never_worse_than_single_seeded_worker(
+        self, env_config, small_random_graph
+    ):
+        """With the same derived seeds, best-of-3 <= each individual run."""
+        config = MctsConfig(initial_budget=8, min_budget=3)
+        parallel = RootParallelMcts(
+            config, env_config, workers=3, seed=42
+        )
+        best = parallel.schedule(small_random_graph).makespan
+
+        from repro.utils.rng import as_generator, derive_seed
+
+        rng = as_generator(42)
+        singles = []
+        for _ in range(3):
+            seed = derive_seed(rng)
+            single = MctsScheduler(config, env_config, seed=seed)
+            singles.append(single.schedule(small_random_graph).makespan)
+        assert best == min(singles)
+
+    def test_chain_forced(self, env_config):
+        graph = chain_dag([2, 3], demands=[(1, 1)] * 2)
+        scheduler = RootParallelMcts(
+            MctsConfig(initial_budget=5, min_budget=2),
+            env_config,
+            workers=2,
+            seed=0,
+        )
+        assert scheduler.schedule(graph).makespan == 5
+
+    def test_finds_motivating_optimum_with_small_per_worker_budget(self):
+        """Diversity pays: several small searches reach 2T reliably."""
+        env_config = EnvConfig(
+            cluster=ClusterConfig(capacities=MOTIVATING_CAPACITY, horizon=20),
+            process_until_completion=True,
+        )
+        scheduler = RootParallelMcts(
+            MctsConfig(initial_budget=100, min_budget=20),
+            env_config,
+            workers=4,
+            seed=1,
+        )
+        graph = motivating_example()
+        schedule = scheduler.schedule(graph)
+        validate_schedule(schedule, graph, MOTIVATING_CAPACITY)
+        assert schedule.makespan == 2 * MOTIVATING_T
+
+    def test_multiprocessing_path(self, env_config):
+        """The process-pool path produces a valid schedule too."""
+        graph = chain_dag([1, 1], demands=[(1, 1)] * 2)
+        scheduler = RootParallelMcts(
+            MctsConfig(initial_budget=3, min_budget=2),
+            env_config,
+            workers=2,
+            seed=0,
+            use_processes=True,
+        )
+        schedule = scheduler.schedule(graph)
+        validate_schedule(schedule, graph, (10, 10))
+        assert schedule.makespan == 2

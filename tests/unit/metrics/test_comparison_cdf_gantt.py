@@ -1,0 +1,136 @@
+"""Unit tests for comparison metrics, CDF helpers and Gantt rendering."""
+
+import pytest
+
+from repro.dag import chain_dag
+from repro.metrics import (
+    Schedule,
+    compare_makespans,
+    empirical_cdf,
+    percentile,
+    reduction,
+    reduction_series,
+    win_rate,
+)
+from repro.metrics.gantt import render_gantt, render_utilization
+
+
+class TestCompareMakespans:
+    def test_sorted_by_mean(self):
+        rows = compare_makespans({"b": [10, 20], "a": [5, 7]})
+        assert [r.scheduler for r in rows] == ["a", "b"]
+        assert rows[0].mean == 6.0
+        assert rows[1].worst == 20
+
+    def test_median_even_and_odd(self):
+        rows = compare_makespans({"x": [1, 2, 3, 10]})
+        assert rows[0].median == 2.5
+        rows = compare_makespans({"x": [1, 2, 9]})
+        assert rows[0].median == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_makespans({})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            compare_makespans({"a": [1], "b": [1, 2]})
+
+
+class TestWinRate:
+    def test_strict(self):
+        assert win_rate([1, 5, 5], [2, 5, 4]) == pytest.approx(1 / 3)
+
+    def test_non_strict_counts_ties(self):
+        assert win_rate([1, 5, 5], [2, 5, 4], strict=False) == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            win_rate([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            win_rate([1], [1, 2])
+
+
+class TestReduction:
+    def test_positive_when_faster(self):
+        assert reduction(80, 100) == pytest.approx(0.2)
+
+    def test_negative_when_slower(self):
+        assert reduction(110, 100) == pytest.approx(-0.1)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            reduction(1, 0)
+
+    def test_series(self):
+        assert reduction_series([80, 100], [100, 100]) == pytest.approx([0.2, 0.0])
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            reduction_series([1], [1, 2])
+
+
+class TestCdf:
+    def test_monotone_and_ends_at_one(self):
+        points = empirical_cdf([3, 1, 2, 2])
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions[-1] == pytest.approx(1.0)
+        assert all(b > a for a, b in zip(fractions, fractions[1:]))
+
+    def test_duplicates_collapsed(self):
+        points = empirical_cdf([5, 5, 5])
+        assert points == [(5.0, 1.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_percentile_bounds(self):
+        assert percentile([1, 9], 0) == 1
+        assert percentile([1, 9], 100) == 9
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_percentile_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestGantt:
+    @pytest.fixture
+    def schedule_and_graph(self):
+        graph = chain_dag([2, 3], demands=[(2, 1), (2, 1)])
+        schedule = Schedule.from_starts({0: 0, 1: 2}, graph, "x")
+        return schedule, graph
+
+    def test_gantt_has_row_per_task_plus_footer(self, schedule_and_graph):
+        schedule, graph = schedule_and_graph
+        lines = render_gantt(schedule, graph).splitlines()
+        assert len(lines) == 3
+        assert "makespan" in lines[-1]
+        assert "0..2" in lines[0]
+        assert "2..5" in lines[1]
+
+    def test_gantt_scales_long_makespans(self, schedule_and_graph):
+        schedule, graph = schedule_and_graph
+        out = render_gantt(schedule, graph, width=4)
+        bar_section = out.splitlines()[0].split("|")[1]
+        assert len(bar_section) <= 5
+
+    def test_utilization_strip_per_resource(self, schedule_and_graph):
+        schedule, graph = schedule_and_graph
+        out = render_utilization(schedule, graph, (10, 10))
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("resource 0")
+        # demand 2 of 10 -> decile 2 throughout.
+        assert "2" in lines[0]

@@ -1,0 +1,216 @@
+"""Unit tests for online multi-job cluster scheduling."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.dag import chain_dag, independent_tasks_dag
+from repro.dag.generators import random_layered_dag
+from repro.config import WorkloadConfig
+from repro.errors import ConfigError
+from repro.online import (
+    ArrivingJob,
+    OnlineSimulator,
+    cp_ranker,
+    fifo_ranker,
+    plan_priority_ranker,
+    sjf_ranker,
+    tetris_ranker,
+)
+
+
+@pytest.fixture
+def simulator():
+    return OnlineSimulator(ClusterConfig(capacities=(10, 10), horizon=8))
+
+
+def job(arrival, runtimes, demands=None):
+    return ArrivingJob(arrival, independent_tasks_dag(runtimes, demands=demands))
+
+
+class TestSingleJob:
+    def test_chain_is_serial(self, simulator):
+        stream = [ArrivingJob(0, chain_dag([2, 3], demands=[(2, 2)] * 2))]
+        result = simulator.run(stream, fifo_ranker)
+        assert result.makespan == 5
+        assert result.outcomes[0].jct == 5
+
+    def test_arrival_offset_shifts_completion(self, simulator):
+        stream = [ArrivingJob(7, chain_dag([2], demands=[(2, 2)]))]
+        result = simulator.run(stream, fifo_ranker)
+        assert result.outcomes[0].completion_time == 9
+        assert result.outcomes[0].jct == 2
+
+    def test_parallel_fill(self, simulator):
+        stream = [job(0, [4, 4], demands=[(5, 5), (5, 5)])]
+        result = simulator.run(stream, fifo_ranker)
+        assert result.makespan == 4
+
+    def test_capacity_serializes(self, simulator):
+        stream = [job(0, [4, 4], demands=[(6, 6), (6, 6)])]
+        result = simulator.run(stream, fifo_ranker)
+        assert result.makespan == 8
+
+
+class TestMultiJob:
+    def test_two_jobs_share_cluster(self, simulator):
+        stream = [
+            job(0, [4], demands=[(5, 5)]),
+            job(0, [4], demands=[(5, 5)]),
+        ]
+        result = simulator.run(stream, fifo_ranker)
+        assert result.makespan == 4
+        assert [o.jct for o in result.outcomes] == [4, 4]
+
+    def test_late_arrival_waits_for_capacity(self, simulator):
+        stream = [
+            job(0, [10], demands=[(8, 8)]),
+            job(2, [1], demands=[(5, 5)]),
+        ]
+        result = simulator.run(stream, fifo_ranker)
+        # Job 1 cannot start until job 0's task releases at t=10.
+        assert result.outcomes[1].completion_time == 11
+        assert result.outcomes[1].jct == 9
+
+    def test_small_late_job_fits_alongside(self, simulator):
+        stream = [
+            job(0, [10], demands=[(8, 8)]),
+            job(2, [1], demands=[(2, 2)]),
+        ]
+        result = simulator.run(stream, fifo_ranker)
+        assert result.outcomes[1].completion_time == 3
+
+    def test_idle_gap_between_jobs(self, simulator):
+        stream = [
+            job(0, [2], demands=[(2, 2)]),
+            job(10, [2], demands=[(2, 2)]),
+        ]
+        result = simulator.run(stream, fifo_ranker)
+        assert result.makespan == 12
+        assert result.mean_jct == 2.0
+
+    def test_outcomes_sorted_by_job_index(self, simulator):
+        stream = [
+            job(0, [9], demands=[(2, 2)]),
+            job(0, [1], demands=[(2, 2)]),
+        ]
+        result = simulator.run(stream, sjf_ranker)
+        assert [o.job_index for o in result.outcomes] == [0, 1]
+
+
+class TestRankers:
+    def test_sjf_prioritizes_short_tasks(self, simulator):
+        # One slot of capacity: order decided purely by ranker.
+        stream = [job(0, [9, 1], demands=[(10, 10), (10, 10)])]
+        result = simulator.run(stream, sjf_ranker)
+        assert result.makespan == 10  # 1 then 9 -> still 10 total, but
+        # the short task finished first; verify through utilization shape:
+        # makespan identical, so check with two jobs instead.
+        stream = [
+            job(0, [9], demands=[(10, 10)]),
+            job(0, [1], demands=[(10, 10)]),
+        ]
+        result = simulator.run(stream, sjf_ranker)
+        assert result.outcomes[1].completion_time == 1
+        assert result.outcomes[0].completion_time == 10
+
+    def test_fifo_prioritizes_first_job(self, simulator):
+        stream = [
+            job(0, [9], demands=[(10, 10)]),
+            job(0, [1], demands=[(10, 10)]),
+        ]
+        result = simulator.run(stream, fifo_ranker)
+        assert result.outcomes[0].completion_time == 9
+        assert result.outcomes[1].completion_time == 10
+
+    def test_tetris_prefers_aligned_big_tasks(self, simulator):
+        stream = [
+            job(0, [2, 2], demands=[(2, 2), (9, 9)]),
+        ]
+        result = simulator.run(stream, tetris_ranker)
+        # Big task scores higher -> starts at 0; small cannot co-run.
+        assert result.makespan == 4
+
+    def test_cp_ranker_uses_blevel(self, simulator):
+        graph = chain_dag([1, 8], demands=[(10, 10), (10, 10)])
+        other = independent_tasks_dag([8], demands=[(10, 10)])
+        stream = [ArrivingJob(0, graph), ArrivingJob(0, other)]
+        result = simulator.run(stream, cp_ranker)
+        # Chain head has b-level 9 > 8: runs first, so the chain finishes
+        # at 1 + 8 = 9 ... then other runs [9, 17) or interleaved: chain
+        # tail (b-level 8) ties with other (8); job order breaks the tie.
+        assert result.outcomes[0].completion_time == 9
+        assert result.outcomes[1].completion_time == 17
+
+    def test_plan_priority_ranker_follows_plan(self, simulator):
+        stream = [job(0, [2, 2, 2], demands=[(10, 10)] * 3)]
+        result = simulator.run(stream, plan_priority_ranker([[2, 0, 1]]))
+        # Serial by capacity; order 2, 0, 1 -> completions at 2, 4, 6.
+        # Outcome is per job (single job completes at 6).
+        assert result.makespan == 6
+
+
+class TestMetrics:
+    def test_full_utilization_on_saturated_cluster(self, simulator):
+        stream = [job(0, [5, 5], demands=[(10, 10), (10, 10)])]
+        result = simulator.run(stream, fifo_ranker)
+        assert result.mean_utilization == (1.0, 1.0)
+
+    def test_partial_utilization(self, simulator):
+        stream = [job(0, [10], demands=[(5, 2)])]
+        result = simulator.run(stream, fifo_ranker)
+        assert result.mean_utilization[0] == pytest.approx(0.5)
+        assert result.mean_utilization[1] == pytest.approx(0.2)
+
+    def test_mean_and_max_jct(self, simulator):
+        stream = [
+            job(0, [2], demands=[(10, 10)]),
+            job(0, [2], demands=[(10, 10)]),
+        ]
+        result = simulator.run(stream, fifo_ranker)
+        assert result.mean_jct == pytest.approx(3.0)  # 2 and 4
+        assert result.max_jct == 4
+
+
+class TestValidation:
+    def test_empty_stream_rejected(self, simulator):
+        with pytest.raises(ConfigError):
+            simulator.run([], fifo_ranker)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ConfigError):
+            ArrivingJob(-1, chain_dag([1]))
+
+    def test_oversized_task_rejected(self, simulator):
+        from repro.errors import CapacityError
+
+        stream = [job(0, [1], demands=[(99, 1)])]
+        with pytest.raises(CapacityError):
+            simulator.run(stream, fifo_ranker)
+
+    def test_dimension_mismatch_rejected(self):
+        simulator = OnlineSimulator(ClusterConfig(capacities=(10,), horizon=8))
+        stream = [job(0, [1], demands=[(2, 2)])]
+        with pytest.raises(ConfigError):
+            simulator.run(stream, fifo_ranker)
+
+
+class TestRandomStreams:
+    def test_random_stream_consistency(self, simulator):
+        """All jobs complete; makespan >= the last arrival; mean JCT is
+        bounded by total serial work."""
+        workload = WorkloadConfig(
+            num_tasks=8, max_runtime=4, max_demand=6,
+            runtime_mean=2, runtime_std=1, demand_mean=3, demand_std=2,
+        )
+        stream = [
+            ArrivingJob(i * 3, random_layered_dag(workload, seed=i))
+            for i in range(5)
+        ]
+        for ranker in (fifo_ranker, sjf_ranker, cp_ranker, tetris_ranker):
+            result = simulator.run(stream, ranker)
+            assert len(result.outcomes) == 5
+            assert result.makespan >= 12  # last arrival
+            total_work = sum(
+                t.runtime for j in stream for t in j.graph
+            )
+            assert result.max_jct <= total_work

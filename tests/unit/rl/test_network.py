@@ -1,0 +1,169 @@
+"""Unit tests for the policy network (forward, masking, gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.config import NetworkConfig
+from repro.errors import ConfigError
+from repro.rl import PolicyNetwork
+
+
+@pytest.fixture
+def net():
+    return PolicyNetwork(
+        10, NetworkConfig(hidden_sizes=(16, 8), max_ready=3), seed=0
+    )
+
+
+class TestConstruction:
+    def test_paper_architecture(self):
+        net = PolicyNetwork(147, seed=0)
+        assert net.config.hidden_sizes == (256, 32, 32)
+        assert net.num_actions == 16
+        assert net.num_layers == 4
+        assert net.params["W0"].shape == (147, 256)
+        assert net.params["W3"].shape == (32, 16)
+
+    def test_rejects_zero_input(self):
+        with pytest.raises(ConfigError):
+            PolicyNetwork(0)
+
+    def test_num_parameters(self, net):
+        # (10*16 + 16) + (16*8 + 8) + (8*4 + 4) = 176 + 136 + 36 = 348
+        assert net.num_parameters() == 348
+
+    def test_seeded_init_reproducible(self):
+        a = PolicyNetwork(10, NetworkConfig(hidden_sizes=(4,), max_ready=2), seed=5)
+        b = PolicyNetwork(10, NetworkConfig(hidden_sizes=(4,), max_ready=2), seed=5)
+        assert all(np.array_equal(a.params[k], b.params[k]) for k in a.params)
+
+
+class TestForward:
+    def test_logits_shape(self, net, rng):
+        states = rng.normal(size=(7, 10))
+        assert net.logits(states).shape == (7, 4)
+
+    def test_single_state_promoted_to_batch(self, net, rng):
+        assert net.logits(rng.normal(size=10)).shape == (1, 4)
+
+    def test_wrong_width_rejected(self, net, rng):
+        with pytest.raises(ConfigError):
+            net.logits(rng.normal(size=(2, 11)))
+
+    def test_probabilities_sum_to_one(self, net, rng):
+        states = rng.normal(size=(5, 10))
+        masks = np.ones((5, 4), dtype=bool)
+        probs = net.probabilities(states, masks)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_masked_actions_get_zero_probability(self, net, rng):
+        states = rng.normal(size=(3, 10))
+        masks = np.ones((3, 4), dtype=bool)
+        masks[:, 2] = False
+        probs = net.probabilities(states, masks)
+        assert np.all(probs[:, 2] == 0.0)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_all_masked_rejected(self, net, rng):
+        states = rng.normal(size=(1, 10))
+        masks = np.zeros((1, 4), dtype=bool)
+        with pytest.raises(ConfigError):
+            net.probabilities(states, masks)
+
+    def test_mask_shape_mismatch_rejected(self, net, rng):
+        with pytest.raises(ConfigError):
+            net.probabilities(rng.normal(size=(1, 10)), np.ones((2, 4), bool))
+
+    def test_softmax_numerically_stable(self):
+        logits = np.array([[1e5, 0.0, -1e5]])
+        masks = np.ones((1, 3), dtype=bool)
+        probs = PolicyNetwork.masked_softmax(logits, masks)
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestGradients:
+    def test_backward_requires_cached_forward(self, net):
+        with pytest.raises(ConfigError):
+            net.backward_from_dlogits(np.zeros((1, 4)))
+
+    def test_gradient_shapes_match_params(self, net, rng):
+        states = rng.normal(size=(6, 10))
+        masks = np.ones((6, 4), dtype=bool)
+        grads, nll = net.policy_gradient(states, masks, [0] * 6, [1.0] * 6)
+        assert set(grads) == set(net.params)
+        for key in grads:
+            assert grads[key].shape == net.params[key].shape
+        assert nll > 0
+
+    def test_gradient_numerically_correct(self, rng):
+        """Finite-difference check of d(-log pi)/dW on a tiny network."""
+        net = PolicyNetwork(4, NetworkConfig(hidden_sizes=(5,), max_ready=2), seed=1)
+        state = rng.normal(size=(1, 4))
+        mask = np.ones((1, 3), dtype=bool)
+        action, weight = 1, 1.0
+
+        grads, _ = net.policy_gradient(state, mask, [action], [weight])
+
+        def loss():
+            probs = net.probabilities(state, mask)
+            return -np.log(probs[0, action])
+
+        eps = 1e-6
+        for key in ("W0", "b1"):
+            flat_grad = grads[key].ravel()
+            for idx in range(0, flat_grad.size, max(1, flat_grad.size // 5)):
+                original = net.params[key].ravel()[idx]
+                net.params[key].ravel()[idx] = original + eps
+                up = loss()
+                net.params[key].ravel()[idx] = original - eps
+                down = loss()
+                net.params[key].ravel()[idx] = original
+                numeric = (up - down) / (2 * eps)
+                assert flat_grad[idx] == pytest.approx(numeric, abs=1e-4)
+
+    def test_zero_weight_gives_zero_gradient(self, net, rng):
+        states = rng.normal(size=(3, 10))
+        masks = np.ones((3, 4), dtype=bool)
+        grads, _ = net.policy_gradient(states, masks, [0, 1, 2], [0.0, 0.0, 0.0])
+        for key in grads:
+            assert np.allclose(grads[key], 0.0)
+
+    def test_illegal_action_rejected(self, net, rng):
+        states = rng.normal(size=(1, 10))
+        masks = np.ones((1, 4), dtype=bool)
+        masks[0, 1] = False
+        with pytest.raises(ConfigError, match="illegal"):
+            net.policy_gradient(states, masks, [1], [1.0])
+
+    def test_misaligned_batch_rejected(self, net, rng):
+        states = rng.normal(size=(2, 10))
+        masks = np.ones((2, 4), dtype=bool)
+        with pytest.raises(ConfigError):
+            net.policy_gradient(states, masks, [0], [1.0])
+
+
+class TestParamPlumbing:
+    def test_get_set_roundtrip(self, net, rng):
+        snapshot = net.get_params()
+        net.params["W0"] += 1.0
+        net.set_params(snapshot)
+        assert np.array_equal(net.params["W0"], snapshot["W0"])
+
+    def test_get_params_copies(self, net):
+        snapshot = net.get_params()
+        snapshot["W0"] += 5.0
+        assert not np.array_equal(net.params["W0"], snapshot["W0"])
+
+    def test_set_params_shape_mismatch_rejected(self, net):
+        bad = net.get_params()
+        bad["W0"] = np.zeros((2, 2))
+        with pytest.raises(ConfigError):
+            net.set_params(bad)
+
+    def test_set_params_missing_key_rejected(self, net):
+        bad = net.get_params()
+        del bad["W0"]
+        with pytest.raises(ConfigError):
+            net.set_params(bad)

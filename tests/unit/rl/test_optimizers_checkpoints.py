@@ -1,0 +1,105 @@
+"""Unit tests for RMSProp and checkpoint round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.config import NetworkConfig
+from repro.errors import CheckpointError, ConfigError
+from repro.rl import PolicyNetwork, RmsProp, load_checkpoint, save_checkpoint
+
+
+class TestRmsProp:
+    def test_descends_a_quadratic(self):
+        """Minimize f(x) = x^2 elementwise; rmsprop must reduce |x|."""
+        params = {"x": np.array([5.0, -3.0])}
+        opt = RmsProp(learning_rate=0.1, rho=0.9, eps=1e-9)
+        for _ in range(200):
+            grads = {"x": 2 * params["x"]}
+            opt.step(params, grads)
+        assert np.all(np.abs(params["x"]) < 0.5)
+
+    def test_update_is_in_place(self):
+        params = {"x": np.array([1.0])}
+        ref = params["x"]
+        RmsProp(0.01).step(params, {"x": np.array([1.0])})
+        assert params["x"] is ref
+
+    def test_first_step_magnitude_is_learning_rate(self):
+        # cache = 0.1 * g^2; step = lr * g / (sqrt(0.1) |g|) ~ lr * 3.16.
+        params = {"x": np.array([0.0])}
+        RmsProp(learning_rate=0.5, rho=0.9).step(params, {"x": np.array([4.0])})
+        assert params["x"][0] == pytest.approx(-0.5 / np.sqrt(0.1), rel=1e-6)
+
+    def test_missing_gradient_rejected(self):
+        with pytest.raises(ConfigError):
+            RmsProp(0.01).step({"x": np.zeros(2)}, {})
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            RmsProp(0.01).step({"x": np.zeros(2)}, {"x": np.zeros(3)})
+
+    def test_reset_clears_cache(self):
+        opt = RmsProp(0.5)
+        params = {"x": np.array([0.0])}
+        opt.step(params, {"x": np.array([4.0])})
+        first = params["x"][0]
+        opt.reset()
+        params2 = {"x": np.array([0.0])}
+        opt.step(params2, {"x": np.array([4.0])})
+        assert params2["x"][0] == pytest.approx(first)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"learning_rate": 0}, {"rho": 1.0}, {"rho": -0.1}, {"eps": 0}],
+    )
+    def test_invalid_hyperparameters(self, kwargs):
+        with pytest.raises(ConfigError):
+            RmsProp(**{"learning_rate": 0.01, **kwargs})
+
+
+class TestCheckpoints:
+    @pytest.fixture
+    def net(self):
+        return PolicyNetwork(
+            12, NetworkConfig(hidden_sizes=(8, 4), max_ready=3), seed=2
+        )
+
+    def test_roundtrip_preserves_weights(self, net, tmp_path):
+        path = tmp_path / "net.npz"
+        save_checkpoint(net, path)
+        restored = load_checkpoint(path)
+        assert restored.input_size == net.input_size
+        assert restored.config.hidden_sizes == net.config.hidden_sizes
+        assert restored.config.max_ready == net.config.max_ready
+        for key in net.params:
+            assert np.array_equal(restored.params[key], net.params[key])
+
+    def test_roundtrip_preserves_behaviour(self, net, tmp_path, rng):
+        path = tmp_path / "net.npz"
+        save_checkpoint(net, path)
+        restored = load_checkpoint(path)
+        states = rng.normal(size=(4, 12))
+        masks = np.ones((4, 4), dtype=bool)
+        assert np.allclose(
+            restored.probabilities(states, masks),
+            net.probabilities(states, masks),
+        )
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_corrupt_file_raises(self, tmp_path, net):
+        path = tmp_path / "net.npz"
+        save_checkpoint(net, path)
+        # Strip a required key by rewriting the archive.
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files if k != "meta_input_size"}
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_creates_parent_directories(self, net, tmp_path):
+        path = tmp_path / "deep" / "dir" / "net.npz"
+        save_checkpoint(net, path)
+        assert path.exists()

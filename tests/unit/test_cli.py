@@ -1,0 +1,139 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scheduler == "tetris"
+        assert args.tasks == 50
+
+    def test_experiment_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_motivating(self, capsys):
+        assert main(["motivating"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out
+        assert "tetris" in out
+        assert "2T" in out and "3T" in out
+
+    def test_simulate_baseline(self, capsys):
+        assert main(["simulate", "--scheduler", "sjf", "--tasks", "12"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_simulate_mcts(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scheduler",
+                "mcts",
+                "--tasks",
+                "10",
+                "--budget",
+                "10",
+                "--min-budget",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "mcts" in capsys.readouterr().out
+
+    def test_simulate_unknown_scheduler(self, capsys):
+        assert main(["simulate", "--scheduler", "warp"]) == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_trace_stats(self, capsys):
+        assert main(["trace", "--jobs", "8", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "8 jobs" in out
+        assert "reduce" in out
+
+    def test_trace_write(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        assert main(["trace", "--jobs", "6", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        from repro.traces import Trace
+
+        assert len(Trace.load(out_file)) == 6
+
+    def test_train_writes_checkpoint(self, tmp_path, capsys):
+        out_file = tmp_path / "net.npz"
+        code = main(
+            [
+                "train",
+                "--epochs",
+                "1",
+                "--examples",
+                "2",
+                "--example-tasks",
+                "6",
+                "--rollouts",
+                "2",
+                "--out",
+                str(out_file),
+                "--log-every",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        from repro.rl import load_checkpoint
+
+        assert load_checkpoint(out_file).num_actions == 16
+
+    def test_ablation_unknown(self, capsys):
+        assert main(["ablation", "nonesuch"]) == 2
+        assert "unknown ablation" in capsys.readouterr().err
+
+    def test_compare_runs_tournament(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--schedulers",
+                "tetris,sjf",
+                "--jobs",
+                "2",
+                "--tasks",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Tournament over 2 jobs" in out
+        assert "tetris" in out
+
+    def test_compare_unknown_scheduler(self, capsys):
+        assert main(["compare", "--schedulers", "warp"]) == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_online_simulation(self, capsys):
+        code = main(
+            [
+                "online",
+                "--jobs",
+                "3",
+                "--mean-interarrival",
+                "15",
+                "--rankers",
+                "fifo,sjf",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Online: 3 jobs" in out
+        assert "mean JCT" in out
+
+    def test_online_unknown_ranker(self, capsys):
+        assert main(["online", "--rankers", "quantum"]) == 2
+        assert "unknown rankers" in capsys.readouterr().err

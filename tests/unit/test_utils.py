@@ -1,0 +1,149 @@
+"""Unit tests for utils (rng, timing, validation) and the error hierarchy."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.utils import (
+    Stopwatch,
+    as_generator,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    derive_seed,
+    spawn,
+    timed,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int(self):
+        gen = as_generator(42)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_none_gives_fresh(self):
+        a, b = as_generator(None), as_generator(None)
+        assert a is not b
+
+    def test_same_seed_same_stream(self):
+        assert as_generator(7).integers(0, 100) == as_generator(7).integers(0, 100)
+
+    def test_spawn_children_independent_of_each_other(self):
+        parent = as_generator(0)
+        kids = spawn(parent, 3)
+        draws = [k.integers(0, 2**31) for k in kids]
+        assert len(set(draws)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [k.integers(0, 100) for k in spawn(as_generator(5), 4)]
+        b = [k.integers(0, 100) for k in spawn(as_generator(5), 4)]
+        assert a == b
+
+    def test_spawn_zero(self):
+        assert spawn(as_generator(0), 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)
+
+    def test_derive_seed_range(self):
+        seed = derive_seed(as_generator(1))
+        assert 0 <= seed < 2**63
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        first = watch.elapsed
+        assert first >= 0.01
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed > first
+
+    def test_running_flag(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_timed_returns_result_and_seconds(self):
+        result, seconds = timed(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0.0
+
+
+class TestValidationHelpers:
+    def test_check_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+        with pytest.raises(errors.ConfigError):
+            check_positive(0, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0, "x") == 0
+        with pytest.raises(errors.ConfigError):
+            check_non_negative(-1, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(errors.ConfigError):
+            check_probability(1.01, "p")
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(errors.ConfigError, match="alpha"):
+            check_positive(-1, "alpha")
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError,
+            errors.CycleError,
+            errors.UnknownTaskError,
+            errors.CapacityError,
+            errors.PlacementError,
+            errors.ScheduleError,
+            errors.ConfigError,
+            errors.EnvironmentStateError,
+            errors.CheckpointError,
+            errors.TraceError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(errors.ConfigError, ValueError)
+
+    def test_unknown_task_error_is_key_error(self):
+        assert issubclass(errors.UnknownTaskError, KeyError)
+
+    def test_unknown_task_error_message_unquoted(self):
+        err = errors.UnknownTaskError("no task with id 5")
+        assert str(err) == "no task with id 5"
