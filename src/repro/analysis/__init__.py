@@ -1,0 +1,53 @@
+"""Static analysis for the reproduction: schedule verification + linting.
+
+Two independent halves share this package:
+
+* :mod:`repro.analysis.verifier` — a *semantic* checker that proves an
+  emitted :class:`repro.metrics.Schedule` respects every feasibility
+  invariant of its :class:`repro.dag.TaskGraph` and cluster capacity,
+  returning structured :class:`Violation` records instead of booleans.
+* :mod:`repro.analysis.linter` — a *syntactic* AST rule engine encoding
+  repo-specific reproducibility rules (unseeded RNG calls, float
+  equality on time values, mutable default arguments, ...), runnable as
+  ``repro lint``.
+
+Both are wired into the CLI (``repro verify`` / ``repro lint``), the
+scheduler registry (``make_scheduler(name, validate=True)``) and the
+environment's terminal states (``EnvConfig(verify_terminal=True)``).
+"""
+
+from .linter import (
+    LintRule,
+    LintViolation,
+    available_rules,
+    format_json,
+    format_text,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+from .verifier import (
+    SCHEDULE_INVARIANTS,
+    verify_payload,
+    verify_placements,
+    verify_schedule,
+)
+from .violations import Severity, VerificationReport, Violation
+
+__all__ = [
+    "Severity",
+    "Violation",
+    "VerificationReport",
+    "SCHEDULE_INVARIANTS",
+    "verify_schedule",
+    "verify_placements",
+    "verify_payload",
+    "LintRule",
+    "LintViolation",
+    "register_rule",
+    "available_rules",
+    "lint_source",
+    "lint_paths",
+    "format_text",
+    "format_json",
+]

@@ -1,0 +1,224 @@
+"""AST-based lint engine with a pluggable rule registry.
+
+A :class:`LintRule` inspects one parsed module and yields
+:class:`LintViolation` records.  Rules register themselves with
+:func:`register_rule` (the built-ins live in
+:mod:`repro.analysis.rules`); ``repro lint`` runs every registered rule
+over the given paths and renders text or JSON output.
+
+The rules are deliberately repo-specific: they encode the
+reproducibility discipline this library depends on (all randomness
+flows through :mod:`repro.utils.rng`, times are integer slots, ...)
+rather than generic style.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
+
+from ..errors import ConfigError
+
+__all__ = [
+    "LintViolation",
+    "LintRule",
+    "register_rule",
+    "available_rules",
+    "lint_source",
+    "lint_paths",
+    "format_text",
+    "format_json",
+]
+
+#: rule id used for files that fail to parse at all.
+PARSE_ERROR_RULE = "REP000"
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule hit at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-compatible representation for ``repro lint --format json``."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+class LintRule(abc.ABC):
+    """One lint check over a parsed module.
+
+    Subclasses set ``rule_id`` (stable, ``REPnnn``) and ``description``,
+    and implement :meth:`check`.  Register with :func:`register_rule`.
+    """
+
+    rule_id: str = "REP???"
+    description: str = ""
+
+    @abc.abstractmethod
+    def check(
+        self, tree: ast.Module, source: str, path: Path
+    ) -> Iterable[LintViolation]:
+        """Yield every violation of this rule in ``tree``."""
+
+    def violation(self, node: ast.AST, path: Path, message: str) -> LintViolation:
+        """Convenience constructor anchored at ``node``'s location."""
+        return LintViolation(
+            rule_id=self.rule_id,
+            path=str(path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding ``cls`` to the global rule registry.
+
+    Raises:
+        ConfigError: on a duplicate ``rule_id`` (ids are stable API).
+    """
+    if cls.rule_id in _REGISTRY:
+        raise ConfigError(f"lint rule {cls.rule_id!r} already registered")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def _ensure_builtin_rules() -> None:
+    from . import rules  # noqa: F401  (importing registers the built-ins)
+
+
+def available_rules() -> Dict[str, str]:
+    """Mapping ``rule_id -> description`` of every registered rule."""
+    _ensure_builtin_rules()
+    return {rid: _REGISTRY[rid].description for rid in sorted(_REGISTRY)}
+
+
+def _resolve_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[LintRule]:
+    _ensure_builtin_rules()
+    chosen = set(select) if select else set(_REGISTRY)
+    unknown = chosen - set(_REGISTRY)
+    if unknown:
+        raise ConfigError(
+            f"unknown lint rules {sorted(unknown)}; available: {sorted(_REGISTRY)}"
+        )
+    if ignore:
+        chosen -= set(ignore)
+    return [_REGISTRY[rid]() for rid in sorted(chosen)]
+
+
+def lint_source(
+    source: str,
+    path: Union[str, Path] = "<string>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[LintViolation]:
+    """Lint one module's source text; returns violations sorted by location.
+
+    A syntactically invalid module yields a single ``REP000`` violation
+    rather than raising, so one broken file cannot abort a tree-wide run.
+    """
+    path = Path(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                rule_id=PARSE_ERROR_RULE,
+                path=str(path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    violations: List[LintViolation] = []
+    for rule in _resolve_rules(select, ignore):
+        violations.extend(rule.check(tree, source, path))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    Raises:
+        ConfigError: if a path does not exist.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise ConfigError(f"lint path {str(path)!r} does not exist")
+    unique: List[Path] = []
+    seen: set[Path] = set()
+    for f in files:
+        if f not in seen:
+            seen.add(f)
+            unique.append(f)
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[LintViolation]:
+    """Lint every ``.py`` file under ``paths`` with the chosen rules."""
+    violations: List[LintViolation] = []
+    for file in iter_python_files(paths):
+        violations.extend(
+            lint_source(
+                file.read_text(encoding="utf-8"), file, select=select, ignore=ignore
+            )
+        )
+    return violations
+
+
+def format_text(violations: Sequence[LintViolation]) -> str:
+    """Human-readable report: one line per violation plus a total."""
+    if not violations:
+        return "repro lint: clean"
+    lines = [v.format() for v in violations]
+    lines.append(f"repro lint: {len(violations)} violation(s)")
+    return "\n".join(lines)
+
+
+def format_json(violations: Sequence[LintViolation]) -> str:
+    """Machine-readable report (a JSON object with a ``violations`` list)."""
+    return json.dumps(
+        {
+            "violations": [v.as_dict() for v in violations],
+            "count": len(violations),
+        },
+        indent=2,
+    )

@@ -1,0 +1,27 @@
+"""Built-in lint rules.
+
+Importing this package registers every built-in rule with the engine in
+:mod:`repro.analysis.linter`.  Each module holds one rule; third-party
+rules can join the registry the same way::
+
+    from repro.analysis import LintRule, register_rule
+
+    @register_rule
+    class MyRule(LintRule):
+        rule_id = "X001"
+        ...
+"""
+
+from .bare_except import BareExceptRule
+from .float_equality import FloatTimeEqualityRule
+from .exports import MissingAllRule
+from .mutable_defaults import MutableDefaultRule
+from .seeding import UnseededRngRule
+
+__all__ = [
+    "UnseededRngRule",
+    "FloatTimeEqualityRule",
+    "MutableDefaultRule",
+    "BareExceptRule",
+    "MissingAllRule",
+]

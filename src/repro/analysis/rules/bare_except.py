@@ -1,0 +1,39 @@
+"""REP104 — bare ``except:`` clauses.
+
+A bare except swallows ``KeyboardInterrupt`` and ``SystemExit`` and
+hides genuine invariant failures (every library error derives from
+:class:`repro.errors.ReproError` precisely so callers can be
+selective).  Catch ``Exception`` — or better, a specific subclass.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List
+
+from ..linter import LintRule, LintViolation, register_rule
+
+__all__ = ["BareExceptRule"]
+
+
+@register_rule
+class BareExceptRule(LintRule):
+    rule_id = "REP104"
+    description = "bare except; catch Exception or a repro.errors subclass"
+
+    def check(
+        self, tree: ast.Module, source: str, path: Path
+    ) -> Iterable[LintViolation]:
+        violations: List[LintViolation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                violations.append(
+                    self.violation(
+                        node,
+                        path,
+                        "bare except hides invariant failures; name the "
+                        "exception type",
+                    )
+                )
+        return violations

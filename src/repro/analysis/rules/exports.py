@@ -1,0 +1,67 @@
+"""REP105 — public modules must declare ``__all__``.
+
+Every module in this library states its public surface explicitly; a
+missing ``__all__`` makes ``from module import *`` and API-diff tooling
+unreliable.  The rule flags modules that define public top-level names
+(functions, classes, or UPPER/lower assignments without a leading
+underscore) but no ``__all__``.  Entry-point shims (``__main__.py``),
+``conftest.py``, ``setup.py`` and test modules are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List
+
+from ..linter import LintRule, LintViolation, register_rule
+
+__all__ = ["MissingAllRule"]
+
+_EXEMPT_FILENAMES = {"__main__.py", "conftest.py", "setup.py"}
+
+
+def _assigned_names(node: ast.stmt) -> List[str]:
+    if isinstance(node, ast.Assign):
+        return [t.id for t in node.targets if isinstance(t, ast.Name)]
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        return [node.target.id]
+    return []
+
+
+@register_rule
+class MissingAllRule(LintRule):
+    rule_id = "REP105"
+    description = "public module without __all__"
+
+    def check(
+        self, tree: ast.Module, source: str, path: Path
+    ) -> Iterable[LintViolation]:
+        if path.name in _EXEMPT_FILENAMES or path.name.startswith("test_"):
+            return []
+        public: List[str] = []
+        has_all = False
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if not node.name.startswith("_"):
+                    public.append(node.name)
+            else:
+                for name in _assigned_names(node):
+                    if name == "__all__":
+                        has_all = True
+                    elif not name.startswith("_"):
+                        public.append(name)
+        if public and not has_all:
+            return [
+                LintViolation(
+                    rule_id=self.rule_id,
+                    path=str(path),
+                    line=1,
+                    col=0,
+                    message=(
+                        f"module defines public names {public[:4]} but no "
+                        "__all__"
+                    ),
+                )
+            ]
+        return []

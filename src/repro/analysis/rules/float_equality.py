@@ -1,0 +1,90 @@
+"""REP102 — float equality comparisons on time-like values.
+
+Simulated time in this library is integral (slots); *wall-clock* time,
+JCTs and latencies are floats.  Comparing either with ``==`` against a
+float is a reproducibility hazard: two runs that differ only in
+floating-point rounding will disagree.  The rule flags ``==`` / ``!=``
+comparisons where
+
+* either operand is a name/attribute known to be float-valued time
+  (``wall_time``, ``elapsed``, ``jct``, ``latency``, ...), or
+* a time-like name (``*_time``, ``makespan``, ``duration``, ...) is
+  compared against a float literal.
+
+Use integer slots, or ``math.isclose`` for genuine float comparisons.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from ..linter import LintRule, LintViolation, register_rule
+
+__all__ = ["FloatTimeEqualityRule"]
+
+#: names that are float-typed time quantities anywhere in this repo.
+_FLOAT_TIME_RE = re.compile(r"(?:^|_)(wall_time|elapsed|jct|latency|seconds)$|^(wall_time|elapsed|jct|latency)(?:_|$)")
+
+#: broader "this is a time value" pattern, only flagged vs float literals.
+_TIME_NAME_RE = re.compile(
+    r"(?:^|_)(time|makespan|jct|elapsed|latency|duration|deadline|interarrival)(?:_|$)"
+)
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register_rule
+class FloatTimeEqualityRule(LintRule):
+    rule_id = "REP102"
+    description = (
+        "float equality on a time value; use integer slots or math.isclose"
+    )
+
+    def check(
+        self, tree: ast.Module, source: str, path: Path
+    ) -> Iterable[LintViolation]:
+        violations: List[LintViolation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                hit = self._time_equality_hit(left, right)
+                if hit is not None:
+                    violations.append(
+                        self.violation(
+                            node,
+                            path,
+                            f"float equality on time value {hit!r}; use "
+                            "integer slots or math.isclose",
+                        )
+                    )
+        return violations
+
+    @staticmethod
+    def _time_equality_hit(left: ast.expr, right: ast.expr) -> Optional[str]:
+        for a, b in ((left, right), (right, left)):
+            name = _terminal_name(a)
+            if name is None:
+                continue
+            lowered = name.lower()
+            if _FLOAT_TIME_RE.search(lowered):
+                return name
+            if _TIME_NAME_RE.search(lowered) and _is_float_literal(b):
+                return name
+        return None

@@ -1,0 +1,65 @@
+"""REP103 — mutable default arguments.
+
+A ``def f(x=[])`` default is evaluated once at definition time and
+shared across calls; state leaks between invocations and — worse for a
+reproduction — between *episodes* of an experiment, corrupting results
+in ways that depend on call order.  The rule flags list/dict/set
+displays and ``list()`` / ``dict()`` / ``set()`` calls used as defaults
+in any function, method or lambda.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List
+
+from ..linter import LintRule, LintViolation, register_rule
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set"}
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    rule_id = "REP103"
+    description = "mutable default argument; use None and fill in the body"
+
+    def check(
+        self, tree: ast.Module, source: str, path: Path
+    ) -> Iterable[LintViolation]:
+        violations: List[LintViolation] = []
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = (
+                        node.name
+                        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        else "<lambda>"
+                    )
+                    violations.append(
+                        self.violation(
+                            default,
+                            path,
+                            f"mutable default argument in {label}()",
+                        )
+                    )
+        return violations
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CONSTRUCTORS
+        )

@@ -1,0 +1,122 @@
+"""REP101 — unseeded global random-number-generator calls.
+
+Every stochastic component in this library takes a seed or a
+:class:`numpy.random.Generator` and routes it through
+:mod:`repro.utils.rng`; calling the *global* ``random`` /
+``numpy.random`` state instead silently breaks bit-for-bit
+reproducibility of training runs and experiments.  This rule flags:
+
+* any call through the stdlib ``random`` module (``random.shuffle(...)``,
+  or names pulled in with ``from random import ...``) — except
+  constructing an explicitly seeded ``random.Random(seed)``;
+* module-level ``numpy.random`` calls (``np.random.rand(...)``) — except
+  ``default_rng`` *with* a seed argument and explicit bit-generator
+  construction (``Generator``, ``SeedSequence``, ``PCG64``, ...).
+
+Files named ``rng.py`` are exempt: that is where the plumbing lives.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from ..linter import LintRule, LintViolation, register_rule
+
+__all__ = ["UnseededRngRule"]
+
+_SEEDED_NP_CONSTRUCTORS = {
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+@register_rule
+class UnseededRngRule(LintRule):
+    rule_id = "REP101"
+    description = (
+        "unseeded random/np.random module-level call; route randomness "
+        "through repro.utils.rng"
+    )
+
+    #: file basenames allowed to touch the global generators.
+    exempt_files = ("rng.py",)
+
+    def check(
+        self, tree: ast.Module, source: str, path: Path
+    ) -> Iterable[LintViolation]:
+        if path.name in self.exempt_files:
+            return []
+        random_aliases: Set[str] = set()  # import random [as r]
+        numpy_aliases: Set[str] = set()  # import numpy [as np]
+        np_random_aliases: Set[str] = set()  # from numpy import random [as nr]
+        from_random_names: Set[str] = set()  # from random import shuffle
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+                    elif alias.name in ("numpy", "numpy.random"):
+                        numpy_aliases.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    from_random_names.update(a.asname or a.name for a in node.names)
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random_aliases.add(alias.asname or "random")
+
+        violations: List[LintViolation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in from_random_names:
+                violations.append(
+                    self.violation(
+                        node, path, f"call to unseeded random.{func.id}()"
+                    )
+                )
+            elif isinstance(func, ast.Attribute):
+                base = func.value
+                if isinstance(base, ast.Name) and base.id in random_aliases:
+                    if func.attr == "Random" and (node.args or node.keywords):
+                        continue  # random.Random(seed) is explicitly seeded
+                    violations.append(
+                        self.violation(
+                            node, path, f"call to unseeded random.{func.attr}()"
+                        )
+                    )
+                elif self._is_np_random(base, numpy_aliases, np_random_aliases):
+                    if func.attr == "default_rng" and (node.args or node.keywords):
+                        continue  # seeded generator construction is the idiom
+                    if func.attr in _SEEDED_NP_CONSTRUCTORS:
+                        continue
+                    violations.append(
+                        self.violation(
+                            node,
+                            path,
+                            f"call to global np.random.{func.attr}()",
+                        )
+                    )
+        return violations
+
+    @staticmethod
+    def _is_np_random(
+        base: ast.expr, numpy_aliases: Set[str], np_random_aliases: Set[str]
+    ) -> bool:
+        if isinstance(base, ast.Name) and base.id in np_random_aliases:
+            return True
+        return (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in numpy_aliases
+        )

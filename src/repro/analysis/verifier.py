@@ -1,0 +1,266 @@
+"""Semantic schedule verification.
+
+:func:`verify_schedule` statically checks a :class:`repro.metrics.Schedule`
+against its :class:`repro.dag.TaskGraph` and the cluster capacities, and
+returns a :class:`VerificationReport` listing *every* broken invariant
+(it never stops at the first).  The invariants, in priority order:
+
+``completeness``
+    every task in the graph is placed; no unknown task ids appear.
+``duplicate``
+    no task is placed more than once.
+``time-domain``
+    starts and finishes are non-negative integers with ``finish > start``.
+``duration``
+    each placement occupies exactly ``task.runtime`` slots.
+``dependency``
+    no task starts before all of its parents have finished.
+``dimension``
+    the capacity vector matches the graph's resource dimensionality.
+``capacity``
+    at every event point, summed demands of running tasks fit within
+    capacity in every resource dimension.
+
+:func:`verify_placements` is the engine: it accepts raw
+``(task_id, start, finish)`` triples, so schedules too malformed to pass
+:class:`repro.metrics.ScheduledTask` construction (negative or fractional
+times from an external JSON file, say) still yield structured violations
+instead of exceptions.  :func:`verify_payload` adapts the JSON schema of
+:mod:`repro.metrics.export` onto that engine for ``repro verify``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..dag.graph import TaskGraph
+from ..errors import ScheduleError
+from ..metrics.schedule import Schedule
+from .violations import VerificationReport, Violation
+
+__all__ = [
+    "SCHEDULE_INVARIANTS",
+    "verify_schedule",
+    "verify_placements",
+    "verify_payload",
+]
+
+#: rule id -> one-line description, in check-priority order.
+SCHEDULE_INVARIANTS: Dict[str, str] = {
+    "completeness": "every task in the graph is placed; no unknown ids",
+    "duplicate": "no task is placed more than once",
+    "time-domain": "starts/finishes are non-negative integers, finish > start",
+    "duration": "each placement spans exactly the task's runtime",
+    "dependency": "no task starts before all of its parents finish",
+    "dimension": "capacity vector matches the graph's resource count",
+    "capacity": "concurrent demands fit within capacity at every event point",
+}
+
+RawPlacement = Tuple[int, Any, Any]
+
+
+def _is_integral(value: Any) -> bool:
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, int):
+        return True
+    return isinstance(value, float) and value.is_integer()
+
+
+def verify_placements(
+    placements: Iterable[RawPlacement],
+    graph: TaskGraph,
+    capacities: Sequence[int],
+) -> VerificationReport:
+    """Check raw ``(task_id, start, finish)`` triples against ``graph``.
+
+    Returns a report listing every violation found; invariants that
+    depend on broken prerequisites are skipped per-task rather than
+    aborting the whole pass (a missing task suppresses only the
+    dependency checks on its own edges, for example).
+    """
+
+    triples = [(tid, start, finish) for tid, start, finish in placements]
+    violations: List[Violation] = []
+
+    # -- completeness & duplicates ----------------------------------- #
+    counts: Dict[int, int] = {}
+    for tid, _, _ in triples:
+        counts[tid] = counts.get(tid, 0) + 1
+    expected = set(graph.task_ids)
+    missing = sorted(expected - counts.keys())
+    extra = sorted(counts.keys() - expected)
+    if missing or extra:
+        violations.append(
+            Violation(
+                "completeness",
+                f"completeness violated: missing={missing[:5]} extra={extra[:5]}",
+                task_ids=tuple(missing + extra),
+            )
+        )
+    for tid in sorted(counts):
+        if counts[tid] > 1:
+            violations.append(
+                Violation(
+                    "duplicate",
+                    f"task {tid} appears {counts[tid]} times in the schedule",
+                    task_ids=(tid,),
+                )
+            )
+
+    # -- time domain -------------------------------------------------- #
+    sane: List[Tuple[int, int, int]] = []  # integral, ordered, known tasks
+    seen: set[int] = set()
+    for tid, start, finish in sorted(triples, key=lambda t: t[0]):
+        bad = False
+        if not _is_integral(start) or not _is_integral(finish):
+            violations.append(
+                Violation(
+                    "time-domain",
+                    f"task {tid}: non-integral times start={start!r} "
+                    f"finish={finish!r}",
+                    task_ids=(tid,),
+                )
+            )
+            bad = True
+        else:
+            start, finish = int(start), int(finish)
+            if start < 0:
+                violations.append(
+                    Violation(
+                        "time-domain",
+                        f"task {tid}: negative start {start}",
+                        task_ids=(tid,),
+                        time=start,
+                    )
+                )
+                bad = True
+            if finish <= start:
+                violations.append(
+                    Violation(
+                        "time-domain",
+                        f"task {tid}: finish {finish} <= start {start}",
+                        task_ids=(tid,),
+                        time=finish,
+                    )
+                )
+                bad = True
+        # Duplicates keep only their first sane occurrence downstream.
+        if not bad and tid in expected and tid not in seen:
+            seen.add(tid)
+            sane.append((tid, start, finish))
+
+    # -- durations ----------------------------------------------------- #
+    for tid, start, finish in sane:
+        runtime = graph.task(tid).runtime
+        if finish - start != runtime:
+            violations.append(
+                Violation(
+                    "duration",
+                    f"task {tid}: schedule duration {finish - start} != "
+                    f"task runtime {runtime}",
+                    task_ids=(tid,),
+                    time=start,
+                )
+            )
+
+    # -- dependencies --------------------------------------------------- #
+    by_id = {tid: (start, finish) for tid, start, finish in sane}
+    for up, down in graph.edges():
+        if up not in by_id or down not in by_id:
+            continue  # completeness/time-domain already flagged these
+        if by_id[down][0] < by_id[up][1]:
+            violations.append(
+                Violation(
+                    "dependency",
+                    f"dependency violated: task {down} starts at "
+                    f"{by_id[down][0]} before parent {up} finishes at "
+                    f"{by_id[up][1]}",
+                    task_ids=(up, down),
+                    time=by_id[down][0],
+                )
+            )
+
+    # -- capacity -------------------------------------------------------- #
+    if len(capacities) != graph.num_resources:
+        violations.append(
+            Violation(
+                "dimension",
+                f"capacities have {len(capacities)} dims, graph has "
+                f"{graph.num_resources}",
+            )
+        )
+    else:
+        events: List[Tuple[int, int, int, Tuple[int, ...]]] = []
+        for tid, start, finish in sane:
+            demands = graph.task(tid).demands
+            events.append((start, 1, tid, demands))
+            events.append((finish, -1, tid, demands))
+        events.sort(key=lambda e: (e[0], e[1]))  # releases before grabs
+        usage = [0] * len(capacities)
+        flagged: set[Tuple[int, int]] = set()  # (resource, t) pairs reported
+        for t, kind, tid, demands in events:
+            for r, demand in enumerate(demands):
+                usage[r] += kind * demand
+                if usage[r] > capacities[r] and (r, t) not in flagged:
+                    flagged.add((r, t))
+                    violations.append(
+                        Violation(
+                            "capacity",
+                            f"capacity violated: resource {r} usage "
+                            f"{usage[r]} > {capacities[r]} at t={t}",
+                            task_ids=(tid,),
+                            time=t,
+                            resource=r,
+                        )
+                    )
+
+    return VerificationReport(
+        violations=tuple(violations),
+        rules_checked=tuple(SCHEDULE_INVARIANTS),
+        num_tasks=graph.num_tasks,
+    )
+
+
+def verify_schedule(
+    schedule: Schedule,
+    graph: TaskGraph,
+    capacities: Sequence[int],
+) -> VerificationReport:
+    """Verify a constructed :class:`Schedule` object (see module docs)."""
+
+    return verify_placements(
+        ((p.task_id, p.start, p.finish) for p in schedule.placements),
+        graph,
+        capacities,
+    )
+
+
+def verify_payload(
+    payload: Dict[str, Any],
+    graph: TaskGraph,
+    capacities: Sequence[int],
+) -> VerificationReport:
+    """Verify the JSON form of a schedule (``repro.metrics.export`` schema).
+
+    Unlike :func:`repro.metrics.schedule_from_dict` this never coerces or
+    rejects bad times up front — negative or fractional values flow into
+    the engine and come back as ``time-domain`` violations.
+
+    Raises:
+        ScheduleError: only for payloads too malformed to interpret at
+            all (wrong type, missing keys).
+    """
+
+    if not isinstance(payload, dict):
+        raise ScheduleError("schedule payload must be a dict")
+    entries = payload.get("placements")
+    if not isinstance(entries, list):
+        raise ScheduleError("schedule payload has no 'placements' list")
+    triples: List[RawPlacement] = []
+    for entry in entries:
+        try:
+            triples.append((int(entry["task_id"]), entry["start"], entry["finish"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScheduleError(f"malformed placement entry {entry!r}: {exc}") from exc
+    return verify_placements(triples, graph, capacities)

@@ -1,0 +1,121 @@
+"""Structured violation records shared by the schedule verifier.
+
+A :class:`Violation` names the invariant that failed (``rule_id``), the
+tasks involved, and — where meaningful — the time slot and resource
+dimension, so callers can render, filter, or aggregate findings instead
+of parsing exception strings.  A :class:`VerificationReport` bundles the
+violations found in one pass together with the rules that were checked.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ScheduleError
+
+__all__ = ["Severity", "Violation", "VerificationReport"]
+
+
+class Severity(enum.Enum):
+    """How bad a violation is: errors invalidate the schedule outright."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant.
+
+    Attributes:
+        rule_id: stable identifier of the invariant (e.g. ``"capacity"``).
+        message: human-readable description of the failure.
+        severity: :class:`Severity`; every built-in schedule rule is ERROR.
+        task_ids: tasks implicated in the violation (possibly empty).
+        time: the slot at which the violation occurs, if localized.
+        resource: the resource dimension involved, for capacity rules.
+    """
+
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+    task_ids: Tuple[int, ...] = ()
+    time: Optional[int] = None
+    resource: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (used by ``repro verify --json``)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "task_ids": list(self.task_ids),
+            "time": self.time,
+            "resource": self.resource,
+        }
+
+    def __str__(self) -> str:
+        return f"[{self.rule_id}] {self.message}"
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of verifying one schedule against one graph.
+
+    Attributes:
+        violations: every broken invariant, ordered by rule priority
+            (completeness first, capacity last) then by time/task.
+        rules_checked: ids of all invariants that were evaluated, whether
+            or not they fired.
+        num_tasks: size of the graph the schedule was checked against.
+    """
+
+    violations: Tuple[Violation, ...] = ()
+    rules_checked: Tuple[str, ...] = ()
+    num_tasks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True iff no ERROR-severity violation was found."""
+        return not any(v.severity is Severity.ERROR for v in self.violations)
+
+    def by_rule(self, rule_id: str) -> Tuple[Violation, ...]:
+        """All violations of one invariant."""
+        return tuple(v for v in self.violations if v.rule_id == rule_id)
+
+    def summary(self) -> str:
+        """One line per violation; ``"ok"`` for a clean report."""
+        if not self.violations:
+            return f"ok: {self.num_tasks} tasks, {len(self.rules_checked)} invariants checked"
+        return "\n".join(str(v) for v in self.violations)
+
+    def raise_if_violations(self) -> None:
+        """Raise :class:`repro.errors.ScheduleError` unless the report is clean.
+
+        The exception message leads with the first violation (so existing
+        ``match=``-style assertions on the invariant name keep working)
+        and appends the total count when there are several.
+        """
+        if self.ok:
+            return
+        first = self.violations[0]
+        suffix = (
+            f" (+{len(self.violations) - 1} more violations)"
+            if len(self.violations) > 1
+            else ""
+        )
+        raise ScheduleError(f"{first.message}{suffix}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation of the whole report."""
+        return {
+            "ok": self.ok,
+            "num_tasks": self.num_tasks,
+            "rules_checked": list(self.rules_checked),
+            "violations": [v.as_dict() for v in self.violations],
+        }

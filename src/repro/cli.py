@@ -9,6 +9,8 @@ Subcommands::
                      [--paper-scale] [--seed N]
     repro ablation   expansion-filters|budget-decay|max-value-ucb|...
     repro motivating
+    repro verify     schedule.json --graph graph.json [--capacities 20,20]
+    repro lint       src/repro [--format json] [--select REP101,REP105]
 
 Every command prints a plain-text report to stdout and exits non-zero on
 error.
@@ -103,6 +105,29 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--runtime-scale", type=float, default=0.2)
     online.add_argument(
         "--rankers", default="fifo,sjf,cp,tetris", help="comma-separated"
+    )
+
+    verify = sub.add_parser(
+        "verify", help="check a schedule JSON against its DAG and capacities"
+    )
+    verify.add_argument("schedule", help="schedule JSON (repro.metrics.export)")
+    verify.add_argument(
+        "--graph", required=True, help="task-graph JSON (repro.dag.io)"
+    )
+    verify.add_argument(
+        "--capacities",
+        default=None,
+        help="comma-separated per-resource capacities (default: cluster default)",
+    )
+    verify.add_argument("--json", action="store_true", help="JSON report")
+
+    lint = sub.add_parser("lint", help="run the repro-specific AST lint rules")
+    lint.add_argument("paths", nargs="*", help="files or directories to lint")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--select", default=None, help="comma-separated rule ids")
+    lint.add_argument("--ignore", default=None, help="comma-separated rule ids")
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
     )
     return parser
 
@@ -355,6 +380,77 @@ def _cmd_online(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .analysis.verifier import verify_payload
+    from .config import ClusterConfig
+    from .dag.io import load_graph
+    from .errors import ReproError
+
+    try:
+        graph = load_graph(args.graph)
+        payload = json.loads(Path(args.schedule).read_text(encoding="utf-8"))
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"verify: cannot load inputs: {exc}", file=sys.stderr)
+        return 2
+    if args.capacities:
+        try:
+            capacities = tuple(
+                int(c) for c in args.capacities.split(",") if c.strip()
+            )
+        except ValueError:
+            print(
+                f"verify: bad --capacities {args.capacities!r}", file=sys.stderr
+            )
+            return 2
+    else:
+        capacities = ClusterConfig().capacities
+    try:
+        report = verify_payload(payload, graph, capacities)
+    except ReproError as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.linter import (
+        available_rules,
+        format_json,
+        format_text,
+        lint_paths,
+    )
+    from .errors import ConfigError
+
+    if args.list_rules:
+        for rule_id, description in available_rules().items():
+            print(f"{rule_id}  {description}")
+        return 0
+    if not args.paths:
+        print("lint: no paths given (try: repro lint src/repro)", file=sys.stderr)
+        return 2
+    def split(raw: Optional[str]) -> Optional[List[str]]:
+        if not raw:
+            return None
+        return [r.strip() for r in raw.split(",") if r.strip()]
+
+    try:
+        violations = lint_paths(
+            args.paths, select=split(args.select), ignore=split(args.ignore)
+        )
+    except ConfigError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    print(format_json(violations) if args.format == "json" else format_text(violations))
+    return 1 if violations else 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "train": _cmd_train,
@@ -364,6 +460,8 @@ _COMMANDS = {
     "motivating": _cmd_motivating,
     "compare": _cmd_compare,
     "online": _cmd_online,
+    "verify": _cmd_verify,
+    "lint": _cmd_lint,
 }
 
 

@@ -234,12 +234,17 @@ class EnvConfig:
             DRL state (Sec. III-D).  ``False`` zeroes them, reproducing the
             demand-only ablation the paper says "can only obtain suboptimal
             performance like Tetris".
+        verify_terminal: assert the full schedule-invariant set (see
+            :mod:`repro.analysis.verifier`) whenever an episode reaches a
+            terminal state; opt-in because it costs an event sweep per
+            episode.
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     max_ready: int = 15
     process_until_completion: bool = False
     include_graph_features: bool = True
+    verify_terminal: bool = False
 
     def __post_init__(self) -> None:
         _require(self.max_ready >= 1, "max_ready must be >= 1")

@@ -249,6 +249,8 @@ class SchedulingEnv:
             completed = self.cluster.advance(1)
             dt = 1
         self._on_completions(completed)
+        if self.done and self.config.verify_terminal:
+            self.verify_terminal_state()
         return StepResult(
             reward=-dt, done=self.done, completed=tuple(completed)
         )
@@ -290,6 +292,37 @@ class SchedulingEnv:
             tuple(self._ready),
             frozenset(self._finished),
         )
+
+    def verify_terminal_state(self) -> None:
+        """Assert every schedule invariant on the finished episode.
+
+        The hook behind ``EnvConfig(verify_terminal=True)``: exports the
+        episode's start times and runs the full
+        :mod:`repro.analysis.verifier` invariant set (precedence,
+        capacity, completeness, time domain) against them.
+
+        Raises:
+            EnvironmentStateError: if the episode has not terminated, or
+                if the terminal state violates any schedule invariant —
+                which would mean the environment dynamics themselves have
+                drifted, so failing loudly beats learning from bad data.
+        """
+        from ..analysis.verifier import verify_placements  # local: avoids a cycle
+
+        if not self.done:
+            raise EnvironmentStateError("episode not finished")
+        placements = [
+            (tid, start, start + self.graph.task(tid).runtime)
+            for tid, start in self._starts.items()
+        ]
+        report = verify_placements(
+            placements, self.graph, self.config.cluster.capacities
+        )
+        if not report.ok:
+            raise EnvironmentStateError(
+                "terminal state violates schedule invariants:\n"
+                + report.summary()
+            )
 
     def to_schedule(self, scheduler: str = "unknown", wall_time: float = 0.0) -> Schedule:
         """Export the finished episode as a validated-shape :class:`Schedule`.

@@ -8,6 +8,20 @@ configuration values, and checkpoint/serialization problems.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "UnknownTaskError",
+    "CapacityError",
+    "PlacementError",
+    "ScheduleError",
+    "ConfigError",
+    "EnvironmentStateError",
+    "CheckpointError",
+    "TraceError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""

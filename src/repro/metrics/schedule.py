@@ -2,15 +2,18 @@
 
 A :class:`Schedule` is the output of every scheduler in the library: for
 each task, the slot at which it started.  :func:`validate_schedule` checks
-the three invariants any feasible schedule must satisfy:
+the invariants any feasible schedule must satisfy:
 
 1. **Completeness** — every task in the graph is scheduled exactly once.
 2. **Dependencies** — no task starts before all of its parents finished.
 3. **Capacity** — at every time slot, the summed demands of concurrently
    running tasks fit within cluster capacity in every dimension.
 
-Property-based tests drive random schedulers through the environment and
-assert these invariants on everything they emit.
+The checks themselves live in :mod:`repro.analysis.verifier`, which
+returns structured :class:`repro.analysis.Violation` records;
+:func:`validate_schedule` is the raising facade.  Property-based tests
+drive random schedulers through the environment and assert these
+invariants on everything they emit.
 """
 
 from __future__ import annotations
@@ -110,62 +113,17 @@ def validate_schedule(
     graph: TaskGraph,
     capacities: Sequence[int],
 ) -> None:
-    """Check the three feasibility invariants; raise on violation.
+    """Check every feasibility invariant; raise on the first violation.
+
+    This is the raising facade over :mod:`repro.analysis.verifier`, which
+    collects *all* violations as structured records; use the verifier
+    directly when you want the full report instead of an exception.
 
     Raises:
         ScheduleError: naming the violated invariant, the offending task(s)
             and the time slot involved.
     """
 
-    placed = {p.task_id for p in schedule.placements}
-    expected = set(graph.task_ids)
-    if placed != expected:
-        missing = sorted(expected - placed)
-        extra = sorted(placed - expected)
-        raise ScheduleError(
-            f"completeness violated: missing={missing[:5]} extra={extra[:5]}"
-        )
-    if len(schedule.placements) != len(placed):
-        raise ScheduleError("a task appears more than once in the schedule")
+    from ..analysis.verifier import verify_schedule  # local: avoids a cycle
 
-    by_id = {p.task_id: p for p in schedule.placements}
-
-    # Durations must match the graph.
-    for placement in schedule.placements:
-        runtime = graph.task(placement.task_id).runtime
-        if placement.duration != runtime:
-            raise ScheduleError(
-                f"task {placement.task_id}: schedule duration "
-                f"{placement.duration} != task runtime {runtime}"
-            )
-
-    # Dependencies.
-    for up, down in graph.edges():
-        if by_id[down].start < by_id[up].finish:
-            raise ScheduleError(
-                f"dependency violated: task {down} starts at "
-                f"{by_id[down].start} before parent {up} finishes at "
-                f"{by_id[up].finish}"
-            )
-
-    # Capacity: sweep start/finish events.
-    if len(capacities) != graph.num_resources:
-        raise ScheduleError(
-            f"capacities have {len(capacities)} dims, graph has "
-            f"{graph.num_resources}"
-        )
-    events: List[Tuple[int, int, Tuple[int, ...]]] = []
-    for placement in schedule.placements:
-        demands = graph.task(placement.task_id).demands
-        events.append((placement.start, 1, demands))
-        events.append((placement.finish, -1, demands))
-    events.sort(key=lambda e: (e[0], e[1]))  # releases before grabs at same t
-    usage = [0] * len(capacities)
-    for t, kind, demands in events:
-        for r, demand in enumerate(demands):
-            usage[r] += kind * demand
-            if usage[r] > capacities[r]:
-                raise ScheduleError(
-                    f"capacity violated: resource {r} usage {usage[r]} > "
-                    f"{capacities[r]} at t={t}"
-                )
+    verify_schedule(schedule, graph, capacities).raise_if_violations()

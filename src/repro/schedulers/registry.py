@@ -11,7 +11,9 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from ..config import EnvConfig
+from ..dag.graph import TaskGraph
 from ..errors import ConfigError
+from ..metrics.schedule import Schedule
 from .base import PolicyScheduler, Scheduler
 from .exact import BranchAndBoundScheduler
 from .graphene import GrapheneScheduler
@@ -19,7 +21,12 @@ from .listsched import FifoPolicy, HeftPolicy, LptPolicy
 from .policies import CriticalPathPolicy, RandomPolicy, SjfPolicy
 from .tetris import TetrisPolicy
 
-__all__ = ["available_schedulers", "make_scheduler", "register"]
+__all__ = [
+    "available_schedulers",
+    "make_scheduler",
+    "register",
+    "VerifyingScheduler",
+]
 
 _FACTORIES: Dict[str, Callable[[EnvConfig], Scheduler]] = {}
 
@@ -37,8 +44,50 @@ def available_schedulers() -> List[str]:
     return sorted(_FACTORIES)
 
 
-def make_scheduler(name: str, env_config: EnvConfig | None = None) -> Scheduler:
+class VerifyingScheduler(Scheduler):
+    """Wraps any scheduler so every emitted schedule is machine-checked.
+
+    After the inner scheduler plans, the schedule runs through
+    :func:`repro.analysis.verify_schedule` against the graph and the
+    cluster capacities of ``env_config``; any violated invariant raises
+    :class:`repro.errors.ScheduleError` before the schedule can leak to
+    callers.  The wrapper is transparent: it keeps the inner name and
+    forwards attribute access, so reports and registries see the
+    original scheduler.
+    """
+
+    def __init__(self, inner: Scheduler, env_config: EnvConfig) -> None:
+        self._inner = inner
+        self._capacities = tuple(env_config.cluster.capacities)
+        self.name = inner.name
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        from ..analysis.verifier import verify_schedule  # local: avoids a cycle
+
+        schedule = self._inner.schedule(graph)
+        verify_schedule(schedule, graph, self._capacities).raise_if_violations()
+        return schedule
+
+    def __getattr__(self, attr: str):
+        return getattr(self._inner, attr)
+
+    def __repr__(self) -> str:
+        return f"VerifyingScheduler({self._inner!r})"
+
+
+def make_scheduler(
+    name: str,
+    env_config: EnvConfig | None = None,
+    validate: bool = False,
+) -> Scheduler:
     """Instantiate the scheduler registered under ``name``.
+
+    Args:
+        name: registry key (see :func:`available_schedulers`).
+        env_config: environment shape; defaults to :class:`EnvConfig()`.
+        validate: wrap the scheduler in :class:`VerifyingScheduler` so
+            every schedule it emits is checked against the full invariant
+            set before being returned.
 
     Raises:
         ConfigError: for unknown names (message lists what exists).
@@ -50,7 +99,10 @@ def make_scheduler(name: str, env_config: EnvConfig | None = None) -> Scheduler:
         raise ConfigError(
             f"unknown scheduler {name!r}; available: {available_schedulers()}"
         ) from None
-    return factory(config)
+    scheduler = factory(config)
+    if validate:
+        return VerifyingScheduler(scheduler, config)
+    return scheduler
 
 
 register("random", lambda cfg: PolicyScheduler(RandomPolicy, cfg, name="random"))

@@ -1,0 +1,239 @@
+"""Per-rule lint tests: each rule gets minimal good and bad fixtures."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def hits(source, rule_id, path="mod.py"):
+    violations = lint_source(textwrap.dedent(source), path, select=[rule_id])
+    return [v for v in violations if v.rule_id == rule_id]
+
+
+class TestUnseededRng:
+    RULE = "REP101"
+
+    def test_stdlib_random_call_flagged(self):
+        src = """
+        import random
+
+        def shuffle(xs):
+            random.shuffle(xs)
+        """
+        assert hits(src, self.RULE)
+
+    def test_from_random_import_flagged(self):
+        src = """
+        from random import shuffle
+
+        def mix(xs):
+            shuffle(xs)
+        """
+        assert hits(src, self.RULE)
+
+    def test_np_random_module_call_flagged(self):
+        src = """
+        import numpy as np
+
+        def draw():
+            return np.random.rand(3)
+        """
+        found = hits(src, self.RULE)
+        assert found and "np.random.rand" in found[0].message
+
+    def test_unseeded_default_rng_flagged(self):
+        src = """
+        import numpy as np
+
+        def gen():
+            return np.random.default_rng()
+        """
+        assert hits(src, self.RULE)
+
+    def test_seeded_default_rng_allowed(self):
+        src = """
+        import numpy as np
+
+        def gen(seed):
+            return np.random.default_rng(seed)
+        """
+        assert not hits(src, self.RULE)
+
+    def test_seeded_stdlib_random_instance_allowed(self):
+        src = """
+        import random
+
+        def gen(seed):
+            return random.Random(seed)
+        """
+        assert not hits(src, self.RULE)
+
+    def test_generator_method_calls_allowed(self):
+        src = """
+        def draw(rng):
+            return rng.integers(0, 10)
+        """
+        assert not hits(src, self.RULE)
+
+    def test_rng_module_is_exempt(self):
+        src = """
+        import numpy as np
+
+        def fresh():
+            return np.random.default_rng()
+        """
+        assert not hits(src, self.RULE, path="utils/rng.py")
+
+
+class TestFloatTimeEquality:
+    RULE = "REP102"
+
+    def test_makespan_vs_float_literal_flagged(self):
+        src = """
+        def check(schedule):
+            return schedule.makespan == 12.0
+        """
+        assert hits(src, self.RULE)
+
+    def test_wall_time_equality_flagged(self):
+        src = """
+        def same(a, b):
+            return a.wall_time == b.wall_time
+        """
+        assert hits(src, self.RULE)
+
+    def test_elapsed_not_equal_flagged(self):
+        src = """
+        def moved(elapsed):
+            return elapsed != 0.5
+        """
+        assert hits(src, self.RULE)
+
+    def test_integer_makespan_comparison_allowed(self):
+        src = """
+        def check(schedule, expected):
+            return schedule.makespan == expected
+        """
+        assert not hits(src, self.RULE)
+
+    def test_isclose_allowed(self):
+        src = """
+        import math
+
+        def same(a, b):
+            return math.isclose(a.wall_time, b.wall_time)
+        """
+        assert not hits(src, self.RULE)
+
+    def test_unrelated_float_equality_allowed(self):
+        src = """
+        def check(threshold):
+            return threshold == 0.5
+        """
+        assert not hits(src, self.RULE)
+
+    def test_ordering_comparisons_allowed(self):
+        src = """
+        def late(schedule):
+            return schedule.wall_time > 1.5
+        """
+        assert not hits(src, self.RULE)
+
+
+class TestMutableDefaults:
+    RULE = "REP103"
+
+    def test_list_default_flagged(self):
+        src = """
+        def collect(xs=[]):
+            return xs
+        """
+        found = hits(src, self.RULE)
+        assert found and "collect" in found[0].message
+
+    def test_dict_set_and_call_defaults_flagged(self):
+        src = """
+        def a(x={}):
+            return x
+
+        def b(y=set()):
+            return y
+
+        def c(*, z=list()):
+            return z
+        """
+        assert len(hits(src, self.RULE)) == 3
+
+    def test_lambda_default_flagged(self):
+        src = "f = lambda xs=[]: xs"
+        assert hits(src, self.RULE)
+
+    def test_none_and_tuple_defaults_allowed(self):
+        src = """
+        def collect(xs=None, shape=(2, 2), n=0):
+            return xs or list(shape) * n
+        """
+        assert not hits(src, self.RULE)
+
+
+class TestBareExcept:
+    RULE = "REP104"
+
+    def test_bare_except_flagged(self):
+        src = """
+        def risky():
+            try:
+                return 1
+            except:
+                return 0
+        """
+        assert hits(src, self.RULE)
+
+    def test_typed_except_allowed(self):
+        src = """
+        def risky():
+            try:
+                return 1
+            except ValueError:
+                return 0
+        """
+        assert not hits(src, self.RULE)
+
+
+class TestMissingAll:
+    RULE = "REP105"
+
+    def test_public_module_without_all_flagged(self):
+        src = """
+        def api():
+            return 1
+        """
+        found = hits(src, self.RULE)
+        assert found and found[0].line == 1
+
+    def test_module_with_all_allowed(self):
+        src = """
+        __all__ = ["api"]
+
+        def api():
+            return 1
+        """
+        assert not hits(src, self.RULE)
+
+    def test_private_only_module_allowed(self):
+        src = """
+        _internal = 1
+
+        def _helper():
+            return _internal
+        """
+        assert not hits(src, self.RULE)
+
+    def test_main_and_test_modules_exempt(self):
+        src = """
+        def api():
+            return 1
+        """
+        assert not hits(src, self.RULE, path="pkg/__main__.py")
+        assert not hits(src, self.RULE, path="tests/test_api.py")
+        assert not hits(src, self.RULE, path="conftest.py")

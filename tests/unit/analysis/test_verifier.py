@@ -1,0 +1,218 @@
+"""Unit tests for the semantic schedule verifier: one good and at least
+one bad fixture per invariant."""
+
+import pytest
+
+from repro.analysis import (
+    SCHEDULE_INVARIANTS,
+    Severity,
+    verify_payload,
+    verify_placements,
+    verify_schedule,
+)
+from repro.dag.graph import TaskGraph
+from repro.dag.task import Task
+from repro.errors import ScheduleError
+from repro.metrics.schedule import Schedule, ScheduledTask
+
+CAPACITIES = (3, 3)
+
+
+@pytest.fixture
+def graph():
+    # 0 -> 1, with 2 independent.  Demands sized so 0+2 fit together but
+    # 0+1 overflow resource 0 on capacities (3, 3).
+    return TaskGraph(
+        [
+            Task(0, runtime=2, demands=(2, 1)),
+            Task(1, runtime=3, demands=(2, 2)),
+            Task(2, runtime=1, demands=(1, 1)),
+        ],
+        edges=[(0, 1)],
+    )
+
+
+def good_schedule():
+    return Schedule(
+        (
+            ScheduledTask(0, 0, 2),
+            ScheduledTask(1, 2, 5),
+            ScheduledTask(2, 0, 1),
+        )
+    )
+
+
+class TestCleanSchedule:
+    def test_reports_ok_with_no_violations(self, graph):
+        report = verify_schedule(good_schedule(), graph, CAPACITIES)
+        assert report.ok
+        assert report.violations == ()
+        assert report.num_tasks == 3
+        assert report.rules_checked == tuple(SCHEDULE_INVARIANTS)
+        assert "ok" in report.summary()
+        report.raise_if_violations()  # no-op on a clean report
+
+    def test_back_to_back_dependency_is_legal(self, graph):
+        # Child starting exactly at the parent's finish is allowed.
+        report = verify_schedule(good_schedule(), graph, CAPACITIES)
+        assert not report.by_rule("dependency")
+
+
+class TestPrecedence:
+    def test_child_starting_early_is_flagged(self, graph):
+        schedule = Schedule(
+            (
+                ScheduledTask(0, 0, 2),
+                ScheduledTask(1, 1, 4),  # parent 0 finishes at 2
+                ScheduledTask(2, 4, 5),
+            )
+        )
+        report = verify_schedule(schedule, graph, CAPACITIES)
+        assert not report.ok
+        hits = report.by_rule("dependency")
+        assert len(hits) == 1
+        assert hits[0].task_ids == (0, 1)
+        assert hits[0].time == 1
+        assert "dependency" in hits[0].message
+
+    def test_raise_if_violations_names_the_invariant(self, graph):
+        schedule = Schedule(
+            (
+                ScheduledTask(0, 0, 2),
+                ScheduledTask(1, 0, 3),
+                ScheduledTask(2, 5, 6),
+            )
+        )
+        report = verify_schedule(schedule, graph, CAPACITIES)
+        with pytest.raises(ScheduleError, match="dependency"):
+            report.raise_if_violations()
+
+
+class TestCapacity:
+    def test_overflow_is_flagged_with_time_and_resource(self, graph):
+        # Task 1 overlaps task 0: usage (4, 3) > (3, 3) on resource 0.
+        bad = [(0, 0, 2), (1, 0, 3), (2, 5, 6)]
+        report = verify_placements(bad, graph, CAPACITIES)
+        caps = report.by_rule("capacity")
+        assert caps, report.summary()
+        assert caps[0].resource == 0
+        assert caps[0].time == 0
+        assert "capacity violated" in caps[0].message
+
+    def test_at_capacity_is_legal(self, graph):
+        # Tasks 0 and 2 together use exactly (3, 2) <= (3, 3).
+        report = verify_placements(
+            [(0, 0, 2), (1, 2, 5), (2, 0, 1)], graph, CAPACITIES
+        )
+        assert report.ok
+
+    def test_dimension_mismatch(self, graph):
+        report = verify_placements(
+            [(0, 0, 2), (1, 2, 5), (2, 0, 1)], graph, (3,)
+        )
+        assert report.by_rule("dimension")
+        assert not report.by_rule("capacity")  # sweep skipped, not crashed
+
+
+class TestCompleteness:
+    def test_missing_task(self, graph):
+        report = verify_placements([(0, 0, 2), (1, 2, 5)], graph, CAPACITIES)
+        hits = report.by_rule("completeness")
+        assert hits and 2 in hits[0].task_ids
+        assert "missing" in hits[0].message
+
+    def test_unknown_extra_task(self, graph):
+        report = verify_placements(
+            [(0, 0, 2), (1, 2, 5), (2, 0, 1), (9, 0, 1)], graph, CAPACITIES
+        )
+        hits = report.by_rule("completeness")
+        assert hits and 9 in hits[0].task_ids
+
+    def test_duplicate_placement(self, graph):
+        report = verify_placements(
+            [(0, 0, 2), (0, 4, 6), (1, 2, 5), (2, 0, 1)], graph, CAPACITIES
+        )
+        dups = report.by_rule("duplicate")
+        assert len(dups) == 1
+        assert dups[0].task_ids == (0,)
+
+
+class TestTimeDomain:
+    def test_negative_start(self, graph):
+        report = verify_placements(
+            [(0, -1, 1), (1, 2, 5), (2, 0, 1)], graph, CAPACITIES
+        )
+        hits = report.by_rule("time-domain")
+        assert hits and "negative" in hits[0].message
+
+    def test_non_integral_times(self, graph):
+        report = verify_placements(
+            [(0, 0.5, 2.5), (1, 3, 6), (2, 0, 1)], graph, CAPACITIES
+        )
+        hits = report.by_rule("time-domain")
+        assert hits and "non-integral" in hits[0].message
+
+    def test_integral_floats_are_accepted(self, graph):
+        report = verify_placements(
+            [(0, 0.0, 2.0), (1, 2.0, 5.0), (2, 0, 1)], graph, CAPACITIES
+        )
+        assert report.ok
+
+    def test_finish_before_start(self, graph):
+        report = verify_placements(
+            [(0, 2, 2), (1, 2, 5), (2, 0, 1)], graph, CAPACITIES
+        )
+        hits = report.by_rule("time-domain")
+        assert hits and "finish" in hits[0].message
+
+
+class TestDuration:
+    def test_wrong_duration_flagged(self, graph):
+        report = verify_placements(
+            [(0, 0, 3), (1, 3, 6), (2, 0, 1)], graph, CAPACITIES
+        )
+        hits = report.by_rule("duration")
+        assert hits and hits[0].task_ids == (0,)
+        assert "duration" in hits[0].message
+
+
+class TestReportShape:
+    def test_all_violations_collected_not_just_first(self, graph):
+        # Missing task 2, duplicate 0, precedence break on 1 -> >= 3 records.
+        report = verify_placements(
+            [(0, 0, 2), (0, 0, 2), (1, 0, 3)], graph, CAPACITIES
+        )
+        rules = {v.rule_id for v in report.violations}
+        assert {"completeness", "duplicate", "dependency"} <= rules
+
+    def test_as_dict_is_json_shaped(self, graph):
+        import json
+
+        report = verify_placements([(0, 0, 2), (1, 0, 3)], graph, CAPACITIES)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["ok"] is False
+        assert payload["violations"]
+        assert all(v["severity"] == Severity.ERROR.value for v in payload["violations"])
+
+
+class TestPayloadVerification:
+    def test_lenient_payload_reports_bad_times(self, graph):
+        payload = {
+            "placements": [
+                {"task_id": 0, "start": -3, "finish": -1},
+                {"task_id": 1, "start": 2, "finish": 5},
+                {"task_id": 2, "start": 0.25, "finish": 1.25},
+            ]
+        }
+        report = verify_payload(payload, graph, CAPACITIES)
+        assert len(report.by_rule("time-domain")) >= 2
+
+    def test_malformed_payload_raises(self, graph):
+        with pytest.raises(ScheduleError, match="placements"):
+            verify_payload({"nope": []}, graph, CAPACITIES)
+        with pytest.raises(ScheduleError, match="malformed"):
+            verify_payload(
+                {"placements": [{"task_id": 0}]}, graph, CAPACITIES
+            )
+        with pytest.raises(ScheduleError, match="dict"):
+            verify_payload([1, 2], graph, CAPACITIES)

@@ -214,3 +214,39 @@ class TestClone:
         a = small_env(chain3)
         b = small_env(chain3)
         assert a.signature() == b.signature()
+
+
+class TestTerminalVerification:
+    def _run_to_completion(self, env):
+        while not env.done:
+            schedulable = [a for a in env.legal_actions() if a != PROCESS]
+            env.step(schedulable[0] if schedulable else PROCESS)
+
+    def test_clean_episode_passes_hook(self):
+        graph = chain_dag([2, 3], demands=[(2, 2)] * 2)
+        env = SchedulingEnv(
+            graph,
+            EnvConfig(
+                cluster=ClusterConfig(capacities=(10, 10), horizon=8),
+                process_until_completion=True,
+                verify_terminal=True,
+            ),
+        )
+        self._run_to_completion(env)
+        assert env.done  # hook ran inside the terminal step without raising
+        env.verify_terminal_state()  # and is explicitly re-runnable
+
+    def test_hook_requires_terminal_state(self):
+        graph = chain_dag([2, 3], demands=[(2, 2)] * 2)
+        env = small_env(graph)
+        with pytest.raises(EnvironmentStateError, match="not finished"):
+            env.verify_terminal_state()
+
+    def test_corrupted_terminal_state_raises(self):
+        graph = chain_dag([2, 3], demands=[(2, 2)] * 2)
+        env = small_env(graph, until_completion=True)
+        self._run_to_completion(env)
+        # Simulate environment-dynamics drift: falsify a recorded start.
+        env._starts[1] = 0
+        with pytest.raises(EnvironmentStateError, match="dependency"):
+            env.verify_terminal_state()

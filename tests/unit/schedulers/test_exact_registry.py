@@ -113,3 +113,39 @@ class TestRegistry:
 
         with pytest.raises(ConfigError, match="already registered"):
             register("tetris", lambda cfg: None)
+
+
+class TestVerifyingScheduler:
+    def test_validate_wraps_transparently(self, env_config, small_random_graph):
+        from repro.schedulers.registry import VerifyingScheduler
+
+        scheduler = make_scheduler("tetris", env_config, validate=True)
+        assert isinstance(scheduler, VerifyingScheduler)
+        assert scheduler.name == "tetris"
+        schedule = scheduler.schedule(small_random_graph)
+        validate_schedule(
+            schedule, small_random_graph, env_config.cluster.capacities
+        )
+        assert schedule.scheduler == "tetris"
+
+    def test_bad_inner_scheduler_is_caught(self, env_config):
+        from repro.metrics import Schedule, ScheduledTask
+        from repro.schedulers.base import Scheduler
+        from repro.schedulers.registry import VerifyingScheduler
+
+        class BrokenScheduler(Scheduler):
+            name = "broken"
+
+            def schedule(self, graph):
+                # Ignores dependencies: every task starts at t=0.
+                return Schedule(
+                    tuple(
+                        ScheduledTask(t.task_id, 0, t.runtime) for t in graph
+                    ),
+                    scheduler=self.name,
+                )
+
+        graph = chain_dag([2, 3], demands=[(1, 1)] * 2)
+        wrapped = VerifyingScheduler(BrokenScheduler(), env_config)
+        with pytest.raises(ScheduleError, match="dependency"):
+            wrapped.schedule(graph)
