@@ -1,0 +1,38 @@
+"""Microbenchmark harness for the library's hot paths.
+
+``repro bench`` runs the registered suite (:mod:`repro.bench.suites`) with
+warmup and repeated timing (:mod:`repro.bench.runner`), exports
+``BENCH_<group>.json`` artifacts, and optionally gates against the
+committed time budgets in ``benchmarks/baselines.json``
+(:mod:`repro.bench.export`).
+"""
+
+from .export import (
+    BaselineComparison,
+    compare_to_baselines,
+    export_groups,
+    load_baselines,
+    write_baselines,
+)
+from .runner import (
+    BenchmarkSpec,
+    BenchResult,
+    BenchRun,
+    machine_metadata,
+    run_benchmarks,
+)
+from .suites import default_suite
+
+__all__ = [
+    "BenchmarkSpec",
+    "BenchResult",
+    "BenchRun",
+    "BaselineComparison",
+    "compare_to_baselines",
+    "default_suite",
+    "export_groups",
+    "load_baselines",
+    "machine_metadata",
+    "run_benchmarks",
+    "write_baselines",
+]

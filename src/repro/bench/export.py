@@ -1,0 +1,146 @@
+"""JSON export and baseline regression checks for benchmark runs.
+
+Two artifact kinds:
+
+* ``BENCH_<group>.json`` — one file per benchmark group (``env``,
+  ``cluster``, ``mcts``, ``observation``), written by every run; CI
+  uploads them so the perf trajectory of the repository is a tracked
+  artifact rather than folklore.
+* ``benchmarks/baselines.json`` — committed per-benchmark time budgets in
+  microseconds.  A budget is a *ceiling with headroom* (the generating
+  machine's measured mean times a headroom factor), not a measured mean:
+  CI machines vary, and the gate exists to catch order-of-magnitude
+  regressions (an accidentally quadratic loop, a dropped cache), not 5%
+  noise.  A run regresses when its mean exceeds the budget by more than
+  ``max_regression``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List
+
+from ..errors import ConfigError
+from .runner import BenchRun
+
+__all__ = [
+    "export_groups",
+    "load_baselines",
+    "write_baselines",
+    "compare_to_baselines",
+    "BaselineComparison",
+]
+
+#: Budget multiplier applied to measured means by ``write_baselines``.
+DEFAULT_HEADROOM = 2.0
+
+
+def export_groups(run: BenchRun, out_dir: str | Path = ".") -> List[Path]:
+    """Write one ``BENCH_<group>.json`` per group; return the paths."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for group, results in run.by_group().items():
+        payload = {
+            "group": group,
+            "meta": run.meta,
+            "results": [result.as_dict() for result in results],
+        }
+        path = directory / f"BENCH_{group}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        paths.append(path)
+    return paths
+
+
+def load_baselines(path: str | Path) -> Dict[str, float]:
+    """Read a baselines file; returns ``{benchmark_name: budget_us}``.
+
+    Raises:
+        ConfigError: on unreadable or malformed input.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ConfigError(f"cannot load baselines from {path}: {exc}") from exc
+    budgets = payload.get("budgets_us")
+    if not isinstance(budgets, dict) or not all(
+        isinstance(v, (int, float)) for v in budgets.values()
+    ):
+        raise ConfigError(
+            f"baselines file {path} must map 'budgets_us' to numbers"
+        )
+    return {str(name): float(value) for name, value in budgets.items()}
+
+
+def write_baselines(
+    run: BenchRun,
+    path: str | Path,
+    headroom: float = DEFAULT_HEADROOM,
+) -> Path:
+    """Write budgets derived from ``run`` (measured mean x ``headroom``)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload: Dict[str, Any] = {
+        "meta": {
+            **run.meta,
+            "headroom": headroom,
+            "note": (
+                "budgets_us are measured means times the headroom factor; "
+                "regenerate with: repro bench --update-baselines"
+            ),
+        },
+        "budgets_us": {
+            result.name: round(result.mean_us * headroom, 2)
+            for result in sorted(run.results, key=lambda r: r.name)
+        },
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Verdict of one benchmark against its committed budget."""
+
+    name: str
+    mean_us: float
+    budget_us: float
+    ratio: float
+    ok: bool
+
+    def line(self) -> str:
+        """One human-readable report row."""
+        verdict = "ok" if self.ok else "REGRESSION"
+        return (
+            f"{self.name:<32} {self.mean_us:>10.2f} us vs budget "
+            f"{self.budget_us:.2f} us ({self.ratio:.2f}x)  {verdict}"
+        )
+
+
+def compare_to_baselines(
+    run: BenchRun,
+    baselines: Dict[str, float],
+    max_regression: float = 0.25,
+) -> List[BaselineComparison]:
+    """Check every result that has a budget; unknown benchmarks pass.
+
+    A result fails when ``mean_us > budget_us * (1 + max_regression)``.
+    """
+    comparisons: List[BaselineComparison] = []
+    for result in run.results:
+        budget = baselines.get(result.name)
+        if budget is None:
+            continue
+        ratio = result.mean_us / budget if budget > 0 else float("inf")
+        comparisons.append(
+            BaselineComparison(
+                name=result.name,
+                mean_us=result.mean_us,
+                budget_us=budget,
+                ratio=ratio,
+                ok=ratio <= 1.0 + max_regression,
+            )
+        )
+    return comparisons

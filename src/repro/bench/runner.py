@@ -1,0 +1,209 @@
+"""Microbenchmark runner: warmup, repeated timing, statistical summary.
+
+The perf work in this repository (undo-log search, fused rollouts, cached
+action masks) is only defensible if the hot paths are *measured*, so the
+runner is deliberately boring and reproducible:
+
+* every benchmark declares a ``setup`` that builds a thunk over a fixed
+  seed — no benchmark ever shares mutable state with another;
+* the thunk performs ``inner_ops`` operations per invocation so that one
+  timed invocation is comfortably above timer resolution;
+* ``warmup`` invocations are discarded (allocator/caches settle), then
+  ``repeats`` invocations are timed individually, giving a distribution
+  rather than a single number;
+* results carry machine and seed metadata so an exported JSON artifact is
+  interpretable months later on different hardware.
+
+Timing uses ``time.perf_counter`` directly (one call before and after each
+invocation); per-operation figures are reported in microseconds because
+that is the natural scale of this library's hot paths.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ConfigError
+
+__all__ = [
+    "BenchmarkSpec",
+    "BenchResult",
+    "BenchRun",
+    "machine_metadata",
+    "run_benchmarks",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One registered microbenchmark.
+
+    Attributes:
+        name: unique dotted identifier, e.g. ``"mcts.search_budget_unit"``.
+        group: export group; results land in ``BENCH_<group>.json``.
+        setup: called once per run with the seed; returns the thunk to
+            time.  Everything expensive (DAG generation, env construction)
+            belongs in ``setup``, only the measured hot path in the thunk.
+        inner_ops: operations one thunk invocation performs; per-op times
+            divide by this.  A setup whose op count depends on the
+            generated workload (trajectory length, iteration count) sets
+            an ``ops`` attribute on the returned thunk instead, which
+            overrides this field.
+        quick_repeats / repeats: timed invocations in ``--quick`` and full
+            mode respectively.
+        warmup: untimed invocations before measurement starts.
+    """
+
+    name: str
+    group: str
+    setup: Callable[[int], Callable[[], Any]]
+    inner_ops: int = 1
+    repeats: int = 30
+    quick_repeats: int = 5
+    warmup: int = 3
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Summary statistics of one benchmark's timed invocations."""
+
+    name: str
+    group: str
+    inner_ops: int
+    repeats: int
+    warmup: int
+    mean_us: float
+    median_us: float
+    stdev_us: float
+    min_us: float
+    max_us: float
+
+    @classmethod
+    def from_samples(
+        cls,
+        spec: BenchmarkSpec,
+        samples_s: List[float],
+        warmup: int,
+        inner_ops: int,
+    ) -> "BenchResult":
+        """Fold raw per-invocation seconds into per-op microseconds."""
+        per_op_us = [s / inner_ops * 1e6 for s in samples_s]
+        return cls(
+            name=spec.name,
+            group=spec.group,
+            inner_ops=inner_ops,
+            repeats=len(per_op_us),
+            warmup=warmup,
+            mean_us=statistics.fmean(per_op_us),
+            median_us=statistics.median(per_op_us),
+            stdev_us=statistics.stdev(per_op_us) if len(per_op_us) > 1 else 0.0,
+            min_us=min(per_op_us),
+            max_us=max(per_op_us),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "name": self.name,
+            "group": self.group,
+            "inner_ops": self.inner_ops,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "mean_us": self.mean_us,
+            "median_us": self.median_us,
+            "stdev_us": self.stdev_us,
+            "min_us": self.min_us,
+            "max_us": self.max_us,
+        }
+
+
+@dataclass
+class BenchRun:
+    """All results of one runner invocation plus shared metadata."""
+
+    seed: int
+    quick: bool
+    meta: Dict[str, Any]
+    results: List[BenchResult] = field(default_factory=list)
+
+    def by_group(self) -> Dict[str, List[BenchResult]]:
+        """Results bucketed by export group, insertion-ordered."""
+        groups: Dict[str, List[BenchResult]] = {}
+        for result in self.results:
+            groups.setdefault(result.group, []).append(result)
+        return groups
+
+    def result(self, name: str) -> BenchResult:
+        """Look up one result by benchmark name."""
+        for candidate in self.results:
+            if candidate.name == name:
+                return candidate
+        raise ConfigError(f"no benchmark result named {name!r}")
+
+
+def machine_metadata(seed: int, quick: bool) -> Dict[str, Any]:
+    """Reproducibility metadata recorded with every export."""
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "seed": seed,
+        "quick": quick,
+    }
+
+
+def run_benchmarks(
+    specs: List[BenchmarkSpec],
+    seed: int = 0,
+    quick: bool = False,
+    name_filter: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchRun:
+    """Execute ``specs`` in order and return the collected results.
+
+    Args:
+        specs: benchmarks to run (see :mod:`repro.bench.suites`).
+        seed: forwarded to each spec's ``setup`` for deterministic inputs.
+        quick: use each spec's ``quick_repeats`` (the CI smoke setting).
+        name_filter: substring filter on benchmark names.
+        progress: optional per-benchmark callback (the CLI prints a line).
+
+    Raises:
+        ConfigError: if the filter matches nothing.
+    """
+    selected = [
+        spec
+        for spec in specs
+        if name_filter is None or name_filter in spec.name
+    ]
+    if not selected:
+        raise ConfigError(f"no benchmark matches filter {name_filter!r}")
+    run = BenchRun(seed=seed, quick=quick, meta=machine_metadata(seed, quick))
+    for spec in selected:
+        thunk = spec.setup(seed)
+        inner_ops = getattr(thunk, "ops", spec.inner_ops)
+        for _ in range(spec.warmup):
+            thunk()
+        repeats = spec.quick_repeats if quick else spec.repeats
+        samples: List[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            thunk()
+            samples.append(time.perf_counter() - start)
+        result = BenchResult.from_samples(spec, samples, spec.warmup, inner_ops)
+        run.results.append(result)
+        if progress is not None:
+            progress(
+                f"{result.name:<32} {result.mean_us:>10.2f} us/op "
+                f"(median {result.median_us:.2f}, n={result.repeats})"
+            )
+    return run

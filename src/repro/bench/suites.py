@@ -1,0 +1,316 @@
+"""The registered benchmark suite: one spec per hot path.
+
+Benchmarks cover exactly the paths the perf work targets — environment
+stepping and cloning, the cluster event sweep, MCTS search per budget
+unit, the rollout policies, and observation building — on the same fig6
+workload the experiments use, so a benchmark regression is a regression
+in the numbers the paper reproduction reports.
+
+Every ``setup`` builds its own inputs from the run seed; thunks touch no
+shared mutable state.  All trajectories are precomputed or reseeded per
+invocation so each timed invocation does identical work (deterministic
+op counts are what make per-op times comparable across runs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..config import EnvConfig, MctsConfig
+from ..dag.graph import TaskGraph
+from ..env.actions import PROCESS
+from ..env.scheduling_env import SchedulingEnv
+from ..experiments.fig6 import generate_dags
+from ..experiments.scale import resolve_scale
+from ..utils.rng import as_generator
+from .runner import BenchmarkSpec
+
+__all__ = ["default_suite"]
+
+
+def _fig6_graph(seed: int) -> TaskGraph:
+    """First DAG of the fig6 workload at repo (laptop) scale."""
+    return generate_dags(resolve_scale(None), seed=seed)[0]
+
+
+def _env(seed: int) -> SchedulingEnv:
+    return SchedulingEnv(
+        _fig6_graph(seed), EnvConfig(process_until_completion=True)
+    )
+
+
+def _random_trajectory(env: SchedulingEnv, seed: int) -> List[int]:
+    """A fixed work-conserving episode's action sequence."""
+    rng = as_generator(seed + 10_000)
+    sim = env.clone()
+    trajectory: List[int] = []
+    while not sim.done:
+        actions = sim.expansion_actions(work_conserving=True)
+        action = actions[int(rng.integers(0, len(actions)))]
+        trajectory.append(action)
+        sim.step(action)
+    return trajectory
+
+
+# --------------------------------------------------------------------- #
+# env group
+# --------------------------------------------------------------------- #
+
+
+def _setup_env_step(seed: int) -> Callable[[], None]:
+    env = _env(seed)
+    trajectory = _random_trajectory(env, seed)
+
+    def thunk() -> None:
+        sim = env.clone()
+        step = sim.step
+        for action in trajectory:
+            step(action)
+
+    thunk.ops = len(trajectory)  # type: ignore[attr-defined]
+    return thunk
+
+
+def _setup_env_clone(seed: int) -> Callable[[], None]:
+    env = _env(seed)
+
+    def thunk() -> None:
+        for _ in range(1000):
+            env.clone()
+
+    return thunk
+
+
+def _setup_env_apply_undo(seed: int) -> Callable[[], None]:
+    env = _env(seed)
+    if 0 not in env.legal_actions():  # pragma: no cover - defensive
+        raise RuntimeError("benchmark workload has no initially fitting task")
+
+    def thunk() -> None:
+        apply, undo = env.apply, env.undo
+        for _ in range(1000):
+            undo(apply(0))
+
+    return thunk
+
+
+def _setup_env_legal_actions(seed: int) -> Callable[[], None]:
+    env = _env(seed)
+    env.legal_actions()  # prime the memo: measures the cached path
+
+    def thunk() -> None:
+        legal = env.legal_actions
+        for _ in range(1000):
+            legal()
+
+    return thunk
+
+
+def _setup_env_playout(seed: int) -> Callable[[], None]:
+    env = _env(seed)
+    limit = 1000 * env.graph.num_tasks
+
+    def thunk() -> None:
+        # Reseeded per invocation: every measurement plays the same episodes.
+        rng = as_generator(seed + 20_000)
+        for _ in range(10):
+            env.clone().random_playout(rng, limit)
+
+    return thunk
+
+
+# --------------------------------------------------------------------- #
+# cluster group
+# --------------------------------------------------------------------- #
+
+
+def _setup_cluster_event_sweep(seed: int) -> Callable[[], None]:
+    from ..cluster.state import ClusterState
+
+    state = ClusterState((200, 200))
+    rng = as_generator(seed)
+    for tid in range(40):
+        state.start(
+            tid,
+            (int(rng.integers(1, 4)), int(rng.integers(1, 4))),
+            int(rng.integers(1, 30)),
+        )
+    events = 0
+    probe = state.clone()
+    while not probe.is_idle:
+        probe.advance_to_next_event()
+        events += 1
+
+    def thunk() -> None:
+        sweep = state.clone()
+        advance = sweep.advance_to_next_event
+        while sweep._running:
+            advance()
+
+    thunk.ops = events  # type: ignore[attr-defined]
+    return thunk
+
+
+def _setup_cluster_start(seed: int) -> Callable[[], None]:
+    from ..cluster.state import ClusterState
+
+    rng = as_generator(seed)
+    demands = [
+        (int(rng.integers(1, 3)), int(rng.integers(1, 3))) for _ in range(100)
+    ]
+
+    def thunk() -> None:
+        state = ClusterState((500, 500))
+        start = state.start
+        for tid, demand in enumerate(demands):
+            start(tid, demand, 5, precleared=True)
+
+    thunk.ops = len(demands)  # type: ignore[attr-defined]
+    return thunk
+
+
+# --------------------------------------------------------------------- #
+# mcts group
+# --------------------------------------------------------------------- #
+
+
+def _setup_mcts_search(seed: int) -> Callable[[], None]:
+    from ..mcts.search import MctsScheduler
+
+    scale = resolve_scale(None)
+    graph = _fig6_graph(seed)
+    env_config = EnvConfig(process_until_completion=True)
+    config = MctsConfig(
+        initial_budget=scale.spear_budget, min_budget=scale.spear_min_budget
+    )
+
+    def make_scheduler() -> MctsScheduler:
+        return MctsScheduler(config, env_config, seed=seed)
+
+    # The iteration count is deterministic for a fixed seed and workload,
+    # so per-budget-unit time is wall time divided by a constant.
+    probe = make_scheduler()
+    probe.schedule(graph)
+    iterations = probe.last_statistics.iterations
+
+    def thunk() -> None:
+        make_scheduler().schedule(graph)
+
+    thunk.ops = iterations  # type: ignore[attr-defined]
+    return thunk
+
+
+def _setup_rollout_random(seed: int) -> Callable[[], None]:
+    from ..mcts.policies import RandomRollout
+
+    env = _env(seed)
+
+    def thunk() -> None:
+        rollout = RandomRollout(seed=seed + 30_000)
+        for _ in range(10):
+            rollout.rollout(env.clone())
+
+    return thunk
+
+
+def _setup_rollout_greedy(seed: int) -> Callable[[], None]:
+    from ..mcts.policies import GreedyRollout
+
+    env = _env(seed)
+    rollout = GreedyRollout()  # deterministic: safe to reuse across repeats
+
+    def thunk() -> None:
+        for _ in range(10):
+            rollout.rollout(env.clone())
+
+    return thunk
+
+
+# --------------------------------------------------------------------- #
+# observation group
+# --------------------------------------------------------------------- #
+
+
+def _setup_observation_build(seed: int) -> Callable[[], None]:
+    from ..env.observation import ObservationBuilder
+
+    env = _env(seed)
+    builder = ObservationBuilder(env.graph, env.config)
+    # Mid-episode state: schedule whatever fits, process once.
+    while True:
+        actions = [a for a in env.legal_actions() if a != PROCESS]
+        if not actions:
+            break
+        env.step(actions[0])
+    env.step(PROCESS)
+
+    def thunk() -> None:
+        build = builder.build
+        for _ in range(100):
+            build(env)
+
+    return thunk
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+
+
+def default_suite() -> List[BenchmarkSpec]:
+    """All registered benchmarks, in display order.
+
+    Setups whose op count depends on the generated workload (trajectory
+    length, event count, MCTS iteration count) report it via the thunk's
+    ``ops`` attribute; the others declare ``inner_ops`` here.
+    """
+    return [
+        BenchmarkSpec("env.step", "env", _setup_env_step),
+        BenchmarkSpec("env.clone", "env", _setup_env_clone, inner_ops=1000),
+        BenchmarkSpec(
+            "env.apply_undo", "env", _setup_env_apply_undo, inner_ops=1000
+        ),
+        BenchmarkSpec(
+            "env.legal_actions_cached",
+            "env",
+            _setup_env_legal_actions,
+            inner_ops=1000,
+        ),
+        BenchmarkSpec(
+            "env.random_playout",
+            "env",
+            _setup_env_playout,
+            inner_ops=10,
+            repeats=20,
+        ),
+        BenchmarkSpec("cluster.event_sweep", "cluster", _setup_cluster_event_sweep),
+        BenchmarkSpec("cluster.start", "cluster", _setup_cluster_start),
+        BenchmarkSpec(
+            "mcts.search_budget_unit",
+            "mcts",
+            _setup_mcts_search,
+            repeats=10,
+            quick_repeats=3,
+            warmup=1,
+        ),
+        BenchmarkSpec(
+            "mcts.rollout_random",
+            "mcts",
+            _setup_rollout_random,
+            inner_ops=10,
+            repeats=20,
+        ),
+        BenchmarkSpec(
+            "mcts.rollout_greedy",
+            "mcts",
+            _setup_rollout_greedy,
+            inner_ops=10,
+            repeats=20,
+        ),
+        BenchmarkSpec(
+            "observation.build",
+            "observation",
+            _setup_observation_build,
+            inner_ops=100,
+        ),
+    ]

@@ -75,6 +75,16 @@ class ClusterState:
         """Currently free slots per resource."""
         return tuple(self._available)
 
+    def available_ref(self) -> List[int]:
+        """The live free-capacity list — borrow only, never mutate.
+
+        Hot-path accessor: :attr:`available` allocates a defensive tuple
+        per call, which the environment's per-candidate fit checks cannot
+        afford.  The returned list aliases internal state and is updated
+        in place by ``start``/``advance``.
+        """
+        return self._available
+
     @property
     def num_resources(self) -> int:
         """Resource dimensionality."""
@@ -123,8 +133,25 @@ class ClusterState:
     # mutation
     # ------------------------------------------------------------------ #
 
-    def start(self, task_id: int, demands: Sequence[int], runtime: int) -> None:
+    def start(
+        self,
+        task_id: int,
+        demands: Sequence[int],
+        runtime: int,
+        precleared: bool = False,
+    ) -> RunningTask:
         """Begin running a task now, occupying its demands.
+
+        Args:
+            precleared: skip the per-call demand-shape validation.  Safe
+                only when the caller has already validated ``demands``
+                against :attr:`capacities` (the scheduling environment does
+                this once per task at construction); the free-capacity fit
+                check always runs.
+
+        Returns:
+            The :class:`RunningTask` entry recorded for the task — keep it
+            to revert the call with :meth:`undo_start`.
 
         Raises:
             CapacityError: if the demands exceed free capacity (or can never
@@ -135,18 +162,40 @@ class ClusterState:
             raise EnvironmentStateError(
                 f"task {task_id}: runtime must be >= 1, got {runtime}"
             )
-        validate_demands(demands, self.capacities, label=f"task {task_id}")
-        if not fits(demands, self._available):
-            raise CapacityError(
-                f"task {task_id}: demands {tuple(demands)} exceed free "
-                f"capacity {self.available}"
-            )
+        if not precleared:
+            validate_demands(demands, self.capacities, label=f"task {task_id}")
+        available = self._available
         for r, demand in enumerate(demands):
-            self._available[r] -= demand
-        heapq.heappush(
-            self._running,
-            RunningTask(self.now + int(runtime), int(task_id), tuple(demands)),
-        )
+            if demand > available[r]:
+                raise CapacityError(
+                    f"task {task_id}: demands {tuple(demands)} exceed free "
+                    f"capacity {self.available}"
+                )
+        for r, demand in enumerate(demands):
+            available[r] -= demand
+        entry = RunningTask(self.now + int(runtime), int(task_id), tuple(demands))
+        heapq.heappush(self._running, entry)
+        return entry
+
+    def undo_start(self, entry: RunningTask) -> None:
+        """Revert a prior :meth:`start` call, releasing its demands.
+
+        Args:
+            entry: the exact :class:`RunningTask` that :meth:`start`
+                returned.  The entry must still be running.
+
+        Raises:
+            EnvironmentStateError: if ``entry`` is not currently running.
+        """
+        try:
+            self._running.remove(entry)
+        except ValueError:
+            raise EnvironmentStateError(
+                f"undo_start: task {entry.task_id} is not running"
+            ) from None
+        heapq.heapify(self._running)
+        for r, demand in enumerate(entry.demands):
+            self._available[r] += demand
 
     def advance(self, dt: int) -> List[int]:
         """Move time forward by ``dt`` slots; release finished tasks.
@@ -158,16 +207,44 @@ class ClusterState:
         Raises:
             EnvironmentStateError: if ``dt`` is not positive.
         """
+        return [entry.task_id for entry in self.advance_entries(dt)]
+
+    def advance_entries(self, dt: int) -> List[RunningTask]:
+        """Like :meth:`advance` but return the full released entries.
+
+        The returned entries (in completion order) carry the demands and
+        finish times needed to revert the call with :meth:`undo_advance`.
+
+        Raises:
+            EnvironmentStateError: if ``dt`` is not positive.
+        """
         if dt < 1:
             raise EnvironmentStateError(f"dt must be >= 1, got {dt}")
         self.now += int(dt)
-        completed: List[int] = []
-        while self._running and self._running[0].finish_time <= self.now:
-            entry = heapq.heappop(self._running)
+        completed: List[RunningTask] = []
+        running = self._running
+        available = self._available
+        while running and running[0].finish_time <= self.now:
+            entry = heapq.heappop(running)
             for r, demand in enumerate(entry.demands):
-                self._available[r] += demand
-            completed.append(entry.task_id)
+                available[r] += demand
+            completed.append(entry)
         return completed
+
+    def undo_advance(self, dt: int, completed: Sequence[RunningTask]) -> None:
+        """Revert a prior ``advance``/``advance_entries`` call.
+
+        Args:
+            dt: the time delta that was advanced.
+            completed: the entries that call released (as returned by
+                :meth:`advance_entries`); they are re-occupied.
+        """
+        self.now -= int(dt)
+        available = self._available
+        for entry in completed:
+            for r, demand in enumerate(entry.demands):
+                available[r] -= demand
+            heapq.heappush(self._running, entry)
 
     def advance_to_next_event(self) -> Tuple[int, List[int]]:
         """Jump time to the earliest finish and release finished tasks.
@@ -178,22 +255,69 @@ class ClusterState:
         Raises:
             EnvironmentStateError: if the cluster is idle.
         """
-        target = self.earliest_finish_time()
-        completed = self.advance(target - self.now)
-        return self.now, completed
+        dt, entries = self.advance_to_next_event_entries()
+        return self.now, [entry.task_id for entry in entries]
+
+    def advance_to_next_event_entries(self) -> Tuple[int, List[RunningTask]]:
+        """Fused event sweep for the simulation hot path.
+
+        Equivalent to ``advance_entries(earliest_finish_time() - now)`` but
+        with a single method call and no intermediate bookkeeping.
+
+        Returns:
+            ``(dt, completed_entries)``; at least one task completes.
+
+        Raises:
+            EnvironmentStateError: if the cluster is idle.
+        """
+        running = self._running
+        if not running:
+            raise EnvironmentStateError("no running tasks: no next event")
+        target = running[0].finish_time
+        dt = target - self.now
+        self.now = target
+        completed: List[RunningTask] = []
+        available = self._available
+        while running and running[0].finish_time <= target:
+            entry = heapq.heappop(running)
+            for r, demand in enumerate(entry.demands):
+                available[r] += demand
+            completed.append(entry)
+        return dt, completed
 
     # ------------------------------------------------------------------ #
     # copying / equality
     # ------------------------------------------------------------------ #
 
     def clone(self) -> "ClusterState":
-        """Cheap deep-enough copy (running entries are immutable tuples)."""
+        """Cheap deep-enough copy (running entries are immutable tuples).
+
+        ``_running`` is a binary min-heap stored as a plain list; the
+        shallow ``list(...)`` copy preserves element order exactly, so the
+        clone's list satisfies the same heap invariant as the original
+        (``heap[k] <= heap[2k+1]`` and ``heap[k] <= heap[2k+2]``) without a
+        re-``heapify``.  :meth:`heap_invariant_ok` makes this checkable;
+        the regression tests interleave ``advance``/``start`` on clones to
+        pin the property down.
+        """
         copy = ClusterState.__new__(ClusterState)
         copy.capacities = self.capacities
         copy._available = list(self._available)
         copy._running = list(self._running)
         copy.now = self.now
         return copy
+
+    def heap_invariant_ok(self) -> bool:
+        """True iff the internal running-task list is a valid min-heap."""
+        heap = self._running
+        n = len(heap)
+        for k in range((n - 2) // 2 + 1):
+            left, right = 2 * k + 1, 2 * k + 2
+            if left < n and heap[left] < heap[k]:
+                return False
+            if right < n and heap[right] < heap[k]:
+                return False
+        return True
 
     def signature(self) -> Tuple:
         """Hashable snapshot of the state (for transposition detection)."""

@@ -119,6 +119,12 @@ class MctsConfig:
             ``initial_budget`` iterations (ablation 3 in DESIGN.md).
         use_max_value_ucb: Eq. (5) max-value exploitation with mean tiebreak;
             ``False`` falls back to classic mean-value UCB (ablation 4).
+        state_restore: how the search re-materializes tree states.
+            ``"undo"`` (default) keeps a single environment and walks it
+            with ``apply``/``undo`` along the selection path — no clone per
+            expansion; ``"clone"`` stores an environment clone in every
+            node (the original, memory-hungrier design).  Both produce
+            bit-identical schedules; see DESIGN.md.
 
     Rollout truncation is a property of the rollout policy, not the
     search: see :class:`repro.core.guidance.TruncatedRollout`.
@@ -130,11 +136,16 @@ class MctsConfig:
     use_expansion_filters: bool = True
     use_budget_decay: bool = True
     use_max_value_ucb: bool = True
+    state_restore: str = "undo"
 
     def __post_init__(self) -> None:
         _require(self.initial_budget >= 1, "initial_budget must be >= 1")
         _require(1 <= self.min_budget, "min_budget must be >= 1")
         _require(self.exploration_scale > 0, "exploration_scale must be > 0")
+        _require(
+            self.state_restore in ("undo", "clone"),
+            f"state_restore must be 'undo' or 'clone', got {self.state_restore!r}",
+        )
 
 
 @dataclass(frozen=True)

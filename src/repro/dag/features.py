@@ -65,12 +65,31 @@ class GraphFeatures:
         )
 
 
+#: Memo of recently computed features, keyed by graph identity.  The value
+#: keeps a strong reference to the graph and is compared with ``is`` before
+#: use: ``id()`` alone could collide after a garbage-collected graph's
+#: address is reused, and :class:`TaskGraph` uses ``__slots__`` without
+#: ``__weakref__`` (and an O(V+E) ``__hash__``), so a ``WeakKeyDictionary``
+#: is not an option.  Bounded FIFO keeps long experiment sweeps from
+#: pinning every graph they ever touched.
+_FEATURE_CACHE: Dict[int, Tuple[TaskGraph, GraphFeatures]] = {}
+_FEATURE_CACHE_MAX = 64
+
+
 def compute_features(graph: TaskGraph) -> GraphFeatures:
     """Compute :class:`GraphFeatures` for ``graph`` in O(V + E).
 
     A single reverse-topological sweep yields b-level and b-load together;
-    a forward sweep yields t-level.
+    a forward sweep yields t-level.  Results are memoized per graph
+    instance (graphs are immutable): baseline policies, observation
+    builders and analysis tooling all ask for the same graph's features
+    repeatedly, often once per episode.
     """
+
+    key = id(graph)
+    cached = _FEATURE_CACHE.get(key)
+    if cached is not None and cached[0] is graph:
+        return cached[1]
 
     order = graph.topological_order()
     num_resources = graph.num_resources
@@ -107,10 +126,14 @@ def compute_features(graph: TaskGraph) -> GraphFeatures:
 
     num_children = {tid: len(graph.children(tid)) for tid in order}
     critical_path = max(b_level.values())
-    return GraphFeatures(
+    features = GraphFeatures(
         b_level=b_level,
         t_level=t_level,
         num_children=num_children,
         b_load=b_load,
         critical_path=critical_path,
     )
+    if len(_FEATURE_CACHE) >= _FEATURE_CACHE_MAX:
+        _FEATURE_CACHE.pop(next(iter(_FEATURE_CACHE)))
+    _FEATURE_CACHE[key] = (graph, features)
+    return features

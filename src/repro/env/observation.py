@@ -86,6 +86,8 @@ class ObservationBuilder:
             for r in range(graph.num_resources)
         )
         self.size = observation_size(config, graph.num_resources)
+        # task_features is pure per (graph, config): memoize per task id.
+        self._task_feature_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -108,7 +110,14 @@ class ObservationBuilder:
 
         Layout: demands (per resource) | runtime | b-level | #children |
         b-load (per resource).
+
+        The vector depends only on the (immutable) graph and config, so it
+        is computed once per task and cached; treat the returned array as
+        read-only — it is shared across calls.
         """
+        cached = self._task_feature_cache.get(task_id)
+        if cached is not None:
+            return cached
         task = self.graph.task(task_id)
         demands = [
             d / c for d, c in zip(task.demands, self._capacities)
@@ -128,7 +137,9 @@ class ObservationBuilder:
             # know durations) but every graph-topology feature is zeroed.
             scalars = [task.runtime / self._max_runtime, 0.0, 0.0]
             bloads = [0.0] * self.graph.num_resources
-        return np.asarray(demands + scalars + bloads, dtype=np.float64)
+        vector = np.asarray(demands + scalars + bloads, dtype=np.float64)
+        self._task_feature_cache[task_id] = vector
+        return vector
 
     def build(self, env: SchedulingEnv) -> np.ndarray:
         """Full observation vector for the env's current state."""

@@ -19,28 +19,81 @@ the MCTS simulation model and the DRL training environment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import heapq
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
-from ..cluster.resources import fits, validate_demands
-from ..cluster.state import ClusterState
+from ..cluster.state import ClusterState, RunningTask
+from ..cluster.resources import validate_demands
 from ..config import EnvConfig
 from ..dag.graph import TaskGraph
-from ..errors import EnvironmentStateError
+from ..errors import CapacityError, EnvironmentStateError
 from ..metrics.schedule import Schedule
 from .actions import PROCESS, Action
 
-__all__ = ["SchedulingEnv", "StepResult"]
+__all__ = ["SchedulingEnv", "StepResult", "StepUndo"]
 
 
-@dataclass(frozen=True)
-class StepResult:
-    """Outcome of one :meth:`SchedulingEnv.step` call."""
+class StepResult(NamedTuple):
+    """Outcome of one :meth:`SchedulingEnv.step` call.
+
+    A ``NamedTuple`` rather than a dataclass: one is allocated per step on
+    the rollout hot path, and tuple construction is several times cheaper.
+    """
 
     reward: int
     done: bool
     completed: Tuple[int, ...]
     scheduled: Optional[int] = None
+
+
+class StepUndo:
+    """Undo record for one :meth:`SchedulingEnv.apply` call.
+
+    Opaque to callers: hand it back to :meth:`SchedulingEnv.undo` (in
+    strict LIFO order) to restore the pre-step state exactly.  Every record
+    snapshots the cluster's running-heap list and free-capacity list as
+    they were *before* the step — restoring them is then two O(1) rebinds
+    instead of heap surgery, and the heap layout is reproduced bit-exactly
+    (``heapify`` after an interior removal can produce a different — if
+    equally valid — layout).  The remaining payload depends on the step
+    kind:
+
+    * a *schedule* step stores the :class:`RunningTask` entry it pushed and
+      the ready-queue index it removed the task from;
+    * a *process* step stores the time delta, the released entries, and the
+      ready-queue length before newly ready tasks were appended.
+    """
+
+    __slots__ = (
+        "result",
+        "entry",
+        "ready_index",
+        "dt",
+        "released",
+        "ready_len",
+        "running",
+        "available",
+    )
+
+    def __init__(
+        self,
+        result: StepResult,
+        running: List[RunningTask],
+        available: List[int],
+        entry: Optional[RunningTask] = None,
+        ready_index: int = 0,
+        dt: int = 0,
+        released: Optional[List[RunningTask]] = None,
+        ready_len: int = 0,
+    ) -> None:
+        self.result = result
+        self.running = running
+        self.available = available
+        self.entry = entry
+        self.ready_index = ready_index
+        self.dt = dt
+        self.released = released
+        self.ready_len = ready_len
 
 
 class SchedulingEnv:
@@ -79,6 +132,21 @@ class SchedulingEnv:
             )
         for task in graph:
             validate_demands(task.demands, capacities, label=task.label())
+        # Hot-path lookup tables, shared by reference across clones (the
+        # graph is immutable, so these never change after construction).
+        self._demands: Dict[int, Tuple[int, ...]] = {
+            task.task_id: task.demands for task in graph
+        }
+        self._runtimes: Dict[int, int] = {
+            task.task_id: task.runtime for task in graph
+        }
+        self._num_tasks: int = graph.num_tasks
+        # Schedule-step results are fully determined by the started task id,
+        # so one immutable StepResult per task covers every schedule step of
+        # every clone — no allocation on that branch of the hot path.
+        self._sched_results: Dict[int, StepResult] = {
+            tid: StepResult(0, False, (), tid) for tid in graph.task_ids
+        }
         self.reset()
 
     # ------------------------------------------------------------------ #
@@ -88,6 +156,11 @@ class SchedulingEnv:
     def reset(self) -> None:
         """Return the environment to the initial state of the episode."""
         graph = self.graph
+        # Hoisted config scalars: one attribute hop instead of two on the
+        # rollout hot path.
+        self._max_ready: int = self.config.max_ready
+        self._until_completion: bool = self.config.process_until_completion
+        self._verify_terminal: bool = self.config.verify_terminal
         self.cluster = ClusterState(self.config.cluster.capacities)
         self._unmet: Dict[int, int] = {
             tid: len(graph.parents(tid)) for tid in graph.task_ids
@@ -101,6 +174,12 @@ class SchedulingEnv:
         self._running: set[int] = set()
         self._starts: Dict[int, int] = {}
         self.steps_taken: int = 0
+        # State-version counter for the memoized legal-action set: bumped by
+        # every mutation (step, apply, undo), so a cached computation is
+        # reused only while the state is untouched.
+        self._version: int = 0
+        self._actions_cache: List[Action] = []
+        self._actions_version: int = -1
 
     # ------------------------------------------------------------------ #
     # queries
@@ -109,7 +188,7 @@ class SchedulingEnv:
     @property
     def done(self) -> bool:
         """True iff every task in the graph has finished."""
-        return len(self._finished) == self.graph.num_tasks
+        return len(self._finished) == self._num_tasks
 
     @property
     def now(self) -> int:
@@ -135,7 +214,7 @@ class SchedulingEnv:
 
     def visible_ready(self) -> List[int]:
         """Task ids in the visibility window, in backlog arrival order."""
-        return self._ready[: self.config.max_ready]
+        return self._ready[: self._max_ready]
 
     def all_ready(self) -> List[int]:
         """All ready task ids (visible + backlog)."""
@@ -164,15 +243,48 @@ class SchedulingEnv:
         capacity; ``PROCESS`` is legal whenever at least one task is
         running (processing an idle cluster is the "superficial action"
         Sec. III-A excludes from the search space).
+
+        The computation is memoized per state version: repeated queries of
+        an unchanged state (policies typically ask two or three times per
+        decision) cost one list copy.  ``PROCESS``, when legal, is always
+        the last element.
         """
+        if self._actions_version != self._version:
+            self._refresh_actions()
+        return list(self._actions_cache)
+
+    def _refresh_actions(self) -> None:
+        """Recompute the memoized legal-action list for the current state."""
         actions: List[Action] = []
-        available = self.cluster.available
-        for index, tid in enumerate(self.visible_ready()):
-            if fits(self.graph.task(tid).demands, available):
-                actions.append(index)
-        if not self.cluster.is_idle:
-            actions.append(PROCESS)
-        return actions
+        cluster = self.cluster
+        available = cluster._available
+        demands_of = self._demands
+        append = actions.append
+        index = 0
+        for tid in self._ready[: self._max_ready]:
+            for demand, free in zip(demands_of[tid], available):
+                if demand > free:
+                    break
+            else:
+                append(index)
+            index += 1
+        if cluster._running:
+            append(PROCESS)
+        self._actions_cache = actions
+        self._actions_version = self._version
+
+    def action_mask(self) -> List[bool]:
+        """Legality mask over the fixed action space.
+
+        Entry ``i < max_ready`` is True iff scheduling visible slot ``i``
+        is legal now; the final entry is True iff ``PROCESS`` is legal.
+        Useful for masking network logits without materializing per-state
+        action lists.
+        """
+        mask = [False] * (self.config.max_ready + 1)
+        for action in self.legal_actions():
+            mask[action] = True  # PROCESS == -1 lands on the last entry
+        return mask
 
     def expansion_actions(self, work_conserving: bool = True) -> List[Action]:
         """Candidate actions for MCTS expansion (Sec. III-C filters).
@@ -196,13 +308,15 @@ class SchedulingEnv:
         legal action set is returned and the search may idle capacity on
         purpose.
         """
-        actions = self.legal_actions()
-        if not work_conserving:
-            return actions
-        schedule_actions = [a for a in actions if a != PROCESS]
-        if schedule_actions:
-            return schedule_actions
-        return actions
+        if self._actions_version != self._version:
+            self._refresh_actions()
+        actions = self._actions_cache
+        if work_conserving and len(actions) > 1 and actions[-1] == PROCESS:
+            # PROCESS, when present, is always the last element of the
+            # legal action list, so the work-conserving filter is a
+            # constant-time truncation instead of a scan.
+            return actions[:-1]
+        return list(actions)
 
     # ------------------------------------------------------------------ #
     # dynamics
@@ -211,10 +325,100 @@ class SchedulingEnv:
     def step(self, action: Action) -> StepResult:
         """Apply ``action``; return reward, termination and side effects.
 
+        The non-recording twin of :meth:`apply`: identical dynamics (the
+        undo-equivalence property tests pin this down), but no undo record
+        is allocated — this is the rollout hot path.
+
         Raises:
             EnvironmentStateError: on an illegal action (episode done,
                 index out of window, task does not fit, or PROCESS on an
                 idle cluster).
+        """
+        finished = self._finished
+        if len(finished) == self._num_tasks:
+            raise EnvironmentStateError("episode already finished")
+        self.steps_taken += 1
+        if action == PROCESS:
+            cluster = self.cluster
+            if cluster.is_idle:
+                raise EnvironmentStateError("PROCESS on an idle cluster")
+            if self._until_completion:
+                dt, released = cluster.advance_to_next_event_entries()
+            else:
+                dt = 1
+                released = cluster.advance_entries(1)
+            # Inlined _on_completions (same dynamics, fused id collection):
+            # this is the busiest branch of the rollout hot path.
+            completed = []
+            running = self._running
+            ready = self._ready
+            unmet = self._unmet
+            children = self.graph.children
+            for entry in released:
+                tid = entry.task_id
+                completed.append(tid)
+                running.discard(tid)
+                finished.add(tid)
+                newly_ready = []
+                for child in children(tid):
+                    remaining = unmet[child] - 1
+                    unmet[child] = remaining
+                    if remaining == 0:
+                        newly_ready.append(child)
+                if newly_ready:
+                    # Deterministic arrival order within one completion.
+                    newly_ready.sort()
+                    ready.extend(newly_ready)
+            self._version += 1
+            done = len(finished) == self._num_tasks
+            if done and self._verify_terminal:
+                self.verify_terminal_state()
+            return StepResult(-dt, done, tuple(completed))
+        ready = self._ready
+        num_visible = len(ready)
+        if num_visible > self._max_ready:
+            num_visible = self._max_ready
+        if not 0 <= action < num_visible:
+            raise EnvironmentStateError(
+                f"schedule index {action} out of range (visible={num_visible})"
+            )
+        tid = ready[action]
+        # Inlined ClusterState.start (precleared: demand shapes and runtime
+        # were validated once at construction); the free-capacity fit check
+        # always runs and raises the same CapacityError.
+        cluster = self.cluster
+        demands = self._demands[tid]
+        available = cluster._available
+        for demand, free in zip(demands, available):
+            if demand > free:
+                raise CapacityError(
+                    f"task {tid}: demands {demands} exceed free "
+                    f"capacity {cluster.available}"
+                )
+        for r, demand in enumerate(demands):
+            available[r] -= demand
+        heapq.heappush(
+            cluster._running,
+            RunningTask(cluster.now + self._runtimes[tid], tid, demands),
+        )
+        del ready[action]
+        self._running.add(tid)
+        self._starts[tid] = cluster.now
+        self._version += 1
+        return self._sched_results[tid]
+
+    def apply(self, action: Action) -> StepUndo:
+        """Like :meth:`step`, but also return an undo record.
+
+        Handing the record back to :meth:`undo` (strict LIFO order when
+        several are outstanding) restores the pre-step state exactly —
+        same :meth:`signature`, same legal actions, same start times.
+        This is the state-restore primitive behind the clone-free MCTS
+        search: applying and undoing an action is far cheaper than cloning
+        the whole environment per tree edge.
+
+        Raises:
+            EnvironmentStateError: on an illegal action, as :meth:`step`.
         """
         if self.done:
             raise EnvironmentStateError("episode already finished")
@@ -223,49 +427,225 @@ class SchedulingEnv:
             return self._process()
         return self._schedule(action)
 
-    def _schedule(self, index: int) -> StepResult:
-        visible = self.visible_ready()
-        if not 0 <= index < len(visible):
-            raise EnvironmentStateError(
-                f"schedule index {index} out of range (visible={len(visible)})"
-            )
-        tid = visible[index]
-        task = self.graph.task(tid)
-        # ClusterState.start re-checks capacity and raises CapacityError.
-        self.cluster.start(tid, task.demands, task.runtime)
-        self._ready.remove(tid)
-        self._running.add(tid)
-        self._starts[tid] = self.cluster.now
-        return StepResult(reward=0, done=False, completed=(), scheduled=tid)
+    def undo(self, record: StepUndo) -> None:
+        """Revert one :meth:`apply` call.
 
-    def _process(self) -> StepResult:
-        if self.cluster.is_idle:
-            raise EnvironmentStateError("PROCESS on an idle cluster")
-        if self.config.process_until_completion:
-            before = self.cluster.now
-            _, completed = self.cluster.advance_to_next_event()
-            dt = self.cluster.now - before
-        else:
-            completed = self.cluster.advance(1)
-            dt = 1
-        self._on_completions(completed)
-        if self.done and self.config.verify_terminal:
-            self.verify_terminal_state()
-        return StepResult(
-            reward=-dt, done=self.done, completed=tuple(completed)
+        Records must be undone in reverse application order; handing back
+        anything else corrupts the state (this is an internal search
+        primitive, so no cross-checking is done on the hot path).
+        """
+        cluster = self.cluster
+        cluster._running = record.running
+        cluster._available = record.available
+        entry = record.entry
+        if entry is not None:  # schedule step
+            tid = entry.task_id
+            self._ready.insert(record.ready_index, tid)
+            self._running.discard(tid)
+            del self._starts[tid]
+        else:  # process step
+            cluster.now -= record.dt
+            released = record.released or ()
+            del self._ready[record.ready_len:]
+            unmet = self._unmet
+            children = self.graph.children
+            for released_entry in released:
+                tid = released_entry.task_id
+                self._finished.discard(tid)
+                self._running.add(tid)
+                for child in children(tid):
+                    unmet[child] += 1
+        self.steps_taken -= 1
+        self._version += 1
+
+    def _schedule(self, index: int) -> StepUndo:
+        ready = self._ready
+        num_visible = min(len(ready), self._max_ready)
+        if not 0 <= index < num_visible:
+            raise EnvironmentStateError(
+                f"schedule index {index} out of range (visible={num_visible})"
+            )
+        tid = ready[index]
+        # Inlined ClusterState.start, mirroring :meth:`step`'s schedule
+        # branch exactly (the undo-equivalence tests pin the two together);
+        # the pre-step heap/capacity snapshots become the undo payload.
+        cluster = self.cluster
+        demands = self._demands[tid]
+        available = cluster._available
+        for demand, free in zip(demands, available):
+            if demand > free:
+                raise CapacityError(
+                    f"task {tid}: demands {demands} exceed free "
+                    f"capacity {cluster.available}"
+                )
+        running_snapshot = list(cluster._running)
+        available_snapshot = list(available)
+        for r, demand in enumerate(demands):
+            available[r] -= demand
+        entry = RunningTask(cluster.now + self._runtimes[tid], tid, demands)
+        heapq.heappush(cluster._running, entry)
+        del ready[index]
+        self._running.add(tid)
+        self._starts[tid] = cluster.now
+        self._version += 1
+        return StepUndo(
+            self._sched_results[tid],
+            running_snapshot,
+            available_snapshot,
+            entry=entry,
+            ready_index=index,
         )
 
+    def _process(self) -> StepUndo:
+        cluster = self.cluster
+        if cluster.is_idle:
+            raise EnvironmentStateError("PROCESS on an idle cluster")
+        ready_len = len(self._ready)
+        running_snapshot = list(cluster._running)
+        available_snapshot = list(cluster._available)
+        if self._until_completion:
+            dt, released = cluster.advance_to_next_event_entries()
+        else:
+            dt = 1
+            released = cluster.advance_entries(1)
+        completed = [released_entry.task_id for released_entry in released]
+        self._on_completions(completed)
+        self._version += 1
+        done = len(self._finished) == self._num_tasks
+        if done and self._verify_terminal:
+            self.verify_terminal_state()
+        return StepUndo(
+            StepResult(-dt, done, tuple(completed)),
+            running_snapshot,
+            available_snapshot,
+            dt=dt,
+            released=released,
+            ready_len=ready_len,
+        )
+
+    def random_playout(self, rng, limit: int) -> int:
+        """Play uniformly random work-conserving actions until done.
+
+        The fully fused rollout loop: one method call per *episode* instead
+        of per step, with the dynamics of :meth:`step` inlined and every
+        loop-invariant attribute hoisted into a local.  Semantically this
+        is exactly ``while not done: step(choice(expansion_actions()))``
+        with choices drawn as ``rng.integers(0, n)`` — the same draw count,
+        bounds and order as ``RandomPolicy(work_conserving=True)``, so the
+        RNG stream and the trajectory are bit-identical to the unfused
+        loop (the equivalence tests compare final states *and* generator
+        states).  MCTS runs one of these per budget unit; it is the
+        hottest loop in the library.
+
+        Args:
+            rng: ``numpy.random.Generator`` to draw action choices from.
+            limit: step cap; exceeding it raises ``RuntimeError`` (a
+                livelocked rollout is a bug, not a result).
+
+        Returns:
+            The episode makespan.
+        """
+        cluster = self.cluster
+        heap = cluster._running
+        available = cluster._available
+        ready = self._ready
+        finished = self._finished
+        running = self._running
+        unmet = self._unmet
+        starts = self._starts
+        demands_of = self._demands
+        runtimes = self._runtimes
+        children = self.graph.children
+        num_tasks = self._num_tasks
+        max_ready = self._max_ready
+        until_completion = self._until_completion
+        two_dim = len(available) == 2
+        integers = rng.integers
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        steps = 0
+        while len(finished) != num_tasks:
+            if steps >= limit:
+                raise RuntimeError("rollout exceeded step limit; livelocked policy")
+            steps += 1
+            # Fitting visible-window indices (the work-conserving candidate
+            # set); free capacity is loop-invariant within one decision.
+            visible = ready if len(ready) <= max_ready else ready[:max_ready]
+            actions: List[int] = []
+            index = 0
+            if two_dim:
+                free0, free1 = available
+                for tid in visible:
+                    demands = demands_of[tid]
+                    if demands[0] <= free0 and demands[1] <= free1:
+                        actions.append(index)
+                    index += 1
+            else:
+                for tid in visible:
+                    for demand, free in zip(demands_of[tid], available):
+                        if demand > free:
+                            break
+                    else:
+                        actions.append(index)
+                    index += 1
+            n = len(actions)
+            if n:
+                # Schedule a uniformly random fitting task (PROCESS is
+                # filtered out whenever something fits: work conservation).
+                chosen = actions[int(integers(0, n))]
+                tid = ready[chosen]
+                demands = demands_of[tid]
+                for r, demand in enumerate(demands):
+                    available[r] -= demand
+                heappush(heap, RunningTask(cluster.now + runtimes[tid], tid, demands))
+                del ready[chosen]
+                running.add(tid)
+                starts[tid] = cluster.now
+                continue
+            # Nothing fits: PROCESS is the only candidate (the draw still
+            # happens so the stream matches the unfused policy loop).
+            if not heap:
+                raise EnvironmentStateError("no legal actions")
+            integers(0, 1)
+            now = heap[0][0] if until_completion else cluster.now + 1
+            cluster.now = now
+            while heap and heap[0][0] <= now:
+                finish, tid, demands = heappop(heap)
+                for r, demand in enumerate(demands):
+                    available[r] += demand
+                running.discard(tid)
+                finished.add(tid)
+                newly_ready = []
+                for child in children(tid):
+                    remaining = unmet[child] - 1
+                    unmet[child] = remaining
+                    if remaining == 0:
+                        newly_ready.append(child)
+                if newly_ready:
+                    newly_ready.sort()
+                    ready.extend(newly_ready)
+        self.steps_taken += steps
+        self._version += steps
+        if self._verify_terminal:
+            self.verify_terminal_state()
+        return cluster.now
+
     def _on_completions(self, completed: Sequence[int]) -> None:
+        unmet = self._unmet
+        children = self.graph.children
         for tid in completed:
             self._running.discard(tid)
             self._finished.add(tid)
             newly_ready = []
-            for child in self.graph.children(tid):
-                self._unmet[child] -= 1
-                if self._unmet[child] == 0:
+            for child in children(tid):
+                remaining = unmet[child] - 1
+                unmet[child] = remaining
+                if remaining == 0:
                     newly_ready.append(child)
-            # Deterministic arrival order within one completion.
-            self._ready.extend(sorted(newly_ready))
+            if newly_ready:
+                # Deterministic arrival order within one completion.
+                newly_ready.sort()
+                self._ready.extend(newly_ready)
 
     # ------------------------------------------------------------------ #
     # copying / export
@@ -283,6 +663,20 @@ class SchedulingEnv:
         copy._running = set(self._running)
         copy._starts = dict(self._starts)
         copy.steps_taken = self.steps_taken
+        copy._max_ready = self._max_ready
+        copy._until_completion = self._until_completion
+        copy._verify_terminal = self._verify_terminal
+        # Immutable per-graph tables: shared by reference.
+        copy._demands = self._demands
+        copy._runtimes = self._runtimes
+        copy._num_tasks = self._num_tasks
+        copy._sched_results = self._sched_results
+        # The memoized action list is valid for the identical state; cache
+        # entries are replaced wholesale (never mutated in place), so
+        # sharing the current one is safe.
+        copy._version = self._version
+        copy._actions_cache = self._actions_cache
+        copy._actions_version = self._actions_version
         return copy
 
     def signature(self) -> Tuple:

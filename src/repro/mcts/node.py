@@ -24,12 +24,17 @@ class Node:
 
     Args:
         env: the environment state this node represents (owned: callers
-            must pass a clone they will not mutate).
+            must pass a clone they will not mutate).  ``None`` in the
+            undo-log search mode, where the single search environment is
+            re-materialized at a node by replaying the action path — pass
+            ``terminal`` explicitly in that case.
         parent: parent node, ``None`` for the root.
         action: the action that led here from the parent.
         untried: expansion candidates not yet turned into children, in
             priority order (the expansion policy decides the order; the
             search pops from the front).
+        terminal: whether the node's state is terminal; required (and only
+            used) when ``env`` is ``None``.
     """
 
     __slots__ = (
@@ -41,14 +46,16 @@ class Node:
         "visits",
         "max_value",
         "sum_value",
+        "terminal",
     )
 
     def __init__(
         self,
-        env: SchedulingEnv,
+        env: Optional[SchedulingEnv] = None,
         parent: Optional["Node"] = None,
         action: Optional[Action] = None,
         untried: Optional[List[Action]] = None,
+        terminal: bool = False,
     ) -> None:
         self.env = env
         self.parent = parent
@@ -58,13 +65,16 @@ class Node:
         self.visits: int = 0
         self.max_value: float = -math.inf
         self.sum_value: float = 0.0
+        self.terminal: bool = terminal
 
     # ------------------------------------------------------------------ #
 
     @property
     def is_terminal(self) -> bool:
         """True iff the underlying episode has finished."""
-        return self.env.done
+        if self.env is not None:
+            return self.env.done
+        return self.terminal
 
     @property
     def fully_expanded(self) -> bool:
@@ -101,18 +111,35 @@ class Node:
 
     def best_child(self, c: float, use_max: bool = True) -> "Node":
         """Child maximizing :meth:`ucb_score`; mean value breaks ties,
-        then visit count, then action id (determinism)."""
+        then visit count, then action id (determinism).
+
+        Hand-rolled argmax over the same key tuple a ``max(..., key=...)``
+        would build: ``log(visits)`` is hoisted out of the child loop and
+        no per-child lambda frame is allocated — this runs once per edge
+        of every selection descent.
+        """
         if not self.children:
             raise ValueError("node has no children")
-        return max(
-            self.children.values(),
-            key=lambda ch: (
-                self.ucb_score(ch, c, use_max),
-                ch.mean_value,
-                ch.visits,
-                -(ch.action if ch.action is not None else 0),
-            ),
-        )
+        log_n = math.log(self.visits) if self.visits > 1 else 0.0
+        sqrt = math.sqrt
+        best: Optional["Node"] = None
+        best_key = None
+        for child in self.children.values():
+            visits = child.visits
+            if visits == 0:
+                score = math.inf
+                mean = 0.0
+            else:
+                mean = child.sum_value / visits
+                exploit = child.max_value if use_max else mean
+                score = exploit + c * sqrt(log_n / visits)
+            action = child.action
+            key = (score, mean, visits, -(action if action is not None else 0))
+            if best is None or key > best_key:
+                best = child
+                best_key = key
+        assert best is not None
+        return best
 
     def exploitation_child(self, use_max: bool = True) -> "Node":
         """Child with the best exploitation score (no exploration term) —

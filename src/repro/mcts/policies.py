@@ -67,14 +67,25 @@ class _PolicyRollout(RolloutPolicy):
     def __init__(self, policy_factory: Callable[[], Policy], max_steps_factor: int = 50) -> None:
         self._factory = policy_factory
         self._max_steps_factor = max_steps_factor
+        self._limit_cache: tuple[object, int] | None = None  # (graph, limit)
+
+    def _step_limit(self, env: SchedulingEnv) -> int:
+        """Livelock cap for one episode, memoized per graph instance (MCTS
+        runs thousands of rollouts over the same graph)."""
+        cached = self._limit_cache
+        if cached is not None and cached[0] is env.graph:
+            return cached[1]
+        limit = self._max_steps_factor * (
+            sum(task.runtime for task in env.graph) + env.graph.num_tasks
+        )
+        self._limit_cache = (env.graph, limit)
+        return limit
 
     def rollout(self, env: SchedulingEnv) -> int:
         policy = self._factory()
         policy.begin_episode(env)
         # Generous cap: a livelocked rollout policy is a bug, not a result.
-        limit = self._max_steps_factor * (
-            sum(task.runtime for task in env.graph) + env.graph.num_tasks
-        )
+        limit = self._step_limit(env)
         steps = 0
         while not env.done:
             if steps >= limit:
@@ -91,7 +102,21 @@ class RandomRollout(_PolicyRollout):
         from ..schedulers.policies import RandomPolicy
 
         rng = as_generator(seed)
+        self._rng = rng
         super().__init__(lambda: RandomPolicy(seed=rng))
+
+    def rollout(self, env: SchedulingEnv) -> int:
+        """Delegate to the environment's fused random-playout loop.
+
+        :meth:`SchedulingEnv.random_playout` is semantically identical to
+        the generic :class:`_PolicyRollout` loop over
+        ``RandomPolicy(work_conserving=True)`` — same action trajectory
+        and the exact same RNG stream — but fuses the whole episode into
+        one call (the equivalence tests compare final states and generator
+        states).  MCTS runs thousands of these per decision; it is the
+        single hottest path in the library.
+        """
+        return env.random_playout(self._rng, self._step_limit(env))
 
 
 class GreedyRollout(_PolicyRollout):

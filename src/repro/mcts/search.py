@@ -98,10 +98,14 @@ class MctsScheduler(Scheduler):
         :attr:`last_statistics`."""
         stats = SearchStatistics()
         watch = Stopwatch()
+        undo_mode = self.config.state_restore == "undo"
         with watch:
             env = SchedulingEnv(graph, self.env_config)
             exploration = self._exploration_constant(graph, stats)
-            root = Node(env.clone(), untried=self._candidates(env))
+            root = Node(
+                None if undo_mode else env.clone(),
+                untried=self._candidates(env),
+            )
             depth = 1
             while not env.done:
                 budget = (
@@ -112,9 +116,14 @@ class MctsScheduler(Scheduler):
                     else self.config.initial_budget
                 )
                 stats.budgets.append(budget)
-                for _ in range(budget):
-                    self._iterate(root, exploration, stats)
-                    stats.iterations += 1
+                if undo_mode:
+                    for _ in range(budget):
+                        self._iterate_undo(root, env, exploration, stats)
+                        stats.iterations += 1
+                else:
+                    for _ in range(budget):
+                        self._iterate(root, exploration, stats)
+                        stats.iterations += 1
                 if not root.children:
                     # All candidates exhausted without a single expansion —
                     # cannot happen while the env is live, but guard anyway.
@@ -145,6 +154,63 @@ class MctsScheduler(Scheduler):
         probe = SchedulingEnv(graph, self.env_config)
         estimate = GreedyRollout().rollout(probe)
         return self.config.exploration_scale * max(1, estimate)
+
+    def _iterate_undo(
+        self,
+        root: Node,
+        env: SchedulingEnv,
+        exploration: float,
+        stats: SearchStatistics,
+    ) -> None:
+        """One budget unit in undo-log mode: the single search environment
+        walks down the selected path via ``apply`` and is restored to the
+        root state via LIFO ``undo`` — no clone per tree edge.
+
+        Behaviourally identical to :meth:`_iterate` (same node visit
+        sequence, same policy/RNG consumption), so the two state-restore
+        modes produce bit-identical schedules.
+        """
+        node = root
+        undo_stack = []
+        use_max = self.config.use_max_value_ucb
+        # Selection: descend while fully expanded and non-terminal.
+        while not node.terminal and not node.untried and node.children:
+            node = node.best_child(exploration, use_max)
+            undo_stack.append(env.apply(node.action))
+        # Expansion: realize the most promising untried action.
+        if not node.terminal and node.untried:
+            if len(node.untried) > 1:
+                node.untried = self.expansion.prioritize(env, node.untried)
+            action = node.untried.pop(0)
+            undo_stack.append(env.apply(action))
+            done = env.done
+            child = Node(
+                None,
+                parent=node,
+                action=action,
+                untried=self._candidates(env) if not done else [],
+                terminal=done,
+            )
+            node.children[action] = child
+            node = child
+        # Simulation: value = negative makespan.
+        if node.terminal:
+            value = float(-env.makespan)
+        else:
+            sim = env.clone()
+            value = float(-self.rollout.rollout(sim))
+            stats.rollouts += 1
+        # Backpropagation.
+        depth = 0
+        walker: Optional[Node] = node
+        while walker is not None:
+            walker.update(value)
+            walker = walker.parent
+            depth += 1
+        stats.max_tree_depth = max(stats.max_tree_depth, depth)
+        # Restore the environment to the root state.
+        while undo_stack:
+            env.undo(undo_stack.pop())
 
     def _iterate(self, root: Node, exploration: float, stats: SearchStatistics) -> None:
         """One budget unit: select, expand, simulate, backpropagate."""

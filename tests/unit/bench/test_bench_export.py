@@ -1,0 +1,127 @@
+"""Unit tests for benchmark JSON export and the baseline regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench.export import (
+    compare_to_baselines,
+    export_groups,
+    load_baselines,
+    write_baselines,
+)
+from repro.bench.runner import BenchResult, BenchRun
+from repro.errors import ConfigError
+
+
+def make_run(means):
+    """A BenchRun with one result per ``{name: mean_us}`` entry."""
+    results = [
+        BenchResult(
+            name=name,
+            group=name.split(".")[0],
+            inner_ops=1,
+            repeats=3,
+            warmup=1,
+            mean_us=mean,
+            median_us=mean,
+            stdev_us=0.0,
+            min_us=mean,
+            max_us=mean,
+        )
+        for name, mean in means.items()
+    ]
+    return BenchRun(seed=0, quick=True, meta={"seed": 0}, results=results)
+
+
+class TestExportGroups:
+    def test_one_file_per_group(self, tmp_path):
+        run = make_run({"env.step": 1.0, "env.clone": 2.0, "mcts.search": 3.0})
+        paths = export_groups(run, tmp_path)
+        assert sorted(p.name for p in paths) == [
+            "BENCH_env.json",
+            "BENCH_mcts.json",
+        ]
+        payload = json.loads((tmp_path / "BENCH_env.json").read_text())
+        assert payload["group"] == "env"
+        assert payload["meta"] == {"seed": 0}
+        assert [r["name"] for r in payload["results"]] == [
+            "env.step",
+            "env.clone",
+        ]
+
+    def test_creates_output_directory(self, tmp_path):
+        run = make_run({"env.step": 1.0})
+        paths = export_groups(run, tmp_path / "nested" / "dir")
+        assert paths[0].is_file()
+
+
+class TestBaselines:
+    def test_write_then_load_round_trip(self, tmp_path):
+        run = make_run({"env.step": 10.0, "mcts.search": 100.0})
+        path = write_baselines(run, tmp_path / "baselines.json", headroom=2.0)
+        budgets = load_baselines(path)
+        assert budgets == {"env.step": 20.0, "mcts.search": 200.0}
+        payload = json.loads(path.read_text())
+        assert payload["meta"]["headroom"] == 2.0
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_baselines(tmp_path / "absent.json")
+
+    def test_load_rejects_malformed_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"budgets_us": {"x": "fast"}}))
+        with pytest.raises(ConfigError):
+            load_baselines(path)
+        path.write_text(json.dumps({"wrong_key": {}}))
+        with pytest.raises(ConfigError):
+            load_baselines(path)
+
+
+class TestCompare:
+    def test_within_budget_passes(self):
+        run = make_run({"env.step": 10.0})
+        comparisons = compare_to_baselines(
+            run, {"env.step": 10.0}, max_regression=0.25
+        )
+        assert len(comparisons) == 1 and comparisons[0].ok
+        assert comparisons[0].ratio == pytest.approx(1.0)
+        assert "ok" in comparisons[0].line()
+
+    def test_regression_beyond_tolerance_fails(self):
+        run = make_run({"env.step": 12.6})
+        (comparison,) = compare_to_baselines(
+            run, {"env.step": 10.0}, max_regression=0.25
+        )
+        assert not comparison.ok
+        assert "REGRESSION" in comparison.line()
+
+    def test_boundary_is_inclusive(self):
+        run = make_run({"env.step": 12.5})
+        (comparison,) = compare_to_baselines(
+            run, {"env.step": 10.0}, max_regression=0.25
+        )
+        assert comparison.ok
+
+    def test_unknown_benchmark_is_skipped(self):
+        run = make_run({"env.step": 1.0, "env.new_path": 999.0})
+        comparisons = compare_to_baselines(run, {"env.step": 2.0})
+        assert [c.name for c in comparisons] == ["env.step"]
+
+    def test_zero_budget_always_fails(self):
+        run = make_run({"env.step": 1.0})
+        (comparison,) = compare_to_baselines(run, {"env.step": 0.0})
+        assert not comparison.ok and comparison.ratio == float("inf")
+
+
+def test_committed_baselines_cover_default_suite():
+    """The repo's committed budgets gate every registered benchmark."""
+    from pathlib import Path
+
+    from repro.bench.suites import default_suite
+
+    repo_root = Path(__file__).resolve().parents[3]
+    budgets = load_baselines(repo_root / "benchmarks" / "baselines.json")
+    names = {spec.name for spec in default_suite()}
+    assert names == set(budgets)

@@ -157,6 +157,38 @@ class TestCloneAndEquality:
     def test_repr(self, cluster):
         assert "now=0" in repr(cluster)
 
+    def test_clone_preserves_heap_invariant(self, cluster):
+        """Regression: a clone's running list must stay a valid heap.
+
+        ``clone`` shallow-copies the running-heap list and relies on its
+        order being preserved (no re-``heapify``); interleaved
+        ``advance``/``start`` on the clone afterwards must keep popping
+        events in finish-time order.
+        """
+        cluster.start(1, (2, 2), 7)
+        cluster.start(2, (1, 1), 3)
+        cluster.start(3, (3, 3), 5)
+        copy = cluster.clone()
+        assert copy.heap_invariant_ok()
+
+        now, done = copy.advance_to_next_event()
+        assert (now, done) == (3, [2])
+        copy.start(4, (2, 2), 1)
+        assert copy.heap_invariant_ok()
+
+        now, done = copy.advance_to_next_event()
+        assert (now, done) == (4, [4])
+        copy.start(5, (1, 1), 1)
+        assert copy.heap_invariant_ok()
+
+        now, done = copy.advance_to_next_event()
+        assert (now, done) == (5, [3, 5])
+        now, done = copy.advance_to_next_event()
+        assert (now, done) == (7, [1])
+        assert copy.is_idle and copy.available == (10, 10)
+        # The original never moved.
+        assert cluster.now == 0 and len(cluster.running_tasks()) == 3
+
 
 class TestConservation:
     def test_resources_conserved_over_lifecycle(self, cluster):

@@ -1,0 +1,135 @@
+"""Unit tests for the apply/undo records and the fused random playout."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, EnvConfig
+from repro.dag.generators import chain_dag, fork_join_dag
+from repro.env import PROCESS, SchedulingEnv
+from repro.errors import EnvironmentStateError
+
+
+def make_env(graph, until_completion=True):
+    return SchedulingEnv(
+        graph,
+        EnvConfig(
+            cluster=ClusterConfig(capacities=(10, 10), horizon=8),
+            max_ready=5,
+            process_until_completion=until_completion,
+        ),
+    )
+
+
+@pytest.fixture
+def fork_env():
+    return make_env(fork_join_dag(3))
+
+
+class TestScheduleUndo:
+    def test_restores_signature_and_actions(self, fork_env):
+        before_sig = fork_env.signature()
+        before_actions = list(fork_env.legal_actions())
+        record = fork_env.apply(0)
+        assert fork_env.signature() != before_sig
+        fork_env.undo(record)
+        assert fork_env.signature() == before_sig
+        assert list(fork_env.legal_actions()) == before_actions
+        assert fork_env.steps_taken == 0
+
+    def test_rebinds_exact_snapshot_lists(self, fork_env):
+        """Undo restores the *pre-step* heap and capacity lists by rebind.
+
+        This is the design point of the snapshot undo log: the post-undo
+        heap layout is bit-identical to the pre-step one, not merely an
+        equally valid heap over the same entries.
+        """
+        heap_before = list(fork_env.cluster._running)
+        avail_before = list(fork_env.cluster._available)
+        record = fork_env.apply(0)
+        fork_env.undo(record)
+        assert fork_env.cluster._running is record.running
+        assert fork_env.cluster._available is record.available
+        assert fork_env.cluster._running == heap_before
+        assert fork_env.cluster._available == avail_before
+
+    def test_restores_ready_queue_position(self, fork_env):
+        fork_env.step(0)  # source task; branches become ready after PROCESS
+        fork_env.step(PROCESS)
+        ready_before = list(fork_env.all_ready())
+        record = fork_env.apply(1)  # remove from the middle of the window
+        assert fork_env.all_ready() == [t for t in ready_before if t != ready_before[1]]
+        fork_env.undo(record)
+        assert fork_env.all_ready() == ready_before
+
+
+class TestProcessUndo:
+    def test_restores_clock_and_completions(self, fork_env):
+        fork_env.step(0)
+        record = fork_env.apply(PROCESS)
+        assert record.result.completed and fork_env.now > 0
+        fork_env.undo(record)
+        assert fork_env.now == 0
+        assert fork_env.num_finished == 0
+        assert fork_env.finished_ids() == []
+
+    def test_interleaved_lifo_unwind_to_reset(self, fork_env):
+        stack = []
+        while not fork_env.done:
+            actions = fork_env.expansion_actions(work_conserving=True)
+            stack.append(fork_env.apply(actions[0]))
+        assert fork_env.done
+        while stack:
+            fork_env.undo(stack.pop())
+        assert fork_env.signature() == make_env(fork_join_dag(3)).signature()
+        assert fork_env.steps_taken == 0
+
+    def test_apply_after_done_raises(self):
+        env = make_env(chain_dag([2]))
+        env.step(0)
+        env.step(PROCESS)
+        assert env.done
+        with pytest.raises(EnvironmentStateError):
+            env.apply(PROCESS)
+
+
+class TestStepResultCache:
+    def test_schedule_results_are_singletons(self, fork_env):
+        result = fork_env.step(0)
+        assert result.scheduled == fork_env.graph.topological_order()[0]
+        clone = make_env(fork_join_dag(3))
+        # Fresh env, same tid: a distinct table, so a distinct object...
+        assert clone.step(0) is not result
+        # ...but a clone shares the per-tid singleton table by reference.
+        assert fork_env.clone()._sched_results is fork_env._sched_results
+
+
+class TestRandomPlayout:
+    def test_zero_limit_raises_runtime_error(self, fork_env):
+        with pytest.raises(RuntimeError):
+            fork_env.random_playout(np.random.default_rng(0), limit=0)
+
+    def test_finished_episode_returns_makespan_unchanged(self):
+        env = make_env(chain_dag([2]))
+        env.step(0)
+        env.step(PROCESS)
+        makespan = env.makespan
+        assert env.random_playout(np.random.default_rng(0), limit=10) == makespan
+        assert env.steps_taken == 2  # no steps consumed
+
+    def test_playout_completes_and_verifies(self, fork_env):
+        makespan = fork_env.random_playout(np.random.default_rng(7), limit=1000)
+        assert fork_env.done and makespan == fork_env.makespan
+        fork_env.verify_terminal_state()
+
+    def test_slot_granularity_playout_matches_generic(self):
+        graph = fork_join_dag(4)
+        fused = make_env(graph, until_completion=False)
+        reference = make_env(graph, until_completion=False)
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        fused.random_playout(rng_a, limit=10_000)
+        while not reference.done:
+            actions = reference.expansion_actions(work_conserving=True)
+            reference.step(actions[int(rng_b.integers(0, len(actions)))])
+        assert fused.signature() == reference.signature()
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
