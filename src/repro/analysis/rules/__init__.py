@@ -16,6 +16,7 @@ from .bare_except import BareExceptRule
 from .float_equality import FloatTimeEqualityRule
 from .exports import MissingAllRule
 from .mutable_defaults import MutableDefaultRule
+from .printing import NoPrintRule
 from .seeding import UnseededRngRule
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "MutableDefaultRule",
     "BareExceptRule",
     "MissingAllRule",
+    "NoPrintRule",
 ]

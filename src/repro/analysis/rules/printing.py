@@ -1,0 +1,58 @@
+"""REP106 — ``print()`` in library code.
+
+Library modules must not write to stdout: experiment reports are
+composed by the CLI layer, and progress/diagnostic output belongs to
+:mod:`repro.telemetry` (a structured log event when a pipeline is
+active, :func:`repro.telemetry.sinks.stderr_line` otherwise).  A stray
+``print`` corrupts machine-readable stdout (``repro lint --format
+json``, ``repro bench --json``) and bypasses the sink model entirely.
+
+Only the CLI entry points are exempt: ``cli.py`` and ``__main__.py``
+are *defined* as the stdout-rendering layer.  Passing ``print`` as a
+callback (``progress=print``) is fine — the rule flags calls, not
+references, so the decision to print stays with the caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List
+
+from ..linter import LintRule, LintViolation, register_rule
+
+__all__ = ["NoPrintRule"]
+
+
+@register_rule
+class NoPrintRule(LintRule):
+    rule_id = "REP106"
+    description = (
+        "print() in library code; emit a telemetry event or use "
+        "repro.telemetry.sinks.stderr_line"
+    )
+
+    #: file basenames that form the stdout-rendering layer.
+    exempt_files = ("cli.py", "__main__.py")
+
+    def check(
+        self, tree: ast.Module, source: str, path: Path
+    ) -> Iterable[LintViolation]:
+        if path.name in self.exempt_files:
+            return []
+        violations: List[LintViolation] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                violations.append(
+                    self.violation(
+                        node,
+                        path,
+                        "library code must not print(); emit a telemetry "
+                        "event or write via stderr_line",
+                    )
+                )
+        return violations

@@ -253,6 +253,50 @@ def _setup_observation_build(seed: int) -> Callable[[], None]:
 
 
 # --------------------------------------------------------------------- #
+# telemetry group
+# --------------------------------------------------------------------- #
+
+
+def _setup_telemetry_span_disabled(seed: int) -> Callable[[], None]:
+    """Cost of an instrumentation point while telemetry is off.
+
+    This is the per-decision price every MCTS search pays by default —
+    the no-op span returned by the disabled pipeline — so the budget on
+    this benchmark is what keeps instrumentation off the hot paths.
+    """
+    from ..telemetry import runtime
+
+    tm = runtime.DISABLED
+
+    def thunk() -> None:
+        span = tm.span
+        for _ in range(1000):
+            with span("mcts.decision", depth=1, budget=50):
+                pass
+
+    return thunk
+
+
+def _setup_telemetry_span_enabled(seed: int) -> Callable[[], None]:
+    """Cost of the same span with a live in-memory pipeline.
+
+    The enabled/disabled delta is the advertised overhead of turning
+    tracing on; the ring buffer caps memory so repeats do identical work.
+    """
+    from ..telemetry import Telemetry, TelemetryConfig
+
+    tm = Telemetry(TelemetryConfig(enabled=True, max_events=10_000))
+
+    def thunk() -> None:
+        span = tm.span
+        for _ in range(1000):
+            with span("mcts.decision", depth=1, budget=50):
+                pass
+
+    return thunk
+
+
+# --------------------------------------------------------------------- #
 # registry
 # --------------------------------------------------------------------- #
 
@@ -312,5 +356,17 @@ def default_suite() -> List[BenchmarkSpec]:
             "observation",
             _setup_observation_build,
             inner_ops=100,
+        ),
+        BenchmarkSpec(
+            "telemetry.span_disabled",
+            "telemetry",
+            _setup_telemetry_span_disabled,
+            inner_ops=1000,
+        ),
+        BenchmarkSpec(
+            "telemetry.span_enabled",
+            "telemetry",
+            _setup_telemetry_span_enabled,
+            inner_ops=1000,
         ),
     ]

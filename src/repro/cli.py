@@ -3,10 +3,11 @@
 Subcommands::
 
     repro simulate   --scheduler tetris --tasks 50 --seed 0
-    repro train      --epochs 50 --out spear.npz --seed 0
+    repro train      --epochs 50 --out spear.npz --seed 0 [--trace-out t.jsonl]
     repro trace      --out trace.json --seed 0 [--stats]
+    repro trace      summary|export|top-spans run.jsonl   (telemetry traces)
     repro experiment fig6a|fig6b|fig7|fig8a|fig8b|fig9ab|fig9c|table1 \
-                     [--paper-scale] [--seed N]
+                     [--paper-scale] [--seed N] [--trace-out run.jsonl]
     repro ablation   expansion-filters|budget-decay|max-value-ucb|...
     repro motivating
     repro verify     schedule.json --graph graph.json [--capacities 20,20]
@@ -51,12 +52,38 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", default="spear-network.npz")
     train.add_argument("--log-every", type=int, default=10)
+    train.add_argument(
+        "--trace-out",
+        default=None,
+        help="run with telemetry enabled; write the JSONL trace here",
+    )
 
-    trace = sub.add_parser("trace", help="generate/characterize a trace")
+    trace = sub.add_parser(
+        "trace",
+        help="generate/characterize a workload trace, or inspect a "
+        "telemetry trace (summary/export/top-spans)",
+    )
     trace.add_argument("--out", default=None)
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--jobs", type=int, default=99)
     trace.add_argument("--stats", action="store_true")
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    trace_summary = trace_sub.add_parser(
+        "summary", help="span/counter/series report of a telemetry JSONL trace"
+    )
+    trace_summary.add_argument("path", help="telemetry JSONL trace file")
+    trace_export = trace_sub.add_parser(
+        "export", help="re-export a telemetry trace (validating round-trip)"
+    )
+    trace_export.add_argument("path", help="telemetry JSONL trace file")
+    trace_export.add_argument(
+        "--out", required=True, dest="export_out", help="destination JSONL path"
+    )
+    trace_top = trace_sub.add_parser(
+        "top-spans", help="span names ranked by total time spent"
+    )
+    trace_top.add_argument("path", help="telemetry JSONL trace file")
+    trace_top.add_argument("--limit", type=int, default=10)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument(
@@ -74,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--paper-scale", action="store_true")
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--trace-out",
+        default=None,
+        help="run with telemetry enabled; write the JSONL trace here",
+    )
 
     ablation = sub.add_parser("ablation", help="run a design-choice ablation")
     ablation.add_argument("name")
@@ -96,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--budget", type=int, default=50)
     compare.add_argument("--min-budget", type=int, default=10)
     compare.add_argument("--reference", default=None)
+    compare.add_argument(
+        "--trace-out",
+        default=None,
+        help="run with telemetry enabled; write the JSONL trace here",
+    )
 
     online = sub.add_parser(
         "online", help="multi-job arrival-stream simulation on a trace"
@@ -228,6 +265,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if getattr(args, "trace_command", None):
+        return _cmd_trace_telemetry(args)
     from .experiments.reporting import format_cdf
     from .traces.stats import trace_statistics
     from .traces.synthetic import TraceConfig, generate_production_trace
@@ -249,6 +288,36 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         map_cdf, reduce_cdf = stats.runtime_cdfs()
         print(format_cdf(map_cdf, "map runtime", title="Fig 9(b) map stage"))
         print(format_cdf(reduce_cdf, "reduce runtime", title="Fig 9(b) reduce stage"))
+    return 0
+
+
+def _cmd_trace_telemetry(args: argparse.Namespace) -> int:
+    """``repro trace summary|export|top-spans`` over a telemetry JSONL."""
+    from .errors import ConfigError
+    from .telemetry import load_trace, summarize, top_spans, write_trace
+
+    try:
+        loaded = load_trace(args.path)
+    except ConfigError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    if args.trace_command == "summary":
+        print(summarize(loaded.events).report())
+    elif args.trace_command == "export":
+        target = write_trace(args.export_out, loaded.events, meta=loaded.meta)
+        print(f"wrote {len(loaded.events)} events to {target}")
+    elif args.trace_command == "top-spans":
+        ranked = top_spans(loaded.events, limit=args.limit)
+        if not ranked:
+            print("no spans in trace")
+        for stats in ranked:
+            print(
+                f"{stats.name:<32} n={stats.count:<6} "
+                f"total={stats.total_us / 1e6:>8.3f}s "
+                f"mean={stats.mean_us:>10.1f}us p99={stats.p99_us:>10.1f}us"
+            )
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
     return 0
 
 
@@ -568,9 +637,24 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Commands exposing ``--trace-out`` run inside a telemetry session
+    (:func:`repro.telemetry.session`) and leave a JSONL span/metric
+    trace at the given path; everything else runs with telemetry off.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from .telemetry import TelemetryConfig, session
+
+        config = TelemetryConfig(enabled=True, jsonl_path=trace_out)
+        with session(config):
+            code = handler(args)
+        print(f"wrote telemetry trace to {trace_out}", file=sys.stderr)
+        return code
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,9 +23,10 @@ out-of-range values and is invoked in ``__post_init__``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from .errors import ConfigError
+from .telemetry.config import TelemetryConfig
 
 __all__ = [
     "ClusterConfig",
@@ -35,6 +36,7 @@ __all__ = [
     "TrainingConfig",
     "GrapheneConfig",
     "EnvConfig",
+    "TelemetryConfig",
     "paper_scale",
 ]
 
@@ -249,6 +251,11 @@ class EnvConfig:
             :mod:`repro.analysis.verifier`) whenever an episode reaches a
             terminal state; opt-in because it costs an event sweep per
             episode.
+        telemetry: where episode counters (steps, undos, clones) report.
+            ``None`` (the default) defers to the globally active pipeline
+            (:func:`repro.telemetry.active`); an enabled config binds all
+            environments sharing this ``EnvConfig`` to one dedicated
+            pipeline (see :func:`repro.telemetry.for_config`).
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
@@ -256,6 +263,7 @@ class EnvConfig:
     process_until_completion: bool = False
     include_graph_features: bool = True
     verify_terminal: bool = False
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         _require(self.max_ready >= 1, "max_ready must be >= 1")

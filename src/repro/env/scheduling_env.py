@@ -28,6 +28,7 @@ from ..config import EnvConfig
 from ..dag.graph import TaskGraph
 from ..errors import CapacityError, EnvironmentStateError
 from ..metrics.schedule import Schedule
+from ..telemetry import runtime as _telemetry
 from .actions import PROCESS, Action
 
 __all__ = ["SchedulingEnv", "StepResult", "StepUndo"]
@@ -174,6 +175,12 @@ class SchedulingEnv:
         self._running: set[int] = set()
         self._starts: Dict[int, int] = {}
         self.steps_taken: int = 0
+        # Plain-int instrumentation counters: incremented unconditionally
+        # (an integer add is far below timer noise on these paths) and
+        # flushed to the telemetry pipeline once per episode by
+        # :meth:`to_schedule` — never per step.
+        self.undos_taken: int = 0
+        self.clones_made: int = 0
         # State-version counter for the memoized legal-action set: bumped by
         # every mutation (step, apply, undo), so a cached computation is
         # reused only while the state is untouched.
@@ -456,6 +463,7 @@ class SchedulingEnv:
                 for child in children(tid):
                     unmet[child] += 1
         self.steps_taken -= 1
+        self.undos_taken += 1
         self._version += 1
 
     def _schedule(self, index: int) -> StepUndo:
@@ -663,6 +671,9 @@ class SchedulingEnv:
         copy._running = set(self._running)
         copy._starts = dict(self._starts)
         copy.steps_taken = self.steps_taken
+        copy.undos_taken = self.undos_taken
+        copy.clones_made = 0
+        self.clones_made += 1
         copy._max_ready = self._max_ready
         copy._until_completion = self._until_completion
         copy._verify_terminal = self._verify_terminal
@@ -721,11 +732,31 @@ class SchedulingEnv:
     def to_schedule(self, scheduler: str = "unknown", wall_time: float = 0.0) -> Schedule:
         """Export the finished episode as a validated-shape :class:`Schedule`.
 
+        The per-episode telemetry flush point: the environment's plain-int
+        counters (steps, undos, clones) land in the active pipeline here,
+        once per completed episode, so the step/undo hot paths carry no
+        emit-time work at all.
+
         Raises:
             EnvironmentStateError: if the episode has not terminated.
         """
         if not self.done:
             raise EnvironmentStateError("episode not finished")
+        tm = _telemetry.for_config(self.config.telemetry)
+        if tm.enabled:
+            tm.inc("env.episodes")
+            tm.inc("env.steps", self.steps_taken)
+            tm.inc("env.undos", self.undos_taken)
+            tm.inc("env.clones", self.clones_made)
+            tm.event(
+                "env.episode",
+                scheduler=scheduler,
+                makespan=self.cluster.now,
+                steps=self.steps_taken,
+                undos=self.undos_taken,
+                clones=self.clones_made,
+                tasks=self._num_tasks,
+            )
         return Schedule.from_starts(
             self._starts, self.graph, scheduler=scheduler, wall_time=wall_time
         )

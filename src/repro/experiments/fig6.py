@@ -24,6 +24,7 @@ from ..metrics.schedule import validate_schedule
 from ..rl.network import PolicyNetwork
 from ..schedulers.base import Scheduler
 from ..schedulers.registry import make_scheduler
+from ..telemetry import runtime as _telemetry
 from ..utils.rng import as_generator, spawn
 from .networks import cached_network
 from .reporting import format_table
@@ -126,14 +127,27 @@ def makespan_comparison(
 
     result = Fig6Result(scale=scale.label, num_dags=len(graphs))
     capacities = env_config.cluster.capacities
+    tm = _telemetry.active()
     for name, scheduler in schedulers.items():
         makespans: List[int] = []
         times: List[float] = []
-        for graph in graphs:
-            schedule = scheduler.schedule(graph)
-            validate_schedule(schedule, graph, capacities)
-            makespans.append(schedule.makespan)
-            times.append(schedule.wall_time)
+        with tm.span(
+            "fig6.scheduler", scheduler=name, dags=len(graphs)
+        ) as span:
+            for index, graph in enumerate(graphs):
+                schedule = scheduler.schedule(graph)
+                validate_schedule(schedule, graph, capacities)
+                makespans.append(schedule.makespan)
+                times.append(schedule.wall_time)
+                if tm.enabled:
+                    tm.record(
+                        f"fig6.makespan.{name}", index, float(schedule.makespan)
+                    )
+            if tm.enabled:
+                span.set(
+                    mean_makespan=sum(makespans) / len(makespans),
+                    total_wall_time=sum(times),
+                )
         result.makespans[name] = makespans
         result.wall_times[name] = times
     return result

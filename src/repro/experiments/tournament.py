@@ -21,6 +21,7 @@ from ..dag.graph import TaskGraph
 from ..metrics.comparison import ComparisonRow, compare_makespans, win_rate
 from ..metrics.schedule import validate_schedule
 from ..schedulers.base import Scheduler
+from ..telemetry import runtime as _telemetry
 from .reporting import format_table
 
 __all__ = ["TournamentResult", "run_tournament", "sign_test"]
@@ -118,12 +119,25 @@ def run_tournament(
 
     makespans: Dict[str, List[int]] = {name: [] for name in schedulers}
     wall_times: Dict[str, List[float]] = {name: [] for name in schedulers}
-    for graph in graphs:
-        for name, scheduler in schedulers.items():
-            schedule = scheduler.schedule(graph)
-            validate_schedule(schedule, graph, capacities)
-            makespans[name].append(schedule.makespan)
-            wall_times[name].append(schedule.wall_time)
+    tm = _telemetry.active()
+    with tm.span(
+        "tournament.run",
+        competitors=len(schedulers),
+        jobs=len(graphs),
+        reference=reference,
+    ):
+        for index, graph in enumerate(graphs):
+            for name, scheduler in schedulers.items():
+                schedule = scheduler.schedule(graph)
+                validate_schedule(schedule, graph, capacities)
+                makespans[name].append(schedule.makespan)
+                wall_times[name].append(schedule.wall_time)
+                if tm.enabled:
+                    tm.record(
+                        f"tournament.makespan.{name}",
+                        index,
+                        float(schedule.makespan),
+                    )
     return TournamentResult(
         makespans=makespans, wall_times=wall_times, reference=reference
     )

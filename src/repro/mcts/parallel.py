@@ -23,6 +23,7 @@ from ..dag.io import graph_from_dict, graph_to_dict
 from ..errors import ConfigError
 from ..metrics.schedule import Schedule
 from ..schedulers.base import Scheduler
+from ..telemetry import runtime as _telemetry
 from ..utils.rng import SeedLike, as_generator, derive_seed
 from ..utils.timing import Stopwatch
 from .search import MctsScheduler
@@ -84,9 +85,22 @@ class RootParallelMcts(Scheduler):
         self._rng = as_generator(seed)
 
     def schedule(self, graph: TaskGraph) -> Schedule:
-        """Run all workers and return the best schedule found."""
+        """Run all workers and return the best schedule found.
+
+        With telemetry active, wraps the fan-out in one
+        ``mcts.parallel_schedule`` span and emits an ``mcts.worker``
+        point event per worker outcome (makespan + derived seed) from
+        the parent — workers in separate processes have their own
+        (default-disabled) pipelines, so all reporting is parent-side.
+        """
+        tm = _telemetry.active()
         watch = Stopwatch()
-        with watch:
+        with watch, tm.span(
+            "mcts.parallel_schedule",
+            workers=self.workers,
+            tasks=graph.num_tasks,
+            processes=self.use_processes,
+        ) as span:
             seeds = [derive_seed(self._rng) for _ in range(self.workers)]
             payloads = [
                 (graph_to_dict(graph), self.config, self.env_config, seed)
@@ -100,6 +114,15 @@ class RootParallelMcts(Scheduler):
             else:
                 outcomes = [_worker(p) for p in payloads]
             best_makespan, best_starts = min(outcomes, key=lambda o: o[0])
+            if tm.enabled:
+                for seed, (makespan, _) in zip(seeds, outcomes):
+                    tm.event(
+                        "mcts.worker",
+                        seed=seed,
+                        makespan=makespan,
+                        best=makespan == best_makespan,
+                    )
+                span.set(best_makespan=best_makespan)
         return Schedule.from_starts(
             best_starts, graph, scheduler=self.name, wall_time=watch.elapsed
         )

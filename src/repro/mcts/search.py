@@ -30,9 +30,11 @@ from ..env.scheduling_env import SchedulingEnv
 from ..errors import ConfigError
 from ..metrics.schedule import Schedule
 from ..schedulers.base import Scheduler
+from ..telemetry import runtime as _telemetry
 from ..utils.rng import SeedLike, as_generator
 from ..utils.timing import Stopwatch
 from .budget import budget_at_depth
+from .introspection import tree_statistics
 from .node import Node
 from .policies import (
     ExpansionPolicy,
@@ -90,16 +92,36 @@ class MctsScheduler(Scheduler):
         self.rollout = rollout if rollout is not None else RandomRollout(rng)
         self.name = name
         self.last_statistics: Optional[SearchStatistics] = None
+        # Telemetry scratch state, live only inside one schedule() call.
+        self._tm_enabled = False
+        self._filter_hits = 0
 
     # ------------------------------------------------------------------ #
 
     def schedule(self, graph: TaskGraph) -> Schedule:
         """Search a full schedule for ``graph``; statistics are kept in
-        :attr:`last_statistics`."""
+        :attr:`last_statistics`.
+
+        When telemetry is active (:mod:`repro.telemetry`), the search
+        emits one ``mcts.schedule`` span, one ``mcts.decision`` span per
+        committed action (budget spent, tree size/depth, chosen action),
+        and the ``mcts.iterations`` / ``mcts.rollouts`` /
+        ``mcts.expansion_filter_hits`` counters.  Disabled telemetry
+        costs one no-op span per decision — the tree-walk statistics are
+        only computed behind the ``enabled`` guard.
+        """
         stats = SearchStatistics()
         watch = Stopwatch()
         undo_mode = self.config.state_restore == "undo"
-        with watch:
+        tm = _telemetry.active()
+        self._tm_enabled = tm.enabled
+        self._filter_hits = 0
+        with watch, tm.span(
+            "mcts.schedule",
+            tasks=graph.num_tasks,
+            state_restore=self.config.state_restore,
+            scheduler=self.name,
+        ) as search_span:
             env = SchedulingEnv(graph, self.env_config)
             exploration = self._exploration_constant(graph, stats)
             root = Node(
@@ -116,24 +138,48 @@ class MctsScheduler(Scheduler):
                     else self.config.initial_budget
                 )
                 stats.budgets.append(budget)
-                if undo_mode:
-                    for _ in range(budget):
-                        self._iterate_undo(root, env, exploration, stats)
-                        stats.iterations += 1
-                else:
-                    for _ in range(budget):
-                        self._iterate(root, exploration, stats)
-                        stats.iterations += 1
-                if not root.children:
-                    # All candidates exhausted without a single expansion —
-                    # cannot happen while the env is live, but guard anyway.
-                    raise ConfigError("MCTS made no progress; zero candidates")
-                chosen = root.exploitation_child(self.config.use_max_value_ucb)
-                env.step(chosen.action)
+                with tm.span(
+                    "mcts.decision", depth=depth, budget=budget
+                ) as decision_span:
+                    if undo_mode:
+                        for _ in range(budget):
+                            self._iterate_undo(root, env, exploration, stats)
+                            stats.iterations += 1
+                    else:
+                        for _ in range(budget):
+                            self._iterate(root, exploration, stats)
+                            stats.iterations += 1
+                    if not root.children:
+                        # All candidates exhausted without one expansion —
+                        # cannot happen while the env is live, but guard.
+                        raise ConfigError("MCTS made no progress; zero candidates")
+                    chosen = root.exploitation_child(self.config.use_max_value_ucb)
+                    if self._tm_enabled:
+                        tree = tree_statistics(root)
+                        decision_span.set(
+                            action=chosen.action,
+                            tree_nodes=tree.nodes,
+                            tree_depth=tree.max_depth,
+                            tree_visits=tree.total_visits,
+                        )
+                    env.step(chosen.action)
                 root = chosen
                 root.parent = None  # detach: the subtree is reused
                 stats.decisions += 1
                 depth += 1
+            search_span.set(
+                decisions=stats.decisions,
+                iterations=stats.iterations,
+                rollouts=stats.rollouts,
+                budget_spent=sum(stats.budgets),
+                max_tree_depth=stats.max_tree_depth,
+            )
+        if self._tm_enabled:
+            tm.inc("mcts.searches")
+            tm.inc("mcts.iterations", stats.iterations)
+            tm.inc("mcts.rollouts", stats.rollouts)
+            tm.inc("mcts.expansion_filter_hits", self._filter_hits)
+        self._tm_enabled = False
         self.last_statistics = stats
         stats.exploration_constant = exploration
         return env.to_schedule(scheduler=self.name, wall_time=watch.elapsed)
@@ -142,9 +188,13 @@ class MctsScheduler(Scheduler):
 
     def _candidates(self, env: SchedulingEnv) -> List[int]:
         """Expansion candidates after the (configurable) Sec. III-C filters."""
-        return env.expansion_actions(
+        actions = env.expansion_actions(
             work_conserving=self.config.use_expansion_filters
         )
+        if self._tm_enabled and self.config.use_expansion_filters:
+            if len(env.legal_actions()) > len(actions):
+                self._filter_hits += 1
+        return actions
 
     def _exploration_constant(
         self, graph: TaskGraph, stats: SearchStatistics

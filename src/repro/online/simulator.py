@@ -15,7 +15,7 @@ to (job index, task id).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.resources import fits, validate_demands
 from ..cluster.state import ClusterState
@@ -23,6 +23,8 @@ from ..config import ClusterConfig
 from ..dag.features import GraphFeatures, compute_features
 from ..dag.graph import TaskGraph
 from ..errors import ConfigError, EnvironmentStateError
+from ..telemetry import runtime as _telemetry
+from ..telemetry.config import TelemetryConfig
 from .rankers import Ranker, TaskContext
 
 __all__ = ["ArrivingJob", "JobOutcome", "OnlineResult", "OnlineSimulator"]
@@ -99,23 +101,56 @@ class OnlineSimulator:
     Args:
         cluster: capacities (defaults to the paper's 20x20).
         max_steps: global safety cap on scheduling events.
+        telemetry: where serving metrics report (``online.jct``
+            histogram, per-job ``online.job`` events, queue-length and
+            utilization gauges).  ``None`` defers to the globally
+            active pipeline.
     """
 
     def __init__(
         self,
         cluster: ClusterConfig | None = None,
         max_steps: int = 1_000_000,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         self.cluster_config = cluster if cluster is not None else ClusterConfig()
         self.max_steps = max_steps
+        self.telemetry = telemetry
 
     def run(self, jobs: Sequence[ArrivingJob], ranker: Ranker) -> OnlineResult:
         """Simulate ``jobs`` under ``ranker``; return the outcome.
+
+        With telemetry active the run is wrapped in an ``online.run``
+        span; every completed job lands in the ``online.jct`` histogram
+        plus an ``online.job`` point event, the event loop keeps the
+        ``online.active_jobs`` / ``online.ready_tasks`` gauges current,
+        and per-resource mean utilization is published as
+        ``online.utilization.r<i>`` gauges at the end.
 
         Raises:
             ConfigError: on an empty stream or a task that can never fit.
             EnvironmentStateError: if the event cap is exceeded.
         """
+        tm = _telemetry.for_config(self.telemetry)
+        with tm.span(
+            "online.run", jobs=len(jobs), ranker=type(ranker).__name__
+        ) as span:
+            result = self._run(jobs, ranker, tm)
+            if tm.enabled:
+                span.set(
+                    makespan=result.makespan,
+                    mean_jct=result.mean_jct,
+                    max_jct=result.max_jct,
+                )
+                for r, util in enumerate(result.mean_utilization):
+                    tm.gauge(f"online.utilization.r{r}", util)
+                tm.inc("online.jobs", len(jobs))
+        return result
+
+    def _run(
+        self, jobs: Sequence[ArrivingJob], ranker: Ranker, tm: _telemetry.TelemetryLike
+    ) -> OnlineResult:
+        tm_enabled = tm.enabled
         if not jobs:
             raise ConfigError("need at least one arriving job")
         capacities = self.cluster_config.capacities
@@ -198,6 +233,12 @@ class OnlineSimulator:
             steps += 1
             if steps > self.max_steps:
                 raise EnvironmentStateError("online simulation exceeded step cap")
+            if tm_enabled:
+                tm.gauge("online.active_jobs", float(len(active)))
+                tm.gauge(
+                    "online.ready_tasks",
+                    float(sum(len(j.ready) for j in active.values())),
+                )
             next_arrival = (
                 pending[pending_pos][0] if pending_pos < len(pending) else None
             )
@@ -233,14 +274,23 @@ class OnlineSimulator:
                     if job.unmet[child] == 0:
                         job.ready.append(child)
                 if job.remaining == 0:
-                    outcomes.append(
-                        JobOutcome(
-                            job_index=job.index,
-                            arrival_time=job.arrival,
-                            completion_time=state.now,
-                            num_tasks=job.graph.num_tasks,
-                        )
+                    outcome = JobOutcome(
+                        job_index=job.index,
+                        arrival_time=job.arrival,
+                        completion_time=state.now,
+                        num_tasks=job.graph.num_tasks,
                     )
+                    outcomes.append(outcome)
+                    if tm_enabled:
+                        tm.observe("online.jct", float(outcome.jct))
+                        tm.event(
+                            "online.job",
+                            job=outcome.job_index,
+                            jct=outcome.jct,
+                            arrival=outcome.arrival_time,
+                            completion=outcome.completion_time,
+                            tasks=outcome.num_tasks,
+                        )
                     del active[job_index]
             start_fitting()
 

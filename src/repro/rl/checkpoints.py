@@ -7,6 +7,7 @@ never silently mismatches an observation layout.
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
 from typing import Union
 
@@ -69,7 +70,7 @@ def load_checkpoint(path: Union[str, Path]) -> PolicyNetwork:
                 if key.startswith("param_")
             }
             network.set_params(params)
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, OSError, zipfile.BadZipFile) as exc:
         raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
     return network
 
@@ -123,6 +124,6 @@ def load_value_checkpoint(path: Union[str, Path]):
             network._target_mean = float(mean)
             network._target_std = float(std)
             network._fitted = bool(fitted)
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, OSError, zipfile.BadZipFile) as exc:
         raise CheckpointError(f"corrupt value checkpoint {path}: {exc}") from exc
     return network

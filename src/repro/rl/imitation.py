@@ -27,6 +27,8 @@ from ..env.scheduling_env import SchedulingEnv
 from ..errors import EnvironmentStateError
 from ..schedulers.base import Policy
 from ..schedulers.policies import CriticalPathPolicy
+from ..telemetry import runtime as _telemetry
+from ..telemetry.config import TelemetryConfig
 from ..utils.rng import SeedLike, as_generator
 from .agent import build_action_mask
 from .network import PolicyNetwork
@@ -58,6 +60,8 @@ class ImitationTrainer:
         learning_rate / rho / eps: rmsprop hyper-parameters (paper values
             via :class:`TrainingConfig` defaults).
         seed: shuffling RNG.
+        telemetry: where the ``imitation.loss`` curve reports; ``None``
+            defers to the globally active pipeline.
     """
 
     def __init__(
@@ -67,6 +71,7 @@ class ImitationTrainer:
         teacher_factory: Callable[[], Policy] | None = None,
         training: TrainingConfig | None = None,
         seed: SeedLike = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         self.network = network
         self.env_config = env_config if env_config is not None else EnvConfig()
@@ -78,6 +83,7 @@ class ImitationTrainer:
             self.training.learning_rate, self.training.rho, self.training.eps
         )
         self._rng = as_generator(seed)
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------ #
 
@@ -132,10 +138,26 @@ class ImitationTrainer:
         graphs: Sequence[TaskGraph],
         epochs: Optional[int] = None,
     ) -> List[float]:
-        """Collect once, then train for ``epochs``; returns the loss curve."""
-        dataset = self.collect(graphs)
+        """Collect once, then train for ``epochs``; returns the loss curve.
+
+        With telemetry active the pass is wrapped in an
+        ``imitation.fit`` span and each epoch streams one point of the
+        ``imitation.loss`` series.
+        """
+        tm = _telemetry.for_config(self.telemetry)
         total = epochs if epochs is not None else self.training.supervised_epochs
-        return [self.train_epoch(dataset) for _ in range(total)]
+        with tm.span(
+            "imitation.fit", graphs=len(graphs), epochs=total
+        ) as span:
+            dataset = self.collect(graphs)
+            losses: List[float] = []
+            for epoch in range(total):
+                loss = self.train_epoch(dataset)
+                losses.append(loss)
+                if tm.enabled:
+                    tm.record("imitation.loss", epoch, loss)
+            span.set(examples=len(dataset))
+        return losses
 
     def accuracy(self, dataset: ImitationDataset) -> float:
         """Fraction of states where the network's argmax matches the teacher."""

@@ -23,6 +23,9 @@ import numpy as np
 from ..config import EnvConfig, TrainingConfig
 from ..dag.graph import TaskGraph
 from ..env.scheduling_env import SchedulingEnv
+from ..telemetry import runtime as _telemetry
+from ..telemetry.config import TelemetryConfig
+from ..telemetry.sinks import stderr_line
 from ..utils.rng import SeedLike, as_generator, spawn
 from .agent import NetworkPolicy
 from .network import PolicyNetwork
@@ -42,6 +45,7 @@ class EpochStats:
     worst_makespan: int
     mean_entropy: float
     num_trajectories: int
+    mean_loss: float = 0.0
 
 
 class ReinforceTrainer:
@@ -53,6 +57,12 @@ class ReinforceTrainer:
         env_config: environment shape used for every episode.
         training: hyper-parameters (learning rate, rollouts, batch size).
         seed: master seed for sampling.
+        telemetry: where the per-epoch training curves report.  ``None``
+            (the default) defers to the globally active pipeline; an
+            enabled config binds this trainer to a dedicated pipeline.
+            Each epoch streams the ``reinforce.loss`` /
+            ``reinforce.entropy`` / ``reinforce.return`` /
+            ``reinforce.baseline`` series.
     """
 
     def __init__(
@@ -62,6 +72,7 @@ class ReinforceTrainer:
         env_config: EnvConfig | None = None,
         training: TrainingConfig | None = None,
         seed: SeedLike = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         if not graphs:
             raise ValueError("need at least one training graph")
@@ -73,6 +84,7 @@ class ReinforceTrainer:
             self.training.learning_rate, self.training.rho, self.training.eps
         )
         self._rng = as_generator(seed)
+        self.telemetry = telemetry
         self.history: List[EpochStats] = []
 
     # ------------------------------------------------------------------ #
@@ -111,9 +123,9 @@ class ReinforceTrainer:
         self,
         trajectories: Sequence[Trajectory],
         advantage_arrays: Sequence[np.ndarray],
-    ) -> float:
+    ) -> tuple[float, float]:
         """One policy-gradient step over all steps of all trajectories;
-        returns the mean policy entropy (telemetry)."""
+        returns (mean policy entropy, weighted NLL surrogate loss)."""
         states = np.concatenate(
             [[step.observation for step in t.steps] for t in trajectories]
         )
@@ -124,7 +136,7 @@ class ReinforceTrainer:
             [[step.action_index for step in t.steps] for t in trajectories]
         )
         weights = np.concatenate(advantage_arrays)
-        grads, _ = self.network.policy_gradient(states, masks, actions, weights)
+        grads, nll = self.network.policy_gradient(states, masks, actions, weights)
         if self.training.entropy_bonus > 0.0:
             entropy_grads = self._entropy_gradients(states, masks)
             for key in grads:
@@ -133,7 +145,7 @@ class ReinforceTrainer:
         probs = self.network.probabilities(states, masks)
         with np.errstate(divide="ignore", invalid="ignore"):
             plogp = np.where(probs > 0, probs * np.log(probs), 0.0)
-        return float(-plogp.sum(axis=1).mean())
+        return float(-plogp.sum(axis=1).mean()), float(nll)
 
     def _entropy_gradients(
         self, states: np.ndarray, masks: np.ndarray
@@ -148,9 +160,18 @@ class ReinforceTrainer:
         return self.network.backward_from_dlogits(dlogits)
 
     def train_epoch(self, epoch: int) -> EpochStats:
-        """One epoch: sample, baseline, update — batched over examples."""
+        """One epoch: sample, baseline, update — batched over examples.
+
+        With telemetry active the epoch lands as one point on each of
+        the training-curve series: ``reinforce.loss`` (weighted NLL
+        surrogate), ``reinforce.entropy``, ``reinforce.return`` (best
+        return achieved, i.e. negated best makespan) and
+        ``reinforce.baseline`` (the trajectory-average return the
+        advantage is centered on, i.e. negated mean makespan).
+        """
         makespans: List[int] = []
         entropies: List[float] = []
+        losses: List[float] = []
         batch_size = self.training.batch_size
         for start in range(0, len(self.graphs), batch_size):
             batch_graphs = self.graphs[start : start + batch_size]
@@ -161,9 +182,11 @@ class ReinforceTrainer:
                 batch_trajectories.extend(trajectories)
                 batch_advantages.extend(self.advantages(trajectories))
                 makespans.extend(t.makespan for t in trajectories)
-            entropies.append(
-                self._apply_update(batch_trajectories, batch_advantages)
+            entropy, loss = self._apply_update(
+                batch_trajectories, batch_advantages
             )
+            entropies.append(entropy)
+            losses.append(loss)
         stats = EpochStats(
             epoch=epoch,
             mean_makespan=float(np.mean(makespans)),
@@ -171,8 +194,16 @@ class ReinforceTrainer:
             worst_makespan=int(np.max(makespans)),
             mean_entropy=float(np.mean(entropies)),
             num_trajectories=len(makespans),
+            mean_loss=float(np.mean(losses)),
         )
         self.history.append(stats)
+        tm = _telemetry.for_config(self.telemetry)
+        if tm.enabled:
+            tm.record("reinforce.loss", epoch, stats.mean_loss)
+            tm.record("reinforce.entropy", epoch, stats.mean_entropy)
+            tm.record("reinforce.return", epoch, -float(stats.best_makespan))
+            tm.record("reinforce.baseline", epoch, -stats.mean_makespan)
+            tm.inc("reinforce.trajectories", stats.num_trajectories)
         return stats
 
     def train(
@@ -180,15 +211,34 @@ class ReinforceTrainer:
         epochs: Optional[int] = None,
         log_every: int = 0,
     ) -> List[EpochStats]:
-        """Run ``epochs`` epochs (default from config); returns the curve."""
+        """Run ``epochs`` epochs (default from config); returns the curve.
+
+        ``log_every=k`` reports every k-th epoch: as a structured
+        ``reinforce.epoch`` log event when telemetry is active (the
+        stderr-summary sink echoes it live), else as a plain stderr
+        line — progress logging never lands on stdout.
+        """
         total = epochs if epochs is not None else self.training.epochs
-        for epoch in range(total):
-            stats = self.train_epoch(epoch)
-            if log_every and epoch % log_every == 0:
-                print(
-                    f"epoch {stats.epoch}: mean makespan "
-                    f"{stats.mean_makespan:.1f} entropy {stats.mean_entropy:.3f}"
-                )
+        tm = _telemetry.for_config(self.telemetry)
+        with tm.span("reinforce.train", epochs=total, graphs=len(self.graphs)):
+            for epoch in range(total):
+                stats = self.train_epoch(epoch)
+                if log_every and epoch % log_every == 0:
+                    message = (
+                        f"epoch {stats.epoch}: mean makespan "
+                        f"{stats.mean_makespan:.1f} entropy "
+                        f"{stats.mean_entropy:.3f}"
+                    )
+                    if tm.enabled:
+                        tm.log(
+                            "reinforce.epoch",
+                            message=message,
+                            epoch=stats.epoch,
+                            mean_makespan=stats.mean_makespan,
+                            mean_entropy=stats.mean_entropy,
+                        )
+                    else:
+                        stderr_line(message)
         return self.history
 
     def evaluate(self, graphs: Sequence[TaskGraph], greedy: bool = True) -> List[int]:

@@ -1,0 +1,225 @@
+"""Offline trace analysis: load, summarize, export.
+
+The reader consumes the JSONL layout written by
+:class:`repro.telemetry.sinks.JsonlSink` (header object, then one event
+per line), validates the schema version, and rebuilds
+:class:`~repro.telemetry.events.TelemetryEvent` records — the write →
+load round-trip is exact, which the unit tests pin down.
+
+:func:`summarize` folds a trace into the numbers an operator asks for
+first: per-span-name counts and p50/p99/max durations (exact, computed
+from the raw samples — the fixed-bucket estimator in
+:mod:`repro.telemetry.metrics` is for *online* aggregation), counter
+totals, and per-series point counts.  ``repro trace summary`` and
+``repro trace top-spans`` are thin renderers over this module.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigError
+from .events import SCHEMA_VERSION, TelemetryEvent
+
+__all__ = [
+    "LoadedTrace",
+    "SpanStats",
+    "TraceSummary",
+    "load_trace",
+    "write_trace",
+    "summarize",
+    "top_spans",
+]
+
+
+@dataclass(frozen=True)
+class LoadedTrace:
+    """A parsed JSONL trace: header metadata plus the event list."""
+
+    schema: int
+    meta: Dict[str, Any]
+    events: Tuple[TelemetryEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def load_trace(path: Union[str, Path]) -> LoadedTrace:
+    """Parse a JSONL trace file.
+
+    Raises:
+        ConfigError: on an unreadable file, a malformed line, a missing
+            header, or an unsupported schema version.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read trace {path}: {exc}") from exc
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ConfigError(f"trace {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise ConfigError(f"trace {path}: bad header line: {exc}") from exc
+    if not isinstance(header, dict) or header.get("kind") != "header":
+        raise ConfigError(f"trace {path}: first line is not a trace header")
+    schema = header.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ConfigError(
+            f"trace {path}: schema {schema!r} unsupported "
+            f"(this reader speaks {SCHEMA_VERSION})"
+        )
+    events: List[TelemetryEvent] = []
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            payload = json.loads(line)
+        except ValueError as exc:
+            raise ConfigError(
+                f"trace {path}: line {number} is not JSON: {exc}"
+            ) from exc
+        events.append(TelemetryEvent.from_dict(payload))
+    return LoadedTrace(
+        schema=int(schema),
+        meta=dict(header.get("meta", {})),
+        events=tuple(events),
+    )
+
+
+def write_trace(
+    path: Union[str, Path],
+    events: Sequence[TelemetryEvent],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write ``events`` in the versioned JSONL layout; returns the path.
+
+    ``write_trace(load_trace(p).events)`` reproduces ``p`` up to header
+    metadata — the import/export round-trip the acceptance tests check.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    header: Dict[str, Any] = {"schema": SCHEMA_VERSION, "kind": "header"}
+    if meta:
+        header["meta"] = meta
+    with target.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for event in events:
+            handle.write(json.dumps(event.as_dict()) + "\n")
+    return target
+
+
+# --------------------------------------------------------------------- #
+# summaries
+# --------------------------------------------------------------------- #
+
+
+def _exact_percentile(sorted_samples: List[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted samples."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(0, min(len(sorted_samples) - 1, round(q * (len(sorted_samples) - 1))))
+    return sorted_samples[rank]
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregate timing of every completion of one span name."""
+
+    name: str
+    count: int
+    total_us: float
+    p50_us: float
+    p99_us: float
+    max_us: float
+
+    @property
+    def mean_us(self) -> float:
+        """Mean duration per completion."""
+        return self.total_us / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Everything ``repro trace summary`` reports."""
+
+    num_events: int
+    spans: Dict[str, SpanStats] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, int] = field(default_factory=dict)
+    points: Dict[str, int] = field(default_factory=dict)
+
+    def report(self) -> str:
+        """Plain-text rendering."""
+        lines = [f"trace: {self.num_events} events"]
+        if self.spans:
+            lines.append("spans:")
+            for name in sorted(self.spans):
+                s = self.spans[name]
+                lines.append(
+                    f"  {name:<32} n={s.count:<6} mean={s.mean_us:>10.1f}us "
+                    f"p50={s.p50_us:>10.1f}us p99={s.p99_us:>10.1f}us "
+                    f"max={s.max_us:>10.1f}us"
+                )
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<32} total={self.counters[name]:g}")
+        if self.series:
+            lines.append("series:")
+            for name in sorted(self.series):
+                lines.append(f"  {name:<32} points={self.series[name]}")
+        if self.points:
+            lines.append("events:")
+            for name in sorted(self.points):
+                lines.append(f"  {name:<32} n={self.points[name]}")
+        return "\n".join(lines)
+
+
+def summarize(events: Sequence[TelemetryEvent]) -> TraceSummary:
+    """Fold a trace (or live event list) into a :class:`TraceSummary`."""
+    durations: Dict[str, List[float]] = {}
+    counters: Dict[str, float] = {}
+    series: Dict[str, int] = {}
+    points: Dict[str, int] = {}
+    for event in events:
+        if event.kind == "span" and event.duration_us is not None:
+            durations.setdefault(event.name, []).append(event.duration_us)
+        elif event.kind == "series":
+            series[event.name] = series.get(event.name, 0) + 1
+        elif event.kind in ("point", "log"):
+            points[event.name] = points.get(event.name, 0) + 1
+        elif event.kind == "metric":
+            if event.attrs.get("type") == "counter" and event.value is not None:
+                counters[event.name] = counters.get(event.name, 0.0) + event.value
+    spans: Dict[str, SpanStats] = {}
+    for name, samples in durations.items():
+        samples.sort()
+        spans[name] = SpanStats(
+            name=name,
+            count=len(samples),
+            total_us=sum(samples),
+            p50_us=_exact_percentile(samples, 0.50),
+            p99_us=_exact_percentile(samples, 0.99),
+            max_us=samples[-1],
+        )
+    return TraceSummary(
+        num_events=len(events),
+        spans=spans,
+        counters=counters,
+        series=series,
+        points=points,
+    )
+
+
+def top_spans(
+    events: Sequence[TelemetryEvent], limit: int = 10
+) -> List[SpanStats]:
+    """Span names ranked by total time spent, heaviest first."""
+    summary = summarize(events)
+    ranked = sorted(
+        summary.spans.values(), key=lambda s: s.total_us, reverse=True
+    )
+    return ranked[: max(0, limit)]

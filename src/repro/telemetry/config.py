@@ -1,0 +1,58 @@
+"""Telemetry configuration.
+
+:class:`TelemetryConfig` is a frozen value object, like every other
+config in :mod:`repro.config`: it describes *what* a telemetry pipeline
+captures and where events go, never holds run-time state, and is safe to
+share between components (the runtime memoizes one pipeline per distinct
+enabled config — see :func:`repro.telemetry.runtime.for_config`).
+
+The default is **disabled**: a component handed the default config emits
+nothing and pays only a flag check, which is what keeps the instrumented
+hot paths inside the bench budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigError
+
+__all__ = ["TelemetryConfig"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Shape of one telemetry pipeline.
+
+    Attributes:
+        enabled: master switch.  ``False`` (the default) makes every
+            instrumentation point a no-op.
+        jsonl_path: stream every event to this JSONL file (see
+            :mod:`repro.telemetry.analyze` for the reader).  ``None``
+            keeps events in memory only.
+        stderr_summary: echo ``log`` events to stderr as they arrive and
+            write a one-block run summary when the pipeline closes.
+        capture_memory: keep events in an in-memory ring (required for
+            :meth:`repro.telemetry.runtime.Telemetry.events` and for
+            post-run export when no ``jsonl_path`` is set).
+        max_events: capacity of the in-memory ring; the oldest events are
+            dropped first once it is full.
+    """
+
+    enabled: bool = False
+    jsonl_path: Optional[str] = None
+    stderr_summary: bool = False
+    capture_memory: bool = True
+    max_events: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.max_events < 1:
+            raise ConfigError("max_events must be >= 1")
+        if self.enabled and not (
+            self.capture_memory or self.jsonl_path or self.stderr_summary
+        ):
+            raise ConfigError(
+                "enabled telemetry needs at least one sink "
+                "(capture_memory, jsonl_path or stderr_summary)"
+            )

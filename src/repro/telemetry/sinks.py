@@ -1,0 +1,155 @@
+"""Event sinks: where a pipeline's records go.
+
+Three built-ins cover the use cases in this repository:
+
+* :class:`InMemorySink` — bounded ring; backs programmatic access and
+  post-run export, and is the default capture target.
+* :class:`JsonlSink` — streams the versioned JSONL layout of
+  :mod:`repro.telemetry.events` to a file (header object first, one
+  event per line).  Written incrementally so a crashed run still leaves
+  a readable prefix.
+* :class:`StderrSummarySink` — echoes ``log`` events as they arrive and
+  prints a compact aggregate (span counts and timings, counter totals)
+  when the pipeline closes.  This is the sink behind
+  ``ReinforceTrainer.train(log_every=...)``.
+
+Sinks are deliberately synchronous and unbuffered-by-default: traces in
+this repository are produced by single-process experiments where the
+interesting failure mode is "the run died and took the trace with it",
+not sink throughput.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import sys
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, TextIO, Union
+
+from .events import SCHEMA_VERSION, TelemetryEvent
+
+__all__ = [
+    "Sink",
+    "InMemorySink",
+    "JsonlSink",
+    "StderrSummarySink",
+    "stderr_line",
+]
+
+
+def stderr_line(message: str) -> None:
+    """Write one line to stderr (the sink-shared low-level writer)."""
+    sys.stderr.write(message + "\n")
+
+
+class Sink(abc.ABC):
+    """One destination for telemetry events."""
+
+    @abc.abstractmethod
+    def handle(self, event: TelemetryEvent) -> None:
+        """Consume one event."""
+
+    def flush(self) -> None:
+        """Force buffered output out (no-op by default)."""
+
+    def close(self) -> None:
+        """Release resources; the sink receives no further events."""
+
+
+class InMemorySink(Sink):
+    """Bounded in-memory event ring (oldest events drop first)."""
+
+    def __init__(self, max_events: int = 200_000) -> None:
+        self._ring: Deque[TelemetryEvent] = deque(maxlen=max_events)
+        self.dropped = 0
+
+    def handle(self, event: TelemetryEvent) -> None:
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(event)
+
+    def events(self) -> List[TelemetryEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class JsonlSink(Sink):
+    """Stream events to a JSONL file, header line first."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file: Optional[TextIO] = self.path.open("w", encoding="utf-8")
+        header: Dict[str, Any] = {"schema": SCHEMA_VERSION, "kind": "header"}
+        if meta:
+            header["meta"] = meta
+        self._file.write(json.dumps(header) + "\n")
+
+    def handle(self, event: TelemetryEvent) -> None:
+        if self._file is not None:
+            self._file.write(json.dumps(event.as_dict()) + "\n")
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class StderrSummarySink(Sink):
+    """Echo ``log`` events live; print an aggregate block on close.
+
+    The close-time block reports, per span name, the completion count and
+    mean duration, plus every counter-style increment observed — enough
+    to answer "what did this run spend its time on" without opening the
+    JSONL trace.
+    """
+
+    def __init__(self, label: str = "telemetry") -> None:
+        self.label = label
+        self._span_count: Dict[str, int] = {}
+        self._span_total_us: Dict[str, float] = {}
+        self._event_count: Dict[str, int] = {}
+        self._closed = False
+
+    def handle(self, event: TelemetryEvent) -> None:
+        if event.kind == "log":
+            message = event.attrs.get("message")
+            stderr_line(str(message) if message is not None else event.name)
+        elif event.kind == "span" and event.duration_us is not None:
+            self._span_count[event.name] = self._span_count.get(event.name, 0) + 1
+            self._span_total_us[event.name] = (
+                self._span_total_us.get(event.name, 0.0) + event.duration_us
+            )
+        elif event.kind in ("point", "series"):
+            self._event_count[event.name] = self._event_count.get(event.name, 0) + 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if not (self._span_count or self._event_count):
+            return
+        stderr_line(f"[{self.label}] run summary:")
+        for name in sorted(self._span_count):
+            count = self._span_count[name]
+            mean_us = self._span_total_us[name] / count
+            stderr_line(
+                f"[{self.label}]   span {name}: n={count} mean={mean_us:.1f}us"
+            )
+        for name in sorted(self._event_count):
+            stderr_line(
+                f"[{self.label}]   events {name}: n={self._event_count[name]}"
+            )

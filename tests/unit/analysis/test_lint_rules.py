@@ -237,3 +237,46 @@ class TestMissingAll:
         assert not hits(src, self.RULE, path="pkg/__main__.py")
         assert not hits(src, self.RULE, path="tests/test_api.py")
         assert not hits(src, self.RULE, path="conftest.py")
+
+
+class TestNoPrint:
+    RULE = "REP106"
+
+    def test_print_call_flagged(self):
+        src = """
+        def report(x):
+            print(x)
+        """
+        found = hits(src, self.RULE)
+        assert found and found[0].line == 3
+
+    def test_print_to_stderr_still_flagged(self):
+        src = """
+        import sys
+
+        def report(x):
+            print(x, file=sys.stderr)
+        """
+        assert hits(src, self.RULE)
+
+    def test_cli_and_main_exempt(self):
+        src = """
+        def render(x):
+            print(x)
+        """
+        assert not hits(src, self.RULE, path="pkg/cli.py")
+        assert not hits(src, self.RULE, path="pkg/__main__.py")
+
+    def test_print_reference_allowed(self):
+        src = """
+        def run(progress=print):
+            progress("step")
+        """
+        assert not hits(src, self.RULE)
+
+    def test_method_named_print_allowed(self):
+        src = """
+        def run(report):
+            report.print("done")
+        """
+        assert not hits(src, self.RULE)

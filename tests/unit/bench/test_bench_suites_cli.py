@@ -7,7 +7,7 @@ import pytest
 from repro.bench.suites import default_suite
 from repro.cli import main
 
-EXPECTED_GROUPS = {"env", "cluster", "mcts", "observation"}
+EXPECTED_GROUPS = {"env", "cluster", "mcts", "observation", "telemetry"}
 
 
 class TestDefaultSuite:
@@ -28,6 +28,8 @@ class TestDefaultSuite:
             "mcts.search_budget_unit",
             "mcts.rollout_random",
             "observation.build",
+            "telemetry.span_disabled",
+            "telemetry.span_enabled",
         } <= names
 
     @pytest.mark.parametrize("name", ["env.clone", "env.legal_actions_cached"])

@@ -171,6 +171,25 @@ class TestMetrics:
         assert result.max_jct == 4
 
 
+class TestEventOrdering:
+    def test_equal_time_arrival_admitted_before_refill(self, simulator):
+        # Job 0 is a chain 5 -> 3 that fills the cluster; its first task
+        # completes at t=5, exactly when job 1 arrives.  The documented
+        # tie-break admits the arrival before the completion's follow-up
+        # placements, so under SJF job 1's runtime-1 task takes the freed
+        # capacity ahead of job 0's runtime-3 successor.  Were admission
+        # to happen after the refill, job 1 would finish at 9, not 6.
+        stream = [
+            ArrivingJob(0, chain_dag([5, 3], demands=[(10, 10), (10, 10)])),
+            job(5, [1], demands=[(10, 10)]),
+        ]
+        result = simulator.run(stream, sjf_ranker)
+        assert result.outcomes[1].completion_time == 6
+        assert result.outcomes[1].jct == 1
+        assert result.outcomes[0].completion_time == 9
+        assert result.makespan == 9
+
+
 class TestValidation:
     def test_empty_stream_rejected(self, simulator):
         with pytest.raises(ConfigError):

@@ -1,0 +1,158 @@
+"""Unit tests for offline trace analysis and the ``repro trace`` CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.telemetry import (
+    Telemetry,
+    TelemetryConfig,
+    load_trace,
+    summarize,
+    top_spans,
+    write_trace,
+)
+
+
+def make_trace(path):
+    """A small but representative trace file; returns its events."""
+    tm = Telemetry(TelemetryConfig(enabled=True, jsonl_path=str(path)))
+    for _ in range(3):
+        with tm.span("mcts.decision", budget=10):
+            pass
+    with tm.span("mcts.schedule"):
+        pass
+    tm.inc("mcts.rollouts", 30)
+    tm.record("reinforce.loss", 0, 1.5)
+    tm.record("reinforce.loss", 1, 1.0)
+    tm.event("env.episode", steps=12)
+    tm.close()
+    return tm.events()
+
+
+class TestLoadWrite:
+    def test_round_trip_preserves_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        events = make_trace(path)
+        loaded = load_trace(path)
+        assert loaded.schema == 1
+        assert list(loaded.events) == events
+
+    def test_write_then_load_is_identity(self, tmp_path):
+        source = tmp_path / "a.jsonl"
+        events = make_trace(source)
+        copy = tmp_path / "b.jsonl"
+        write_trace(copy, events, meta={"origin": "test"})
+        reloaded = load_trace(copy)
+        assert list(reloaded.events) == events
+        assert reloaded.meta == {"origin": "test"}
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigError):
+            load_trace(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "point", "name": "x", "seq": 1, "t": 0}\n')
+        with pytest.raises(ConfigError):
+            load_trace(path)
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"kind": "header", "schema": 99}\n')
+        with pytest.raises(ConfigError):
+            load_trace(path)
+
+    def test_malformed_line_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"kind": "header", "schema": 1}\n{{{\n')
+        with pytest.raises(ConfigError, match="line 2"):
+            load_trace(path)
+
+
+class TestSummarize:
+    def test_span_stats_and_counters(self, tmp_path):
+        events = make_trace(tmp_path / "run.jsonl")
+        summary = summarize(events)
+        decision = summary.spans["mcts.decision"]
+        assert decision.count == 3
+        assert decision.p50_us <= decision.p99_us <= decision.max_us
+        assert summary.counters["mcts.rollouts"] == 30
+        assert summary.series["reinforce.loss"] == 2
+        assert summary.points["env.episode"] == 1
+
+    def test_report_mentions_everything(self, tmp_path):
+        events = make_trace(tmp_path / "run.jsonl")
+        report = summarize(events).report()
+        for needle in ("mcts.decision", "mcts.rollouts", "reinforce.loss", "p99"):
+            assert needle in report
+
+    def test_top_spans_ranked_by_total_time(self, tmp_path):
+        events = make_trace(tmp_path / "run.jsonl")
+        ranked = top_spans(events)
+        totals = [stats.total_us for stats in ranked]
+        assert totals == sorted(totals, reverse=True)
+        assert top_spans(events, limit=1)[0].name == ranked[0].name
+
+
+class TestTraceCli:
+    def test_summary_command(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        make_trace(path)
+        assert main(["trace", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mcts.decision" in out and "events" in out
+
+    def test_export_round_trips(self, tmp_path, capsys):
+        source = tmp_path / "run.jsonl"
+        make_trace(source)
+        target = tmp_path / "copy.jsonl"
+        assert main(["trace", "export", str(source), "--out", str(target)]) == 0
+        assert list(load_trace(target).events) == list(load_trace(source).events)
+
+    def test_top_spans_command(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        make_trace(path)
+        assert main(["trace", "top-spans", str(path), "--limit", "1"]) == 0
+        assert "mcts" in capsys.readouterr().out
+
+    def test_bad_trace_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["trace", "summary", str(path)]) == 2
+        assert "trace:" in capsys.readouterr().err
+
+    def test_legacy_workload_trace_still_works(self, capsys):
+        assert main(["trace", "--jobs", "4", "--stats"]) == 0
+        assert "jobs" in capsys.readouterr().out
+
+
+class TestTraceOutFlag:
+    def test_compare_writes_loadable_trace(self, tmp_path, capsys):
+        path = tmp_path / "cmp.jsonl"
+        code = main(
+            [
+                "compare",
+                "--schedulers",
+                "tetris,sjf",
+                "--jobs",
+                "2",
+                "--tasks",
+                "8",
+                "--trace-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        loaded = load_trace(path)
+        summary = summarize(loaded.events)
+        assert "tournament.run" in summary.spans
+        assert summary.series  # per-scheduler makespan curves
+        err = capsys.readouterr().err
+        assert "wrote telemetry trace" in err

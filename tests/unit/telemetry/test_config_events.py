@@ -1,0 +1,92 @@
+"""Unit tests for TelemetryConfig validation and the event wire format."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import SCHEMA_VERSION, TelemetryConfig, TelemetryEvent
+from repro.telemetry.events import EVENT_KINDS
+
+
+class TestTelemetryConfig:
+    def test_default_is_disabled(self):
+        assert TelemetryConfig().enabled is False
+
+    def test_enabled_with_memory_sink_ok(self):
+        cfg = TelemetryConfig(enabled=True)
+        assert cfg.capture_memory
+
+    def test_enabled_without_any_sink_rejected(self):
+        with pytest.raises(ConfigError):
+            TelemetryConfig(enabled=True, capture_memory=False)
+
+    def test_enabled_with_jsonl_only_ok(self, tmp_path):
+        cfg = TelemetryConfig(
+            enabled=True,
+            capture_memory=False,
+            jsonl_path=str(tmp_path / "t.jsonl"),
+        )
+        assert cfg.jsonl_path
+
+    def test_nonpositive_max_events_rejected(self):
+        with pytest.raises(ConfigError):
+            TelemetryConfig(max_events=0)
+
+    def test_value_semantics(self):
+        assert TelemetryConfig(enabled=True) == TelemetryConfig(enabled=True)
+        assert hash(TelemetryConfig()) == hash(TelemetryConfig())
+
+
+class TestEventRoundTrip:
+    def test_schema_version_is_one(self):
+        assert SCHEMA_VERSION == 1
+
+    def test_span_round_trip(self):
+        event = TelemetryEvent(
+            kind="span",
+            name="mcts.decision",
+            seq=7,
+            wall_time=123.5,
+            duration_us=41.25,
+            depth=2,
+            parent="mcts.schedule",
+            attrs={"budget": 50},
+        )
+        assert TelemetryEvent.from_dict(event.as_dict()) == event
+
+    def test_series_round_trip(self):
+        event = TelemetryEvent(
+            kind="series",
+            name="reinforce.loss",
+            seq=1,
+            wall_time=1.0,
+            step=3,
+            value=0.25,
+        )
+        assert TelemetryEvent.from_dict(event.as_dict()) == event
+
+    def test_unset_fields_omitted_from_json(self):
+        payload = TelemetryEvent(
+            kind="point", name="x", seq=1, wall_time=1.0
+        ).as_dict()
+        assert set(payload) == {"kind", "name", "seq", "t"}
+
+    def test_non_scalar_attrs_are_stringified(self):
+        event = TelemetryEvent(
+            kind="point", name="x", seq=1, wall_time=1.0, attrs={"obj": [1, 2]}
+        )
+        assert event.as_dict()["attrs"]["obj"] == "[1, 2]"
+
+    @pytest.mark.parametrize("kind", EVENT_KINDS)
+    def test_all_kinds_accepted(self, kind):
+        payload = {"kind": kind, "name": "n", "seq": 1, "t": 0.0}
+        assert TelemetryEvent.from_dict(payload).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            TelemetryEvent.from_dict(
+                {"kind": "bogus", "name": "n", "seq": 1, "t": 0.0}
+            )
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ConfigError):
+            TelemetryEvent.from_dict({"kind": "point", "name": "n"})

@@ -1,0 +1,114 @@
+"""Unit tests for the metrics registry and its accumulator types."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry, Series
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.total == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigError):
+            Counter("c").inc(-1)
+
+    def test_snapshot(self):
+        counter = Counter("c")
+        counter.inc(3)
+        assert counter.snapshot() == {"type": "counter", "total": 3}
+
+
+class TestGauge:
+    def test_tracks_last_min_max(self):
+        gauge = Gauge("g")
+        for value in (5.0, 2.0, 9.0):
+            gauge.set(value)
+        assert gauge.value == 9.0
+        assert gauge.min == 2.0
+        assert gauge.max == 9.0
+        assert gauge.updates == 3
+
+    def test_snapshot_without_updates_has_no_extremes(self):
+        snap = Gauge("g").snapshot()
+        assert snap["min"] is None and snap["max"] is None
+
+
+class TestHistogram:
+    def test_mean_is_exact(self):
+        hist = Histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        assert hist.mean == 2.5
+
+    def test_percentiles_within_sample_range(self):
+        hist = Histogram("h")
+        samples = [float(v) for v in range(1, 101)]
+        for value in samples:
+            hist.observe(value)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert min(samples) <= hist.percentile(q) <= max(samples)
+
+    def test_p50_reasonably_close(self):
+        hist = Histogram("h")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        # Buckets at 50/100: the interpolated median must land nearby.
+        assert hist.percentile(0.5) == pytest.approx(50.0, rel=0.25)
+
+    def test_overflow_bucket_clamps_to_observed_max(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        hist.observe(5_000_000.0)
+        assert hist.percentile(0.99) == 5_000_000.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h").percentile(0.5) == 0.0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("h").percentile(1.5)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("h", bounds=(5.0, 1.0))
+
+
+class TestSeries:
+    def test_records_in_order(self):
+        series = Series("s")
+        series.record(0, 1.5)
+        series.record(1, 1.0)
+        assert series.steps == [0, 1]
+        assert series.values == [1.5, 1.0]
+        assert len(series) == 2
+
+    def test_snapshot_reports_last_point(self):
+        series = Series("s")
+        series.record(7, 3.0)
+        snap = series.snapshot()
+        assert snap["points"] == 1
+        assert snap["last_step"] == 7
+        assert snap["last_value"] == 3.0
+
+
+class TestRegistry:
+    def test_create_on_first_use_and_reuse(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_type_aliasing_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ConfigError):
+            registry.gauge("name")
+
+    def test_snapshots_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zz").inc()
+        registry.gauge("aa").set(1.0)
+        names = [name for name, _ in registry.snapshots()]
+        assert names == sorted(names)
