@@ -297,6 +297,46 @@ def _setup_telemetry_span_enabled(seed: int) -> Callable[[], None]:
 
 
 # --------------------------------------------------------------------- #
+# faults group
+# --------------------------------------------------------------------- #
+
+
+def _setup_faults_inject_step(seed: int) -> Callable[[], None]:
+    """Per-dispatch cost of drawing one fault-injected task attempt.
+
+    The online executor calls :meth:`FaultInjector.attempt` once per
+    dispatch, on the serving path; its cost is dominated by spawning the
+    per-attempt ``SeedSequence`` generator.  The budget on this benchmark
+    is what keeps fault-aware mode from slowing the executor down.
+    """
+    from ..faults import (
+        FaultInjector,
+        FaultPlan,
+        RuntimeNoise,
+        StragglerModel,
+        TransientFaults,
+    )
+
+    plan = FaultPlan(
+        transient=TransientFaults(0.05),
+        straggler=StragglerModel(0.1, slowdown=2.0),
+        noise=RuntimeNoise(kind="lognormal", scale=0.2),
+        seed=seed,
+    )
+    injector = FaultInjector(plan)
+    # Fresh keys per call mirror real use: each dispatch is a new attempt.
+    keys = [(j, t, 1) for j in range(5) for t in range(100)]
+
+    def thunk() -> None:
+        attempt = injector.attempt
+        for j, t, a in keys:
+            attempt(j, t, a, 10)
+
+    thunk.ops = len(keys)  # type: ignore[attr-defined]
+    return thunk
+
+
+# --------------------------------------------------------------------- #
 # registry
 # --------------------------------------------------------------------- #
 
@@ -356,6 +396,11 @@ def default_suite() -> List[BenchmarkSpec]:
             "observation",
             _setup_observation_build,
             inner_ops=100,
+        ),
+        BenchmarkSpec(
+            "faults.inject_step",
+            "faults",
+            _setup_faults_inject_step,
         ),
         BenchmarkSpec(
             "telemetry.span_disabled",

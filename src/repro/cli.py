@@ -2,7 +2,8 @@
 
 Subcommands::
 
-    repro simulate   --scheduler tetris --tasks 50 --seed 0
+    repro simulate   --scheduler tetris|mcts:budget=200 --tasks 50 --seed 0
+    repro schedulers [--json]     (registry names + typed spec options)
     repro train      --epochs 50 --out spear.npz --seed 0 [--trace-out t.jsonl]
     repro trace      --out trace.json --seed 0 [--stats]
     repro trace      summary|export|top-spans run.jsonl   (telemetry traces)
@@ -10,6 +11,8 @@ Subcommands::
                      [--paper-scale] [--seed N] [--trace-out run.jsonl]
     repro ablation   expansion-filters|budget-decay|max-value-ucb|...
     repro motivating
+    repro online     --jobs 10 --faults crashes=2,transient=0.05 \
+                     --reschedule heft [--verify-executed] [--check-recoveries]
     repro verify     schedule.json --graph graph.json [--capacities 20,20]
     repro lint       src/repro [--format json] [--select REP101,REP105]
     repro bench      [--quick] [--filter mcts] [--baseline benchmarks/baselines.json]
@@ -24,7 +27,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .config import EnvConfig, MctsConfig, TrainingConfig, WorkloadConfig
+from .config import EnvConfig, TrainingConfig, WorkloadConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -38,11 +41,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate", help="schedule one random DAG")
-    simulate.add_argument("--scheduler", default="tetris")
+    simulate.add_argument(
+        "--scheduler",
+        default="tetris",
+        help="registry spec, e.g. tetris, mcts:budget=200, "
+        "spear:budget=100,verify=true (see: repro schedulers)",
+    )
     simulate.add_argument("--tasks", type=int, default=50)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--budget", type=int, default=100)
     simulate.add_argument("--min-budget", type=int, default=20)
+
+    schedulers = sub.add_parser(
+        "schedulers", help="list registered schedulers and their spec options"
+    )
+    schedulers.add_argument("--json", action="store_true", help="JSON output")
 
     train = sub.add_parser("train", help="train a Spear policy network")
     train.add_argument("--epochs", type=int, default=50)
@@ -144,6 +157,53 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument(
         "--rankers", default="fifo,sjf,cp,tetris", help="comma-separated"
     )
+    online.add_argument(
+        "--faults",
+        default=None,
+        help="fault spec, e.g. crashes=2,transient=0.05,straggler=0.1 "
+        "(see repro.faults.parse_fault_spec)",
+    )
+    online.add_argument(
+        "--fault-horizon",
+        type=int,
+        default=None,
+        help="crash-time horizon in slots (default: jobs x interarrival x 2)",
+    )
+    online.add_argument(
+        "--reschedule",
+        default=None,
+        help="scheduler spec replanning each job's residual DAG on every "
+        "fault event, e.g. heft or mcts:budget=50",
+    )
+    online.add_argument(
+        "--fallback",
+        default=None,
+        help="heuristic spec the rescheduler degrades to on errors or "
+        "budget overruns (e.g. heft)",
+    )
+    online.add_argument(
+        "--replan-budget",
+        type=float,
+        default=None,
+        help="per-replan wall-clock budget in seconds",
+    )
+    online.add_argument(
+        "--verify-executed",
+        action="store_true",
+        help="verify every executed schedule against the realized DAGs "
+        "(exit 1 on any violation)",
+    )
+    online.add_argument(
+        "--check-recoveries",
+        action="store_true",
+        help="exit 1 unless the run recovered capacity at least once "
+        "(CI fault-smoke gate)",
+    )
+    online.add_argument(
+        "--trace-out",
+        default=None,
+        help="run with telemetry enabled; write the JSONL trace here",
+    )
 
     verify = sub.add_parser(
         "verify", help="check a schedule JSON against its DAG and capacities"
@@ -209,28 +269,47 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------- #
 
 
+def _split_spec_list(raw: str) -> List[str]:
+    """Split a comma-separated scheduler-spec list.
+
+    Commas also separate options *inside* a spec, so a ``key=value`` part
+    following a spec that already has a ``:`` belongs to that spec:
+    ``"mcts:budget=50,seed=2,tetris"`` → ``["mcts:budget=50,seed=2",
+    "tetris"]``.
+    """
+    specs: List[str] = []
+    for part in [p.strip() for p in raw.split(",") if p.strip()]:
+        if "=" in part and ":" not in part and specs and ":" in specs[-1]:
+            specs[-1] += f",{part}"
+        else:
+            specs.append(part)
+    return specs
+
+
+def _default_mcts_spec(spec: str, args: argparse.Namespace) -> str:
+    """Expand a bare ``mcts`` spec with the legacy budget flags."""
+    if spec == "mcts":
+        return (
+            f"mcts:budget={args.budget},min_budget={args.min_budget},"
+            f"seed={args.seed}"
+        )
+    return spec
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .dag.generators import random_layered_dag
-    from .mcts.search import MctsScheduler
+    from .errors import ConfigError
     from .metrics.schedule import validate_schedule
-    from .schedulers.registry import available_schedulers, make_scheduler
+    from .schedulers.registry import make_scheduler
 
     graph = random_layered_dag(WorkloadConfig(num_tasks=args.tasks), seed=args.seed)
     env_config = EnvConfig(process_until_completion=True)
-    if args.scheduler == "mcts":
-        scheduler = MctsScheduler(
-            MctsConfig(initial_budget=args.budget, min_budget=args.min_budget),
-            env_config,
-            seed=args.seed,
+    try:
+        scheduler = make_scheduler(
+            _default_mcts_spec(args.scheduler, args), env_config
         )
-    elif args.scheduler in available_schedulers():
-        scheduler = make_scheduler(args.scheduler, env_config)
-    else:
-        print(
-            f"unknown scheduler {args.scheduler!r}; "
-            f"choose from {available_schedulers() + ['mcts']}",
-            file=sys.stderr,
-        )
+    except ConfigError as exc:
+        print(f"simulate: {exc}", file=sys.stderr)
         return 2
     schedule = scheduler.schedule(graph)
     validate_schedule(schedule, graph, env_config.cluster.capacities)
@@ -238,6 +317,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"{args.scheduler}: {graph.num_tasks} tasks, makespan "
         f"{schedule.makespan} slots, planned in {schedule.wall_time:.2f}s"
     )
+    return 0
+
+
+def _cmd_schedulers(args: argparse.Namespace) -> int:
+    import json
+
+    from .schedulers.registry import scheduler_options
+
+    options = scheduler_options()
+    wrapper_help = {
+        "verify": "bool — machine-check every emitted schedule",
+        "telemetry": "bool — wrap plans in scheduler.plan spans",
+        "fallback": "spec — degrade to this scheduler on errors/overruns",
+        "replan_budget": "float — per-replan wall-clock budget (seconds)",
+    }
+    if args.json:
+        print(json.dumps({"schedulers": options, "wrapper_keys": wrapper_help},
+                         indent=2))
+        return 0
+    print("registered schedulers (spec: name[:key=value,...]):")
+    for name, schema in options.items():
+        if schema:
+            keys = ", ".join(f"{key}={typ}" for key, typ in schema.items())
+            print(f"  {name:<10} {keys}")
+        else:
+            print(f"  {name}")
+    print("wrapper keys (valid on every spec):")
+    for key, text in wrapper_help.items():
+        print(f"  {key:<14} {text}")
     return 0
 
 
@@ -393,30 +501,21 @@ def _cmd_motivating(_: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .dag.generators import random_layered_dag
+    from .errors import ConfigError
     from .experiments.tournament import run_tournament
-    from .mcts.search import MctsScheduler
-    from .schedulers.registry import available_schedulers, make_scheduler
+    from .schedulers.registry import make_scheduler, parse_scheduler_spec
     from .utils.rng import as_generator, spawn
 
     env_config = EnvConfig(process_until_completion=True)
     schedulers = {}
-    for name in [n.strip() for n in args.schedulers.split(",") if n.strip()]:
-        if name == "mcts":
-            schedulers[name] = MctsScheduler(
-                MctsConfig(
-                    initial_budget=args.budget, min_budget=args.min_budget
-                ),
-                env_config,
-                seed=args.seed,
+    for spec in _split_spec_list(args.schedulers):
+        try:
+            label = parse_scheduler_spec(spec)[0]
+            schedulers[label] = make_scheduler(
+                _default_mcts_spec(spec, args), env_config
             )
-        elif name in available_schedulers():
-            schedulers[name] = make_scheduler(name, env_config)
-        else:
-            print(
-                f"unknown scheduler {name!r}; choose from "
-                f"{available_schedulers() + ['mcts']}",
-                file=sys.stderr,
-            )
+        except ConfigError as exc:
+            print(f"compare: {exc}", file=sys.stderr)
             return 2
     rng = as_generator(args.seed)
     graphs = [
@@ -431,6 +530,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_online(args: argparse.Namespace) -> int:
+    from .errors import ConfigError
     from .experiments.reporting import format_table
     from .online import (
         OnlineSimulator,
@@ -438,6 +538,7 @@ def _cmd_online(args: argparse.Namespace) -> int:
         fifo_ranker,
         sjf_ranker,
         tetris_ranker,
+        verify_execution,
     )
     from .traces.arrivals import poisson_arrivals
     from .traces.synthetic import TraceConfig, generate_production_trace
@@ -462,25 +563,96 @@ def _cmd_online(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     stream = poisson_arrivals(trace, args.mean_interarrival, seed=args.seed)
-    simulator = OnlineSimulator()
+    env_config = EnvConfig(process_until_completion=True)
+    capacities = env_config.cluster.capacities
+
+    faults = None
+    if args.faults:
+        from .faults import parse_fault_spec
+
+        horizon = (
+            args.fault_horizon
+            if args.fault_horizon is not None
+            else max(2, int(args.jobs * args.mean_interarrival * 2))
+        )
+        try:
+            faults = parse_fault_spec(
+                args.faults, capacities, horizon, seed=args.seed
+            )
+        except ConfigError as exc:
+            print(f"online: {exc}", file=sys.stderr)
+            return 2
+
+    def build_rescheduler():
+        """Fresh per-ranker wrapper so degradation state never leaks."""
+        if not args.reschedule:
+            if args.fallback or args.replan_budget is not None:
+                raise ConfigError(
+                    "--fallback/--replan-budget require --reschedule"
+                )
+            return None
+        from .schedulers.registry import compose_scheduler
+
+        return compose_scheduler(
+            args.reschedule,
+            env_config,
+            reschedule=True,
+            fallback=args.fallback,
+            replan_budget=args.replan_budget,
+        )
+
+    simulator = OnlineSimulator(telemetry=None)
     rows = []
+    violations = 0
+    recovered = 0
     for name in names:
-        result = simulator.run(stream, known[name])
+        try:
+            rescheduler = build_rescheduler()
+            result = simulator.run(
+                stream, known[name], faults=faults, rescheduler=rescheduler
+            )
+        except ConfigError as exc:
+            print(f"online: {exc}", file=sys.stderr)
+            return 2
         cpu, mem = result.mean_utilization
-        rows.append(
-            (name, result.mean_jct, result.max_jct, result.makespan,
-             f"{cpu:.0%}/{mem:.0%}")
-        )
-    print(
-        format_table(
-            ["ranker", "mean JCT", "max JCT", "makespan", "util cpu/mem"],
-            rows,
-            title=(
-                f"Online: {len(stream)} jobs, Poisson mean interarrival "
-                f"{args.mean_interarrival:g} slots"
-            ),
-        )
+        row = [name, result.mean_jct, result.max_jct, result.makespan,
+               f"{cpu:.0%}/{mem:.0%}"]
+        if faults is not None:
+            row += [
+                f"{result.crashes}/{result.recoveries}",
+                result.total_retries,
+                result.failed_jobs,
+            ]
+            recovered += result.recoveries
+        rows.append(tuple(row))
+        if args.verify_executed:
+            reports = verify_execution(result, stream, capacities)
+            bad = [r for r in reports if r is not None and not r.ok]
+            for report in bad:
+                print(f"online[{name}]: {report.summary()}", file=sys.stderr)
+            violations += len(bad)
+    headers = ["ranker", "mean JCT", "max JCT", "makespan", "util cpu/mem"]
+    if faults is not None:
+        headers += ["crash/recov", "retries", "failed"]
+    title = (
+        f"Online: {len(stream)} jobs, Poisson mean interarrival "
+        f"{args.mean_interarrival:g} slots"
     )
+    if faults is not None:
+        title += f" | faults: {args.faults}"
+    if args.reschedule:
+        title += f" | reschedule: {args.reschedule}"
+    print(format_table(headers, rows, title=title))
+    if args.verify_executed:
+        print(
+            "executed-schedule verification: "
+            + ("clean" if not violations else f"{violations} job(s) violated")
+        )
+        if violations:
+            return 1
+    if args.check_recoveries and faults is not None and recovered == 0:
+        print("online: no capacity recovery occurred", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -623,6 +795,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "schedulers": _cmd_schedulers,
     "train": _cmd_train,
     "trace": _cmd_trace,
     "experiment": _cmd_experiment,

@@ -197,6 +197,62 @@ class ClusterState:
         for r, demand in enumerate(entry.demands):
             self._available[r] += demand
 
+    def kill(self, entry: RunningTask) -> None:
+        """Remove a running task *without* completing it (fault handling).
+
+        Mechanically identical to :meth:`undo_start` — the entry leaves
+        the heap and its demands are released — but semantically distinct:
+        the occupied slot-time is lost, not refunded, and the caller is
+        expected to re-enqueue the work.
+
+        Raises:
+            EnvironmentStateError: if ``entry`` is not currently running.
+        """
+
+        try:
+            self._running.remove(entry)
+        except ValueError:
+            raise EnvironmentStateError(
+                f"kill: task {entry.task_id} is not running"
+            ) from None
+        heapq.heapify(self._running)
+        for r, demand in enumerate(entry.demands):
+            self._available[r] += demand
+
+    def adjust_capacity(self, deltas: Sequence[int]) -> None:
+        """Shrink or grow total capacity in place (machine crash/recovery).
+
+        ``deltas`` may be negative (crash) or positive (recovery); both
+        :attr:`capacities` and the free pool move together.  Shrinking
+        below current usage is rejected — the caller must :meth:`kill`
+        victims first so the freed slots cover the loss.
+
+        Raises:
+            CapacityError: on a dimension mismatch, or when a shrink
+                exceeds the currently free slots of some resource.
+        """
+
+        deltas = tuple(int(d) for d in deltas)
+        if len(deltas) != len(self.capacities):
+            raise CapacityError(
+                f"capacity delta {deltas} has {len(deltas)} dims, "
+                f"cluster has {len(self.capacities)}"
+            )
+        for r, delta in enumerate(deltas):
+            if delta < 0 and self._available[r] + delta < 0:
+                raise CapacityError(
+                    f"cannot remove {-delta} slots of resource {r}: only "
+                    f"{self._available[r]} free (kill running tasks first)"
+                )
+            if self.capacities[r] + delta < 0:
+                raise CapacityError(
+                    f"cannot remove {-delta} slots of resource {r}: capacity "
+                    f"is only {self.capacities[r]}"
+                )
+        self.capacities = tuple(c + d for c, d in zip(self.capacities, deltas))
+        for r, delta in enumerate(deltas):
+            self._available[r] += delta
+
     def advance(self, dt: int) -> List[int]:
         """Move time forward by ``dt`` slots; release finished tasks.
 

@@ -21,7 +21,35 @@ from ..errors import GraphError
 from .graph import TaskGraph
 from .task import Task
 
-__all__ = ["disjoint_union", "serialize_jobs", "with_barrier_task", "relabel"]
+__all__ = [
+    "disjoint_union",
+    "serialize_jobs",
+    "with_barrier_task",
+    "relabel",
+    "with_runtimes",
+]
+
+
+def with_runtimes(graph: TaskGraph, runtimes) -> TaskGraph:
+    """Return ``graph`` with some task runtimes replaced.
+
+    ``runtimes`` maps ``task_id -> runtime``; unmapped tasks keep their
+    original estimate.  Used to build the *realized* graph of a
+    fault-injected run (actual durations instead of estimates) so the
+    executed schedule can be verified against what actually ran.
+
+    Raises:
+        GraphError: if a mapped id is unknown.
+    """
+
+    unknown = sorted(set(runtimes) - set(graph.task_ids))
+    if unknown:
+        raise GraphError(f"with_runtimes: unknown task ids {unknown[:5]}")
+    tasks = [
+        Task(task.task_id, runtimes.get(task.task_id, task.runtime), task.demands, task.name)
+        for task in graph
+    ]
+    return TaskGraph(tasks, list(graph.edges()))
 
 
 def relabel(graph: TaskGraph, offset: int) -> Tuple[List[Task], List[Tuple[int, int]]]:

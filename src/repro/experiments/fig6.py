@@ -15,8 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..config import EnvConfig, MctsConfig, WorkloadConfig
-from ..core.spear import SpearScheduler
+from ..config import EnvConfig, WorkloadConfig
 from ..dag.generators import random_layered_dag
 from ..dag.graph import TaskGraph
 from ..metrics.comparison import ComparisonRow, compare_makespans, win_rate
@@ -113,13 +112,13 @@ def makespan_comparison(
     if graphs is None:
         graphs = generate_dags(scale, seed)
 
-    spear = SpearScheduler(
-        network,
-        MctsConfig(
-            initial_budget=scale.spear_budget, min_budget=scale.spear_min_budget
-        ),
+    spear = make_scheduler(
+        "spear",
         env_config,
+        budget=scale.spear_budget,
+        min_budget=scale.spear_min_budget,
         seed=seed,
+        network=network,
     )
     schedulers: Dict[str, Scheduler] = {"spear": spear}
     for name in BASELINES:

@@ -1,0 +1,43 @@
+"""Structured fault-event records.
+
+The fault-aware executor appends one :class:`FaultEvent` per injected
+incident to the :class:`repro.online.OnlineResult` (deterministic,
+comparable — the determinism tests assert tuple equality) and mirrors
+each one into the telemetry pipeline as a ``fault.<kind>`` point event,
+so a ``--trace-out`` JSONL carries the full fault trace.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+__all__ = ["FaultEvent", "CRASH", "RECOVERY", "TASK_FAILURE", "RETRY", "JOB_FAILED"]
+
+#: Event kinds (the ``fault.<kind>`` telemetry event names).
+CRASH = "crash"
+RECOVERY = "recovery"
+TASK_FAILURE = "task_failure"
+RETRY = "retry"
+JOB_FAILED = "job_failed"
+
+
+class FaultEvent(NamedTuple):
+    """One injected incident, as executed.
+
+    Attributes:
+        time: simulation time of the incident.
+        kind: one of :data:`CRASH`, :data:`RECOVERY`,
+            :data:`TASK_FAILURE`, :data:`RETRY`, :data:`JOB_FAILED`.
+        job: owning job index, or ``None`` for cluster-level events.
+        task: task id, or ``None`` when not task-scoped.
+        attempt: 1-based attempt number for task-scoped events.
+        detail: short human-readable qualifier (e.g. ``"machine 0"``,
+            ``"backoff 4"``, ``"crash_kill"``).
+    """
+
+    time: int
+    kind: str
+    job: Optional[int] = None
+    task: Optional[int] = None
+    attempt: Optional[int] = None
+    detail: str = ""

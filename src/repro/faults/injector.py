@@ -1,0 +1,147 @@
+"""Deterministic realization of a :class:`~repro.faults.plan.FaultPlan`.
+
+The injector answers, for every task attempt, the two questions the
+executor asks at dispatch time — *how long will this attempt actually
+run* and *will it fail transiently at the end* — plus the crash/recovery
+timeline the event loop interleaves with arrivals and completions.
+
+Every per-attempt draw comes from a fresh RNG keyed by
+``(plan.seed, job_index, task_id, attempt)`` via
+:class:`numpy.random.SeedSequence`, so the answers are a pure function
+of the key: re-asking in any order (or after a reschedule changed the
+dispatch order) yields identical outcomes.  This key-derived scheme is
+what makes the whole fault-injected simulation bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .plan import FaultPlan
+
+__all__ = ["TaskAttempt", "TimelineEntry", "FaultInjector"]
+
+
+class TaskAttempt(NamedTuple):
+    """Realized outcome of one task attempt.
+
+    Attributes:
+        runtime: actual slots the attempt occupies (>= 1).
+        fails: the attempt fails transiently at its finish time.
+        straggled: the straggler slowdown was applied.
+    """
+
+    runtime: int
+    fails: bool
+    straggled: bool
+
+
+class TimelineEntry(NamedTuple):
+    """One capacity-change event on the crash/recovery timeline.
+
+    ``kind`` is ``"crash"`` or ``"recovery"``; ``capacity`` the slots
+    removed (crash) or restored (recovery); ``machine`` the reporting
+    label of the crash event it belongs to.
+    """
+
+    time: int
+    order: int  # recoveries (0) before crashes (1) at equal times
+    kind: str
+    machine: int
+    capacity: Tuple[int, ...]
+
+
+class FaultInjector:
+    """Stateless oracle over one fault plan.
+
+    Args:
+        plan: the fault model to realize.
+
+    The injector holds no mutable state; all methods are pure functions
+    of their arguments and the plan seed.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    # ------------------------------------------------------------------ #
+    # per-attempt realization
+    # ------------------------------------------------------------------ #
+
+    def _rng(self, job_index: int, task_id: int, attempt: int) -> np.random.Generator:
+        seq = np.random.SeedSequence(
+            entropy=self.plan.seed, spawn_key=(job_index, task_id, attempt)
+        )
+        return np.random.default_rng(seq)
+
+    def attempt(
+        self, job_index: int, task_id: int, attempt: int, nominal_runtime: int
+    ) -> TaskAttempt:
+        """Realize attempt ``attempt`` (1-based) of one task.
+
+        The draw order (failure, straggler, noise) is fixed so outcomes
+        never depend on which model components are enabled elsewhere.
+
+        Raises:
+            ConfigError: on a non-positive attempt number or runtime.
+        """
+
+        if attempt < 1:
+            raise ConfigError("attempt numbers are 1-based")
+        if nominal_runtime < 1:
+            raise ConfigError("nominal_runtime must be >= 1")
+        plan = self.plan
+        if plan.is_null:
+            return TaskAttempt(runtime=nominal_runtime, fails=False, straggled=False)
+        rng = self._rng(job_index, task_id, attempt)
+        fails = bool(rng.random() < plan.transient.probability)
+        straggled = bool(rng.random() < plan.straggler.probability)
+        factor = 1.0
+        if plan.noise is not None:
+            if plan.noise.kind == "lognormal":
+                factor = float(rng.lognormal(mean=0.0, sigma=plan.noise.scale))
+            else:
+                factor = float(
+                    rng.uniform(1.0 - plan.noise.scale, 1.0 + plan.noise.scale)
+                )
+        if straggled:
+            factor *= plan.straggler.slowdown
+        runtime = max(1, int(round(nominal_runtime * factor)))
+        return TaskAttempt(runtime=runtime, fails=fails, straggled=straggled)
+
+    def backoff(self, attempt: int) -> int:
+        """Backoff delay after the ``attempt``-th transient failure."""
+        return self.plan.retry.delay(attempt)
+
+    @property
+    def max_attempts(self) -> int:
+        """Transient-failure attempt budget before a job is failed."""
+        return self.plan.retry.max_attempts
+
+    # ------------------------------------------------------------------ #
+    # cluster timeline
+    # ------------------------------------------------------------------ #
+
+    def timeline(self) -> List[TimelineEntry]:
+        """Crash/recovery events sorted by (time, recovery-first, machine).
+
+        Recoveries sort before crashes at equal times so a staggered
+        plan's capacity never transiently over-subscribes.
+        """
+
+        entries: List[TimelineEntry] = []
+        for crash in self.plan.crashes:
+            entries.append(
+                TimelineEntry(crash.at, 1, "crash", crash.machine, crash.capacity)
+            )
+            if crash.recover_at is not None:
+                entries.append(
+                    TimelineEntry(
+                        crash.recover_at, 0, "recovery", crash.machine, crash.capacity
+                    )
+                )
+        entries.sort(key=lambda e: (e.time, e.order, e.machine))
+        return entries

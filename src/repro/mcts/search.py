@@ -29,7 +29,7 @@ from ..dag.graph import TaskGraph
 from ..env.scheduling_env import SchedulingEnv
 from ..errors import ConfigError
 from ..metrics.schedule import Schedule
-from ..schedulers.base import Scheduler
+from ..schedulers.base import Scheduler, ScheduleRequest, _planning_config
 from ..telemetry import runtime as _telemetry
 from ..utils.rng import SeedLike, as_generator
 from ..utils.timing import Stopwatch
@@ -49,7 +49,7 @@ __all__ = ["MctsScheduler", "SearchStatistics"]
 
 @dataclass
 class SearchStatistics:
-    """Telemetry of one :meth:`MctsScheduler.schedule` call."""
+    """Telemetry of one :meth:`MctsScheduler.plan` call."""
 
     decisions: int = 0
     iterations: int = 0
@@ -98,9 +98,17 @@ class MctsScheduler(Scheduler):
 
     # ------------------------------------------------------------------ #
 
-    def schedule(self, graph: TaskGraph) -> Schedule:
-        """Search a full schedule for ``graph``; statistics are kept in
+    def plan(self, request: ScheduleRequest) -> Schedule:
+        """Search a full schedule for ``request``; statistics are kept in
         :attr:`last_statistics`.
+
+        Replan requests are honoured via their cluster snapshot: when the
+        request carries current (e.g. crash-degraded) capacities the
+        search plans against them, so the plan stays executable on the
+        degraded cluster (see
+        :func:`repro.schedulers.base._planning_config` for the fallback
+        rules).  ``schedule(graph)`` remains available through the base
+        shim.
 
         When telemetry is active (:mod:`repro.telemetry`), the search
         emits one ``mcts.schedule`` span, one ``mcts.decision`` span per
@@ -110,6 +118,8 @@ class MctsScheduler(Scheduler):
         costs one no-op span per decision — the tree-walk statistics are
         only computed behind the ``enabled`` guard.
         """
+        graph = request.graph
+        env_config = _planning_config(self.env_config, request)
         stats = SearchStatistics()
         watch = Stopwatch()
         undo_mode = self.config.state_restore == "undo"
@@ -122,8 +132,8 @@ class MctsScheduler(Scheduler):
             state_restore=self.config.state_restore,
             scheduler=self.name,
         ) as search_span:
-            env = SchedulingEnv(graph, self.env_config)
-            exploration = self._exploration_constant(graph, stats)
+            env = SchedulingEnv(graph, env_config)
+            exploration = self._exploration_constant(graph, stats, env_config)
             root = Node(
                 None if undo_mode else env.clone(),
                 untried=self._candidates(env),
@@ -197,11 +207,16 @@ class MctsScheduler(Scheduler):
         return actions
 
     def _exploration_constant(
-        self, graph: TaskGraph, stats: SearchStatistics
+        self,
+        graph: TaskGraph,
+        stats: SearchStatistics,
+        env_config: EnvConfig | None = None,
     ) -> float:
         """Scale ``c`` to the instance: greedy-packing makespan estimate
         times the configured multiplier (Sec. IV)."""
-        probe = SchedulingEnv(graph, self.env_config)
+        probe = SchedulingEnv(
+            graph, env_config if env_config is not None else self.env_config
+        )
         estimate = GreedyRollout().rollout(probe)
         return self.config.exploration_scale * max(1, estimate)
 

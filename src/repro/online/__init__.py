@@ -21,7 +21,13 @@ from .rankers import (
     tetris_ranker,
     plan_priority_ranker,
 )
-from .simulator import ArrivingJob, JobOutcome, OnlineResult, OnlineSimulator
+from .simulator import (
+    ArrivingJob,
+    JobOutcome,
+    OnlineResult,
+    OnlineSimulator,
+    verify_execution,
+)
 
 __all__ = [
     "Ranker",
@@ -34,4 +40,5 @@ __all__ = [
     "JobOutcome",
     "OnlineResult",
     "OnlineSimulator",
+    "verify_execution",
 ]

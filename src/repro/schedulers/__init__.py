@@ -12,7 +12,16 @@
   instances, used to certify optimality in tests.
 """
 
-from .base import Policy, Scheduler, PolicyScheduler, run_policy
+from .base import (
+    Policy,
+    Scheduler,
+    SchedulerWrapper,
+    PolicyScheduler,
+    ClusterSnapshot,
+    ScheduleRequest,
+    as_schedule_request,
+    run_policy,
+)
 from .policies import (
     RandomPolicy,
     SjfPolicy,
@@ -23,12 +32,25 @@ from .tetris import TetrisPolicy
 from .graphene import GrapheneScheduler, GraphenePlan
 from .exact import BranchAndBoundScheduler
 from .listsched import HeftPolicy, LptPolicy, FifoPolicy
-from .registry import available_schedulers, make_scheduler
+from .registry import (
+    TelemetryScheduler,
+    VerifyingScheduler,
+    available_schedulers,
+    compose_scheduler,
+    make_scheduler,
+    parse_scheduler_spec,
+    scheduler_options,
+)
+from .rescheduler import ReschedulingScheduler
 
 __all__ = [
     "Policy",
     "Scheduler",
+    "SchedulerWrapper",
     "PolicyScheduler",
+    "ClusterSnapshot",
+    "ScheduleRequest",
+    "as_schedule_request",
     "run_policy",
     "RandomPolicy",
     "SjfPolicy",
@@ -43,4 +65,10 @@ __all__ = [
     "FifoPolicy",
     "available_schedulers",
     "make_scheduler",
+    "compose_scheduler",
+    "parse_scheduler_spec",
+    "scheduler_options",
+    "VerifyingScheduler",
+    "TelemetryScheduler",
+    "ReschedulingScheduler",
 ]

@@ -5,26 +5,56 @@ Two complementary interfaces coexist:
 * :class:`Policy` — a *dynamic* decision rule: given the live environment,
   pick one action.  All greedy baselines (Tetris, SJF, CP) and the DRL
   agent are policies.
-* :class:`Scheduler` — anything that turns a :class:`TaskGraph` into a
+* :class:`Scheduler` — anything that turns a scheduling *request* into a
   :class:`Schedule`.  :class:`PolicyScheduler` adapts a policy factory into
   a scheduler by rolling an episode; planners like Graphene and search
   methods like MCTS implement :class:`Scheduler` directly.
+
+The scheduler entry point is founded on :class:`ScheduleRequest` — a DAG
+plus the *context* a production replanner needs: the live cluster
+snapshot, placements that are already frozen (completed) or pinned
+(running), an optional deadline, and the active fault context.  The
+canonical method is :meth:`Scheduler.plan`; the historical
+``schedule(graph)`` signature survives as a shim that wraps the graph in
+a context-free request, so every pre-existing call site keeps working.
+
+Migration notes (see DESIGN.md Sec. 10.4):
+
+* New schedulers override ``plan(request)`` and may read the context.
+* Legacy schedulers that override ``schedule(graph)`` keep working: the
+  base ``plan`` detects the override and delegates with ``request.graph``
+  (the context is ignored, which is exactly the legacy behaviour).
+* Callers should migrate to ``plan(as_schedule_request(...))``; calling
+  ``schedule(graph)`` remains supported indefinitely.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Tuple, Union
 
 from ..config import EnvConfig
 from ..dag.graph import TaskGraph
 from ..env.actions import Action
 from ..env.scheduling_env import SchedulingEnv
-from ..errors import EnvironmentStateError
+from ..errors import ConfigError, EnvironmentStateError
 from ..metrics.schedule import Schedule
 from ..utils.timing import Stopwatch
 
-__all__ = ["Policy", "Scheduler", "PolicyScheduler", "run_policy"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..faults.plan import FaultContext
+
+__all__ = [
+    "Policy",
+    "Scheduler",
+    "SchedulerWrapper",
+    "PolicyScheduler",
+    "ClusterSnapshot",
+    "ScheduleRequest",
+    "as_schedule_request",
+    "run_policy",
+]
 
 #: Hard cap on episode length as a multiple of the episode's work volume;
 #: tripping it indicates a livelocked policy, which is a bug worth raising.
@@ -45,14 +75,158 @@ class Policy(abc.ABC):
         """Choose one action from ``env.legal_actions()``."""
 
 
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """Point-in-time view of the live cluster a planner schedules against.
+
+    Attributes:
+        capacities: total slots per resource *right now* (crashed machines
+            already subtracted).
+        available: currently free slots per resource.
+        now: current simulation/wall time in slots.
+    """
+
+    capacities: Tuple[int, ...]
+    available: Tuple[int, ...]
+    now: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.capacities) != len(self.available):
+            raise ConfigError(
+                "snapshot capacities and available must have equal dims"
+            )
+        if any(c < 0 for c in self.capacities):
+            raise ConfigError("snapshot capacities must be >= 0")
+        if any(a < 0 or a > c for a, c in zip(self.available, self.capacities)):
+            raise ConfigError("snapshot available must lie in [0, capacity]")
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """Everything a context-aware scheduler may look at for one plan.
+
+    Attributes:
+        graph: the (residual) DAG to plan.  For replanning, completed
+            tasks are already removed and running tasks excluded; their
+            effect is carried by ``frozen`` / ``pinned``.
+        cluster: live cluster snapshot, or ``None`` for the scheduler's
+            configured default cluster (the offline planning case).
+        frozen: completed placements, ``task_id -> (start, finish)``;
+            informational — these tasks must not be re-planned.
+        pinned: running placements, ``task_id -> (start, expected_finish)``;
+            they occupy capacity until their finish and must not move.
+        deadline: optional completion target in slots (advisory).
+        faults: active fault context when planning under injection, or
+            ``None`` (see :mod:`repro.faults`).
+    """
+
+    graph: TaskGraph
+    cluster: Optional[ClusterSnapshot] = None
+    frozen: Mapping[int, Tuple[int, int]] = field(default_factory=dict)
+    pinned: Mapping[int, Tuple[int, int]] = field(default_factory=dict)
+    deadline: Optional[int] = None
+    faults: Optional["FaultContext"] = None
+
+    @property
+    def is_replan(self) -> bool:
+        """True when this request carries residual-DAG context."""
+        return bool(self.frozen) or bool(self.pinned) or self.cluster is not None
+
+
+def as_schedule_request(
+    target: Union[TaskGraph, ScheduleRequest], **context: object
+) -> ScheduleRequest:
+    """Normalize a bare graph or an existing request into a request.
+
+    Extra keyword arguments become request fields when ``target`` is a
+    graph; passing both a ready request and context is an error (the
+    caller should build the request directly).
+    """
+
+    if isinstance(target, ScheduleRequest):
+        if context:
+            raise ConfigError(
+                "cannot combine an existing ScheduleRequest with extra context"
+            )
+        return target
+    if isinstance(target, TaskGraph):
+        return ScheduleRequest(graph=target, **context)  # type: ignore[arg-type]
+    raise ConfigError(
+        f"expected TaskGraph or ScheduleRequest, got {type(target).__name__}"
+    )
+
+
 class Scheduler(abc.ABC):
-    """Anything that produces a complete schedule for a job DAG."""
+    """Anything that produces a complete schedule for a job DAG.
+
+    Override :meth:`plan` (canonical, context-aware) *or* the legacy
+    ``schedule(graph)`` — at least one.  ``schedule`` also serves as the
+    backward-compatible entry shim: it accepts a bare graph or a full
+    :class:`ScheduleRequest` and routes through :meth:`plan`.
+    """
 
     name: str = "scheduler"
 
-    @abc.abstractmethod
-    def schedule(self, graph: TaskGraph) -> Schedule:
-        """Plan and return a feasible schedule for ``graph``."""
+    def plan(self, request: ScheduleRequest) -> Schedule:
+        """Plan and return a feasible schedule for ``request``.
+
+        The default implementation supports legacy subclasses: when the
+        subclass overrides ``schedule(graph)`` (and not ``plan``), the
+        request's graph is delegated to it and any context is ignored.
+        """
+
+        legacy = type(self).schedule
+        if legacy is not Scheduler.schedule:
+            return legacy(self, request.graph)
+        raise NotImplementedError(
+            f"{type(self).__name__} must override plan() or schedule()"
+        )
+
+    def schedule(self, graph: Union[TaskGraph, ScheduleRequest]) -> Schedule:
+        """Compatibility shim: accept a graph (or request), call :meth:`plan`."""
+
+        return self.plan(as_schedule_request(graph))
+
+
+class SchedulerWrapper(Scheduler):
+    """Base class for transparent scheduler decorators.
+
+    A wrapper keeps the inner scheduler's ``name`` (so reports and
+    registries see the original label) and forwards unknown attribute
+    access to it.  Forwarding is deliberately conservative:
+
+    * dunder lookups raise :class:`AttributeError` immediately — Python's
+      copy/pickle protocols probe ``__reduce_ex__``, ``__getstate__`` and
+      friends *before* ``__init__`` has run, and forwarding those through
+      a not-yet-assigned ``_inner`` used to recurse infinitely;
+    * ``_inner`` itself is fetched with ``object.__getattribute__`` so a
+      half-constructed (e.g. mid-unpickling) wrapper degrades to a clean
+      :class:`AttributeError` instead of a ``RecursionError``.
+    """
+
+    def __init__(self, inner: Scheduler) -> None:
+        self._inner = inner
+        self.name = inner.name
+
+    @property
+    def inner(self) -> Scheduler:
+        """The wrapped scheduler (unwrap repeatedly to reach the base)."""
+        return self._inner
+
+    def plan(self, request: ScheduleRequest) -> Schedule:
+        return self._inner.plan(request)
+
+    def __getattr__(self, attr: str):
+        if attr.startswith("__") and attr.endswith("__"):
+            raise AttributeError(attr)
+        try:
+            inner = object.__getattribute__(self, "_inner")
+        except AttributeError:
+            raise AttributeError(attr) from None
+        return getattr(inner, attr)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._inner!r})"
 
 
 def run_policy(
@@ -91,6 +265,35 @@ def run_policy(
     return env.to_schedule(scheduler=policy.name, wall_time=watch.elapsed)
 
 
+def _planning_config(config: EnvConfig, request: ScheduleRequest) -> EnvConfig:
+    """Resolve the environment config a planner should use for ``request``.
+
+    A replan request carries the *current* capacities (crashed machines
+    subtracted); planning against them keeps the plan executable on the
+    degraded cluster.  When some residual task cannot fit the degraded
+    capacities at all (it must wait for a recovery), fall back to the
+    configured capacities — the plan is then a priority order rather than
+    a packing, which is how the online executor consumes it anyway.
+    """
+
+    snapshot = request.cluster
+    if snapshot is None:
+        return config
+    capacities = tuple(snapshot.capacities)
+    if capacities == tuple(config.cluster.capacities):
+        return config
+    if len(capacities) != request.graph.num_resources:
+        return config
+    for task in request.graph:
+        if any(d > c for d, c in zip(task.demands, capacities)):
+            return config
+    if any(c <= 0 for c in capacities):
+        return config
+    from dataclasses import replace
+
+    return replace(config, cluster=replace(config.cluster, capacities=capacities))
+
+
 class PolicyScheduler(Scheduler):
     """Adapts a policy factory into a :class:`Scheduler`.
 
@@ -111,8 +314,8 @@ class PolicyScheduler(Scheduler):
         self._config = config if config is not None else EnvConfig()
         self.name = name if name is not None else policy_factory().name
 
-    def schedule(self, graph: TaskGraph) -> Schedule:
-        env = SchedulingEnv(graph, self._config)
+    def plan(self, request: ScheduleRequest) -> Schedule:
+        env = SchedulingEnv(request.graph, _planning_config(self._config, request))
         policy = self._factory()
         schedule = run_policy(env, policy)
         return Schedule(

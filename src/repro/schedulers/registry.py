@@ -1,107 +1,377 @@
 """Name-based scheduler construction for the CLI and the experiment harness.
 
-``make_scheduler("tetris")`` returns a ready-to-use :class:`Scheduler`;
-the registry covers every baseline.  Spear and pure MCTS live in
-:mod:`repro.core` (they need extra machinery — search budgets, trained
-networks) and register themselves through :func:`register`.
+``make_scheduler("tetris")`` returns a ready-to-use :class:`Scheduler`.
+Construction is driven by *spec strings* — a registry name plus typed
+``key=value`` options::
+
+    make_scheduler("mcts:budget=200,min_budget=50,seed=3")
+    make_scheduler("spear:budget=2000,fallback=heft")
+    make_scheduler("tetris:verify=true")
+
+Option keys and their types are declared at registration time
+(:func:`register`); unknown keys and malformed values raise
+:class:`~repro.errors.ConfigError` with the known keys listed.  Four
+*wrapper* keys are reserved on every spec and assemble the standard
+decorator stack via :func:`compose_scheduler`:
+
+* ``verify`` (bool) — machine-check every emitted schedule
+  (:class:`VerifyingScheduler`);
+* ``telemetry`` (bool) — wrap each plan in a ``scheduler.plan`` span
+  (:class:`TelemetryScheduler`);
+* ``fallback`` (spec) — degrade to this scheduler on planner errors or
+  budget overruns (:class:`~repro.schedulers.rescheduler.ReschedulingScheduler`);
+* ``replan_budget`` (float seconds) — per-replan wall-clock budget.
+
+Spear and pure MCTS live in :mod:`repro.core` (they need extra machinery
+— search budgets, trained networks) and register themselves when that
+package is imported; the registry imports it lazily on first use of
+either name, so ``make_scheduler("mcts:budget=50")`` works even when
+only this module has been imported.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import importlib
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..config import EnvConfig
-from ..dag.graph import TaskGraph
 from ..errors import ConfigError
 from ..metrics.schedule import Schedule
-from .base import PolicyScheduler, Scheduler
+from ..telemetry import runtime as _telemetry
+from .base import (
+    PolicyScheduler,
+    Scheduler,
+    SchedulerWrapper,
+    ScheduleRequest,
+    _planning_config,
+)
 from .exact import BranchAndBoundScheduler
 from .graphene import GrapheneScheduler
 from .listsched import FifoPolicy, HeftPolicy, LptPolicy
 from .policies import CriticalPathPolicy, RandomPolicy, SjfPolicy
+from .rescheduler import ReschedulingScheduler
 from .tetris import TetrisPolicy
 
 __all__ = [
     "available_schedulers",
+    "scheduler_options",
+    "parse_scheduler_spec",
     "make_scheduler",
+    "compose_scheduler",
     "register",
     "VerifyingScheduler",
+    "TelemetryScheduler",
 ]
 
-_FACTORIES: Dict[str, Callable[[EnvConfig], Scheduler]] = {}
+#: Option coercers a registration may declare: the python type of each key.
+OptionType = Callable[[str], Any]
+
+_FACTORIES: Dict[str, Callable[..., Scheduler]] = {}
+_OPTION_SCHEMAS: Dict[str, Dict[str, OptionType]] = {}
+
+#: Names provided by packages the registry must not import eagerly
+#: (``repro.core`` pulls in the RL stack); imported on first use.
+_LAZY_PROVIDERS: Dict[str, str] = {"mcts": "repro.core", "spear": "repro.core"}
+
+#: Spec keys consumed by :func:`make_scheduler` itself (wrapper stack),
+#: valid on every scheduler and rejected as registration option names.
+_WRAPPER_KEYS = ("verify", "telemetry", "fallback", "replan_budget")
 
 
-def register(name: str, factory: Callable[[EnvConfig], Scheduler]) -> None:
-    """Register a scheduler factory under ``name`` (overwrites silently is
-    an error; names are unique)."""
+def register(
+    name: str,
+    factory: Callable[..., Scheduler],
+    options: Optional[Mapping[str, OptionType]] = None,
+) -> None:
+    """Register a scheduler factory under ``name``.
+
+    Args:
+        name: unique registry key (re-registering raises).
+        factory: called as ``factory(env_config, **options)``; factories
+            without options are called with the config alone.
+        options: typed option schema, ``key -> type`` (``int``, ``float``,
+            ``bool`` or ``str``) — the keys a spec string may set for this
+            scheduler.  Spec values are coerced to the declared type before
+            the factory sees them.
+
+    Raises:
+        ConfigError: on a duplicate name or an option key that collides
+            with a reserved wrapper key.
+    """
     if name in _FACTORIES:
         raise ConfigError(f"scheduler {name!r} already registered")
+    schema = dict(options) if options else {}
+    clash = sorted(set(schema) & set(_WRAPPER_KEYS))
+    if clash:
+        raise ConfigError(
+            f"scheduler {name!r} declares reserved option keys {clash}"
+        )
     _FACTORIES[name] = factory
+    _OPTION_SCHEMAS[name] = schema
 
 
 def available_schedulers() -> List[str]:
-    """Sorted names of all registered schedulers."""
-    return sorted(_FACTORIES)
+    """Sorted names of all registered schedulers (lazy providers included)."""
+    return sorted(set(_FACTORIES) | set(_LAZY_PROVIDERS))
 
 
-class VerifyingScheduler(Scheduler):
+def scheduler_options() -> Dict[str, Dict[str, str]]:
+    """Per-scheduler option schemas as ``name -> {key: type name}``.
+
+    Wrapper keys (valid everywhere) are not repeated per scheduler; the
+    CLI's ``repro schedulers`` listing prints them once.
+    """
+    for name in list(_LAZY_PROVIDERS):
+        _resolve_factory(name)
+    return {
+        name: {key: typ.__name__ for key, typ in sorted(schema.items())}
+        for name, schema in sorted(_OPTION_SCHEMAS.items())
+    }
+
+
+def parse_scheduler_spec(spec: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``"name:key=val,key=val"`` into ``(name, raw options)``.
+
+    A bare name parses to ``(name, {})``.  Values stay strings here;
+    :func:`make_scheduler` coerces them against the registered schema.
+
+    Raises:
+        ConfigError: on an empty name, a non-``key=value`` entry, or a
+            duplicated key.
+    """
+    name, sep, rest = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise ConfigError(f"scheduler spec {spec!r} has an empty name")
+    options: Dict[str, str] = {}
+    if sep and rest.strip():
+        for part in rest.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ConfigError(
+                    f"scheduler spec entry {part!r} is not key=value"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            if key in options:
+                raise ConfigError(f"scheduler spec repeats key {key!r}")
+            options[key] = raw.strip()
+    return name, options
+
+
+_TRUE = ("1", "true", "yes", "on")
+_FALSE = ("0", "false", "no", "off")
+
+
+def _coerce(name: str, key: str, raw: Any, typ: OptionType) -> Any:
+    """Coerce one raw option value to its declared type."""
+    if not isinstance(raw, str):
+        # Programmatic kwargs arrive pre-typed; accept int where float is
+        # declared, pass custom-typed options (e.g. a network object for
+        # ``spear``) straight to the factory, reject plain mismatches.
+        if typ not in (int, float, bool, str):
+            return raw
+        if typ is float and isinstance(raw, int) and not isinstance(raw, bool):
+            return float(raw)
+        if typ is bool and not isinstance(raw, bool):
+            raise ConfigError(f"{name}: option {key}={raw!r} is not a bool")
+        if isinstance(raw, typ):  # type: ignore[arg-type]
+            return raw
+        raise ConfigError(
+            f"{name}: option {key}={raw!r} is not a {typ.__name__}"
+        )
+    if typ is bool:
+        lowered = raw.lower()
+        if lowered in _TRUE:
+            return True
+        if lowered in _FALSE:
+            return False
+        raise ConfigError(
+            f"{name}: option {key}={raw!r} is not a bool "
+            f"(use true/false)"
+        )
+    try:
+        return typ(raw)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"{name}: option {key}={raw!r} is not a {typ.__name__}"
+        ) from None
+
+
+def _resolve_factory(name: str) -> Callable[..., Scheduler]:
+    """Look up a factory, importing its lazy provider package if needed."""
+    factory = _FACTORIES.get(name)
+    if factory is None and name in _LAZY_PROVIDERS:
+        importlib.import_module(_LAZY_PROVIDERS[name])
+        factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ConfigError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        )
+    return factory
+
+
+class VerifyingScheduler(SchedulerWrapper):
     """Wraps any scheduler so every emitted schedule is machine-checked.
 
     After the inner scheduler plans, the schedule runs through
-    :func:`repro.analysis.verify_schedule` against the graph and the
-    cluster capacities of ``env_config``; any violated invariant raises
+    :func:`repro.analysis.verify_schedule` against the request's graph
+    and the capacities the plan was made for — the request's cluster
+    snapshot when a replan carries one (resolved exactly like
+    :func:`~repro.schedulers.base._planning_config` does, so degraded
+    capacities and the oversized-task fallback agree with the planner),
+    otherwise the configured cluster.  Any violated invariant raises
     :class:`repro.errors.ScheduleError` before the schedule can leak to
     callers.  The wrapper is transparent: it keeps the inner name and
     forwards attribute access, so reports and registries see the
     original scheduler.
     """
 
-    def __init__(self, inner: Scheduler, env_config: EnvConfig) -> None:
-        self._inner = inner
-        self._capacities = tuple(env_config.cluster.capacities)
-        self.name = inner.name
+    def __init__(self, inner: Scheduler, env_config: EnvConfig | None = None) -> None:
+        super().__init__(inner)
+        self._config = env_config if env_config is not None else EnvConfig()
 
-    def schedule(self, graph: TaskGraph) -> Schedule:
+    def plan(self, request: ScheduleRequest) -> Schedule:
         from ..analysis.verifier import verify_schedule  # local: avoids a cycle
 
-        schedule = self._inner.schedule(graph)
-        verify_schedule(schedule, graph, self._capacities).raise_if_violations()
+        schedule = self._inner.plan(request)
+        capacities = tuple(
+            _planning_config(self._config, request).cluster.capacities
+        )
+        verify_schedule(schedule, request.graph, capacities).raise_if_violations()
         return schedule
 
-    def __getattr__(self, attr: str):
-        return getattr(self._inner, attr)
 
-    def __repr__(self) -> str:
-        return f"VerifyingScheduler({self._inner!r})"
+class TelemetryScheduler(SchedulerWrapper):
+    """Wraps any scheduler so every plan lands in the telemetry pipeline.
+
+    Each :meth:`plan` call becomes one ``scheduler.plan`` span (scheduler
+    name, task count, replan flag, resulting makespan) plus a
+    ``scheduler.plans`` counter tick.  With telemetry disabled the
+    overhead is one no-op span per plan.
+    """
+
+    def plan(self, request: ScheduleRequest) -> Schedule:
+        tm = _telemetry.active()
+        with tm.span(
+            "scheduler.plan",
+            scheduler=self.name,
+            tasks=request.graph.num_tasks,
+            replan=request.is_replan,
+        ) as span:
+            schedule = self._inner.plan(request)
+            if tm.enabled:
+                span.set(makespan=schedule.makespan)
+                tm.inc("scheduler.plans")
+        return schedule
+
+
+def compose_scheduler(
+    scheduler: Union[Scheduler, str],
+    env_config: EnvConfig | None = None,
+    *,
+    verify: bool = False,
+    telemetry: bool = False,
+    reschedule: bool = False,
+    fallback: Union[Scheduler, str, None] = None,
+    replan_budget: Optional[float] = None,
+) -> Scheduler:
+    """Assemble the standard wrapper stack around a scheduler.
+
+    This is the one place wrapper nesting order is decided (innermost
+    first): rescheduling — so degraded/fallback plans are still checked
+    — then verification, then telemetry outermost so spans cover the
+    verifier too.
+
+    Args:
+        scheduler: a ready instance, or a registry spec to build first.
+        env_config: environment shape for verification and for building
+            ``scheduler``/``fallback`` from specs.
+        verify: add :class:`VerifyingScheduler`.
+        telemetry: add :class:`TelemetryScheduler`.
+        reschedule: add :class:`ReschedulingScheduler` (implied when
+            ``fallback`` or ``replan_budget`` is given).
+        fallback: heuristic to degrade to (instance or spec).
+        replan_budget: per-replan wall-clock budget in seconds.
+
+    Raises:
+        ConfigError: via spec resolution or invalid budgets.
+    """
+    config = env_config if env_config is not None else EnvConfig()
+    if isinstance(scheduler, str):
+        scheduler = make_scheduler(scheduler, config)
+    if isinstance(fallback, str):
+        fallback = make_scheduler(fallback, config)
+    if reschedule or fallback is not None or replan_budget is not None:
+        scheduler = ReschedulingScheduler(
+            scheduler, fallback=fallback, replan_budget=replan_budget
+        )
+    if verify:
+        scheduler = VerifyingScheduler(scheduler, config)
+    if telemetry:
+        scheduler = TelemetryScheduler(scheduler)
+    return scheduler
 
 
 def make_scheduler(
-    name: str,
+    spec: str,
     env_config: EnvConfig | None = None,
     validate: bool = False,
+    **options: Any,
 ) -> Scheduler:
-    """Instantiate the scheduler registered under ``name``.
+    """Instantiate a scheduler from a registry spec.
 
     Args:
-        name: registry key (see :func:`available_schedulers`).
+        spec: registry name, optionally with typed options and wrapper
+            keys — ``"tetris"``, ``"mcts:budget=200,seed=3"``,
+            ``"spear:budget=2000,fallback=heft,verify=true"``.
         env_config: environment shape; defaults to :class:`EnvConfig()`.
-        validate: wrap the scheduler in :class:`VerifyingScheduler` so
-            every schedule it emits is checked against the full invariant
-            set before being returned.
+        validate: wrap in :class:`VerifyingScheduler` (equivalent to the
+            ``verify=true`` spec key) so every schedule is checked
+            against the full invariant set before being returned.
+        **options: programmatic options, merged over the spec's (same
+            keys, already typed — e.g. ``network=my_policy_network`` for
+            ``spear``, which has no spec-string form).
 
     Raises:
-        ConfigError: for unknown names (message lists what exists).
+        ConfigError: for unknown names or option keys (the message lists
+            what exists) and malformed option values.
     """
     config = env_config if env_config is not None else EnvConfig()
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown scheduler {name!r}; available: {available_schedulers()}"
-        ) from None
-    scheduler = factory(config)
+    name, raw_options = parse_scheduler_spec(spec)
+    factory = _resolve_factory(name)
+    schema = _OPTION_SCHEMAS.get(name, {})
+
+    merged: Dict[str, Any] = dict(raw_options)
+    merged.update(options)
+
+    wrapper_types: Dict[str, OptionType] = {
+        "verify": bool,
+        "telemetry": bool,
+        "fallback": str,
+        "replan_budget": float,
+    }
+    wrappers: Dict[str, Any] = {}
+    typed: Dict[str, Any] = {}
+    for key, raw in merged.items():
+        if key in wrapper_types:
+            wrappers[key] = _coerce(name, key, raw, wrapper_types[key])
+        elif key in schema:
+            typed[key] = _coerce(name, key, raw, schema[key])
+        else:
+            known = sorted(schema) + list(_WRAPPER_KEYS)
+            raise ConfigError(
+                f"unknown option {key!r} for scheduler {name!r}; "
+                f"known: {known}"
+            )
+
+    scheduler = factory(config, **typed) if typed else factory(config)
     if validate:
-        return VerifyingScheduler(scheduler, config)
+        wrappers["verify"] = True
+    if wrappers:
+        return compose_scheduler(scheduler, config, **wrappers)
     return scheduler
 
 
@@ -110,7 +380,11 @@ register("sjf", lambda cfg: PolicyScheduler(SjfPolicy, cfg, name="sjf"))
 register("cp", lambda cfg: PolicyScheduler(CriticalPathPolicy, cfg, name="cp"))
 register("tetris", lambda cfg: PolicyScheduler(TetrisPolicy, cfg, name="tetris"))
 register("graphene", lambda cfg: GrapheneScheduler(env_config=cfg))
-register("optimal", lambda cfg: BranchAndBoundScheduler(env_config=cfg))
+register(
+    "optimal",
+    lambda cfg, **opts: BranchAndBoundScheduler(env_config=cfg, **opts),
+    options={"max_nodes": int},
+)
 register("heft", lambda cfg: PolicyScheduler(HeftPolicy, cfg, name="heft"))
 register("lpt", lambda cfg: PolicyScheduler(LptPolicy, cfg, name="lpt"))
 register("fifo", lambda cfg: PolicyScheduler(FifoPolicy, cfg, name="fifo"))

@@ -1,0 +1,116 @@
+"""Property tests for fault-aware execution.
+
+Two system-level invariants, under *any* seeded fault plan:
+
+1. No silent loss: every submitted job either completes or is reported
+   failed, and each executed schedule passes the full schedule-invariant
+   verifier on its realized graph.
+2. Determinism: the same plan and stream produce an identical
+   :class:`OnlineResult`, retry counts and fault-event log included.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ClusterConfig
+from repro.dag import independent_tasks_dag
+from repro.dag.generators import random_layered_dag
+from repro.config import WorkloadConfig
+from repro.faults import (
+    FaultPlan,
+    RetryPolicy,
+    RuntimeNoise,
+    StragglerModel,
+    TransientFaults,
+    random_crash_plan,
+)
+from repro.online import ArrivingJob, OnlineSimulator, fifo_ranker, verify_execution
+
+CAPACITIES = (10, 10)
+
+
+@st.composite
+def fault_plans(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    transient = draw(st.floats(min_value=0.0, max_value=0.4))
+    straggle = draw(st.floats(min_value=0.0, max_value=0.3))
+    noise = draw(st.floats(min_value=0.0, max_value=0.5))
+    kind = draw(st.sampled_from(["lognormal", "uniform"]))
+    n_crashes = draw(st.integers(min_value=0, max_value=2))
+    crashes = random_crash_plan(
+        n_crashes, CAPACITIES, horizon=60, fraction=0.3, seed=seed
+    )
+    return FaultPlan(
+        crashes=crashes,
+        transient=TransientFaults(transient),
+        straggler=StragglerModel(straggle, slowdown=2.0),
+        noise=RuntimeNoise(kind=kind, scale=noise) if noise > 0 else None,
+        retry=RetryPolicy(max_attempts=4, backoff_base=1, backoff_cap=4),
+        seed=seed,
+    )
+
+
+@st.composite
+def job_streams(draw):
+    n_jobs = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    workload = WorkloadConfig(
+        num_tasks=6, max_runtime=5, max_demand=4, runtime_mean=3.0, demand_mean=2.0
+    )
+    return [
+        ArrivingJob(4 * i, random_layered_dag(workload, seed=seed + i))
+        for i in range(n_jobs)
+    ]
+
+
+def run(stream, plan):
+    simulator = OnlineSimulator(ClusterConfig(capacities=CAPACITIES, horizon=8))
+    return simulator.run(stream, fifo_ranker, faults=plan)
+
+
+@given(plan=fault_plans(), stream=job_streams())
+@settings(max_examples=40, deadline=None)
+def test_no_silent_loss_and_verifier_clean(plan, stream):
+    result = run(stream, plan)
+    # Every job is accounted for exactly once.
+    assert sorted(o.job_index for o in result.outcomes) == list(range(len(stream)))
+    assert result.completed_jobs + result.failed_jobs == len(stream)
+    # A completed job executed all of its tasks.
+    for outcome, schedule in zip(result.outcomes, result.executed):
+        if not outcome.failed:
+            graph = stream[outcome.job_index].graph
+            assert len(schedule.placements) == graph.num_tasks
+    # Executed placements satisfy the full invariant set on realized graphs.
+    for report in verify_execution(result, stream, CAPACITIES):
+        assert report is None or not report.violations
+
+
+@given(plan=fault_plans(), stream=job_streams())
+@settings(max_examples=25, deadline=None)
+def test_same_seed_identical_result(plan, stream):
+    first = run(stream, plan)
+    second = run(stream, plan)
+    assert first == second
+    assert first.fault_events == second.fault_events
+    assert [o.retries for o in first.outcomes] == [
+        o.retries for o in second.outcomes
+    ]
+    assert [o.transient_failures for o in first.outcomes] == [
+        o.transient_failures for o in second.outcomes
+    ]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    runtimes=st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_fault_free_run_unaffected_by_null_plan(seed, runtimes):
+    stream = [ArrivingJob(0, independent_tasks_dag(runtimes))]
+    plain = OnlineSimulator(
+        ClusterConfig(capacities=CAPACITIES, horizon=8)
+    ).run(stream, fifo_ranker)
+    nulled = run(stream, FaultPlan(seed=seed))
+    assert nulled.makespan == plain.makespan
+    assert [o.jct for o in nulled.outcomes] == [o.jct for o in plain.outcomes]
+    assert nulled.fault_events == ()

@@ -7,7 +7,7 @@ import pytest
 from repro.bench.suites import default_suite
 from repro.cli import main
 
-EXPECTED_GROUPS = {"env", "cluster", "mcts", "observation", "telemetry"}
+EXPECTED_GROUPS = {"env", "cluster", "mcts", "observation", "faults", "telemetry"}
 
 
 class TestDefaultSuite:

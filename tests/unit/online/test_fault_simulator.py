@@ -1,0 +1,234 @@
+"""Unit tests for fault-aware online simulation.
+
+Covers crash/recovery accounting, transient retries, attempt budgets with
+reported job failures, determinism, fault-free equivalence, rescheduler
+integration, and post-hoc verification of executed schedules.
+"""
+
+import pytest
+
+from repro.config import ClusterConfig, EnvConfig
+from repro.dag import chain_dag, independent_tasks_dag
+from repro.dag.generators import random_layered_dag
+from repro.config import WorkloadConfig
+from repro.errors import ConfigError
+from repro.faults import (
+    CRASH,
+    JOB_FAILED,
+    RECOVERY,
+    RETRY,
+    TASK_FAILURE,
+    FaultPlan,
+    MachineCrash,
+    RetryPolicy,
+    RuntimeNoise,
+    StragglerModel,
+    TransientFaults,
+)
+from repro.online import (
+    ArrivingJob,
+    OnlineSimulator,
+    cp_ranker,
+    fifo_ranker,
+    verify_execution,
+)
+from repro.schedulers import compose_scheduler
+
+CAPACITIES = (10, 10)
+
+
+@pytest.fixture
+def simulator():
+    return OnlineSimulator(ClusterConfig(capacities=CAPACITIES, horizon=8))
+
+
+def job(arrival, runtimes, demands=None):
+    return ArrivingJob(arrival, independent_tasks_dag(runtimes, demands=demands))
+
+
+def random_stream(n_jobs=4, seed=7):
+    workload = WorkloadConfig(
+        num_tasks=8, max_runtime=6, max_demand=4, runtime_mean=3.0, demand_mean=2.0
+    )
+    return [
+        ArrivingJob(3 * i, random_layered_dag(workload, seed=seed + i))
+        for i in range(n_jobs)
+    ]
+
+
+class TestCrashRecovery:
+    def test_crash_and_recovery_counted(self, simulator):
+        faults = FaultPlan(
+            crashes=(MachineCrash(0, 2, (5, 5), recover_at=6),), seed=1
+        )
+        stream = [job(0, [8], demands=[(2, 2)])]
+        result = simulator.run(stream, fifo_ranker, faults=faults)
+        assert result.crashes == 1
+        assert result.recoveries == 1
+        kinds = [e.kind for e in result.fault_events]
+        assert CRASH in kinds and RECOVERY in kinds
+
+    def test_crash_displaces_running_work(self, simulator):
+        # One task holds 8/10 slots; losing 5 slots must kill and re-run it.
+        faults = FaultPlan(
+            crashes=(MachineCrash(0, 2, (5, 5), recover_at=20),), seed=1
+        )
+        stream = [job(0, [6], demands=[(8, 8)])]
+        result = simulator.run(stream, fifo_ranker, faults=faults)
+        outcome = result.outcomes[0]
+        assert not outcome.failed
+        assert outcome.crash_kills == 1
+        # Killed at t=2, cannot refit until recovery at t=20, runs 6 more.
+        assert outcome.completion_time == 26
+        retry_events = [e for e in result.fault_events if e.kind == RETRY]
+        assert any("crash" in e.detail for e in retry_events)
+
+    def test_crash_kills_do_not_exhaust_attempt_budget(self, simulator):
+        faults = FaultPlan(
+            crashes=(MachineCrash(0, 1, (9, 9), recover_at=4),),
+            retry=RetryPolicy(max_attempts=1),
+            seed=1,
+        )
+        stream = [job(0, [3], demands=[(4, 4)])]
+        result = simulator.run(stream, fifo_ranker, faults=faults)
+        assert not result.outcomes[0].failed
+        assert result.outcomes[0].crash_kills == 1
+
+
+class TestTransientRetries:
+    def test_certain_failure_exhausts_budget_and_reports(self, simulator):
+        # Seed 0 makes all three attempts of (job 0, task 0) fail at p=0.99.
+        faults = FaultPlan(
+            transient=TransientFaults(0.99),
+            retry=RetryPolicy(max_attempts=3, backoff_base=1),
+            seed=0,
+        )
+        stream = [job(0, [2], demands=[(2, 2)])]
+        result = simulator.run(stream, fifo_ranker, faults=faults)
+        outcome = result.outcomes[0]
+        assert outcome.failed
+        assert outcome.transient_failures == 3
+        assert outcome.retries == 2  # third strike fails the job instead
+        assert result.failed_jobs == 1
+        assert result.completed_jobs == 0
+        kinds = [e.kind for e in result.fault_events]
+        assert kinds.count(TASK_FAILURE) == 3
+        assert JOB_FAILED in kinds
+
+    def test_retry_eventually_succeeds(self, simulator):
+        faults = FaultPlan(
+            transient=TransientFaults(0.4),
+            retry=RetryPolicy(max_attempts=8, backoff_base=1),
+            seed=5,
+        )
+        result = simulator.run(random_stream(), fifo_ranker, faults=faults)
+        assert all(not o.failed for o in result.outcomes)
+        assert result.total_retries > 0
+        assert result.total_retries == sum(o.retries for o in result.outcomes)
+
+    def test_backoff_delays_retry(self, simulator):
+        # Seed 35: attempt 1 of (job 0, task 0) fails, attempt 2 succeeds.
+        faults = FaultPlan(
+            transient=TransientFaults(0.99),
+            retry=RetryPolicy(max_attempts=2, backoff_base=4),
+            seed=35,
+        )
+        stream = [job(0, [2], demands=[(2, 2)])]
+        result = simulator.run(stream, fifo_ranker, faults=faults)
+        retry = next(e for e in result.fault_events if e.kind == RETRY)
+        assert "backoff 4" in retry.detail
+
+
+class TestDeterminismAndEquivalence:
+    def test_same_plan_same_result(self, simulator):
+        faults = FaultPlan(
+            crashes=(MachineCrash(0, 5, (4, 4), recover_at=15),),
+            transient=TransientFaults(0.2),
+            straggler=StragglerModel(0.2, slowdown=2.0),
+            noise=RuntimeNoise(kind="lognormal", scale=0.2),
+            seed=13,
+        )
+        first = simulator.run(random_stream(), cp_ranker, faults=faults)
+        second = OnlineSimulator(
+            ClusterConfig(capacities=CAPACITIES, horizon=8)
+        ).run(random_stream(), cp_ranker, faults=faults)
+        assert first == second
+        assert first.fault_events == second.fault_events
+        assert [o.retries for o in first.outcomes] == [
+            o.retries for o in second.outcomes
+        ]
+
+    def test_null_plan_matches_faultless_run(self, simulator):
+        stream = random_stream()
+        plain = simulator.run(stream, fifo_ranker)
+        nulled = OnlineSimulator(
+            ClusterConfig(capacities=CAPACITIES, horizon=8)
+        ).run(random_stream(), fifo_ranker, faults=FaultPlan())
+        assert nulled.makespan == plain.makespan
+        assert [o.jct for o in nulled.outcomes] == [o.jct for o in plain.outcomes]
+        assert nulled.crashes == 0 and nulled.total_retries == 0
+        assert nulled.fault_events == ()
+
+    def test_noise_changes_runtimes_but_stays_clean(self, simulator):
+        faults = FaultPlan(noise=RuntimeNoise(kind="uniform", scale=0.5), seed=9)
+        stream = random_stream()
+        result = simulator.run(stream, fifo_ranker, faults=faults)
+        assert all(not o.failed for o in result.outcomes)
+        reports = verify_execution(result, stream, CAPACITIES)
+        assert all(r is None or not r.violations for r in reports)
+
+
+class TestRescheduling:
+    def test_rescheduler_runs_and_replans(self, simulator):
+        faults = FaultPlan(
+            crashes=(MachineCrash(0, 4, (4, 4), recover_at=12),),
+            transient=TransientFaults(0.15),
+            seed=21,
+        )
+        env_config = EnvConfig(
+            cluster=ClusterConfig(capacities=CAPACITIES, horizon=8)
+        )
+        rescheduler = compose_scheduler(
+            "heft", env_config, reschedule=True, fallback="fifo"
+        )
+        stream = random_stream()
+        result = simulator.run(
+            stream, cp_ranker, faults=faults, rescheduler=rescheduler
+        )
+        assert rescheduler.replans > 0
+        assert all(not o.failed for o in result.outcomes)
+        reports = verify_execution(result, stream, CAPACITIES)
+        assert all(r is None or not r.violations for r in reports)
+
+    def test_rescheduler_without_faults_plans_on_admission(self, simulator):
+        env_config = EnvConfig(
+            cluster=ClusterConfig(capacities=CAPACITIES, horizon=8)
+        )
+        rescheduler = compose_scheduler("cp", env_config, reschedule=True)
+        stream = [ArrivingJob(0, chain_dag([2, 3, 1], demands=[(2, 1)] * 3))]
+        result = simulator.run(stream, fifo_ranker, rescheduler=rescheduler)
+        assert rescheduler.replans >= 1
+        assert result.makespan == 6
+
+
+class TestVerifyExecution:
+    def test_failed_job_partial_schedule_verified(self, simulator):
+        # Seed 0: the single attempt of (job 0, task 0) fails at p=0.99.
+        faults = FaultPlan(
+            transient=TransientFaults(0.99),
+            retry=RetryPolicy(max_attempts=1),
+            seed=0,
+        )
+        stream = [ArrivingJob(0, chain_dag([2, 2], demands=[(2, 2)] * 2))]
+        result = simulator.run(stream, fifo_ranker, faults=faults)
+        assert result.outcomes[0].failed
+        reports = verify_execution(result, stream, CAPACITIES)
+        assert len(reports) == 1
+        report = reports[0]
+        assert report is None or not report.violations
+
+    def test_mismatched_inputs_raise(self, simulator):
+        stream = random_stream(2)
+        result = simulator.run(stream, fifo_ranker)
+        with pytest.raises(ConfigError):
+            verify_execution(result, stream[:1], CAPACITIES)

@@ -1,0 +1,257 @@
+"""Unit tests for spec-string parsing, the compose stack, and the
+context-aware Scheduler API (ScheduleRequest / plan / wrappers)."""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.dag import chain_dag
+from repro.errors import ConfigError, ScheduleError
+from repro.metrics.schedule import Schedule
+from repro.schedulers import (
+    ClusterSnapshot,
+    ReschedulingScheduler,
+    Scheduler,
+    SchedulerWrapper,
+    ScheduleRequest,
+    TelemetryScheduler,
+    VerifyingScheduler,
+    as_schedule_request,
+    available_schedulers,
+    compose_scheduler,
+    make_scheduler,
+    parse_scheduler_spec,
+    scheduler_options,
+)
+
+
+class TestParseSpec:
+    def test_bare_name(self):
+        assert parse_scheduler_spec("tetris") == ("tetris", {})
+
+    def test_options_stay_raw_strings(self):
+        name, opts = parse_scheduler_spec("mcts:budget=200, seed=3")
+        assert name == "mcts"
+        assert opts == {"budget": "200", "seed": "3"}
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ConfigError, match="empty name"):
+            parse_scheduler_spec(":budget=1")
+
+    def test_non_kv_entry_raises(self):
+        with pytest.raises(ConfigError, match="not key=value"):
+            parse_scheduler_spec("mcts:budget")
+
+    def test_duplicate_key_raises(self):
+        with pytest.raises(ConfigError, match="repeats key"):
+            parse_scheduler_spec("mcts:seed=1,seed=2")
+
+
+class TestMakeScheduler:
+    def test_unknown_name_lists_available(self, env_config):
+        with pytest.raises(ConfigError, match="unknown scheduler"):
+            make_scheduler("warp", env_config)
+
+    def test_unknown_option_lists_known(self, env_config):
+        with pytest.raises(ConfigError, match="known:.*verify"):
+            make_scheduler("tetris:speed=11", env_config)
+
+    def test_typed_coercion_failure(self, env_config):
+        with pytest.raises(ConfigError, match="not a int"):
+            make_scheduler("optimal:max_nodes=many", env_config)
+
+    def test_bool_coercion_strict(self, env_config):
+        with pytest.raises(ConfigError, match="not a bool"):
+            make_scheduler("tetris:verify=maybe", env_config)
+
+    def test_spec_options_reach_factory(self, env_config, chain3):
+        scheduler = make_scheduler("mcts:budget=30,min_budget=10,seed=1", env_config)
+        schedule = scheduler.schedule(chain3)
+        assert schedule.makespan >= 6  # serial chain of 2+3+1
+
+    def test_programmatic_options_merge_over_spec(self, env_config):
+        # budget from kwargs (already typed) overrides nothing but coexists
+        scheduler = make_scheduler("mcts:seed=2", env_config, budget=25, min_budget=10)
+        assert scheduler is not None
+
+    def test_wrapper_keys_build_stack(self, env_config):
+        scheduler = make_scheduler(
+            "cp:verify=true,telemetry=true,fallback=fifo,replan_budget=5",
+            env_config,
+        )
+        assert isinstance(scheduler, TelemetryScheduler)
+        assert isinstance(scheduler.inner, VerifyingScheduler)
+        assert isinstance(scheduler.inner.inner, ReschedulingScheduler)
+        assert scheduler.inner.inner.fallback.name == "fifo"
+        assert scheduler.inner.inner.replan_budget == 5.0
+        assert scheduler.name == "cp"  # wrappers are name-transparent
+
+    def test_available_and_options_listings(self):
+        names = available_schedulers()
+        assert {"tetris", "heft", "mcts", "spear"} <= set(names)
+        opts = scheduler_options()
+        assert opts["mcts"]["budget"] == "int"
+        assert opts["spear"]["network"] == "checkpoint"
+
+
+class TestComposeScheduler:
+    def test_nesting_order(self, env_config):
+        stacked = compose_scheduler(
+            "heft", env_config, verify=True, telemetry=True, reschedule=True
+        )
+        assert isinstance(stacked, TelemetryScheduler)
+        assert isinstance(stacked.inner, VerifyingScheduler)
+        assert isinstance(stacked.inner.inner, ReschedulingScheduler)
+
+    def test_fallback_implies_reschedule(self, env_config):
+        stacked = compose_scheduler("heft", env_config, fallback="fifo")
+        assert isinstance(stacked, ReschedulingScheduler)
+
+    def test_noop_returns_bare_scheduler(self, env_config):
+        scheduler = compose_scheduler("tetris", env_config)
+        assert not isinstance(scheduler, SchedulerWrapper)
+
+
+class _Broken(Scheduler):
+    """Legacy-style scheduler (overrides schedule) that emits garbage."""
+
+    name = "broken"
+
+    def schedule(self, graph):
+        return Schedule(placements=(), scheduler=self.name)
+
+
+class _Failing(Scheduler):
+    name = "failing"
+
+    def plan(self, request):
+        raise ScheduleError("planner exploded")
+
+
+class TestScheduleRequestApi:
+    def test_as_schedule_request_wraps_graph(self, chain3):
+        request = as_schedule_request(chain3)
+        assert request.graph is chain3
+        assert not request.is_replan
+
+    def test_as_schedule_request_passthrough(self, chain3):
+        request = ScheduleRequest(graph=chain3)
+        assert as_schedule_request(request) is request
+        with pytest.raises(ConfigError, match="extra context"):
+            as_schedule_request(request, deadline=10)
+
+    def test_replan_detection(self, chain3):
+        snap = ClusterSnapshot(capacities=(10, 10), available=(4, 4), now=7)
+        assert ScheduleRequest(graph=chain3, cluster=snap).is_replan
+        assert ScheduleRequest(graph=chain3, frozen={0: (0, 2)}).is_replan
+
+    def test_snapshot_validation(self):
+        with pytest.raises(ConfigError, match="equal dims"):
+            ClusterSnapshot(capacities=(10,), available=(1, 1))
+        with pytest.raises(ConfigError, match="capacity"):
+            ClusterSnapshot(capacities=(10, 10), available=(11, 0))
+
+    def test_legacy_schedule_override_served_by_plan(self, chain3):
+        # _Broken overrides schedule(graph) only; plan() must delegate.
+        schedule = _Broken().plan(as_schedule_request(chain3))
+        assert schedule.placements == ()
+
+    def test_plan_required_somewhere(self, chain3):
+        class Nothing(Scheduler):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Nothing().plan(as_schedule_request(chain3))
+
+    def test_shim_routes_request_through_plan(self, env_config, chain3):
+        scheduler = make_scheduler("cp", env_config)
+        via_shim = scheduler.schedule(chain3)
+        via_plan = scheduler.plan(as_schedule_request(chain3))
+        assert via_shim.makespan == via_plan.makespan
+
+
+class TestWrapperGetattr:
+    def test_forwarding(self, env_config):
+        inner = make_scheduler("tetris", env_config)
+        wrapper = VerifyingScheduler(inner, env_config)
+        assert wrapper.name == "tetris"
+        assert wrapper.inner is inner
+
+    def test_missing_attribute_is_clean(self, env_config):
+        wrapper = VerifyingScheduler(make_scheduler("tetris", env_config), env_config)
+        with pytest.raises(AttributeError):
+            wrapper.does_not_exist
+
+    def test_half_constructed_wrapper_does_not_recurse(self):
+        # copy/pickle probe dunders before __init__ ever runs; this used
+        # to recurse infinitely through __getattr__ -> _inner -> __getattr__.
+        shell = VerifyingScheduler.__new__(VerifyingScheduler)
+        with pytest.raises(AttributeError):
+            shell._inner
+        copy.copy(shell)  # must not raise RecursionError
+
+    def test_pickle_roundtrip(self, env_config):
+        wrapper = VerifyingScheduler(make_scheduler("tetris", env_config), env_config)
+        clone = pickle.loads(pickle.dumps(wrapper))
+        assert clone.name == "tetris"
+
+
+class TestReschedulingScheduler:
+    def test_verifier_rejects_broken_schedules(self, env_config, chain3):
+        wrapper = VerifyingScheduler(_Broken(), env_config)
+        with pytest.raises(ScheduleError, match="dependency|placement|missing"):
+            wrapper.schedule(chain3)
+
+    def test_planner_error_degrades_to_fallback(self, env_config, chain3):
+        fallback = make_scheduler("fifo", env_config)
+        wrapper = ReschedulingScheduler(_Failing(), fallback=fallback)
+        schedule = wrapper.schedule(chain3)
+        assert schedule.makespan == 6
+        assert wrapper.degraded
+        assert wrapper.fallback_replans == 1
+        # Once degraded, the fallback serves directly.
+        wrapper.schedule(chain3)
+        assert wrapper.fallback_replans == 2
+
+    def test_planner_error_without_fallback_propagates(self, chain3):
+        wrapper = ReschedulingScheduler(_Failing())
+        with pytest.raises(ScheduleError, match="exploded"):
+            wrapper.schedule(chain3)
+
+    def test_budget_overrun_degrades_after_result(self, env_config, chain3):
+        fallback = make_scheduler("fifo", env_config)
+        planner = make_scheduler("cp", env_config)
+        wrapper = ReschedulingScheduler(
+            planner, fallback=fallback, replan_budget=1e-12
+        )
+        schedule = wrapper.schedule(chain3)  # over budget but still valid
+        assert schedule.makespan == 6
+        assert wrapper.degraded
+        assert wrapper.fallback_replans == 0
+        wrapper.schedule(chain3)
+        assert wrapper.fallback_replans == 1
+
+    def test_reset_clears_degradation(self, env_config, chain3):
+        wrapper = ReschedulingScheduler(
+            make_scheduler("cp", env_config),
+            fallback=make_scheduler("fifo", env_config),
+            replan_budget=1e-12,
+        )
+        wrapper.schedule(chain3)
+        assert wrapper.degraded
+        wrapper.reset()
+        assert not wrapper.degraded
+        assert wrapper.replans == 0
+
+    def test_invalid_budget_raises(self, env_config):
+        with pytest.raises(ConfigError, match="replan_budget"):
+            ReschedulingScheduler(
+                make_scheduler("cp", env_config), replan_budget=0
+            )
+
+    def test_priority_order_matches_planned_starts(self, env_config, chain3):
+        wrapper = ReschedulingScheduler(make_scheduler("cp", env_config))
+        order = wrapper.priority_order(as_schedule_request(chain3))
+        assert sorted(order) == [t.task_id for t in chain3]
+        assert order[0] == 0  # chain head starts first

@@ -137,3 +137,108 @@ class TestCommands:
     def test_online_unknown_ranker(self, capsys):
         assert main(["online", "--rankers", "quantum"]) == 2
         assert "unknown rankers" in capsys.readouterr().err
+
+
+class TestSchedulersCommand:
+    def test_lists_registry_and_wrapper_keys(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "tetris" in out and "spear" in out
+        assert "wrapper keys" in out
+        assert "replan_budget" in out
+
+    def test_json_listing(self, capsys):
+        import json
+
+        assert main(["schedulers", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "mcts" in payload["schedulers"]
+        assert payload["schedulers"]["mcts"]["budget"] == "int"
+        assert "verify" in payload["wrapper_keys"]
+
+
+class TestSpecStrings:
+    def test_simulate_with_spec_options(self, capsys):
+        code = main(
+            ["simulate", "--scheduler", "mcts:budget=30,min_budget=10", "--tasks", "8"]
+        )
+        assert code == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_simulate_bad_spec_option(self, capsys):
+        assert main(["simulate", "--scheduler", "tetris:speed=11"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_compare_with_spec_options(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--schedulers",
+                "fifo,optimal:max_nodes=20000",
+                "--jobs",
+                "2",
+                "--tasks",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fifo" in out and "optimal" in out
+
+
+class TestOnlineFaults:
+    def test_faulted_run_with_rescheduling(self, capsys):
+        code = main(
+            [
+                "online",
+                "--jobs",
+                "4",
+                "--seed",
+                "3",
+                "--rankers",
+                "fifo",
+                "--faults",
+                "crashes=1,transient=0.1,noise=0.2",
+                "--fault-horizon",
+                "40",
+                "--reschedule",
+                "heft",
+                "--fallback",
+                "cp",
+                "--verify-executed",
+                "--check-recoveries",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crash/recov" in out
+        assert "verification: clean" in out
+
+    def test_bad_fault_spec(self, capsys):
+        assert main(["online", "--faults", "meteors=1"]) == 2
+        assert "unknown fault spec key" in capsys.readouterr().err
+
+    def test_fallback_requires_reschedule(self, capsys):
+        assert main(["online", "--fallback", "cp"]) == 2
+        assert "--reschedule" in capsys.readouterr().err
+
+    def test_trace_out_writes_fault_events(self, tmp_path, capsys):
+        trace = tmp_path / "faults.jsonl"
+        code = main(
+            [
+                "online",
+                "--jobs",
+                "3",
+                "--seed",
+                "5",
+                "--rankers",
+                "fifo",
+                "--faults",
+                "transient=0.3,max_attempts=6",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert trace.exists()
+        capsys.readouterr()
