@@ -13,6 +13,7 @@ rules can join the registry the same way::
 """
 
 from .bare_except import BareExceptRule
+from .event_loops import AdHocEventLoopRule
 from .float_equality import FloatTimeEqualityRule
 from .exports import MissingAllRule
 from .mutable_defaults import MutableDefaultRule
@@ -26,4 +27,5 @@ __all__ = [
     "BareExceptRule",
     "MissingAllRule",
     "NoPrintRule",
+    "AdHocEventLoopRule",
 ]

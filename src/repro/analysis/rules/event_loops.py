@@ -1,0 +1,73 @@
+"""REP107 — ad-hoc ``heapq`` event loops outside the simulation kernel.
+
+Deterministic time advancement is the job of :mod:`repro.sim`: its
+:class:`~repro.sim.EventQueue` is the one sanctioned heap, totally
+ordered by ``(time, priority_class, seq)`` with documented tie-break
+classes.  A raw ``heapq`` event loop elsewhere re-invents that ordering
+without the stability guarantees — equal-time pops then depend on
+payload comparability or insertion luck, which is exactly the class of
+bug the kernel extraction removed from the online executor.
+
+Allowlisted hot paths keep their raw heaps deliberately: the kernel's
+own queue, :mod:`repro.cluster.state` (the running-task heap MCTS
+clones thousands of times per decision), the scheduling environment's
+rollout loop, and the DAG topological order.  Everything else must
+schedule through the kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List
+
+from ..linter import LintRule, LintViolation, register_rule
+
+__all__ = ["AdHocEventLoopRule"]
+
+#: names that, when imported from ``heapq``, indicate heap manipulation.
+_HEAP_FUNCTIONS = frozenset(
+    {"heappush", "heappop", "heapify", "heappushpop", "heapreplace", "merge"}
+)
+
+
+@register_rule
+class AdHocEventLoopRule(LintRule):
+    rule_id = "REP107"
+    description = (
+        "raw heapq event loop outside repro.sim; schedule through "
+        "repro.sim.EventQueue / SimKernel"
+    )
+
+    #: path suffixes allowed to keep raw heaps (kernel + audited hot paths).
+    exempt_suffixes = (
+        "repro/sim/queue.py",
+        "repro/cluster/state.py",
+        "repro/env/scheduling_env.py",
+        "repro/dag/graph.py",
+    )
+
+    def _exempt(self, path: Path) -> bool:
+        posix = path.as_posix()
+        return any(posix.endswith(suffix) for suffix in self.exempt_suffixes)
+
+    def check(
+        self, tree: ast.Module, source: str, path: Path
+    ) -> Iterable[LintViolation]:
+        if self._exempt(path):
+            return []
+        violations: List[LintViolation] = []
+        message = (
+            "ad-hoc heapq event structure; use repro.sim.EventQueue (stable "
+            "(time, class, seq) ordering) or a SimKernel-scheduled event"
+        )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name == "heapq" for alias in node.names):
+                    violations.append(self.violation(node, path, message))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "heapq" and any(
+                    alias.name in _HEAP_FUNCTIONS for alias in node.names
+                ):
+                    violations.append(self.violation(node, path, message))
+        return violations

@@ -337,6 +337,86 @@ def _setup_faults_inject_step(seed: int) -> Callable[[], None]:
 
 
 # --------------------------------------------------------------------- #
+# online group
+# --------------------------------------------------------------------- #
+
+
+def _online_inputs(seed: int):
+    """A fixed six-job arrival stream on a (10, 10) cluster."""
+    from ..config import ClusterConfig, WorkloadConfig
+    from ..dag.generators import random_layered_dag
+    from ..online import ArrivingJob, OnlineSimulator
+
+    workload = WorkloadConfig(
+        num_tasks=8, max_runtime=6, max_demand=4, runtime_mean=3.0, demand_mean=2.0
+    )
+    jobs = [
+        ArrivingJob(3 * i, random_layered_dag(workload, seed=seed + 100 + i))
+        for i in range(6)
+    ]
+    simulator = OnlineSimulator(ClusterConfig(capacities=(10, 10), horizon=8))
+    return simulator, jobs
+
+
+def _setup_online_fault_free(seed: int) -> Callable[[], None]:
+    """End-to-end fault-free online run through the repro.sim kernel.
+
+    One thunk is a whole six-job episode — arrivals, greedy dispatch,
+    completions — so per-task time prices the kernel event loop plus a
+    dispatch round per tick.  The budget here is what keeps the kernel
+    refactor from taxing the serving path.
+    """
+    from ..online import cp_ranker
+
+    simulator, jobs = _online_inputs(seed)
+    num_tasks = sum(job.graph.num_tasks for job in jobs)
+
+    def thunk() -> None:
+        simulator.run(jobs, cp_ranker)
+
+    thunk.ops = num_tasks  # type: ignore[attr-defined]
+    return thunk
+
+
+def _setup_online_faulty(seed: int) -> Callable[[], None]:
+    """The same episode under crash + transient faults with retries.
+
+    Adds the fault-mode surcharge on top of the fault-free run: timeline
+    cursor drains, per-attempt injector draws, retry backoff events and
+    crash-triggered replans all ride the kernel queue.
+    """
+    from ..faults import (
+        FaultPlan,
+        MachineCrash,
+        RetryPolicy,
+        RuntimeNoise,
+        StragglerModel,
+        TransientFaults,
+    )
+    from ..online import cp_ranker
+
+    simulator, jobs = _online_inputs(seed)
+    num_tasks = sum(job.graph.num_tasks for job in jobs)
+    plan = FaultPlan(
+        crashes=(
+            MachineCrash(0, 6, (4, 4), recover_at=18),
+            MachineCrash(1, 30, (3, 3), recover_at=44),
+        ),
+        transient=TransientFaults(0.15),
+        straggler=StragglerModel(0.1, slowdown=2.0),
+        noise=RuntimeNoise(kind="lognormal", scale=0.2),
+        retry=RetryPolicy(max_attempts=4, backoff_base=2, backoff_cap=8),
+        seed=seed + 13,
+    )
+
+    def thunk() -> None:
+        simulator.run(jobs, cp_ranker, faults=plan)
+
+    thunk.ops = num_tasks  # type: ignore[attr-defined]
+    return thunk
+
+
+# --------------------------------------------------------------------- #
 # registry
 # --------------------------------------------------------------------- #
 
@@ -401,6 +481,22 @@ def default_suite() -> List[BenchmarkSpec]:
             "faults.inject_step",
             "faults",
             _setup_faults_inject_step,
+        ),
+        BenchmarkSpec(
+            "online.run_fault_free",
+            "online",
+            _setup_online_fault_free,
+            repeats=10,
+            quick_repeats=3,
+            warmup=1,
+        ),
+        BenchmarkSpec(
+            "online.run_faulty",
+            "online",
+            _setup_online_faulty,
+            repeats=10,
+            quick_repeats=3,
+            warmup=1,
         ),
         BenchmarkSpec(
             "telemetry.span_disabled",

@@ -618,7 +618,11 @@ def _cmd_online(args: argparse.Namespace) -> int:
         row = [name, result.mean_jct, result.max_jct, result.makespan,
                f"{cpu:.0%}/{mem:.0%}"]
         if faults is not None:
+            # Effective (realized-capacity) vs nominal utilization: the
+            # gap is the share of nominal capacity lost to crashes.
+            nom_cpu, nom_mem = result.nominal_utilization
             row += [
+                f"{nom_cpu:.0%}/{nom_mem:.0%}",
                 f"{result.crashes}/{result.recoveries}",
                 result.total_retries,
                 result.failed_jobs,
@@ -633,7 +637,7 @@ def _cmd_online(args: argparse.Namespace) -> int:
             violations += len(bad)
     headers = ["ranker", "mean JCT", "max JCT", "makespan", "util cpu/mem"]
     if faults is not None:
-        headers += ["crash/recov", "retries", "failed"]
+        headers += ["nom util", "crash/recov", "retries", "failed"]
     title = (
         f"Online: {len(stream)} jobs, Poisson mean interarrival "
         f"{args.mean_interarrival:g} slots"

@@ -10,6 +10,7 @@ resource-time space of Sec. III-B.
 """
 
 from .resources import ResourceVector, fits, subtract, add
+from .sim_adapter import ClusterProcess
 from .state import ClusterState, RunningTask
 from .timeline import ResourceTimeSpace
 
@@ -18,6 +19,7 @@ __all__ = [
     "fits",
     "subtract",
     "add",
+    "ClusterProcess",
     "ClusterState",
     "RunningTask",
     "ResourceTimeSpace",

@@ -22,7 +22,7 @@ import numpy as np
 from ..errors import ConfigError
 from .plan import FaultPlan
 
-__all__ = ["TaskAttempt", "TimelineEntry", "FaultInjector"]
+__all__ = ["TaskAttempt", "TimelineEntry", "TimelineCursor", "FaultInjector"]
 
 
 class TaskAttempt(NamedTuple):
@@ -145,3 +145,43 @@ class FaultInjector:
                 )
         entries.sort(key=lambda e: (e.time, e.order, e.machine))
         return entries
+
+
+class TimelineCursor:
+    """Consume a crash/recovery timeline in injector order.
+
+    The kernel's global tie-break puts crashes before recoveries at
+    equal times, but the timeline's own documented intra-tie order is
+    the opposite (recovery first, so capacity never transiently
+    over-subscribes).  The cursor reconciles the two: each entry is
+    scheduled as a kernel event of its own class, but whichever event
+    pops *first* at a given instant drains **every** entry due by then
+    in timeline order; the later events for already-consumed entries
+    then drain nothing.  The realized fault order therefore always
+    matches :meth:`FaultInjector.timeline`.
+    """
+
+    __slots__ = ("_entries", "_pos")
+
+    def __init__(self, entries: List[TimelineEntry]) -> None:
+        self._entries = list(entries)
+        self._pos = 0
+
+    @property
+    def entries(self) -> List[TimelineEntry]:
+        """The full timeline, consumed or not."""
+        return list(self._entries)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every entry has been drained."""
+        return self._pos >= len(self._entries)
+
+    def drain(self, now: int) -> List[TimelineEntry]:
+        """Pop all unconsumed entries with ``time <= now``, in order."""
+        fired: List[TimelineEntry] = []
+        entries = self._entries
+        while self._pos < len(entries) and entries[self._pos].time <= now:
+            fired.append(entries[self._pos])
+            self._pos += 1
+        return fired

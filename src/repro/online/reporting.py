@@ -1,0 +1,164 @@
+"""Reporting layer: outcomes, executed schedules, telemetry, integrals.
+
+Everything the simulation *observes* about itself funnels through here:
+job outcomes and executed schedules as they finish, the ordered fault
+incident record (mirrored to telemetry as ``fault.<kind>`` events),
+queue-length gauges, and the slot-time integrals behind the two
+utilization definitions of :class:`~repro.online.results.OnlineResult`.
+
+The layer is write-mostly during the run; :meth:`finalize` assembles the
+:class:`~repro.online.results.OnlineResult` once the event loop drains.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..faults.events import JOB_FAILED, FaultEvent
+from ..metrics.schedule import Schedule
+from ..telemetry import runtime as _telemetry
+from .results import JobOutcome, OnlineResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.state import ClusterState
+    from .execution import ActiveJob, ExecutionLayer, FaultState
+
+__all__ = ["ReportingLayer"]
+
+
+class ReportingLayer:
+    """Collects run output; owns nothing the simulation's future depends on
+    (except the retry/fault counters mirrored from the execution layer's
+    emitted events — those are read back only at :meth:`finalize`).
+
+    Args:
+        capacities: nominal (pre-fault) capacities, the denominator of
+            the historical utilization definition.
+        tm: telemetry pipeline facade (may be disabled).
+        start_time: the first arrival — utilization integrals and the
+            makespan horizon both start here.
+    """
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        tm: _telemetry.TelemetryLike,
+        start_time: int,
+    ) -> None:
+        self.nominal_capacities: Tuple[int, ...] = tuple(capacities)
+        self.tm = tm
+        self.tm_enabled = tm.enabled
+        self.start_time = start_time
+        self.last_time = start_time
+        self.busy_area = [0] * len(self.nominal_capacities)
+        self.capacity_area = [0] * len(self.nominal_capacities)
+        self.outcomes: List[JobOutcome] = []
+        self.executed: Dict[int, Schedule] = {}
+        self.fault_events: List[FaultEvent] = []
+        self.exec_label = "online"  # overwritten by the orchestrator
+
+    # ------------------------------------------------------------------ #
+    # integrals and gauges
+    # ------------------------------------------------------------------ #
+
+    def account(self, state: "ClusterState", until: int) -> None:
+        """Accrue busy and capacity slot-time up to ``until``.
+
+        Must run *before* the clock advance that reaches ``until``: a
+        task occupies its slots up to, not including, its finish
+        instant, and a crash changes capacity only from its instant on.
+        """
+        if until <= self.last_time:
+            return
+        span = until - self.last_time
+        capacities = state.capacities
+        available = state.available
+        for r in range(len(self.nominal_capacities)):
+            self.busy_area[r] += span * (capacities[r] - available[r])
+            self.capacity_area[r] += span * capacities[r]
+        self.last_time = until
+
+    def gauges(self, execution: "ExecutionLayer") -> None:
+        """Publish the per-tick queue-length gauges."""
+        if not self.tm_enabled:
+            return
+        active = execution.active
+        self.tm.gauge("online.active_jobs", float(len(active)))
+        self.tm.gauge(
+            "online.ready_tasks",
+            float(sum(len(j.ready) for j in active.values())),
+        )
+
+    # ------------------------------------------------------------------ #
+    # incident and outcome records
+    # ------------------------------------------------------------------ #
+
+    def emit_fault(self, event: FaultEvent) -> None:
+        """Append to the ordered incident record; mirror to telemetry."""
+        self.fault_events.append(event)
+        if self.tm_enabled:
+            self.tm.event(
+                f"fault.{event.kind}",
+                time=event.time,
+                job=-1 if event.job is None else event.job,
+                task=-1 if event.task is None else event.task,
+                attempt=0 if event.attempt is None else event.attempt,
+                detail=event.detail,
+            )
+
+    def record_completion(self, job: "ActiveJob", now: int) -> None:
+        """One job ran to completion: outcome, executed schedule, metrics."""
+        outcome = job.outcome(now)
+        self.outcomes.append(outcome)
+        self.executed[job.index] = job.executed_schedule(self.exec_label)
+        if self.tm_enabled:
+            self.tm.observe("online.jct", float(outcome.jct))
+            self.tm.event(
+                "online.job",
+                job=outcome.job_index,
+                jct=outcome.jct,
+                arrival=outcome.arrival_time,
+                completion=outcome.completion_time,
+                tasks=outcome.num_tasks,
+                retries=outcome.retries,
+                failed=outcome.failed,
+            )
+
+    def record_failure(self, job: "ActiveJob", now: int, reason: str) -> None:
+        """One job was abandoned: outcome, partial schedule, incident."""
+        self.outcomes.append(job.outcome(now, failed=True))
+        self.executed[job.index] = job.executed_schedule(self.exec_label)
+        self.emit_fault(FaultEvent(now, JOB_FAILED, job=job.index, detail=reason))
+
+    # ------------------------------------------------------------------ #
+    # final assembly
+    # ------------------------------------------------------------------ #
+
+    def finalize(self, makespan: int, fstate: Optional["FaultState"]) -> OnlineResult:
+        """Assemble the :class:`OnlineResult` once the loop has drained."""
+        horizon = max(1, makespan - self.start_time)
+        nominal = tuple(
+            self.busy_area[r] / (horizon * self.nominal_capacities[r])
+            for r in range(len(self.nominal_capacities))
+        )
+        # Effective utilization divides by the capacity that actually
+        # existed (the capacity-time integral); a zero integral (empty
+        # horizon) falls back to the nominal denominator.
+        effective = tuple(
+            self.busy_area[r] / self.capacity_area[r]
+            if self.capacity_area[r] > 0
+            else nominal[r]
+            for r in range(len(self.nominal_capacities))
+        )
+        self.outcomes.sort(key=lambda o: o.job_index)
+        return OnlineResult(
+            outcomes=tuple(self.outcomes),
+            makespan=makespan,
+            mean_utilization=effective,
+            nominal_utilization=nominal,
+            crashes=fstate.crashes if fstate is not None else 0,
+            recoveries=fstate.recoveries if fstate is not None else 0,
+            total_retries=fstate.total_retries if fstate is not None else 0,
+            fault_events=tuple(self.fault_events),
+            executed=tuple(self.executed[o.job_index] for o in self.outcomes),
+        )

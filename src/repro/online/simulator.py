@@ -8,6 +8,26 @@ fit.  It reports per-job completion times (JCT), the batch makespan, and
 mean utilization — the metrics an operator of a Spear-style scheduler
 would watch.
 
+The engine is layered on the :mod:`repro.sim` discrete-event kernel
+(see DESIGN.md Sec. 11 for the architecture):
+
+* **workload** (:mod:`repro.online.workload`) — stream validation,
+  arrivals as ``ARRIVAL`` kernel events, admission;
+* **execution** (:mod:`repro.online.execution`) — attempt lifecycle on
+  the shared :class:`~repro.cluster.ClusterState` (completions surface
+  as kernel events through
+  :class:`~repro.cluster.sim_adapter.ClusterProcess`), fault timeline
+  firing, retries, crash kills, job abandonment;
+* **policy** (:mod:`repro.online.policy`) — ranker/plan-priority
+  dispatch and :class:`~repro.schedulers.rescheduler.ReschedulingScheduler`
+  replan triggers (crash-triggered replans are ``REPLAN`` kernel
+  events, the last class of the instant);
+* **reporting** (:mod:`repro.online.reporting`) — outcomes, executed
+  schedules, fault records, telemetry, utilization integrals.
+
+:class:`OnlineSimulator` itself is only the orchestrator: it wires the
+layers onto one kernel and drives tick after tick.
+
 Fault-aware mode (``run(..., faults=FaultPlan(...))``) executes under a
 seeded fault model (:mod:`repro.faults`):
 
@@ -26,44 +46,33 @@ Dynamic rescheduling (``run(..., rescheduler=...)``) replans each job's
 residual DAG — completed tasks frozen, running tasks pinned, current
 (degraded) capacities in the cluster snapshot — on admission and on
 every fault event; dispatch then follows the plan's priority order
-(jobs FIFO, plan order within a job).  Pair with
-:class:`repro.schedulers.rescheduler.ReschedulingScheduler` for
-budgeted replanning with heuristic fallback.
+(jobs FIFO, plan order within a job).
 
-Determinism: events at equal times process externals (arrivals, fault
-timeline, retry releases) before completions' follow-up placements;
+Determinism: every occurrence is a kernel event ordered by
+``(time, priority_class, seq)`` with the documented class table
+(crash < recovery < completion < retry-ready < arrival < replan);
 candidate order under equal ranker keys falls back to (job index, task
-id); all fault draws are keyed by (seed, job, task, attempt), so the
-same seed reproduces the run bit-for-bit, retry counts included.
+id); all fault draws are keyed by (seed, job, task, attempt).  The same
+seed reproduces the run bit-for-bit, retry counts included.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from ..cluster.resources import fits, validate_demands
-from ..cluster.state import ClusterState
 from ..config import ClusterConfig
-from ..dag.features import GraphFeatures, compute_features
-from ..dag.graph import TaskGraph
-from ..errors import ConfigError, EnvironmentStateError, ReproError
-from ..faults.events import (
-    CRASH,
-    JOB_FAILED,
-    RECOVERY,
-    RETRY,
-    TASK_FAILURE,
-    FaultEvent,
-)
-from ..faults.injector import FaultInjector, TaskAttempt
-from ..faults.plan import FaultContext, FaultPlan
-from ..metrics.schedule import Schedule, ScheduledTask
-from ..schedulers.base import ClusterSnapshot, Scheduler, ScheduleRequest
+from ..errors import EnvironmentStateError
+from ..faults.plan import FaultPlan
+from ..schedulers.base import Scheduler
+from ..sim import SimKernel
 from ..telemetry import runtime as _telemetry
 from ..telemetry.config import TelemetryConfig
-from .rankers import Ranker, TaskContext
+from .execution import ExecutionLayer
+from .policy import PolicyLayer
+from .rankers import Ranker
+from .reporting import ReportingLayer
+from .results import ArrivingJob, JobOutcome, OnlineResult, verify_execution
+from .workload import WorkloadLayer, validate_stream
 
 __all__ = [
     "ArrivingJob",
@@ -72,162 +81,6 @@ __all__ = [
     "OnlineSimulator",
     "verify_execution",
 ]
-
-
-@dataclass(frozen=True)
-class ArrivingJob:
-    """One job of the arrival stream."""
-
-    arrival_time: int
-    graph: TaskGraph
-
-    def __post_init__(self) -> None:
-        if self.arrival_time < 0:
-            raise ConfigError("arrival_time must be >= 0")
-
-
-@dataclass(frozen=True)
-class JobOutcome:
-    """Completion (or failure) record of one job.
-
-    Attributes:
-        failed: the job was abandoned — a task exhausted its transient
-            attempt budget, or the job became permanently unschedulable
-            after a capacity loss.  ``completion_time`` is then the time
-            of the failure decision.
-        retries: task attempts re-enqueued (transient + crash kills).
-        transient_failures: attempts that failed at their finish.
-        crash_kills: running attempts displaced by capacity loss.
-    """
-
-    job_index: int
-    arrival_time: int
-    completion_time: int
-    num_tasks: int
-    failed: bool = False
-    retries: int = 0
-    transient_failures: int = 0
-    crash_kills: int = 0
-
-    @property
-    def jct(self) -> int:
-        """Job completion time (completion - arrival)."""
-        return self.completion_time - self.arrival_time
-
-
-@dataclass(frozen=True)
-class OnlineResult:
-    """Aggregate outcome of one simulation run.
-
-    Fault-aware runs additionally carry per-run fault accounting, the
-    full ordered :attr:`fault_events` record, and the *executed*
-    schedule of every job (actual starts/finishes of the successful
-    attempts), aligned with :attr:`outcomes`.
-    """
-
-    outcomes: Tuple[JobOutcome, ...]
-    makespan: int
-    mean_utilization: Tuple[float, ...]
-    crashes: int = 0
-    recoveries: int = 0
-    total_retries: int = 0
-    fault_events: Tuple[FaultEvent, ...] = ()
-    executed: Tuple[Schedule, ...] = ()
-
-    @property
-    def mean_jct(self) -> float:
-        """Average job completion time (failed jobs included)."""
-        return sum(o.jct for o in self.outcomes) / len(self.outcomes)
-
-    @property
-    def max_jct(self) -> int:
-        """Worst job completion time."""
-        return max(o.jct for o in self.outcomes)
-
-    @property
-    def completed_jobs(self) -> int:
-        """Jobs that ran to completion."""
-        return sum(1 for o in self.outcomes if not o.failed)
-
-    @property
-    def failed_jobs(self) -> int:
-        """Jobs reported failed (never silently lost)."""
-        return sum(1 for o in self.outcomes if o.failed)
-
-
-class _ActiveJob:
-    """Mutable per-job bookkeeping inside the simulator."""
-
-    __slots__ = (
-        "index",
-        "arrival",
-        "graph",
-        "features",
-        "unmet",
-        "ready",
-        "remaining",
-        "attempts",
-        "strikes",
-        "retries",
-        "transient_failures",
-        "crash_kills",
-        "executed",
-    )
-
-    def __init__(self, index: int, arrival: int, graph: TaskGraph) -> None:
-        self.index = index
-        self.arrival = arrival
-        self.graph = graph
-        self.features: GraphFeatures = compute_features(graph)
-        self.unmet: Dict[int, int] = {
-            tid: len(graph.parents(tid)) for tid in graph.task_ids
-        }
-        self.ready: List[int] = [
-            tid for tid in graph.topological_order() if self.unmet[tid] == 0
-        ]
-        self.remaining: int = graph.num_tasks
-        self.attempts: Dict[int, int] = {}  # dispatches per task (keys the RNG)
-        self.strikes: Dict[int, int] = {}  # transient failures per task
-        self.retries = 0
-        self.transient_failures = 0
-        self.crash_kills = 0
-        self.executed: Dict[int, Tuple[int, int]] = {}  # successful placements
-
-    def outcome(self, completion_time: int, failed: bool = False) -> JobOutcome:
-        return JobOutcome(
-            job_index=self.index,
-            arrival_time=self.arrival,
-            completion_time=completion_time,
-            num_tasks=self.graph.num_tasks,
-            failed=failed,
-            retries=self.retries,
-            transient_failures=self.transient_failures,
-            crash_kills=self.crash_kills,
-        )
-
-    def executed_schedule(self, label: str) -> Schedule:
-        return Schedule(
-            tuple(
-                ScheduledTask(tid, start, finish)
-                for tid, (start, finish) in sorted(self.executed.items())
-            ),
-            scheduler=label,
-        )
-
-
-@dataclass
-class _FaultState:
-    """All fault-mode machinery for one run (None in fault-free runs)."""
-
-    plan: FaultPlan
-    injector: FaultInjector
-    timeline: List  # List[TimelineEntry]
-    timeline_pos: int = 0
-    delayed: List[Tuple[int, int, int]] = field(default_factory=list)  # heap
-    events: List[FaultEvent] = field(default_factory=list)
-    crashes: int = 0
-    recoveries: int = 0
-    total_retries: int = 0
 
 
 class OnlineSimulator:
@@ -317,514 +170,50 @@ class OnlineSimulator:
         faults: Optional[FaultPlan],
         rescheduler: Optional[Scheduler],
     ) -> OnlineResult:
-        tm_enabled = tm.enabled
-        if not jobs:
-            raise ConfigError("need at least one arriving job")
         capacities = self.cluster_config.capacities
-        for job in jobs:
-            if job.graph.num_resources != len(capacities):
-                raise ConfigError(
-                    f"job graph has {job.graph.num_resources} resource dims, "
-                    f"cluster has {len(capacities)}"
-                )
-            for task in job.graph:
-                validate_demands(task.demands, capacities, label=task.label())
-
-        fstate: Optional[_FaultState] = None
+        validate_stream(jobs, capacities)
         if faults is not None and not faults.is_null:
             faults.validate_against(capacities)
-            injector = FaultInjector(faults)
-            fstate = _FaultState(
-                plan=faults, injector=injector, timeline=injector.timeline()
-            )
 
-        ordered = sorted(enumerate(jobs), key=lambda e: (e[1].arrival_time, e[0]))
-        pending = [(job.arrival_time, index, job) for index, job in ordered]
-        pending_pos = 0
-
-        state = ClusterState(capacities)
-        active: Dict[int, _ActiveJob] = {}
-        # Running task handle -> (job index, task id); cluster task ids must
-        # be globally unique, so encode as job_index * OFFSET + task_id.
+        # The simulation starts at the first arrival; the kernel clamps
+        # any pre-history fault-timeline entries onto that instant.
+        first_arrival = min(job.arrival_time for job in jobs)
+        # Cluster task ids must be globally unique, so a task is handled
+        # as job_index * offset + task_id.
         offset = 1 + max(max(job.graph.task_ids) for job in jobs)
-        running_info: Dict[int, Tuple[int, TaskAttempt]] = {}  # handle -> (start, attempt)
-        outcomes: List[JobOutcome] = []
-        executed: Dict[int, Schedule] = {}  # job index -> executed schedule
-        plan_rank: Optional[Dict[int, Dict[int, int]]] = (
-            {} if rescheduler is not None else None
-        )
-        exec_label = rescheduler.name if rescheduler is not None else "online"
-        busy_area = [0] * len(capacities)  # slot-weighted usage integral
-        last_time = 0
+
+        kernel = SimKernel(start=first_arrival)
+        reporting = ReportingLayer(capacities, tm, start_time=first_arrival)
+        execution = ExecutionLayer(capacities, kernel, reporting, offset, faults)
+        policy = PolicyLayer(ranker, rescheduler, kernel, execution)
+        execution.policy = policy
+        reporting.exec_label = policy.exec_label
+        workload = WorkloadLayer(jobs, kernel, execution, policy)
+
+        # Settle the opening instant (first arrivals, pre-history
+        # faults) and fill the cluster once before the loop gauges.
+        kernel.drain_due()
+        policy.dispatch_round()
+
         steps = 0
-
-        def emit_fault(event: FaultEvent) -> None:
-            assert fstate is not None
-            fstate.events.append(event)
-            if tm_enabled:
-                tm.event(
-                    f"fault.{event.kind}",
-                    time=event.time,
-                    job=-1 if event.job is None else event.job,
-                    task=-1 if event.task is None else event.task,
-                    attempt=0 if event.attempt is None else event.attempt,
-                    detail=event.detail,
-                )
-
-        def replan_job(job: _ActiveJob, trigger: str) -> None:
-            """Refresh one job's plan-priority ranks from the rescheduler."""
-            assert rescheduler is not None and plan_rank is not None
-            running_tids = {
-                handle % offset: handle
-                for handle in running_info
-                if handle // offset == job.index
-            }
-            residual = [
-                tid
-                for tid in job.graph.task_ids
-                if tid not in job.executed and tid not in running_tids
-            ]
-            if not residual:
-                plan_rank.pop(job.index, None)
-                return
-            pinned = {}
-            for tid, handle in running_tids.items():
-                start, attempt = running_info[handle]
-                pinned[tid] = (start, start + attempt.runtime)
-            request = ScheduleRequest(
-                graph=job.graph.subgraph(residual),
-                cluster=ClusterSnapshot(
-                    capacities=tuple(state.capacities),
-                    available=state.available,
-                    now=state.now,
-                ),
-                frozen=dict(job.executed),
-                pinned=pinned,
-                faults=(
-                    FaultContext(
-                        plan=fstate.plan,
-                        trigger=trigger,
-                        time=state.now,
-                        retries_so_far=fstate.total_retries,
-                    )
-                    if fstate is not None
-                    else None
-                ),
-            )
-            try:
-                schedule = rescheduler.plan(request)
-            except ReproError:
-                # Graceful: keep the previous plan order; the base ranker
-                # covers tasks that never had one.
-                return
-            order = sorted(schedule.placements, key=lambda p: (p.start, p.task_id))
-            plan_rank[job.index] = {p.task_id: r for r, p in enumerate(order)}
-
-        def replan_all(trigger: str) -> None:
-            if rescheduler is None:
-                return
-            for job in sorted(active.values(), key=lambda j: j.index):
-                replan_job(job, trigger)
-
-        def admit_arrivals() -> None:
-            nonlocal pending_pos
-            while pending_pos < len(pending) and pending[pending_pos][0] <= state.now:
-                _, index, job = pending[pending_pos]
-                active[index] = _ActiveJob(index, job.arrival_time, job.graph)
-                pending_pos += 1
-                if rescheduler is not None:
-                    replan_job(active[index], "admit")
-
-        def fail_job(job: _ActiveJob, reason: str) -> None:
-            """Abandon a job: kill its running work, record the outcome."""
-            for handle in [h for h in running_info if h // offset == job.index]:
-                running_info.pop(handle)
-                for entry in state.running_tasks():
-                    if entry.task_id == handle:
-                        state.kill(entry)
-                        break
-            outcomes.append(job.outcome(state.now, failed=True))
-            executed[job.index] = job.executed_schedule(exec_label)
-            emit_fault(
-                FaultEvent(state.now, JOB_FAILED, job=job.index, detail=reason)
-            )
-            del active[job.index]
-            if plan_rank is not None:
-                plan_rank.pop(job.index, None)
-
-        def fire_crash(entry) -> None:
-            assert fstate is not None
-            loss = entry.capacity
-            # Kill victims (latest finishers first) until the free pool
-            # covers the loss in every deficient dimension.
-            killed = 0
-            while any(
-                state.available[r] < loss[r] for r in range(len(loss))
-            ):
-                victims = sorted(
-                    state.running_tasks(), key=lambda e: (-e.finish_time, -e.task_id)
-                )
-                victim = next(
-                    (
-                        v
-                        for v in victims
-                        if any(
-                            v.demands[r] > 0 and state.available[r] < loss[r]
-                            for r in range(len(loss))
-                        )
-                    ),
-                    None,
-                )
-                if victim is None:  # pragma: no cover - validated plans
-                    break
-                state.kill(victim)
-                killed += 1
-                handle = victim.task_id
-                running_info.pop(handle)
-                job_index, tid = divmod(handle, offset)
-                job = active[job_index]
-                job.crash_kills += 1
-                job.retries += 1
-                fstate.total_retries += 1
-                job.ready.append(tid)  # parents done: immediately re-ready
-                emit_fault(
-                    FaultEvent(
-                        state.now,
-                        RETRY,
-                        job=job_index,
-                        task=tid,
-                        attempt=job.attempts.get(tid, 0),
-                        detail="crash_kill",
-                    )
-                )
-            state.adjust_capacity([-c for c in loss])
-            fstate.crashes += 1
-            emit_fault(
-                FaultEvent(
-                    state.now,
-                    CRASH,
-                    detail=f"machine {entry.machine} lost {loss}, killed {killed}",
-                )
-            )
-
-        def fire_recovery(entry) -> None:
-            assert fstate is not None
-            state.adjust_capacity(entry.capacity)
-            fstate.recoveries += 1
-            emit_fault(
-                FaultEvent(
-                    state.now,
-                    RECOVERY,
-                    detail=f"machine {entry.machine} restored {entry.capacity}",
-                )
-            )
-
-        def process_externals() -> None:
-            """Fire every external event whose time has been reached:
-            arrivals, crash/recovery timeline entries, retry releases."""
-            admit_arrivals()
-            if fstate is None:
-                return
-            fault_fired = False
-            while (
-                fstate.timeline_pos < len(fstate.timeline)
-                and fstate.timeline[fstate.timeline_pos].time <= state.now
-            ):
-                entry = fstate.timeline[fstate.timeline_pos]
-                fstate.timeline_pos += 1
-                if entry.kind == "crash":
-                    fire_crash(entry)
-                else:
-                    fire_recovery(entry)
-                fault_fired = True
-            while fstate.delayed and fstate.delayed[0][0] <= state.now:
-                _, job_index, tid = heapq.heappop(fstate.delayed)
-                job = active.get(job_index)
-                if job is not None:
-                    job.ready.append(tid)
-            if fault_fired:
-                replan_all("crash")
-
-        def next_external() -> Optional[int]:
-            times = []
-            if pending_pos < len(pending):
-                times.append(pending[pending_pos][0])
-            if fstate is not None:
-                if fstate.timeline_pos < len(fstate.timeline):
-                    times.append(fstate.timeline[fstate.timeline_pos].time)
-                if fstate.delayed:
-                    times.append(fstate.delayed[0][0])
-            return min(times) if times else None
-
-        def dispatch(job: _ActiveJob, tid: int) -> None:
-            """Start one attempt of a ready task, realizing its faults."""
-            task = job.graph.task(tid)
-            attempt_no = job.attempts.get(tid, 0) + 1
-            job.attempts[tid] = attempt_no
-            if fstate is not None:
-                attempt = fstate.injector.attempt(
-                    job.index, tid, attempt_no, task.runtime
-                )
-            else:
-                attempt = TaskAttempt(
-                    runtime=task.runtime, fails=False, straggled=False
-                )
-            handle = job.index * offset + tid
-            state.start(handle, task.demands, attempt.runtime)
-            running_info[handle] = (state.now, attempt)
-            job.ready.remove(tid)
-
-        def start_fitting() -> None:
-            """Work-conserving fill in ranker (or plan-priority) order."""
-            while True:
-                free = state.available
-                candidates: List[Tuple[Tuple, int, int]] = []
-                for job in active.values():
-                    ranks = (
-                        plan_rank.get(job.index) if plan_rank is not None else None
-                    )
-                    for tid in job.ready:
-                        task = job.graph.task(tid)
-                        if fits(task.demands, free):
-                            if ranks is not None and tid in ranks:
-                                key: Tuple = (
-                                    0,
-                                    job.arrival,
-                                    job.index,
-                                    ranks[tid],
-                                    tid,
-                                )
-                            else:
-                                ctx = TaskContext(
-                                    task=task,
-                                    job_index=job.index,
-                                    arrival_time=job.arrival,
-                                    features=job.features,
-                                    free=free,
-                                    now=state.now,
-                                )
-                                key = (1,) + tuple(ranker(ctx))
-                            candidates.append((key, job.index, tid))
-                if not candidates:
-                    return
-                _, job_index, tid = min(candidates)
-                dispatch(active[job_index], tid)
-
-        def account_usage(until: int) -> None:
-            nonlocal last_time
-            if until <= last_time:
-                return
-            span = until - last_time
-            for r in range(len(capacities)):
-                busy_area[r] += span * (state.capacities[r] - state.available[r])
-            last_time = until
-
-        def handle_completion(handle: int) -> None:
-            job_index, tid = divmod(handle, offset)
-            job = active.get(job_index)
-            if job is None:  # job failed earlier in this same batch
-                running_info.pop(handle, None)
-                return
-            start, attempt = running_info.pop(handle)
-            if attempt.fails:
-                assert fstate is not None
-                job.transient_failures += 1
-                strikes = job.strikes.get(tid, 0) + 1
-                job.strikes[tid] = strikes
-                emit_fault(
-                    FaultEvent(
-                        state.now,
-                        TASK_FAILURE,
-                        job=job_index,
-                        task=tid,
-                        attempt=job.attempts[tid],
-                        detail="straggler" if attempt.straggled else "",
-                    )
-                )
-                if strikes >= fstate.injector.max_attempts:
-                    fail_job(
-                        job,
-                        reason=(
-                            f"task {tid} failed {strikes} attempts "
-                            f"(budget {fstate.injector.max_attempts})"
-                        ),
-                    )
-                    return
-                delay = fstate.injector.backoff(strikes)
-                ready_at = state.now + delay
-                heapq.heappush(fstate.delayed, (ready_at, job_index, tid))
-                job.retries += 1
-                fstate.total_retries += 1
-                emit_fault(
-                    FaultEvent(
-                        state.now,
-                        RETRY,
-                        job=job_index,
-                        task=tid,
-                        attempt=job.attempts[tid],
-                        detail=f"backoff {delay}, ready at {ready_at}",
-                    )
-                )
-                if rescheduler is not None:
-                    replan_job(job, "task_failure")
-                return
-            # Success: the output is durable; downstream precedence holds.
-            job.executed[tid] = (start, state.now)
-            job.remaining -= 1
-            for child in job.graph.children(tid):
-                job.unmet[child] -= 1
-                if job.unmet[child] == 0:
-                    job.ready.append(child)
-            if job.remaining == 0:
-                outcome = job.outcome(state.now)
-                outcomes.append(outcome)
-                executed[job.index] = job.executed_schedule(exec_label)
-                if tm_enabled:
-                    tm.observe("online.jct", float(outcome.jct))
-                    tm.event(
-                        "online.job",
-                        job=outcome.job_index,
-                        jct=outcome.jct,
-                        arrival=outcome.arrival_time,
-                        completion=outcome.completion_time,
-                        tasks=outcome.num_tasks,
-                        retries=outcome.retries,
-                        failed=outcome.failed,
-                    )
-                del active[job_index]
-                if plan_rank is not None:
-                    plan_rank.pop(job_index, None)
-
-        # Jump to the first arrival.
-        first_arrival = pending[0][0]
-        if first_arrival > 0:
-            state.now = first_arrival
-            last_time = first_arrival
-
-        process_externals()
-        start_fitting()
-        while active or pending_pos < len(pending):
+        while execution.active or workload.has_pending:
             steps += 1
             if steps > self.max_steps:
                 raise EnvironmentStateError("online simulation exceeded step cap")
-            if tm_enabled:
-                tm.gauge("online.active_jobs", float(len(active)))
-                tm.gauge(
-                    "online.ready_tasks",
-                    float(sum(len(j.ready) for j in active.values())),
+            reporting.gauges(execution)
+            target = kernel.next_event_time()
+            if target is None:
+                if execution.fstate is not None:
+                    # Permanently stuck (e.g. unrecovered capacity loss
+                    # below some task's demand): report, don't lose.
+                    execution.fail_stuck()
+                    continue
+                raise EnvironmentStateError(
+                    "idle cluster with active jobs but nothing ready: "
+                    "inconsistent DAG state"
                 )
-            ext = next_external()
-            if state.is_idle:
-                if ext is None:
-                    if fstate is not None:
-                        # Permanently stuck (e.g. unrecovered capacity loss
-                        # below some task's demand): report, don't lose.
-                        for job in sorted(
-                            active.values(), key=lambda j: j.index
-                        ):
-                            fail_job(job, reason="unschedulable residual work")
-                        continue
-                    raise EnvironmentStateError(
-                        "idle cluster with active jobs but nothing ready: "
-                        "inconsistent DAG state"
-                    )
-                account_usage(ext)
-                state.now = max(state.now, ext)
-                process_externals()
-                start_fitting()
-                continue
-            next_completion = state.earliest_finish_time()
-            if ext is not None and ext < next_completion:
-                account_usage(ext)
-                if ext > state.now:
-                    # No completion can occur before the external event.
-                    state.advance(ext - state.now)
-                process_externals()
-                start_fitting()
-                continue
-            account_usage(next_completion)
-            _, completed = state.advance_to_next_event()
-            process_externals()
-            for handle in completed:
-                handle_completion(handle)
-            start_fitting()
+            reporting.account(execution.state, target)
+            kernel.tick_to(target)
+            policy.dispatch_round()
 
-        makespan = state.now
-        horizon = max(1, makespan - first_arrival)
-        utilization = tuple(
-            busy_area[r] / (horizon * capacities[r]) for r in range(len(capacities))
-        )
-        outcomes.sort(key=lambda o: o.job_index)
-        return OnlineResult(
-            outcomes=tuple(outcomes),
-            makespan=makespan,
-            mean_utilization=utilization,
-            crashes=fstate.crashes if fstate is not None else 0,
-            recoveries=fstate.recoveries if fstate is not None else 0,
-            total_retries=fstate.total_retries if fstate is not None else 0,
-            fault_events=tuple(fstate.events) if fstate is not None else (),
-            executed=tuple(
-                executed[o.job_index] for o in outcomes
-            ),
-        )
-
-
-def verify_execution(
-    result: OnlineResult,
-    jobs: Sequence[ArrivingJob],
-    capacities: Sequence[int],
-):
-    """Verify every executed schedule against what actually ran.
-
-    For each job, the executed placements are checked with the full
-    schedule-invariant verifier (:mod:`repro.analysis.verifier`) against
-    the *realized* graph — the job's DAG with task runtimes replaced by
-    the actual executed durations (fault noise included).  Failed jobs
-    are checked partially: their executed placements must still respect
-    precedence and capacity on the subgraph that ran.
-
-    Returns:
-        One :class:`repro.analysis.VerificationReport` per outcome, in
-        ``result.outcomes`` order; call ``raise_if_violations()`` on each
-        or check ``.ok``.  An entry is ``None`` for a failed job that
-        executed nothing (there is nothing to check).
-
-    Raises:
-        ConfigError: when ``result`` carries no executed schedules (a
-            pre-fault-mode result object).
-    """
-
-    from ..analysis.verifier import verify_placements  # local: avoids a cycle
-    from ..dag.compose import with_runtimes
-
-    if len(result.executed) != len(result.outcomes):
-        raise ConfigError(
-            "result carries no executed schedules to verify (outcomes "
-            f"{len(result.outcomes)} vs executed {len(result.executed)})"
-        )
-    if any(o.job_index >= len(jobs) for o in result.outcomes):
-        raise ConfigError(
-            f"result references job indices beyond the {len(jobs)} jobs given"
-        )
-    reports = []
-    for outcome, schedule in zip(result.outcomes, result.executed):
-        graph = jobs[outcome.job_index].graph
-        durations = {
-            p.task_id: p.finish - p.start for p in schedule.placements
-        }
-        if outcome.failed:
-            ran = sorted(durations)
-            if not ran:
-                reports.append(None)
-                continue
-            target = with_runtimes(graph.subgraph(ran), durations)
-        else:
-            target = with_runtimes(graph, durations)
-        reports.append(
-            verify_placements(
-                [(p.task_id, p.start, p.finish) for p in schedule.placements],
-                target,
-                capacities,
-            )
-        )
-    return reports
+        return reporting.finalize(execution.state.now, execution.fstate)

@@ -1,0 +1,84 @@
+"""Workload layer: stream validation and arrival admission.
+
+The arrival stream is validated once, up front (resource-dimension
+match, per-task demand feasibility), then every job becomes one
+``job.arrival`` kernel event — scheduled in ``(arrival_time, stream
+index)`` order so equal-time arrivals admit in stream order (the push
+sequence number preserves it).  Admission creates the job's live
+bookkeeping in the execution layer and hands it to the policy layer for
+its initial plan; tasks only start later, in the instant's dispatch
+round.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster.resources import validate_demands
+from ..errors import ConfigError
+from ..sim import Event, EventClass, SimKernel
+from .execution import ExecutionLayer
+from .policy import PolicyLayer
+from .results import ArrivingJob
+
+__all__ = ["ARRIVAL_KIND", "WorkloadLayer", "validate_stream"]
+
+ARRIVAL_KIND = "job.arrival"
+
+
+def validate_stream(jobs: Sequence[ArrivingJob], capacities: Sequence[int]) -> None:
+    """Reject streams the cluster can never run.
+
+    Raises:
+        ConfigError: on an empty stream, a resource-dimension mismatch,
+            or a task whose demands exceed total capacity.
+    """
+    if not jobs:
+        raise ConfigError("need at least one arriving job")
+    for job in jobs:
+        if job.graph.num_resources != len(capacities):
+            raise ConfigError(
+                f"job graph has {job.graph.num_resources} resource dims, "
+                f"cluster has {len(capacities)}"
+            )
+        for task in job.graph:
+            validate_demands(task.demands, capacities, label=task.label())
+
+
+class WorkloadLayer:
+    """Feeds the arrival stream into the kernel and admits jobs.
+
+    Args:
+        jobs: the (validated) arrival stream.
+        kernel: the simulation kernel.
+        execution: where admitted jobs live.
+        policy: notified of each admission (initial replan).
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[ArrivingJob],
+        kernel: SimKernel,
+        execution: ExecutionLayer,
+        policy: PolicyLayer,
+    ) -> None:
+        self.execution = execution
+        self.policy = policy
+        self._pending = len(jobs)
+        kernel.register(ARRIVAL_KIND, self._on_arrival)
+        ordered = sorted(enumerate(jobs), key=lambda e: (e[1].arrival_time, e[0]))
+        for index, job in ordered:
+            kernel.schedule(
+                job.arrival_time, EventClass.ARRIVAL, ARRIVAL_KIND, (index, job)
+            )
+
+    @property
+    def has_pending(self) -> bool:
+        """Arrivals not yet admitted remain."""
+        return self._pending > 0
+
+    def _on_arrival(self, event: Event) -> None:
+        index, job = event.payload
+        self._pending -= 1
+        active_job = self.execution.admit(index, job.arrival_time, job.graph)
+        self.policy.on_admit(active_job)

@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation kernel.
+
+``repro.sim`` is the single source of time-advance truth for streaming
+simulations: an integer :class:`SimClock`, a stable-ordered
+:class:`EventQueue` (a binary heap keyed by ``(time, priority_class,
+seq)``), typed :class:`Event` records, and a :class:`SimKernel` that
+drives registered handlers and :class:`SimProcess` event sources
+(e.g. the cluster adapter that turns task completions into kernel
+events).
+
+Determinism contract: two events never race.  At equal times the
+documented priority classes order them (crash < recovery < completion <
+retry-ready < arrival < replan — see :class:`EventClass`), and within
+one ``(time, class)`` bucket the monotonically increasing push sequence
+number breaks the tie, so a run's realized event order is a pure
+function of what was scheduled.  The online executor
+(:mod:`repro.online`), the fault layer and dynamic rescheduling are all
+layered on this kernel; ad-hoc ``heapq`` event loops outside it are
+lint-rejected (REP107).
+"""
+
+from .clock import SimClock
+from .events import Event, EventClass
+from .kernel import SimKernel, SimProcess
+from .queue import EventQueue
+
+__all__ = [
+    "Event",
+    "EventClass",
+    "EventQueue",
+    "SimClock",
+    "SimKernel",
+    "SimProcess",
+]

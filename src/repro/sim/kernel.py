@@ -1,0 +1,165 @@
+"""The kernel: clock + queue + handlers + pluggable event sources.
+
+:class:`SimKernel` owns a :class:`~repro.sim.clock.SimClock` and an
+:class:`~repro.sim.queue.EventQueue`, dispatches popped events to
+handlers registered by ``kind``, and integrates :class:`SimProcess`
+event *sources* — components that own future occurrences the queue
+cannot see until time reaches them (canonically the cluster adapter,
+whose next occurrence is the earliest running-task finish).
+
+One :meth:`tick` is one simulated instant, in three phases:
+
+1. **advance** — the clock jumps to the next due time (min over the
+   queue head and every process), and each process gets
+   ``advance_to(now, queue)`` to convert whatever elapsed into events
+   (e.g. task completions release capacity *here* and enqueue their
+   follow-up ``COMPLETION`` events);
+2. **drain** — every event with ``time <= now`` pops in
+   ``(time, class, seq)`` order and runs its handler; handlers may push
+   more same-instant events (a crash pushing a ``REPLAN``) and the
+   drain picks them up in order;
+3. return — the caller (e.g. the online executor's dispatch loop) acts
+   on the settled instant.
+
+The kernel is deliberately policy-free: it never inspects payloads and
+has no notion of jobs, tasks or faults.  Layers own their semantics;
+the kernel owns *when* and *in what order*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Protocol
+
+from ..errors import ConfigError, EnvironmentStateError
+from .clock import SimClock
+from .events import Event, EventClass, describe
+from .queue import EventQueue
+
+__all__ = ["SimKernel", "SimProcess"]
+
+
+class SimProcess(Protocol):
+    """An event source the kernel polls for its next due time."""
+
+    def next_event_time(self) -> Optional[int]:
+        """Time of this process's next occurrence, or ``None`` if idle."""
+
+    def advance_to(self, now: int, queue: EventQueue) -> None:
+        """Catch up to ``now``, enqueueing any occurrences that fired."""
+
+
+class SimKernel:
+    """Deterministic event loop over one clock and one queue.
+
+    Args:
+        start: initial clock time (see :class:`SimClock`).
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self.clock = SimClock(start)
+        self.queue = EventQueue()
+        self._handlers: Dict[str, Callable[[Event], None]] = {}
+        self._processes: List[SimProcess] = []
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def register(self, kind: str, handler: Callable[[Event], None]) -> None:
+        """Bind ``handler`` to events of ``kind``.
+
+        Raises:
+            ConfigError: if the kind is already bound (silent override
+                would make event routing order-dependent).
+        """
+        if kind in self._handlers:
+            raise ConfigError(f"event kind {kind!r} already has a handler")
+        self._handlers[kind] = handler
+
+    def add_process(self, process: SimProcess) -> None:
+        """Attach an event source polled at every tick."""
+        self._processes.append(process)
+
+    def schedule(
+        self,
+        time: int,
+        klass: EventClass,
+        kind: Optional[str] = None,
+        payload: Any = None,
+    ) -> Event:
+        """Enqueue an event (past times fire at the current instant)."""
+        return self.queue.push(time, klass, kind=kind, payload=payload)
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> int:
+        """Current simulation time."""
+        return self.clock.now
+
+    def next_event_time(self) -> Optional[int]:
+        """Earliest due time over the queue and every process.
+
+        A backlog event (scheduled at or before ``now``) reports ``now``:
+        it is due immediately, not in the past.
+        """
+        times = []
+        queued = self.queue.peek_time()
+        if queued is not None:
+            times.append(queued)
+        for process in self._processes:
+            when = process.next_event_time()
+            if when is not None:
+                times.append(when)
+        if not times:
+            return None
+        return max(self.clock.now, min(times))
+
+    def drain_due(self) -> int:
+        """Run every due event (``time <= now``) in total order.
+
+        Handlers enqueued by handlers are drained too, so the instant is
+        fully settled on return.  Returns the number of events run.
+        """
+        ran = 0
+        now = self.clock.now
+        while True:
+            event = self.queue.pop_due(now)
+            if event is None:
+                return ran
+            handler = self._handlers.get(event.kind)
+            if handler is None:
+                raise EnvironmentStateError(
+                    f"no handler registered for {describe(event)}"
+                )
+            handler(event)
+            ran += 1
+
+    def tick_to(self, time: int) -> int:
+        """Advance to ``time``, let processes catch up, drain the instant.
+
+        Returns the number of events run.  ``time`` normally comes from
+        :meth:`next_event_time`; passing a later time is allowed (the
+        intervening occurrences all fire, in order, at their own
+        timestamps' priority — but within this single drain).
+        """
+        now = self.clock.advance_to(time)
+        queue = self.queue
+        for process in self._processes:
+            process.advance_to(now, queue)
+        return self.drain_due()
+
+    def tick(self) -> Optional[int]:
+        """One full step: advance to the next due instant and settle it.
+
+        Returns the new ``now``, or ``None`` when nothing is pending
+        anywhere (the simulation is over or stuck — callers decide
+        which).
+        """
+        target = self.next_event_time()
+        if target is None:
+            return None
+        self.tick_to(target)
+        return self.clock.now

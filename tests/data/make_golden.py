@@ -1,0 +1,222 @@
+"""Golden-trace scenarios for the online simulator, and their regeneration.
+
+The two committed traces (``online_golden_fault_free.json`` and
+``online_golden_faulty.json``) pin the *entire observable surface* of a
+fixed-seed ``OnlineSimulator.run``: job outcomes, executed schedules,
+the ordered fault-event log, the ordered telemetry event stream, and
+the end-of-run metric snapshot.  The regression test asserts the
+serialized payload byte-for-byte, so any kernel edit that reorders
+events — even two events at the same simulated instant — fails loudly.
+
+Regenerate (only when an event-order change is intentional and
+documented) with::
+
+    PYTHONPATH=src python tests/data/make_golden.py
+
+This module is imported by the golden test so the test and the
+regeneration script can never disagree on the serialization.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+DATA_DIR = Path(__file__).resolve().parent
+
+CAPACITIES = (10, 10)
+
+GOLDEN_FILES = {
+    "fault_free": DATA_DIR / "online_golden_fault_free.json",
+    "faulty": DATA_DIR / "online_golden_faulty.json",
+}
+
+
+def golden_stream():
+    """Six 8-task layered DAGs arriving every 3 slots (fixed seeds)."""
+    from repro.config import WorkloadConfig
+    from repro.dag.generators import random_layered_dag
+    from repro.online import ArrivingJob
+
+    workload = WorkloadConfig(
+        num_tasks=8,
+        max_runtime=6,
+        max_demand=4,
+        runtime_mean=3.0,
+        demand_mean=2.0,
+    )
+    return [
+        ArrivingJob(3 * i, random_layered_dag(workload, seed=100 + i))
+        for i in range(6)
+    ]
+
+
+def golden_faults():
+    """Two staggered recoverable crashes + transients/stragglers/noise."""
+    from repro.faults import (
+        FaultPlan,
+        MachineCrash,
+        RetryPolicy,
+        RuntimeNoise,
+        StragglerModel,
+        TransientFaults,
+    )
+
+    return FaultPlan(
+        crashes=(
+            MachineCrash(0, 6, (4, 4), recover_at=18),
+            MachineCrash(1, 30, (3, 3), recover_at=44),
+        ),
+        transient=TransientFaults(0.15),
+        straggler=StragglerModel(0.1, slowdown=2.0),
+        noise=RuntimeNoise(kind="lognormal", scale=0.2),
+        retry=RetryPolicy(max_attempts=4, backoff_base=2, backoff_cap=8),
+        seed=13,
+    )
+
+
+def golden_rescheduler():
+    """Deterministic HEFT replanner with a CP fallback (no wall budget)."""
+    from repro.config import ClusterConfig, EnvConfig
+    from repro.schedulers import compose_scheduler
+
+    env_config = EnvConfig(
+        cluster=ClusterConfig(capacities=CAPACITIES, horizon=8)
+    )
+    return compose_scheduler("heft", env_config, reschedule=True, fallback="cp")
+
+
+def _event_row(event):
+    """One telemetry event, stripped of wall-clock fields."""
+    row = {"kind": event.kind, "name": event.name, "depth": event.depth}
+    if event.parent is not None:
+        row["parent"] = event.parent
+    if event.step is not None:
+        row["step"] = event.step
+    if event.value is not None:
+        row["value"] = event.value
+    if event.attrs:
+        row["attrs"] = {
+            key: value for key, value in sorted(event.attrs.items())
+        }
+    return row
+
+
+def _result_payload(result):
+    payload = {
+        "makespan": result.makespan,
+        "mean_utilization": list(result.mean_utilization),
+        "nominal_utilization": list(
+            getattr(result, "nominal_utilization", result.mean_utilization)
+        ),
+        "crashes": result.crashes,
+        "recoveries": result.recoveries,
+        "total_retries": result.total_retries,
+        "outcomes": [
+            {
+                "job_index": o.job_index,
+                "arrival_time": o.arrival_time,
+                "completion_time": o.completion_time,
+                "num_tasks": o.num_tasks,
+                "failed": o.failed,
+                "retries": o.retries,
+                "transient_failures": o.transient_failures,
+                "crash_kills": o.crash_kills,
+            }
+            for o in result.outcomes
+        ],
+        "fault_events": [
+            [e.time, e.kind, e.job, e.task, e.attempt, e.detail]
+            for e in result.fault_events
+        ],
+        "executed": [
+            {
+                "scheduler": schedule.scheduler,
+                "placements": [
+                    [p.task_id, p.start, p.finish]
+                    for p in schedule.placements
+                ],
+            }
+            for schedule in result.executed
+        ],
+    }
+    return payload
+
+
+def _metrics_payload(tm):
+    jct = tm.metrics.histogram("online.jct")
+    return {
+        "jct_count": jct.count,
+        "jct_mean": jct.mean,
+        "jct_max": jct.max,
+        "active_jobs_max": tm.metrics.gauge("online.active_jobs").max,
+        "ready_tasks_max": tm.metrics.gauge("online.ready_tasks").max,
+    }
+
+
+def run_scenario(name):
+    """Run one golden scenario under a fresh telemetry session."""
+    from repro.config import ClusterConfig
+    from repro.online import OnlineSimulator, cp_ranker
+    from repro.telemetry import TelemetryConfig, session
+
+    if name not in GOLDEN_FILES:
+        raise ValueError(f"unknown golden scenario {name!r}")
+    simulator = OnlineSimulator(
+        ClusterConfig(capacities=CAPACITIES, horizon=8)
+    )
+    stream = golden_stream()
+    with session(TelemetryConfig(enabled=True, max_events=100_000)) as tm:
+        if name == "faulty":
+            result = simulator.run(
+                stream,
+                cp_ranker,
+                faults=golden_faults(),
+                rescheduler=golden_rescheduler(),
+            )
+        else:
+            result = simulator.run(stream, cp_ranker)
+        events = [_event_row(e) for e in tm.events()]
+        metrics = _metrics_payload(tm)
+    return {
+        "scenario": name,
+        "capacities": list(CAPACITIES),
+        "result": _result_payload(result),
+        "telemetry_events": events,
+        "metrics": metrics,
+    }
+
+
+def serialize(payload):
+    """The canonical byte layout the golden test compares against."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=DATA_DIR,
+        help="write traces here instead of tests/data (e.g. a CI artifact "
+        "directory); the committed goldens are only touched by the default",
+    )
+    options = parser.parse_args(argv)
+    options.out_dir.mkdir(parents=True, exist_ok=True)
+    for name, path in GOLDEN_FILES.items():
+        payload = run_scenario(name)
+        path = options.out_dir / path.name
+        path.write_text(serialize(payload), encoding="utf-8")
+        events = payload["result"]["fault_events"]
+        kinds = sorted({row[1] for row in events})
+        print(  # noqa: T201 - regeneration script, not library code
+            f"wrote {path.name}: makespan={payload['result']['makespan']} "
+            f"fault_events={len(events)} kinds={kinds} "
+            f"telemetry={len(payload['telemetry_events'])}"
+        )
+
+
+if __name__ == "__main__":
+    main()

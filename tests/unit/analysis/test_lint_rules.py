@@ -280,3 +280,53 @@ class TestNoPrint:
             report.print("done")
         """
         assert not hits(src, self.RULE)
+
+
+class TestAdHocEventLoop:
+    RULE = "REP107"
+
+    def test_heapq_import_flagged(self):
+        src = """
+        import heapq
+
+        def loop(events):
+            heapq.heapify(events)
+        """
+        found = hits(src, self.RULE)
+        assert found and "repro.sim.EventQueue" in found[0].message
+
+    def test_from_heapq_import_flagged(self):
+        src = """
+        from heapq import heappush, heappop
+
+        def loop(events, e):
+            heappush(events, e)
+        """
+        assert hits(src, self.RULE)
+
+    def test_kernel_queue_exempt(self):
+        src = """
+        import heapq
+        """
+        assert not hits(src, self.RULE, path="src/repro/sim/queue.py")
+
+    def test_audited_hot_paths_exempt(self):
+        src = """
+        import heapq
+        """
+        assert not hits(src, self.RULE, path="src/repro/cluster/state.py")
+        assert not hits(src, self.RULE, path="src/repro/env/scheduling_env.py")
+        assert not hits(src, self.RULE, path="src/repro/dag/graph.py")
+
+    def test_online_executor_not_exempt(self):
+        src = """
+        import heapq
+        """
+        assert hits(src, self.RULE, path="src/repro/online/simulator.py")
+
+    def test_heapq_free_module_allowed(self):
+        src = """
+        def loop(events):
+            return sorted(events)
+        """
+        assert not hits(src, self.RULE)

@@ -7,7 +7,15 @@ import pytest
 from repro.bench.suites import default_suite
 from repro.cli import main
 
-EXPECTED_GROUPS = {"env", "cluster", "mcts", "observation", "faults", "telemetry"}
+EXPECTED_GROUPS = {
+    "env",
+    "cluster",
+    "mcts",
+    "observation",
+    "faults",
+    "online",
+    "telemetry",
+}
 
 
 class TestDefaultSuite:
@@ -25,6 +33,8 @@ class TestDefaultSuite:
             "env.step",
             "env.clone",
             "cluster.event_sweep",
+            "online.run_fault_free",
+            "online.run_faulty",
             "mcts.search_budget_unit",
             "mcts.rollout_random",
             "observation.build",

@@ -1,0 +1,71 @@
+"""Golden-trace regression: fixed-seed runs asserted byte-for-byte.
+
+The committed traces under ``tests/data/`` pin the entire observable
+surface of one fault-free and one fault-injected fixed-seed run —
+outcomes, executed schedules, the ordered fault-event log, the ordered
+telemetry stream (wall-clock fields stripped), and the metric snapshot.
+Any change to event ordering, however subtle, shows up as a byte diff.
+
+Scenario definitions and serialization live in
+``tests/data/make_golden.py`` (also the regeneration script), so this
+test can never disagree with what regeneration writes.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+
+def _load_make_golden():
+    path = Path(__file__).resolve().parents[2] / "data" / "make_golden.py"
+    spec = importlib.util.spec_from_file_location("make_golden", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+make_golden = _load_make_golden()
+
+
+@pytest.mark.parametrize("scenario", sorted(make_golden.GOLDEN_FILES))
+def test_golden_trace_byte_identical(scenario):
+    path = make_golden.GOLDEN_FILES[scenario]
+    assert path.exists(), (
+        f"missing golden trace {path.name}; regenerate with "
+        "PYTHONPATH=src python tests/data/make_golden.py"
+    )
+    expected = path.read_text(encoding="utf-8")
+    actual = make_golden.serialize(make_golden.run_scenario(scenario))
+    assert actual == expected, (
+        f"golden trace {path.name} diverged — the realized event order or "
+        "result surface changed; if intentional, regenerate and document"
+    )
+
+
+def test_faulty_golden_exercises_every_incident_kind():
+    payload = make_golden.run_scenario("faulty")
+    kinds = {row[1] for row in payload["result"]["fault_events"]}
+    assert {"crash", "recovery", "task_failure", "retry"} <= kinds
+    assert payload["result"]["crashes"] == 2
+    assert payload["result"]["recoveries"] == 2
+
+
+def test_goldens_are_verifier_clean():
+    """Executed schedules in both scenarios pass the invariant verifier."""
+    from repro.config import ClusterConfig
+    from repro.online import OnlineSimulator, cp_ranker, verify_execution
+
+    stream = make_golden.golden_stream()
+    simulator = OnlineSimulator(
+        ClusterConfig(capacities=make_golden.CAPACITIES, horizon=8)
+    )
+    for faults, rescheduler in (
+        (None, None),
+        (make_golden.golden_faults(), make_golden.golden_rescheduler()),
+    ):
+        result = simulator.run(
+            stream, cp_ranker, faults=faults, rescheduler=rescheduler
+        )
+        for report in verify_execution(result, stream, make_golden.CAPACITIES):
+            assert report is None or not report.violations

@@ -1,0 +1,242 @@
+"""Unit tests for the repro.sim discrete-event kernel."""
+
+import pytest
+
+from repro.cluster.sim_adapter import COMPLETION_KIND, ClusterProcess
+from repro.cluster.state import ClusterState
+from repro.errors import ConfigError, EnvironmentStateError
+from repro.faults.injector import TimelineCursor, TimelineEntry
+from repro.sim import Event, EventClass, EventQueue, SimClock, SimKernel
+
+
+class TestSimClock:
+    def test_starts_at_given_time(self):
+        assert SimClock(7).now == 7
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(EnvironmentStateError):
+            SimClock(-1)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        assert clock.advance_to(5) == 5
+        assert clock.now == 5
+
+    def test_advance_clamps_backwards_jumps(self):
+        clock = SimClock(10)
+        assert clock.advance_to(3) == 10
+        assert clock.now == 10
+
+
+class TestEventQueue:
+    def test_orders_by_time_then_class_then_seq(self):
+        q = EventQueue()
+        q.push(5, EventClass.ARRIVAL, "late")
+        q.push(5, EventClass.CRASH, "crash")
+        q.push(3, EventClass.REPLAN, "early")
+        q.push(5, EventClass.CRASH, "crash2")
+        kinds = [q.pop().kind for _ in range(4)]
+        assert kinds == ["early", "crash", "crash2", "late"]
+
+    def test_full_class_table_order_at_one_instant(self):
+        q = EventQueue()
+        order = [
+            EventClass.REPLAN,
+            EventClass.ARRIVAL,
+            EventClass.RETRY_READY,
+            EventClass.COMPLETION,
+            EventClass.RECOVERY,
+            EventClass.CRASH,
+        ]
+        for klass in order:
+            q.push(9, klass)
+        popped = [q.pop().klass for _ in range(len(order))]
+        assert popped == sorted(order, key=int)
+
+    def test_equal_key_events_pop_in_insertion_order(self):
+        q = EventQueue()
+        events = [q.push(4, EventClass.COMPLETION, payload=i) for i in range(50)]
+        assert [q.pop().payload for _ in events] == list(range(50))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(EnvironmentStateError):
+            EventQueue().push(-1, EventClass.ARRIVAL)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(EnvironmentStateError):
+            EventQueue().pop()
+
+    def test_cancel_tombstones_event(self):
+        q = EventQueue()
+        doomed = q.push(1, EventClass.ARRIVAL, "doomed")
+        q.push(2, EventClass.ARRIVAL, "kept")
+        q.cancel(doomed)
+        assert len(q) == 1
+        assert q.peek_time() == 2
+        assert q.pop().kind == "kept"
+        assert not q
+
+    def test_double_cancel_is_noop(self):
+        q = EventQueue()
+        event = q.push(1, EventClass.ARRIVAL)
+        q.cancel(event)
+        q.cancel(event)
+        assert len(q) == 0
+
+    def test_pop_due_respects_now(self):
+        q = EventQueue()
+        q.push(3, EventClass.ARRIVAL, "due")
+        q.push(8, EventClass.ARRIVAL, "future")
+        assert q.pop_due(5).kind == "due"
+        assert q.pop_due(5) is None
+        assert len(q) == 1
+
+    def test_default_kind_is_class_name(self):
+        q = EventQueue()
+        assert q.push(0, EventClass.RETRY_READY).kind == "retry_ready"
+
+
+class TestSimKernel:
+    def test_duplicate_handler_rejected(self):
+        kernel = SimKernel()
+        kernel.register("x", lambda e: None)
+        with pytest.raises(ConfigError):
+            kernel.register("x", lambda e: None)
+
+    def test_unhandled_event_raises(self):
+        kernel = SimKernel()
+        kernel.schedule(1, EventClass.ARRIVAL, "mystery")
+        with pytest.raises(EnvironmentStateError):
+            kernel.tick()
+
+    def test_tick_advances_and_drains_in_order(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.register("a", lambda e: seen.append((e.kind, kernel.now)))
+        kernel.register("crash", lambda e: seen.append((e.kind, kernel.now)))
+        kernel.schedule(10, EventClass.ARRIVAL, "a")
+        kernel.schedule(10, EventClass.CRASH)
+        assert kernel.tick() == 10
+        assert seen == [("crash", 10), ("a", 10)]
+
+    def test_backlog_event_processes_at_now(self):
+        kernel = SimKernel(start=5)
+        times = []
+        kernel.register("a", lambda e: times.append((e.time, kernel.now)))
+        kernel.schedule(2, EventClass.ARRIVAL, "a")
+        assert kernel.next_event_time() == 5
+        kernel.tick()
+        assert times == [(2, 5)]
+
+    def test_tick_returns_none_when_exhausted(self):
+        assert SimKernel().tick() is None
+
+    def test_handler_can_schedule_same_instant_followup(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.register(
+            "first",
+            lambda e: (
+                seen.append("first"),
+                kernel.schedule(kernel.now, EventClass.REPLAN, "second"),
+            ),
+        )
+        kernel.register("second", lambda e: seen.append("second"))
+        kernel.schedule(4, EventClass.CRASH, "first")
+        kernel.tick()
+        assert seen == ["first", "second"]
+
+    def test_processes_inject_events_on_advance(self):
+        class Pulse:
+            def __init__(self):
+                self.fired = False
+
+            def next_event_time(self):
+                return None if self.fired else 6
+
+            def advance_to(self, now, queue):
+                if now >= 6 and not self.fired:
+                    self.fired = True
+                    queue.push(now, EventClass.COMPLETION, "pulse")
+
+        kernel = SimKernel()
+        seen = []
+        kernel.register("pulse", lambda e: seen.append(kernel.now))
+        kernel.add_process(Pulse())
+        assert kernel.next_event_time() == 6
+        assert kernel.tick() == 6
+        assert seen == [6]
+        assert kernel.tick() is None
+
+
+class TestClusterProcess:
+    def test_completions_become_kernel_events(self):
+        state = ClusterState((4, 4))
+        kernel = SimKernel()
+        done = []
+        kernel.register(COMPLETION_KIND, lambda e: done.append(e.payload.task_id))
+        kernel.add_process(ClusterProcess(state))
+        state.start(1, (2, 1), runtime=3)
+        state.start(2, (1, 1), runtime=3)
+        assert kernel.next_event_time() == 3
+        kernel.tick()
+        assert done == [1, 2]  # completion order: (finish, task_id)
+        assert state.available == (4, 4)
+        assert state.now == 3
+
+    def test_capacity_released_before_same_instant_events(self):
+        state = ClusterState((4, 4))
+        kernel = SimKernel()
+        free_at_crash = []
+        kernel.register(COMPLETION_KIND, lambda e: None)
+        kernel.register("crash", lambda e: free_at_crash.append(state.available))
+        kernel.add_process(ClusterProcess(state))
+        state.start(1, (4, 4), runtime=2)
+        kernel.schedule(2, EventClass.CRASH)
+        kernel.tick()
+        # The crash sees post-release occupancy: the task's slots are
+        # free even though crash (class 0) pops before completion (2).
+        assert free_at_crash == [(4, 4)]
+
+    def test_idle_cluster_reports_no_event(self):
+        kernel = SimKernel()
+        kernel.add_process(ClusterProcess(ClusterState((2,))))
+        assert kernel.next_event_time() is None
+
+
+class TestTimelineCursor:
+    def entries(self):
+        return [
+            TimelineEntry(5, 0, "recovery", 0, (2, 2)),
+            TimelineEntry(5, 1, "crash", 1, (3, 3)),
+            TimelineEntry(9, 1, "crash", 0, (1, 1)),
+        ]
+
+    def test_drains_in_injector_order(self):
+        cursor = TimelineCursor(self.entries())
+        fired = cursor.drain(5)
+        assert [(e.kind, e.machine) for e in fired] == [
+            ("recovery", 0),
+            ("crash", 1),
+        ]
+        assert not cursor.exhausted
+
+    def test_second_drain_at_same_instant_is_empty(self):
+        cursor = TimelineCursor(self.entries())
+        assert cursor.drain(5)
+        assert cursor.drain(5) == []
+        assert cursor.drain(9) and cursor.exhausted
+
+    def test_pre_history_entries_collapse_onto_now(self):
+        cursor = TimelineCursor(self.entries())
+        assert len(cursor.drain(100)) == 3
+
+
+class TestEventRepr:
+    def test_describe_mentions_kind_time_class(self):
+        from repro.sim.events import describe
+
+        event = Event(time=3, klass=EventClass.CRASH, seq=1, kind="crash")
+        text = describe(event)
+        assert "crash" in text and "3" in text and "CRASH" in text
+        assert describe(None) == "<no event>"
