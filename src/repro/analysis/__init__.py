@@ -9,23 +9,36 @@ Two independent halves share this package:
 * :mod:`repro.analysis.linter` — a *syntactic* AST rule engine encoding
   repo-specific reproducibility rules (unseeded RNG calls, float
   equality on time values, mutable default arguments, ...), runnable as
-  ``repro lint``.
+  ``repro lint``.  On top of it, :mod:`repro.analysis.flow` adds
+  *whole-program* dataflow rules (REP201–REP205) that trace contracts
+  through helpers and across modules — ``repro lint --flow``.
 
 Both are wired into the CLI (``repro verify`` / ``repro lint``), the
 scheduler registry (``make_scheduler(name, validate=True)``) and the
 environment's terminal states (``EnvConfig(verify_terminal=True)``).
+Supporting toolchain pieces: :mod:`repro.analysis.baseline` (committed
+violation baselines for incremental adoption) and
+:mod:`repro.analysis.sarif` (SARIF 2.1.0 export for CI annotation).
 """
 
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .flow import analyze_project, available_flow_rules, flow_rule_ids
 from .linter import (
+    LintInternalError,
     LintRule,
     LintViolation,
+    all_rule_ids,
     available_rules,
+    collect_suppressions,
+    filter_suppressed,
     format_json,
     format_text,
     lint_paths,
     lint_source,
     register_rule,
+    validate_rule_ids,
 )
+from .sarif import format_sarif
 from .verifier import (
     SCHEDULE_INVARIANTS,
     verify_payload,
@@ -44,10 +57,22 @@ __all__ = [
     "verify_payload",
     "LintRule",
     "LintViolation",
+    "LintInternalError",
     "register_rule",
     "available_rules",
+    "all_rule_ids",
+    "validate_rule_ids",
+    "collect_suppressions",
+    "filter_suppressed",
     "lint_source",
     "lint_paths",
     "format_text",
     "format_json",
+    "format_sarif",
+    "analyze_project",
+    "available_flow_rules",
+    "flow_rule_ids",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
 ]

@@ -1,0 +1,123 @@
+"""Committed violation baselines: pre-existing debt must not block CI.
+
+A baseline file records known violations as *fingerprints* —
+``(rule, path, message)``, deliberately without line numbers so
+unrelated edits that shift code do not invalidate it — with a count per
+fingerprint.  ``repro lint --baseline`` subtracts baselined hits from a
+run's findings; only *new* violations fail the gate, and the gate stays
+honest because growing an existing fingerprint's count past its
+baseline also fails.
+
+Workflow::
+
+    repro lint --flow --baseline lint-baseline.json src/repro   # gate
+    repro lint --flow --baseline lint-baseline.json \\
+               --update-baseline src/repro                      # re-record
+
+The file is JSON, sorted and stable, so diffs in review show exactly
+which debt was added or paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import ConfigError
+from .linter import LintViolation
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline", "apply_baseline"]
+
+Fingerprint = Tuple[str, str, str]
+
+#: schema version of the baseline file.
+_VERSION = 1
+
+
+def fingerprint(violation: LintViolation) -> Fingerprint:
+    """Line-number-free identity of a violation for baseline matching."""
+    return (violation.rule_id, _normalize(violation.path), violation.message)
+
+
+def _normalize(path: str) -> str:
+    """Posix-style, ``./``-free path so fingerprints match across OSes."""
+    normalized = Path(path).as_posix()
+    if normalized.startswith("./"):
+        normalized = normalized[2:]
+    return normalized
+
+
+def load_baseline(path: Union[str, Path]) -> Counter:
+    """Read a baseline file into a fingerprint counter.
+
+    A missing file is an error (commit an empty baseline explicitly —
+    ``write_baseline([], path)`` — rather than relying on absence).
+
+    Raises:
+        ConfigError: on a missing/unreadable file or malformed payload.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "violations" not in payload:
+        raise ConfigError(
+            f"baseline {path} is missing the 'violations' list"
+        )
+    counter: Counter = Counter()
+    for entry in payload["violations"]:
+        try:
+            key = (entry["rule"], _normalize(entry["path"]), entry["message"])
+            count = int(entry.get("count", 1))
+        except (TypeError, KeyError) as exc:
+            raise ConfigError(
+                f"baseline {path} entry {entry!r} is malformed"
+            ) from exc
+        counter[key] += count
+    return counter
+
+
+def write_baseline(
+    violations: Sequence[LintViolation], path: Union[str, Path]
+) -> Path:
+    """Record ``violations`` as the new baseline at ``path``."""
+    counter: Counter = Counter(fingerprint(v) for v in violations)
+    entries: List[Dict[str, object]] = [
+        {"rule": rule, "path": vpath, "message": message, "count": count}
+        for (rule, vpath, message), count in sorted(counter.items())
+    ]
+    path = Path(path)
+    payload = {
+        "version": _VERSION,
+        "note": (
+            "known pre-existing lint debt; regenerate with "
+            "repro lint --flow --update-baseline <file> <paths>"
+        ),
+        "violations": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def apply_baseline(
+    violations: Sequence[LintViolation], baseline: Counter
+) -> List[LintViolation]:
+    """Subtract baselined fingerprints; return only the *new* violations.
+
+    Matching is per-occurrence: if the baseline records a fingerprint
+    twice and a run finds it three times, one violation survives.
+    """
+    remaining = Counter(baseline)
+    fresh: List[LintViolation] = []
+    for violation in violations:
+        key = fingerprint(violation)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(violation)
+    return fresh

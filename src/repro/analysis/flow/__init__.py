@@ -1,0 +1,55 @@
+"""Whole-program dataflow analysis for the reproduction's contracts.
+
+The per-module AST rules in :mod:`repro.analysis.rules` cannot see an
+unseeded RNG escaping through a helper, a frozen snapshot mutated two
+calls deep, or a registry schema drifting from its factory signature.
+This subpackage supplies the missing machinery:
+
+* :mod:`~repro.analysis.flow.modgraph` — project import graph and
+  per-module symbol tables (functions, classes, frozen dataclasses,
+  module-level state, resolved imports);
+* :mod:`~repro.analysis.flow.cfg` — per-function control-flow graphs;
+* :mod:`~repro.analysis.flow.dataflow` — a small forward worklist
+  framework over those CFGs;
+* :mod:`~repro.analysis.flow.taint` — label propagation (the common
+  abstract domain) plus interprocedural call summaries;
+* :mod:`~repro.analysis.flow.engine` — the :class:`FlowRule` registry
+  and the :func:`analyze_project` driver ``repro lint --flow`` runs;
+* :mod:`~repro.analysis.flow.rules` — the REP201–REP205 contract rules.
+
+Flow rules see the *whole* project at once (a :class:`ProjectGraph`),
+unlike :class:`repro.analysis.LintRule` which sees one module.  Both
+families share violation records, ``# repro: noqa[REPxxx]`` suppressions
+and the committed baseline workflow.
+"""
+
+from .cfg import CFG, BasicBlock, build_cfg
+from .dataflow import ForwardAnalysis, run_forward
+from .engine import (
+    FlowRule,
+    analyze_project,
+    available_flow_rules,
+    flow_rule_ids,
+    register_flow_rule,
+)
+from .modgraph import FunctionInfo, ModuleInfo, ProjectGraph
+from .taint import TaintAnalysis, expr_labels, fixed_point_summaries
+
+__all__ = [
+    "ModuleInfo",
+    "FunctionInfo",
+    "ProjectGraph",
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "ForwardAnalysis",
+    "run_forward",
+    "TaintAnalysis",
+    "expr_labels",
+    "fixed_point_summaries",
+    "FlowRule",
+    "register_flow_rule",
+    "available_flow_rules",
+    "flow_rule_ids",
+    "analyze_project",
+]

@@ -1,0 +1,194 @@
+"""Per-function control-flow graphs.
+
+A :class:`CFG` is a set of :class:`BasicBlock`\\ s of statements with
+successor edges; :func:`build_cfg` constructs one from a function's AST
+body.  The construction covers the control statements this codebase
+uses — ``if``/``elif``/``else``, ``while``, ``for``, ``try``/``except``/
+``finally``, ``with``, ``return``/``raise``/``break``/``continue`` —
+conservatively: every ``except`` handler is assumed reachable from the
+``try`` body, and loop bodies loop back to their header, which is what a
+forward may-analysis needs for soundness.
+
+Compound statements appear in blocks as themselves (so a transfer
+function can inspect e.g. the ``if`` test or the ``for`` target) but
+their *bodies* live in successor blocks; transfer functions must only
+interpret the "header" part of a compound statement.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of statements with outgoing edges."""
+
+    index: int
+    statements: List[ast.stmt] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+    def link(self, other: "BasicBlock") -> None:
+        if other.index not in self.successors:
+            self.successors.append(other.index)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    blocks: List[BasicBlock]
+    entry: int = 0
+    exit: int = 1  #: synthetic exit block; return/raise edges land here
+
+    def successors(self, index: int) -> List[int]:
+        return self.blocks[index].successors
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+        self.entry = self._new()
+        self.exit = self._new()
+        #: (break target, continue target) stack for enclosing loops.
+        self._loops: List[Tuple[BasicBlock, BasicBlock]] = []
+
+    def _new(self) -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        last = self._body(body, self.entry)
+        if last is not None:
+            last.link(self.exit)
+        return CFG(blocks=self.blocks, entry=self.entry.index, exit=self.exit.index)
+
+    def _body(
+        self, body: Sequence[ast.stmt], current: Optional[BasicBlock]
+    ) -> Optional[BasicBlock]:
+        """Append ``body`` after ``current``; return the fall-through block.
+
+        ``None`` means control never falls through (return/raise/...).
+        """
+        for stmt in body:
+            if current is None:
+                # Dead code after a terminator still gets analyzed in its
+                # own unreachable block (rules may want to flag it).
+                current = self._new()
+            current = self._statement(stmt, current)
+        return current
+
+    def _statement(
+        self, stmt: ast.stmt, current: BasicBlock
+    ) -> Optional[BasicBlock]:
+        if isinstance(stmt, ast.If):
+            current.statements.append(stmt)
+            after = self._new()
+            then_block = self._new()
+            current.link(then_block)
+            then_end = self._body(stmt.body, then_block)
+            if then_end is not None:
+                then_end.link(after)
+            if stmt.orelse:
+                else_block = self._new()
+                current.link(else_block)
+                else_end = self._body(stmt.orelse, else_block)
+                if else_end is not None:
+                    else_end.link(after)
+            else:
+                current.link(after)
+            return after
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self._new()
+            current.link(header)
+            header.statements.append(stmt)
+            after = self._new()
+            body_block = self._new()
+            header.link(body_block)
+            header.link(after)  # zero iterations / loop condition false
+            self._loops.append((after, header))
+            body_end = self._body(stmt.body, body_block)
+            self._loops.pop()
+            if body_end is not None:
+                body_end.link(header)
+            if stmt.orelse:
+                else_end = self._body(stmt.orelse, self._linked(header))
+                if else_end is not None:
+                    else_end.link(after)
+            return after
+        if isinstance(stmt, ast.Try):
+            current.statements.append(stmt)
+            after = self._new()
+            try_block = self._new()
+            current.link(try_block)
+            try_end = self._body(stmt.body, try_block)
+            # Handlers may fire anywhere in the try body: edge from entry.
+            handler_ends: List[Optional[BasicBlock]] = []
+            for handler in stmt.handlers:
+                handler_block = self._new()
+                try_block.link(handler_block)
+                if try_end is not None:
+                    try_end.link(handler_block)
+                handler_ends.append(self._body(handler.body, handler_block))
+            if stmt.orelse and try_end is not None:
+                try_end = self._body(stmt.orelse, try_end)
+            finals = [try_end] + handler_ends if stmt.handlers else [try_end]
+            if stmt.finalbody:
+                final_block = self._new()
+                for end in finals:
+                    if end is not None:
+                        end.link(final_block)
+                final_end = self._body(stmt.finalbody, final_block)
+                if final_end is not None:
+                    final_end.link(after)
+            else:
+                for end in finals:
+                    if end is not None:
+                        end.link(after)
+            return after
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current.statements.append(stmt)
+            inner = self._new()
+            current.link(inner)
+            inner_end = self._body(stmt.body, inner)
+            if inner_end is None:
+                return None
+            after = self._new()
+            inner_end.link(after)
+            return after
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.statements.append(stmt)
+            current.link(self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            current.statements.append(stmt)
+            if self._loops:
+                current.link(self._loops[-1][0])
+            return None
+        if isinstance(stmt, ast.Continue):
+            current.statements.append(stmt)
+            if self._loops:
+                current.link(self._loops[-1][1])
+            return None
+        current.statements.append(stmt)
+        return current
+
+    def _linked(self, predecessor: BasicBlock) -> BasicBlock:
+        block = self._new()
+        predecessor.link(block)
+        return block
+
+
+def build_cfg(fn: Union[FunctionNode, Sequence[ast.stmt]]) -> CFG:
+    """Build the CFG of a function node (or a raw statement list)."""
+    body = fn.body if isinstance(
+        fn, (ast.FunctionDef, ast.AsyncFunctionDef)
+    ) else list(fn)
+    return _Builder().build(body)

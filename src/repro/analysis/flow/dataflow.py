@@ -1,0 +1,74 @@
+"""Forward dataflow over per-function CFGs.
+
+The classic worklist algorithm, generic over the abstract state: a
+:class:`ForwardAnalysis` supplies the initial state, the join, and the
+per-statement transfer function; :func:`run_forward` iterates block
+transfer to a fixed point and returns the state at every block entry and
+exit.
+
+States must be treated as immutable by transfer functions (return a new
+state rather than mutating), and the join must be monotone —
+label-set union over a finite label universe, as
+:mod:`~repro.analysis.flow.taint` uses, terminates trivially.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Dict, Generic, List, Tuple, TypeVar
+
+import ast
+
+from .cfg import CFG
+
+__all__ = ["ForwardAnalysis", "run_forward"]
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(abc.ABC, Generic[S]):
+    """The three hooks a forward dataflow analysis provides."""
+
+    @abc.abstractmethod
+    def initial(self) -> S:
+        """State at function entry."""
+
+    @abc.abstractmethod
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two states (must be monotone)."""
+
+    @abc.abstractmethod
+    def transfer(self, state: S, stmt: ast.stmt) -> S:
+        """State after executing ``stmt`` (header only, for compounds)."""
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis[S]) -> Tuple[Dict[int, S], Dict[int, S]]:
+    """Iterate ``analysis`` over ``cfg`` to a fixed point.
+
+    Returns ``(state_in, state_out)`` keyed by block index.  Blocks with
+    no predecessors (the entry, or unreachable code) start from
+    ``analysis.initial()``.
+    """
+    state_in: Dict[int, S] = {b.index: analysis.initial() for b in cfg.blocks}
+    state_out: Dict[int, S] = {}
+    # Seed every block so unreachable code is still analyzed once.
+    worklist = deque(b.index for b in cfg.blocks)
+    queued = set(worklist)
+    while worklist:
+        index = worklist.popleft()
+        queued.discard(index)
+        state = state_in[index]
+        for stmt in cfg.blocks[index].statements:
+            state = analysis.transfer(state, stmt)
+        if index in state_out and state_out[index] == state:
+            continue
+        state_out[index] = state
+        for succ in cfg.blocks[index].successors:
+            joined = analysis.join(state_in[succ], state)
+            if joined != state_in[succ]:
+                state_in[succ] = joined
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return state_in, state_out

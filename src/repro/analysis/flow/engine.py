@@ -1,0 +1,153 @@
+"""Flow-rule registry and the whole-program analysis driver.
+
+A :class:`FlowRule` sees the entire :class:`~repro.analysis.flow.modgraph.ProjectGraph`
+at once — unlike :class:`repro.analysis.LintRule`, which sees one module
+— and yields the same :class:`~repro.analysis.linter.LintViolation`
+records, so both rule families share formatting, ``# repro: noqa``
+suppressions and the baseline workflow.
+
+:func:`analyze_project` is what ``repro lint --flow`` calls: build the
+project graph over the given paths, run every selected flow rule, and
+filter suppressed hits.  A rule that crashes is converted to
+:class:`~repro.analysis.linter.LintInternalError` so the CLI can exit 2
+(analyzer bug) instead of 1 (violations found).
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
+
+from ...errors import ConfigError
+from ..linter import (
+    LintInternalError,
+    LintViolation,
+    collect_suppressions,
+    filter_suppressed,
+)
+from .modgraph import ProjectGraph
+
+__all__ = [
+    "FlowRule",
+    "register_flow_rule",
+    "available_flow_rules",
+    "flow_rule_ids",
+    "analyze_project",
+    "analyze_graph",
+]
+
+
+class FlowRule(abc.ABC):
+    """One whole-program contract check.
+
+    Subclasses set ``rule_id`` (stable, ``REP2xx``) and ``description``
+    and implement :meth:`check` over the project graph.
+    """
+
+    rule_id: str = "REP???"
+    description: str = ""
+
+    @abc.abstractmethod
+    def check(self, project: ProjectGraph) -> Iterable[LintViolation]:
+        """Yield every violation of this rule in the project."""
+
+    def violation(
+        self, node, path: Union[str, Path], message: str
+    ) -> LintViolation:
+        """Convenience constructor anchored at ``node``'s location."""
+        return LintViolation(
+            rule_id=self.rule_id,
+            path=str(path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_FLOW_REGISTRY: Dict[str, Type[FlowRule]] = {}
+
+
+def register_flow_rule(cls: Type[FlowRule]) -> Type[FlowRule]:
+    """Class decorator adding ``cls`` to the flow-rule registry."""
+    if cls.rule_id in _FLOW_REGISTRY:
+        raise ConfigError(f"flow rule {cls.rule_id!r} already registered")
+    _FLOW_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def _ensure_builtin_rules() -> None:
+    from . import rules  # noqa: F401  (importing registers the built-ins)
+
+
+def available_flow_rules() -> Dict[str, str]:
+    """Mapping ``rule_id -> description`` of every registered flow rule."""
+    _ensure_builtin_rules()
+    return {rid: _FLOW_REGISTRY[rid].description for rid in sorted(_FLOW_REGISTRY)}
+
+
+def flow_rule_ids() -> List[str]:
+    """Sorted ids of the registered flow rules."""
+    _ensure_builtin_rules()
+    return sorted(_FLOW_REGISTRY)
+
+
+def _resolve_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[FlowRule]:
+    """Instantiate the chosen flow rules.
+
+    Unknown ids in ``select``/``ignore`` are *not* rejected here — the
+    linter front end validates them against the union of both rule
+    registries, so a per-family resolver only filters.
+    """
+    _ensure_builtin_rules()
+    chosen = set(_FLOW_REGISTRY)
+    if select is not None:
+        chosen &= set(select)
+    if ignore:
+        chosen -= set(ignore)
+    return [_FLOW_REGISTRY[rid]() for rid in sorted(chosen)]
+
+
+def analyze_graph(
+    project: ProjectGraph,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[LintViolation]:
+    """Run the selected flow rules over an already-built project graph.
+
+    Suppressions (``# repro: noqa[REPxxx]``) are honored per module.
+
+    Raises:
+        LintInternalError: when a rule itself crashes (analyzer bug).
+    """
+    violations: List[LintViolation] = []
+    for rule in _resolve_rules(select, ignore):
+        try:
+            violations.extend(rule.check(project))
+        except Exception as exc:  # noqa: BLE001 - converted to exit-code-2 error
+            raise LintInternalError(
+                f"flow rule {rule.rule_id} crashed: {type(exc).__name__}: {exc}"
+            ) from exc
+    by_path: Dict[str, List[LintViolation]] = {}
+    for violation in violations:
+        by_path.setdefault(violation.path, []).append(violation)
+    kept: List[LintViolation] = []
+    for path, hits in by_path.items():
+        module = project.module_for_path(path)
+        if module is not None:
+            hits = filter_suppressed(hits, collect_suppressions(module.source))
+        kept.extend(hits)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return kept
+
+
+def analyze_project(
+    paths: Sequence[Union[str, Path]],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[LintViolation]:
+    """Build a project graph over ``paths`` and run the flow rules."""
+    return analyze_graph(ProjectGraph.from_paths(paths), select, ignore)

@@ -1,0 +1,353 @@
+"""Project import graph and per-module symbol tables.
+
+:class:`ProjectGraph` is the whole-program view every flow rule starts
+from: all modules of a package parsed once, imports resolved to dotted
+targets, functions and methods indexed by qualified name, frozen
+dataclasses identified, and a project-local call graph with just enough
+local type inference (``x = SomeClass(...)`` makes ``x.method()``
+resolvable) to trace contracts through helpers.
+
+Resolution is deliberately *syntactic* and conservative: a call that
+cannot be resolved to a project symbol simply contributes no edge, so
+analyses built on top under-approximate reachability rather than guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+__all__ = ["ModuleInfo", "FunctionInfo", "ClassInfo", "ProjectGraph", "dotted_name"]
+
+
+def dotted_name(expr: ast.expr) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"`` (else ``None``)."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable by qualified name."""
+
+    qualname: str  #: ``pkg.mod.func`` or ``pkg.mod.Class.method``
+    module: str
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    class_name: Optional[str] = None  #: enclosing class simple name, if a method
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def params(self) -> List[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        return names
+
+    @property
+    def has_kwargs(self) -> bool:
+        return self.node.args.kwarg is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class: name, AST, and whether it is a frozen dataclass."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    frozen_dataclass: bool = False
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Call):
+            name = dotted_name(deco.func)
+            if name and name.split(".")[-1] == "dataclass":
+                for kw in deco.keywords:
+                    if (
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+    return False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its resolved symbol tables."""
+
+    name: str  #: dotted module name, e.g. ``repro.utils.rng``
+    path: str  #: source path as given to the builder (display/baseline key)
+    tree: ast.Module
+    source: str
+    #: local alias -> dotted target (``np`` -> ``numpy``,
+    #: ``as_generator`` -> ``repro.utils.rng.as_generator``).
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level assigned names -> the value node of their *first* binding.
+    module_assigns: Dict[str, ast.expr] = field(default_factory=dict)
+
+    def resolve_local(self, name: str) -> Optional[str]:
+        """Resolve a bare name used in this module to a dotted target."""
+        if name in self.imports:
+            return self.imports[name]
+        if name in self.functions:
+            return f"{self.name}.{name}"
+        if name in self.classes:
+            return f"{self.name}.{name}"
+        if name in self.module_assigns:
+            return f"{self.name}.{name}"
+        return None
+
+
+def _resolve_relative(module: str, level: int, target: Optional[str]) -> str:
+    """Resolve ``from ..x import y`` relative to ``module``'s package."""
+    # ``module`` is the dotted module name; its package drops the last part.
+    parts = module.split(".")
+    # level 1 = current package, level 2 = parent package, ...
+    base = parts[: len(parts) - level]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base)
+
+
+def _collect_imports(module: str, tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _resolve_relative(module, node.level, node.module)
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+def _index_module(name: str, path: str, source: str, tree: ast.Module) -> ModuleInfo:
+    info = ModuleInfo(
+        name=name,
+        path=path,
+        tree=tree,
+        source=source,
+        imports=_collect_imports(name, tree),
+    )
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = FunctionInfo(
+                qualname=f"{name}.{node.name}", module=name, node=node
+            )
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(
+                qualname=f"{name}.{node.name}",
+                module=name,
+                node=node,
+                frozen_dataclass=_is_frozen_dataclass(node),
+            )
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[item.name] = FunctionInfo(
+                        qualname=f"{name}.{node.name}.{item.name}",
+                        module=name,
+                        node=item,
+                        class_name=node.name,
+                    )
+            info.classes[node.name] = cls
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    info.module_assigns.setdefault(target.id, node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                info.module_assigns.setdefault(node.target.id, node.value)
+    return info
+
+
+class ProjectGraph:
+    """All modules of a project, indexed for whole-program queries."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules: Dict[str, ModuleInfo] = {m.name: m for m in modules}
+        self._by_path: Dict[str, ModuleInfo] = {m.path: m for m in self.modules.values()}
+        #: every function/method by qualified name.
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: every class by qualified name.
+        self.classes: Dict[str, ClassInfo] = {}
+        for mod in self.modules.values():
+            for fn in mod.functions.values():
+                self.functions[fn.qualname] = fn
+            for cls in mod.classes.values():
+                self.classes[cls.qualname] = cls
+                for method in cls.methods.values():
+                    self.functions[method.qualname] = method
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_paths(cls, paths: Sequence[Union[str, Path]]) -> "ProjectGraph":
+        """Parse every ``.py`` file under ``paths`` into a project graph.
+
+        Unreadable or syntactically invalid files are skipped — the
+        linter already reports them as ``REP000``; flow analysis runs on
+        what parses.
+        """
+        from ..linter import iter_python_files  # local: avoid import cycle
+
+        modules: List[ModuleInfo] = []
+        for file in iter_python_files(paths):
+            try:
+                source = file.read_text(encoding="utf-8")
+                tree = ast.parse(source)
+            except (OSError, SyntaxError, ValueError):
+                continue
+            modules.append(
+                _index_module(_module_name(file), str(file), source, tree)
+            )
+        return cls(modules)
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "ProjectGraph":
+        """Build a graph from ``{path: source}`` (tests and tools).
+
+        The dotted module name is derived from the path with any leading
+        ``src/`` stripped: ``"src/pkg/mod.py"`` and ``"pkg/mod.py"``
+        both become ``pkg.mod``.
+        """
+        modules: List[ModuleInfo] = []
+        for path, source in sources.items():
+            tree = ast.parse(source)
+            modules.append(
+                _index_module(_module_name(Path(path)), path, source, tree)
+            )
+        return cls(modules)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def module_for_path(self, path: Union[str, Path]) -> Optional[ModuleInfo]:
+        return self._by_path.get(str(path))
+
+    def resolve_call(
+        self,
+        module: ModuleInfo,
+        func: ast.expr,
+        local_types: Optional[Mapping[str, str]] = None,
+        self_class: Optional[str] = None,
+    ) -> Optional[str]:
+        """Resolve a call's function expression to a dotted target name.
+
+        Handles bare names (via imports and module symbols), dotted
+        chains rooted at an import (``np.random.default_rng``),
+        ``self.method()`` inside a known class, and ``var.method()``
+        where ``var`` was locally bound to a project-class construction
+        (``local_types`` maps var -> class qualname).  Returns ``None``
+        when the target is unknown.
+        """
+        if isinstance(func, ast.Name):
+            return module.resolve_local(func.id)
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id == "self" and self_class:
+                    return f"{self_class}.{func.attr}"
+                if local_types and base.id in local_types:
+                    return f"{local_types[base.id]}.{func.attr}"
+            name = dotted_name(func)
+            if name is None:
+                return None
+            head, _, rest = name.partition(".")
+            resolved_head = module.resolve_local(head)
+            if resolved_head is None:
+                return None
+            return f"{resolved_head}.{rest}" if rest else resolved_head
+        return None
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        """Look up a function, following ``Class`` -> ``Class.__init__``."""
+        fn = self.functions.get(qualname)
+        if fn is not None:
+            return fn
+        cls = self.classes.get(qualname)
+        if cls is not None:
+            return cls.methods.get("__init__")
+        return None
+
+    def frozen_class_names(self) -> Set[str]:
+        """Simple names of every ``@dataclass(frozen=True)`` in the project."""
+        return {
+            cls.node.name
+            for cls in self.classes.values()
+            if cls.frozen_dataclass
+        }
+
+    def infer_local_types(self, fn: FunctionInfo) -> Dict[str, str]:
+        """Map local names to project-class qualnames for obvious bindings.
+
+        Only the transparent case is handled: ``x = SomeClass(...)``
+        where ``SomeClass`` resolves to a project class.  Enough to
+        follow ``scheduler = MctsScheduler(...); scheduler.schedule(g)``.
+        """
+        module = self.modules[fn.module]
+        types: Dict[str, str] = {}
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                target_names = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if not target_names:
+                    continue
+                resolved = self.resolve_call(module, node.value.func)
+                if resolved in self.classes:
+                    for name in target_names:
+                        types[name] = resolved
+        return types
+
+
+def _module_name(path: Path) -> str:
+    """Derive a dotted module name from a file path.
+
+    Walks up through package directories (those containing
+    ``__init__.py``) when the file exists on disk; for in-memory paths it
+    uses the path parts with a leading ``src`` component stripped.
+    """
+    path = Path(path)
+    if path.exists():
+        parts = [path.stem] if path.stem != "__init__" else []
+        parent = path.parent
+        while (parent / "__init__.py").exists():
+            parts.append(parent.name)
+            parent = parent.parent
+        if parts:
+            return ".".join(reversed(parts))
+    parts_t: Tuple[str, ...] = path.parts
+    if parts_t and parts_t[0] in ("src", "."):
+        parts_t = parts_t[1:]
+    stem = [Path(parts_t[-1]).stem] if parts_t else [path.stem]
+    if stem == ["__init__"]:
+        stem = []
+    return ".".join(list(parts_t[:-1]) + stem) if parts_t else path.stem

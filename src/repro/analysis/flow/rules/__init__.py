@@ -1,0 +1,26 @@
+"""Built-in flow rules (REP201–REP205).
+
+Importing this package registers every built-in whole-program rule with
+the engine in :mod:`repro.analysis.flow.engine`.  Each module holds one
+contract:
+
+* REP201 — determinism taint (unseeded RNG streams);
+* REP202 — frozen-snapshot mutation;
+* REP203 — sim-time discipline;
+* REP204 — registry-spec contract drift;
+* REP205 — parallel-escape detection.
+"""
+
+from .determinism import DeterminismTaintRule
+from .frozen_mutation import FrozenMutationRule
+from .parallel_escape import ParallelEscapeRule
+from .registry_contract import RegistryContractRule
+from .sim_time import SimTimeRule
+
+__all__ = [
+    "DeterminismTaintRule",
+    "FrozenMutationRule",
+    "SimTimeRule",
+    "RegistryContractRule",
+    "ParallelEscapeRule",
+]

@@ -1,0 +1,288 @@
+"""REP201 — determinism taint: every RNG stream must be seed-disciplined.
+
+The per-module REP101 rule catches a literal ``np.random.default_rng()``
+in the file it appears in; it cannot see the same unseeded generator
+*returned through a helper* or stashed into long-lived state.  This rule
+runs whole-program taint:
+
+* **sources** — RNG constructors.  Seedless forms
+  (``np.random.default_rng()``, ``random.Random()``,
+  ``repro.utils.rng.as_generator()`` / ``as_generator(None)``) carry the
+  ``unseeded`` label on top of ``rng``;
+* **summaries** — a project function whose return value carries RNG
+  labels transfers them to its call sites, to any depth, so an unseeded
+  generator two calls deep is flagged where it enters the program;
+* **sinks** — (a) any construction or helper call producing an
+  ``unseeded`` stream, and (b) RNG values escaping into module-level or
+  instance state: module globals are cross-run/cross-process shared
+  streams, and ``self.x = <unseeded rng>`` pins an unreproducible stream
+  into an object that outlives the call.
+
+Seed-disciplined idioms stay silent: ``as_generator(seed)``,
+``default_rng(seed)``, ``SeedSequence``-derived spawns, and storing a
+*seeded* generator on ``self`` (every scheduler in this repo does that).
+The plumbing module :mod:`repro.utils.rng` is exempt, mirroring REP101.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ...linter import LintViolation
+from ..cfg import build_cfg
+from ..engine import FlowRule, register_flow_rule
+from ..modgraph import FunctionInfo, ModuleInfo, ProjectGraph
+from ..taint import EMPTY, Labels, TaintAnalysis, iter_statement_states
+
+__all__ = ["DeterminismTaintRule"]
+
+RNG = "rng"
+UNSEEDED = "rng-unseeded"
+
+#: constructors that yield an RNG; value is True when a seed argument is
+#: *required* for the construction to count as seeded.
+_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.SFC64",
+    "numpy.random.SeedSequence",
+    "random.Random",
+}
+
+#: repro.utils.rng helpers: suffix -> labels semantics handled in code.
+_RNG_HELPERS = ("utils.rng.as_generator", "utils.rng.spawn")
+
+
+def _is_seedless(call: ast.Call) -> bool:
+    """True when the call passes no seed at all (or an explicit ``None``)."""
+    if not call.args and not call.keywords:
+        return True
+    if call.args and not call.keywords:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    return False
+
+
+@register_flow_rule
+class DeterminismTaintRule(FlowRule):
+    rule_id = "REP201"
+    description = (
+        "unseeded RNG stream (possibly via helpers), or an RNG escaping "
+        "into module/class state; derive streams from repro.utils.rng"
+    )
+
+    #: module-name suffixes exempt from this rule (the RNG plumbing).
+    exempt_module_suffixes = ("utils.rng",)
+
+    def check(self, project: ProjectGraph) -> Iterable[LintViolation]:
+        summaries = self._return_summaries(project)
+        violations: List[LintViolation] = []
+        for module in project.modules.values():
+            if self._exempt(module):
+                continue
+            violations.extend(self._check_module(project, module, summaries))
+        return violations
+
+    def _exempt(self, module: ModuleInfo) -> bool:
+        return any(
+            module.name == suffix or module.name.endswith("." + suffix)
+            for suffix in self.exempt_module_suffixes
+        )
+
+    # ------------------------------------------------------------------ #
+    # call labeling + summaries
+    # ------------------------------------------------------------------ #
+
+    def _call_labels_fn(
+        self,
+        project: ProjectGraph,
+        module: ModuleInfo,
+        summaries: Dict[str, Labels],
+        self_class: Optional[str] = None,
+    ):
+        def call_labels(call: ast.Call, args: Tuple[Labels, ...], state) -> Labels:
+            target = project.resolve_call(module, call.func, self_class=self_class)
+            if target is None:
+                return EMPTY
+            if target in _CONSTRUCTORS:
+                labels = frozenset({RNG})
+                if _is_seedless(call):
+                    labels |= {UNSEEDED}
+                return labels
+            if target.endswith(_RNG_HELPERS[0]):  # as_generator
+                labels = frozenset({RNG})
+                if _is_seedless(call):
+                    labels |= {UNSEEDED}
+                # as_generator(rng) forwards its argument's labels too.
+                for arg in args:
+                    labels |= arg
+                return labels
+            if target.endswith(_RNG_HELPERS[1]):  # spawn
+                labels = frozenset({RNG})
+                for arg in args:
+                    labels |= arg & {UNSEEDED}
+                return labels
+            return summaries.get(target, EMPTY)
+
+        return call_labels
+
+    def _return_summaries(self, project: ProjectGraph) -> Dict[str, Labels]:
+        """Fixed point of "labels this function's return value carries"."""
+        summaries: Dict[str, Labels] = {}
+        for _ in range(25):
+            changed = False
+            for qualname, fn in project.functions.items():
+                new = self._returned_labels(project, fn, summaries)
+                if summaries.get(qualname, EMPTY) != new:
+                    summaries[qualname] = new
+                    changed = True
+            if not changed:
+                break
+        return summaries
+
+    def _returned_labels(
+        self,
+        project: ProjectGraph,
+        fn: FunctionInfo,
+        summaries: Dict[str, Labels],
+    ) -> Labels:
+        module = project.modules[fn.module]
+        if self._exempt(module):
+            # Helpers in the plumbing module still need *summaries* (their
+            # call sites elsewhere matter) — handled by _RNG_HELPERS; the
+            # general summary for exempt modules stays empty.
+            return EMPTY
+        analysis = TaintAnalysis(
+            call_labels=self._call_labels_fn(
+                project, module, summaries, self._class_qualname(fn)
+            )
+        )
+        out: Labels = EMPTY
+        for stmt, state in iter_statement_states(build_cfg(fn.node), analysis):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                out |= analysis.labels(stmt.value, state)
+        return out
+
+    @staticmethod
+    def _class_qualname(fn: FunctionInfo) -> Optional[str]:
+        if fn.class_name is None:
+            return None
+        return f"{fn.module}.{fn.class_name}"
+
+    # ------------------------------------------------------------------ #
+    # per-module checks
+    # ------------------------------------------------------------------ #
+
+    def _check_module(
+        self,
+        project: ProjectGraph,
+        module: ModuleInfo,
+        summaries: Dict[str, Labels],
+    ) -> Iterable[LintViolation]:
+        violations: List[LintViolation] = []
+        # (a) construction sites + unseeded-returning helper calls, anywhere.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._call_target(project, module, node)
+            if target is None:
+                continue
+            if target in _CONSTRUCTORS or target.endswith(_RNG_HELPERS[0]):
+                if _is_seedless(node):
+                    violations.append(
+                        self.violation(
+                            node,
+                            module.path,
+                            f"unseeded RNG constructed via {target.rsplit('.', 1)[-1]}(); "
+                            "derive the stream from a seed or repro.utils.rng",
+                        )
+                    )
+            elif UNSEEDED in summaries.get(target, EMPTY):
+                violations.append(
+                    self.violation(
+                        node,
+                        module.path,
+                        f"call to {target}() returns an unseeded RNG "
+                        "(constructed without a seed inside the callee)",
+                    )
+                )
+        # (b) module-level escape: any RNG bound to module state.
+        analysis = TaintAnalysis(
+            call_labels=self._call_labels_fn(project, module, summaries)
+        )
+        for stmt, state in iter_statement_states(
+            build_cfg(module.tree.body), analysis
+        ):
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                if value is not None and RNG in analysis.labels(value, state):
+                    violations.append(
+                        self.violation(
+                            stmt,
+                            module.path,
+                            "RNG stored in module-level state: a shared "
+                            "stream breaks per-component seed discipline; "
+                            "pass generators explicitly",
+                        )
+                    )
+        # (c) instance escape: self.<attr> = <unseeded rng> inside methods.
+        for fn in module.functions.values():
+            violations.extend(
+                self._check_instance_escape(project, module, fn, summaries)
+            )
+        for cls in module.classes.values():
+            for method in cls.methods.values():
+                violations.extend(
+                    self._check_instance_escape(project, module, method, summaries)
+                )
+        return violations
+
+    def _call_target(
+        self, project: ProjectGraph, module: ModuleInfo, call: ast.Call
+    ) -> Optional[str]:
+        # Best-effort enclosing-class resolution is unnecessary here: the
+        # constructors and helpers this rule looks for are module-rooted.
+        return project.resolve_call(module, call.func)
+
+    def _check_instance_escape(
+        self,
+        project: ProjectGraph,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        summaries: Dict[str, Labels],
+    ) -> Iterable[LintViolation]:
+        analysis = TaintAnalysis(
+            call_labels=self._call_labels_fn(
+                project, module, summaries, self._class_qualname(fn)
+            )
+        )
+        violations: List[LintViolation] = []
+        for stmt, state in iter_statement_states(build_cfg(fn.node), analysis):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            if value is None:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and UNSEEDED in analysis.labels(value, state)
+                ):
+                    violations.append(
+                        self.violation(
+                            stmt,
+                            module.path,
+                            f"unseeded RNG escapes into instance state "
+                            f"self.{target.attr}; seed it explicitly "
+                            "(repro.utils.rng.as_generator(seed))",
+                        )
+                    )
+        return violations

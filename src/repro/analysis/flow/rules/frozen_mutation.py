@@ -1,0 +1,380 @@
+"""REP202 — mutation of frozen planning state, traced through helpers.
+
+:class:`~repro.schedulers.base.ClusterSnapshot` and
+:class:`~repro.schedulers.base.ScheduleRequest` are frozen dataclasses
+by design: a replan must be able to hand the same request to several
+schedulers (fallback stacks, verification wrappers) and trust that none
+of them edited the snapshot under the others.  ``dataclasses.FrozenInstanceError``
+only guards *attribute* assignment at runtime — ``request.frozen[tid] = ...``
+mutates the mapping inside the frozen shell without a peep, and only on
+the execution paths tests happen to cover.
+
+This rule finds such writes statically.  A parameter is *frozen-marked*
+when its annotation names ``ClusterSnapshot``/``ScheduleRequest`` or any
+project ``@dataclass(frozen=True)``, or when it is named ``request`` /
+``snapshot``.  Taint labels on the marked parameters propagate through
+locals, attribute chains and subscripts, so aliased mutation
+(``placements = request.frozen; placements[t] = span``) is caught; and
+per-function *mutation summaries* propagate through project-local calls,
+so passing a snapshot into a helper that mutates its own parameter is
+flagged at the call site, to any depth.
+
+Taking a copy first (``dict(request.frozen)``) launders the label, as it
+should: copies are yours to edit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ...linter import LintViolation
+from ..cfg import build_cfg
+from ..engine import FlowRule, register_flow_rule
+from ..modgraph import FunctionInfo, ModuleInfo, ProjectGraph, dotted_name
+from ..taint import EMPTY, Labels, TaintAnalysis, iter_statement_states
+
+__all__ = ["FrozenMutationRule"]
+
+#: method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+#: always-frozen marker type names (beyond detected frozen dataclasses).
+_MARKER_TYPES = frozenset({"ClusterSnapshot", "ScheduleRequest"})
+
+#: parameter names treated as frozen even without an annotation.
+_MARKER_NAMES = frozenset({"request", "snapshot"})
+
+
+def _annotation_names(annotation: Optional[ast.expr]) -> Set[str]:
+    """Every identifier appearing in an annotation (handles Optional[X],
+    quoted forward references, unions)."""
+    if annotation is None:
+        return set()
+    names: Set[str] = set()
+    nodes: List[ast.AST] = [annotation]
+    while nodes:
+        node = nodes.pop()
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                nodes.append(ast.parse(node.value, mode="eval").body)
+            except SyntaxError:
+                pass
+        else:
+            nodes.extend(ast.iter_child_nodes(node))
+    return names
+
+
+def _param_label(index: int) -> str:
+    return f"param:{index}"
+
+
+def _fresh_locals(fn: FunctionInfo) -> FrozenSet[str]:
+    """Names only ever bound to freshly-built containers.
+
+    A comprehension or collection literal *derives from* tainted data but
+    is a new object; mutating it is not mutating the frozen source
+    (``dims = {t.num_resources for t in tasks}; dims.pop()`` is fine).
+    A name qualifies only when every binding is such a construction —
+    params, loop targets and aliasing assignments all disqualify it.
+    """
+    fresh = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+             ast.List, ast.Set, ast.Dict, ast.Tuple)
+    verdict: Dict[str, bool] = {}
+
+    def note(name: str, is_fresh: bool) -> None:
+        verdict[name] = verdict.get(name, True) and is_fresh
+
+    args = fn.node.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        note(arg.arg, False)
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            is_fresh = isinstance(node.value, fresh)
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        note(name_node.id, is_fresh and target is name_node)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            note(node.target.id, isinstance(node.value, fresh))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name_node in ast.walk(node.target):
+                if isinstance(name_node, ast.Name):
+                    note(name_node.id, False)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for name_node in ast.walk(item.optional_vars):
+                        if isinstance(name_node, ast.Name):
+                            note(name_node.id, False)
+        elif isinstance(node, (ast.AugAssign, ast.NamedExpr)) and isinstance(
+            getattr(node, "target", None), ast.Name
+        ):
+            note(node.target.id, False)
+    return frozenset(name for name, ok in verdict.items() if ok)
+
+
+@register_flow_rule
+class FrozenMutationRule(FlowRule):
+    rule_id = "REP202"
+    description = (
+        "attribute/item write on frozen planning state (ClusterSnapshot/"
+        "ScheduleRequest/frozen dataclass), directly or through helpers"
+    )
+
+    def check(self, project: ProjectGraph) -> Iterable[LintViolation]:
+        frozen_types = _MARKER_TYPES | project.frozen_class_names()
+        summaries = self._mutation_summaries(project)
+        violations: List[LintViolation] = []
+        for fn in project.functions.values():
+            marked = self._frozen_params(fn, frozen_types)
+            if not marked:
+                continue
+            violations.extend(
+                self._check_function(project, fn, marked, summaries)
+            )
+        return violations
+
+    # ------------------------------------------------------------------ #
+    # parameter marking
+    # ------------------------------------------------------------------ #
+
+    def _frozen_params(
+        self, fn: FunctionInfo, frozen_types: FrozenSet[str]
+    ) -> Dict[int, Tuple[str, str]]:
+        """``param index -> (name, why)`` for frozen-marked parameters."""
+        args = fn.node.args
+        params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        marked: Dict[int, Tuple[str, str]] = {}
+        for index, arg in enumerate(params):
+            if fn.class_name is not None and index == 0:
+                continue  # self/cls
+            hits = _annotation_names(arg.annotation) & frozen_types
+            if hits:
+                marked[index] = (arg.arg, f"annotated {sorted(hits)[0]}")
+            elif arg.arg in _MARKER_NAMES:
+                marked[index] = (arg.arg, f"named {arg.arg!r}")
+        return marked
+
+    # ------------------------------------------------------------------ #
+    # interprocedural mutation summaries
+    # ------------------------------------------------------------------ #
+
+    def _mutation_summaries(
+        self, project: ProjectGraph
+    ) -> Dict[str, FrozenSet[int]]:
+        """Fixed point of "which parameter positions does fn mutate"."""
+        summaries: Dict[str, FrozenSet[int]] = {}
+        for _ in range(25):
+            changed = False
+            for qualname, fn in project.functions.items():
+                new = self._mutated_positions(project, fn, summaries)
+                if summaries.get(qualname, frozenset()) != new:
+                    summaries[qualname] = new
+                    changed = True
+            if not changed:
+                break
+        return summaries
+
+    def _param_analysis(self, fn: FunctionInfo) -> TaintAnalysis:
+        args = fn.node.args
+        params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        labels = {
+            arg.arg: frozenset({_param_label(i)}) for i, arg in enumerate(params)
+        }
+        return TaintAnalysis(param_labels=labels)
+
+    def _mutated_positions(
+        self,
+        project: ProjectGraph,
+        fn: FunctionInfo,
+        summaries: Dict[str, FrozenSet[int]],
+    ) -> FrozenSet[int]:
+        module = project.modules[fn.module]
+        analysis = self._param_analysis(fn)
+        local_types = project.infer_local_types(fn)
+        self_class = (
+            f"{fn.module}.{fn.class_name}" if fn.class_name is not None else None
+        )
+        fresh = _fresh_locals(fn)
+        mutated: Set[int] = set()
+        for stmt, state in iter_statement_states(build_cfg(fn.node), analysis):
+            for labels in self._mutation_label_sets(
+                project, module, stmt, state, analysis, summaries,
+                local_types, self_class, fresh,
+            ):
+                mutated.update(self._positions(labels))
+        return frozenset(mutated)
+
+    @staticmethod
+    def _positions(labels: Labels) -> Set[int]:
+        out: Set[int] = set()
+        for label in labels:
+            if label.startswith("param:"):
+                out.add(int(label.split(":", 1)[1]))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # mutation detection (shared by summary computation and reporting)
+    # ------------------------------------------------------------------ #
+
+    def _mutation_label_sets(
+        self,
+        project: ProjectGraph,
+        module: ModuleInfo,
+        stmt: ast.stmt,
+        state,
+        analysis: TaintAnalysis,
+        summaries: Dict[str, FrozenSet[int]],
+        local_types: Dict[str, str],
+        self_class: Optional[str],
+        fresh: FrozenSet[str],
+    ) -> Iterable[Labels]:
+        """Label sets of every value ``stmt`` mutates in place."""
+
+        def receiver_labels(expr: ast.expr) -> Labels:
+            # A freshly-built local container is the function's own copy.
+            if isinstance(expr, ast.Name) and expr.id in fresh:
+                return EMPTY
+            return analysis.labels(expr, state)
+
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    yield receiver_labels(target.value)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    yield receiver_labels(target.value)
+        # Mutating method calls and helper calls, anywhere in the statement.
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and not (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in local_types
+                )
+            ):
+                yield receiver_labels(func.value)
+            target = project.resolve_call(module, func, local_types, self_class)
+            if target is None:
+                continue
+            callee = project.function(target)
+            if callee is None:
+                continue
+            callee_mutates = summaries.get(callee.qualname, frozenset())
+            if not callee_mutates:
+                continue
+            for labels in self._forwarded_labels(
+                node, callee, callee_mutates, state, analysis, fresh
+            ):
+                yield labels
+
+    def _forwarded_labels(
+        self,
+        call: ast.Call,
+        callee: FunctionInfo,
+        mutated_positions: FrozenSet[int],
+        state,
+        analysis: TaintAnalysis,
+        fresh: FrozenSet[str],
+    ) -> Iterable[Labels]:
+        """Labels of arguments that land in mutated callee positions."""
+
+        def arg_labels(expr: ast.expr) -> Labels:
+            if isinstance(expr, ast.Name) and expr.id in fresh:
+                return EMPTY
+            return analysis.labels(expr, state)
+
+        offset = 1 if callee.class_name is not None else 0
+        for arg_index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            if arg_index + offset in mutated_positions:
+                yield arg_labels(arg)
+        param_names = callee.params
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            if keyword.arg in param_names:
+                position = param_names.index(keyword.arg)
+                if position in mutated_positions:
+                    yield arg_labels(keyword.value)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def _check_function(
+        self,
+        project: ProjectGraph,
+        fn: FunctionInfo,
+        marked: Dict[int, Tuple[str, str]],
+        summaries: Dict[str, FrozenSet[int]],
+    ) -> Iterable[LintViolation]:
+        module = project.modules[fn.module]
+        analysis = self._param_analysis(fn)
+        local_types = project.infer_local_types(fn)
+        self_class = (
+            f"{fn.module}.{fn.class_name}" if fn.class_name is not None else None
+        )
+        fresh = _fresh_locals(fn)
+        marked_labels = {_param_label(i): i for i in marked}
+        violations: List[LintViolation] = []
+        seen: Set[Tuple[int, int]] = set()
+        for stmt, state in iter_statement_states(build_cfg(fn.node), analysis):
+            for labels in self._mutation_label_sets(
+                project, module, stmt, state, analysis, summaries,
+                local_types, self_class, fresh,
+            ):
+                hit = sorted(
+                    marked_labels[label] for label in labels if label in marked_labels
+                )
+                if not hit:
+                    continue
+                key = (stmt.lineno, hit[0])
+                if key in seen:
+                    continue
+                seen.add(key)
+                name, why = marked[hit[0]]
+                violations.append(
+                    self.violation(
+                        stmt,
+                        module.path,
+                        f"mutates frozen planning state reachable from "
+                        f"parameter {name!r} ({why}) in {fn.qualname}; "
+                        "copy before editing (e.g. dict(request.frozen))",
+                    )
+                )
+        return violations

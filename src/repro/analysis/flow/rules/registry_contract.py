@@ -1,0 +1,309 @@
+"""REP204 — registry-spec contract drift.
+
+The scheduler registry is a three-way contract spread across files:
+
+1. the **option schema** declared at ``register(name, factory,
+   options={...})`` time (:mod:`repro.schedulers.registry`, plus lazy
+   providers like :mod:`repro.core.spear`);
+2. the **factory signature** — ``make_scheduler`` calls
+   ``factory(env_config, **typed_options)``, so every schema key must
+   land in a real parameter and every defaultless parameter must be
+   fillable;
+3. the **spec strings** users type — ``"mcts:budget=200,seed=3"`` —
+   scattered through CLI defaults, experiment configs, docstrings and
+   tests.
+
+Each leg can drift independently and nothing complains until a user
+hits ``ConfigError`` at runtime (or worse, a silently ignored option).
+This rule cross-checks all three statically:
+
+* schema keys the factory cannot accept (no matching parameter, no
+  ``**kwargs``);
+* factory parameters (beyond the leading config) without defaults that
+  the schema does not cover — ``factory(config)`` would crash;
+* schema keys shadowing reserved wrapper keys
+  (``verify``/``telemetry``/``fallback``/``replan_budget``);
+* the same name registered twice;
+* spec-string literals (including f-strings with holes) whose name is
+  registered but whose keys are not in that scheduler's schema or the
+  wrapper set.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ...linter import LintViolation
+from ..engine import FlowRule, register_flow_rule
+from ..modgraph import ModuleInfo, ProjectGraph
+
+__all__ = ["RegistryContractRule"]
+
+#: spec keys reserved by make_scheduler's wrapper stack.
+_WRAPPER_KEYS = frozenset({"verify", "telemetry", "fallback", "replan_budget"})
+
+#: placeholder standing in for an f-string interpolation hole.
+_HOLE = "\x00"
+
+_SPEC_RE = re.compile(
+    r"^(?P<name>[A-Za-z_\x00][A-Za-z0-9_\x00]*):"
+    r"(?P<opts>[A-Za-z_\x00][A-Za-z0-9_\x00]*=[^,\s]+"
+    r"(?:,[A-Za-z_\x00][A-Za-z0-9_\x00]*=[^,\s]+)*)$"
+)
+
+
+@dataclass
+class _Registration:
+    """One ``register(...)`` call site, with what could be read off it."""
+
+    name: str
+    module: ModuleInfo
+    call: ast.Call
+    schema_keys: Optional[Set[str]] = None  #: None when not a dict literal
+    factory: Optional[ast.expr] = None
+    key_nodes: Dict[str, ast.expr] = field(default_factory=dict)
+
+
+def _constant_str(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _spec_text(node: ast.expr) -> Optional[str]:
+    """The literal text of a potential spec string (holes become ``\\x00``)."""
+    text = _constant_str(node)
+    if text is not None:
+        return text
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            else:
+                parts.append(_HOLE)
+        return "".join(parts)
+    return None
+
+
+def _factory_params(
+    project: ProjectGraph, module: ModuleInfo, factory: ast.expr
+) -> Optional[Tuple[List[str], List[str], bool]]:
+    """``(param names, defaultless names, has **kwargs)`` for a factory.
+
+    Works for inline lambdas and for names resolving to project
+    functions/classes; anything else returns ``None`` (unknown).
+    """
+    if isinstance(factory, ast.Lambda):
+        args = factory.args
+    else:
+        target = project.resolve_call(module, factory)
+        if target is None:
+            return None
+        fn = project.function(target)
+        if fn is None:
+            return None
+        args = fn.node.args
+        if fn.class_name is not None and fn.name == "__init__":
+            # drop self: register() hands the config to the constructor.
+            args = ast.arguments(
+                posonlyargs=list(args.posonlyargs),
+                args=list(args.args[1:]) if args.args else [],
+                vararg=args.vararg,
+                kwonlyargs=list(args.kwonlyargs),
+                kw_defaults=list(args.kw_defaults),
+                kwarg=args.kwarg,
+                defaults=list(args.defaults),
+            )
+    positional = list(args.posonlyargs) + list(args.args)
+    names = [a.arg for a in positional] + [a.arg for a in args.kwonlyargs]
+    required = [a.arg for a in positional[: len(positional) - len(args.defaults)]]
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is None:
+            required.append(arg.arg)
+    return names, required, args.kwarg is not None
+
+
+@register_flow_rule
+class RegistryContractRule(FlowRule):
+    rule_id = "REP204"
+    description = (
+        "scheduler registry drift: option schema vs factory signature vs "
+        "spec-string literals (unknown keys, uncallable factories, "
+        "reserved-key collisions, duplicate names)"
+    )
+
+    def check(self, project: ProjectGraph) -> Iterable[LintViolation]:
+        registrations = self._find_registrations(project)
+        violations: List[LintViolation] = []
+        violations.extend(self._check_registrations(project, registrations))
+        schemas = self._merged_schemas(registrations)
+        if schemas:
+            violations.extend(self._check_spec_literals(project, schemas))
+        return violations
+
+    # ------------------------------------------------------------------ #
+    # registration discovery
+    # ------------------------------------------------------------------ #
+
+    def _find_registrations(self, project: ProjectGraph) -> List[_Registration]:
+        found: List[_Registration] = []
+        for module in project.modules.values():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = project.resolve_call(module, node.func)
+                if target is None or not target.endswith(".register"):
+                    continue
+                owner = target.rsplit(".", 1)[0]
+                if not owner.endswith("registry"):
+                    continue
+                name = _constant_str(node.args[0] if node.args else None)
+                if name is None:
+                    continue
+                reg = _Registration(name=name, module=module, call=node)
+                reg.factory = node.args[1] if len(node.args) > 1 else None
+                options = node.args[2] if len(node.args) > 2 else None
+                for kw in node.keywords:
+                    if kw.arg == "factory":
+                        reg.factory = kw.value
+                    elif kw.arg == "options":
+                        options = kw.value
+                if options is None or (
+                    isinstance(options, ast.Constant) and options.value is None
+                ):
+                    reg.schema_keys = set()
+                elif isinstance(options, ast.Dict):
+                    keys: Set[str] = set()
+                    literal = True
+                    for key_node in options.keys:
+                        key = _constant_str(key_node)
+                        if key is None:
+                            literal = False
+                            break
+                        keys.add(key)
+                        reg.key_nodes[key] = key_node  # type: ignore[assignment]
+                    reg.schema_keys = keys if literal else None
+                else:
+                    reg.schema_keys = None  # computed dict: cannot check
+                found.append(reg)
+        found.sort(key=lambda r: (r.module.path, r.call.lineno))
+        return found
+
+    def _merged_schemas(
+        self, registrations: List[_Registration]
+    ) -> Dict[str, Optional[Set[str]]]:
+        schemas: Dict[str, Optional[Set[str]]] = {}
+        for reg in registrations:
+            schemas.setdefault(reg.name, reg.schema_keys)
+        return schemas
+
+    # ------------------------------------------------------------------ #
+    # registration-site checks
+    # ------------------------------------------------------------------ #
+
+    def _check_registrations(
+        self, project: ProjectGraph, registrations: List[_Registration]
+    ) -> Iterable[LintViolation]:
+        violations: List[LintViolation] = []
+        seen: Dict[str, _Registration] = {}
+        for reg in registrations:
+            first = seen.get(reg.name)
+            if first is not None:
+                violations.append(
+                    self.violation(
+                        reg.call,
+                        reg.module.path,
+                        f"scheduler {reg.name!r} registered twice (first at "
+                        f"{first.module.path}:{first.call.lineno})",
+                    )
+                )
+            else:
+                seen[reg.name] = reg
+            if reg.schema_keys is None:
+                continue  # non-literal schema: nothing to cross-check
+            reserved = sorted(reg.schema_keys & _WRAPPER_KEYS)
+            for key in reserved:
+                violations.append(
+                    self.violation(
+                        reg.key_nodes.get(key, reg.call),
+                        reg.module.path,
+                        f"scheduler {reg.name!r} declares option {key!r}, "
+                        "which is a reserved wrapper key",
+                    )
+                )
+            if reg.factory is None:
+                continue
+            sig = _factory_params(project, reg.module, reg.factory)
+            if sig is None:
+                continue  # factory not statically resolvable
+            params, required, has_kwargs = sig
+            accepted = set(params[1:])  # params[0] is the env config
+            if not has_kwargs:
+                for key in sorted(reg.schema_keys - accepted):
+                    violations.append(
+                        self.violation(
+                            reg.key_nodes.get(key, reg.call),
+                            reg.module.path,
+                            f"scheduler {reg.name!r} declares option "
+                            f"{key!r} but its factory accepts no such "
+                            f"parameter (has: {sorted(accepted) or 'none'})",
+                        )
+                    )
+            config_slot = params[0] if params else None
+            for param in (p for p in required if p != config_slot):
+                if param not in reg.schema_keys:
+                    violations.append(
+                        self.violation(
+                            reg.call,
+                            reg.module.path,
+                            f"factory for scheduler {reg.name!r} requires "
+                            f"parameter {param!r} with no default and no "
+                            "matching option key; make_scheduler("
+                            f"{reg.name!r}) would crash",
+                        )
+                    )
+        return violations
+
+    # ------------------------------------------------------------------ #
+    # spec-literal checks
+    # ------------------------------------------------------------------ #
+
+    def _check_spec_literals(
+        self, project: ProjectGraph, schemas: Dict[str, Optional[Set[str]]]
+    ) -> Iterable[LintViolation]:
+        violations: List[LintViolation] = []
+        for module in project.modules.values():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.Constant, ast.JoinedStr)):
+                    continue
+                text = _spec_text(node)
+                if text is None or ":" not in text:
+                    continue
+                match = _SPEC_RE.match(text)
+                if match is None:
+                    continue
+                name = match.group("name")
+                if _HOLE in name or name not in schemas:
+                    continue  # dynamic or unregistered name: out of scope
+                schema = schemas[name]
+                if schema is None:
+                    continue  # schema not statically known
+                known = schema | _WRAPPER_KEYS
+                for entry in match.group("opts").split(","):
+                    key = entry.partition("=")[0]
+                    if _HOLE in key or key in known:
+                        continue
+                    violations.append(
+                        self.violation(
+                            node,
+                            module.path,
+                            f"spec string {text.replace(_HOLE, '{…}')!r} "
+                            f"uses option {key!r}, unknown to scheduler "
+                            f"{name!r} (known: {sorted(known)})",
+                        )
+                    )
+        return violations

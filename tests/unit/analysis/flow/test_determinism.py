@@ -1,0 +1,195 @@
+"""REP201 — determinism taint across modules."""
+
+
+RULE = "REP201"
+
+
+class TestUnseededConstruction:
+    def test_direct_seedless_default_rng(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/a.py": """
+                import numpy as np
+
+                def make():
+                    return np.random.default_rng()
+                """
+            },
+            RULE,
+        )
+        assert any("unseeded RNG constructed" in v.message for v in found)
+
+    def test_explicit_none_seed_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/a.py": """
+                from numpy.random import default_rng
+
+                def make():
+                    return default_rng(None)
+                """
+            },
+            RULE,
+        )
+        assert any("unseeded RNG constructed" in v.message for v in found)
+
+    def test_seeded_construction_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/a.py": """
+                import numpy as np
+
+                def make(seed):
+                    return np.random.default_rng(seed)
+                """
+            },
+            RULE,
+        )
+
+    def test_seedless_as_generator_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/utils/rng.py": """
+                def as_generator(seed=None):
+                    return seed
+                """,
+                "pkg/a.py": """
+                from .utils.rng import as_generator
+
+                def make():
+                    return as_generator()
+                """,
+            },
+            RULE,
+        )
+        assert any(v.path == "pkg/a.py" for v in found)
+
+    def test_seeded_as_generator_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/utils/rng.py": """
+                def as_generator(seed=None):
+                    return seed
+                """,
+                "pkg/a.py": """
+                from .utils.rng import as_generator
+
+                def make(seed):
+                    return as_generator(seed)
+                """,
+            },
+            RULE,
+        )
+
+
+class TestInterprocedural:
+    def test_unseeded_two_calls_deep(self, flow_hits):
+        # The seeded regression from the issue: an unseeded default_rng()
+        # returned through two layers of helpers is flagged at every layer
+        # it enters through.
+        found = flow_hits(
+            {
+                "pkg/deep.py": """
+                import numpy as np
+
+                def make_rng():
+                    return np.random.default_rng()
+
+                def indirect():
+                    return make_rng()
+                """,
+                "pkg/user.py": """
+                from .deep import indirect
+
+                def use():
+                    rng = indirect()
+                    return rng
+                """,
+            },
+            RULE,
+        )
+        assert any(
+            v.path == "pkg/user.py" and "returns an unseeded RNG" in v.message
+            for v in found
+        )
+
+    def test_seeded_helper_chain_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/deep.py": """
+                import numpy as np
+
+                def make_rng(seed):
+                    return np.random.default_rng(seed)
+
+                def indirect(seed):
+                    return make_rng(seed)
+                """,
+                "pkg/user.py": """
+                from .deep import indirect
+
+                def use():
+                    return indirect(7)
+                """,
+            },
+            RULE,
+        )
+
+
+class TestEscapes:
+    def test_module_level_rng_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/a.py": """
+                import numpy as np
+
+                RNG = np.random.default_rng(42)
+                """
+            },
+            RULE,
+        )
+        assert any("module-level state" in v.message for v in found)
+
+    def test_unseeded_rng_into_instance_state_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/a.py": """
+                import numpy as np
+
+                class Sched:
+                    def __init__(self):
+                        self._rng = np.random.default_rng()
+                """
+            },
+            RULE,
+        )
+        assert any("self._rng" in v.message for v in found)
+
+    def test_seeded_rng_on_self_clean(self, flow_hits):
+        # Storing a *seeded* generator on self is the repo's idiom.
+        found = flow_hits(
+            {
+                "pkg/a.py": """
+                import numpy as np
+
+                class Sched:
+                    def __init__(self, seed):
+                        self._rng = np.random.default_rng(seed)
+                """
+            },
+            RULE,
+        )
+        assert not [v for v in found if "self._rng" in v.message]
+
+    def test_rng_plumbing_module_exempt(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/utils/rng.py": """
+                import numpy as np
+
+                def as_generator(seed=None):
+                    return np.random.default_rng(seed)
+                """
+            },
+            RULE,
+        )

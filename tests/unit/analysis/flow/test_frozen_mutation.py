@@ -1,0 +1,183 @@
+"""REP202 — frozen-snapshot mutation, direct and through helpers."""
+
+
+RULE = "REP202"
+
+
+class TestDirectMutation:
+    def test_item_write_on_request_field(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/sched.py": """
+                def plan(request):
+                    request.frozen[3] = (0, 5)
+                """
+            },
+            RULE,
+        )
+        assert found and "parameter 'request'" in found[0].message
+
+    def test_aliased_mutation_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/sched.py": """
+                def plan(request):
+                    placements = request.frozen
+                    placements[3] = (0, 5)
+                """
+            },
+            RULE,
+        )
+        assert found
+
+    def test_mutator_method_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/sched.py": """
+                def plan(snapshot):
+                    snapshot.available.clear()
+                """
+            },
+            RULE,
+        )
+        assert found and "parameter 'snapshot'" in found[0].message
+
+    def test_annotated_frozen_dataclass_param(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/types.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class PlanState:
+                    items: dict
+                """,
+                "pkg/sched.py": """
+                from .types import PlanState
+
+                def plan(state: PlanState):
+                    state.items["x"] = 1
+                """,
+            },
+            RULE,
+        )
+        assert found and "annotated PlanState" in found[0].message
+
+    def test_copy_first_is_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/sched.py": """
+                def plan(request):
+                    placements = dict(request.frozen)
+                    placements[3] = (0, 5)
+                    return placements
+                """
+            },
+            RULE,
+        )
+
+    def test_fresh_comprehension_container_is_clean(self, flow_hits):
+        # A set built *from* frozen data is a new object; popping it is
+        # not a mutation of the snapshot.
+        assert not flow_hits(
+            {
+                "pkg/sched.py": """
+                def plan(request):
+                    dims = {t.weight for t in request.tasks}
+                    return dims.pop()
+                """
+            },
+            RULE,
+        )
+
+    def test_unmarked_param_is_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/sched.py": """
+                def accumulate(bucket):
+                    bucket["x"] = 1
+                """
+            },
+            RULE,
+        )
+
+
+class TestThroughHelpers:
+    def test_mutation_one_call_deep(self, flow_hits):
+        # The seeded regression from the issue: the snapshot is passed to
+        # a helper that mutates its own parameter.
+        found = flow_hits(
+            {
+                "pkg/helper.py": """
+                def poke(data):
+                    data["x"] = 1
+                """,
+                "pkg/sched.py": """
+                from .helper import poke
+
+                def plan(request):
+                    poke(request.frozen)
+                """,
+            },
+            RULE,
+        )
+        assert any(v.path == "pkg/sched.py" for v in found)
+
+    def test_mutation_two_calls_deep(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/inner.py": """
+                def scribble(data):
+                    data["x"] = 1
+                """,
+                "pkg/outer.py": """
+                from .inner import scribble
+
+                def relay(data):
+                    scribble(data)
+                """,
+                "pkg/sched.py": """
+                from .outer import relay
+
+                def plan(request):
+                    relay(request.frozen)
+                """,
+            },
+            RULE,
+        )
+        assert any(v.path == "pkg/sched.py" for v in found)
+
+    def test_keyword_argument_forwarding(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/helper.py": """
+                def poke(data):
+                    data["x"] = 1
+                """,
+                "pkg/sched.py": """
+                from .helper import poke
+
+                def plan(request):
+                    poke(data=request.frozen)
+                """,
+            },
+            RULE,
+        )
+        assert any(v.path == "pkg/sched.py" for v in found)
+
+    def test_readonly_helper_is_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/helper.py": """
+                def total(data):
+                    return sum(data.values())
+                """,
+                "pkg/sched.py": """
+                from .helper import total
+
+                def plan(request):
+                    return total(request.frozen)
+                """,
+            },
+            RULE,
+        )

@@ -1,0 +1,189 @@
+"""REP205 — module-state writes reachable from process-pool workers."""
+
+
+RULE = "REP205"
+
+
+class TestEntryPoints:
+    def test_worker_writing_module_cache_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/par.py": """
+                import multiprocessing
+
+                _CACHE = {}
+
+                def _worker(x):
+                    _CACHE[x] = x * 2
+                    return x
+
+                def run(items):
+                    with multiprocessing.Pool(4) as pool:
+                        return pool.map(_worker, items)
+                """
+            },
+            RULE,
+        )
+        assert found and "_CACHE" in found[0].message
+
+    def test_assigned_pool_variable(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/par.py": """
+                import multiprocessing
+
+                _HITS = []
+
+                def _worker(x):
+                    _HITS.append(x)
+                    return x
+
+                def run(items):
+                    pool = multiprocessing.Pool(2)
+                    return pool.map(_worker, items)
+                """
+            },
+            RULE,
+        )
+        assert found and "append" in found[0].message
+
+    def test_process_pool_executor_submit(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/par.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                _STATE = {}
+
+                def _worker(x):
+                    _STATE["last"] = x
+                    return x
+
+                def run(item):
+                    with ProcessPoolExecutor() as pool:
+                        return pool.submit(_worker, item)
+                """
+            },
+            RULE,
+        )
+        assert found
+
+    def test_escape_through_helper_flagged(self, flow_hits):
+        # The write is one call below the worker entry point; the message
+        # still names the entry point.
+        found = flow_hits(
+            {
+                "pkg/par.py": """
+                import multiprocessing
+
+                _MEMO = {}
+
+                def _record(x):
+                    _MEMO[x] = True
+
+                def _worker(x):
+                    _record(x)
+                    return x
+
+                def run(items):
+                    with multiprocessing.Pool(4) as pool:
+                        return pool.map(_worker, items)
+                """
+            },
+            RULE,
+        )
+        assert found and "entry point pkg.par._worker" in found[0].message
+
+    def test_global_rebinding_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/par.py": """
+                import multiprocessing
+
+                _TOTAL = 0
+
+                def _worker(x):
+                    global _TOTAL
+                    _TOTAL = _TOTAL + x
+                    return x
+
+                def run(items):
+                    with multiprocessing.Pool(4) as pool:
+                        return pool.map(_worker, items)
+                """
+            },
+            RULE,
+        )
+        assert found and "global '_TOTAL' rebound" in found[0].message
+
+
+class TestNegatives:
+    def test_pure_worker_is_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/par.py": """
+                import multiprocessing
+
+                def _worker(x):
+                    return x * 2
+
+                def run(items):
+                    with multiprocessing.Pool(4) as pool:
+                        return pool.map(_worker, items)
+                """
+            },
+            RULE,
+        )
+
+    def test_local_shadowing_is_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/par.py": """
+                import multiprocessing
+
+                _CACHE = {}
+
+                def _worker(x):
+                    _CACHE = {}
+                    _CACHE[x] = x
+                    return x
+
+                def run(items):
+                    with multiprocessing.Pool(4) as pool:
+                        return pool.map(_worker, items)
+                """
+            },
+            RULE,
+        )
+
+    def test_module_write_outside_worker_is_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/par.py": """
+                _CACHE = {}
+
+                def remember(x):
+                    _CACHE[x] = x
+                """
+            },
+            RULE,
+        )
+
+    def test_module_read_in_worker_is_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/par.py": """
+                import multiprocessing
+
+                _TABLE = {1: "one"}
+
+                def _worker(x):
+                    return _TABLE.get(x)
+
+                def run(items):
+                    with multiprocessing.Pool(4) as pool:
+                        return pool.map(_worker, items)
+                """
+            },
+            RULE,
+        )

@@ -1,0 +1,177 @@
+"""REP204 — registry schema vs factory signature vs spec literals."""
+
+
+RULE = "REP204"
+
+REGISTRY = """
+def register(name, factory, options=None):
+    pass
+"""
+
+
+class TestSchemaVsFactory:
+    def test_schema_key_without_factory_param(self, flow_hits):
+        # The seeded regression from the issue: schema declares a key the
+        # factory cannot accept.
+        found = flow_hits(
+            {
+                "pkg/registry.py": REGISTRY,
+                "pkg/plugins.py": """
+                from .registry import register
+
+                def make(cfg, budget=10):
+                    return budget
+
+                register("mcts", make, options={"budget": int, "depth": int})
+                """,
+            },
+            RULE,
+        )
+        assert found and "'depth'" in found[0].message
+
+    def test_kwargs_factory_accepts_anything(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/registry.py": REGISTRY,
+                "pkg/plugins.py": """
+                from .registry import register
+
+                def make(cfg, **opts):
+                    return opts
+
+                register("optimal", make, options={"max_nodes": int})
+                """,
+            },
+            RULE,
+        )
+
+    def test_lambda_factory_checked(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/registry.py": REGISTRY,
+                "pkg/plugins.py": """
+                from .registry import register
+
+                register("sjf", lambda cfg: cfg, options={"budget": int})
+                """,
+            },
+            RULE,
+        )
+        assert found and "'budget'" in found[0].message
+
+    def test_required_factory_param_without_option(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/registry.py": REGISTRY,
+                "pkg/plugins.py": """
+                from .registry import register
+
+                def make(cfg, budget):
+                    return budget
+
+                register("mcts", make, options={})
+                """,
+            },
+            RULE,
+        )
+        assert found and "no default" in found[0].message
+
+    def test_reserved_wrapper_key_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/registry.py": REGISTRY,
+                "pkg/plugins.py": """
+                from .registry import register
+
+                def make(cfg, verify=False):
+                    return verify
+
+                register("x", make, options={"verify": bool})
+                """,
+            },
+            RULE,
+        )
+        assert found and "reserved wrapper key" in found[0].message
+
+    def test_duplicate_registration_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "pkg/registry.py": REGISTRY,
+                "pkg/plugins.py": """
+                from .registry import register
+
+                register("heft", lambda cfg: cfg)
+                register("heft", lambda cfg: cfg)
+                """,
+            },
+            RULE,
+        )
+        assert found and "registered twice" in found[0].message
+
+    def test_matching_contract_is_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "pkg/registry.py": REGISTRY,
+                "pkg/plugins.py": """
+                from .registry import register
+
+                def make(cfg, budget=100, seed=0):
+                    return budget
+
+                register("mcts", make, options={"budget": int, "seed": int})
+                """,
+            },
+            RULE,
+        )
+
+
+class TestSpecLiterals:
+    SOURCES = {
+        "pkg/registry.py": REGISTRY,
+        "pkg/plugins.py": """
+        from .registry import register
+
+        def make(cfg, budget=100, seed=0):
+            return budget
+
+        register("mcts", make, options={"budget": int, "seed": int})
+        """,
+    }
+
+    def test_unknown_spec_key_flagged(self, flow_hits):
+        sources = dict(self.SOURCES)
+        sources["pkg/cli.py"] = 'DEFAULT = "mcts:budget=200,oops=1"\n'
+        found = flow_hits(sources, RULE)
+        assert found and "'oops'" in found[0].message
+
+    def test_valid_spec_with_wrapper_key_clean(self, flow_hits):
+        sources = dict(self.SOURCES)
+        sources["pkg/cli.py"] = 'DEFAULT = "mcts:budget=200,verify=true"\n'
+        assert not flow_hits(sources, RULE)
+
+    def test_fstring_hole_in_value_is_ok(self, flow_hits):
+        sources = dict(self.SOURCES)
+        sources["pkg/cli.py"] = (
+            "def spec(b):\n"
+            "    return f\"mcts:budget={b},seed=3\"\n"
+        )
+        assert not flow_hits(sources, RULE)
+
+    def test_fstring_literal_key_still_checked(self, flow_hits):
+        sources = dict(self.SOURCES)
+        sources["pkg/cli.py"] = (
+            "def spec(b):\n"
+            "    return f\"mcts:bugdet={b}\"\n"
+        )
+        found = flow_hits(sources, RULE)
+        assert found and "'bugdet'" in found[0].message
+
+    def test_unregistered_name_ignored(self, flow_hits):
+        sources = dict(self.SOURCES)
+        sources["pkg/cli.py"] = 'URL = "scheme:host=example,port=80"\n'
+        assert not flow_hits(sources, RULE)
+
+    def test_non_spec_strings_ignored(self, flow_hits):
+        sources = dict(self.SOURCES)
+        sources["pkg/cli.py"] = 'TEXT = "note: this has = signs, and spaces"\n'
+        assert not flow_hits(sources, RULE)

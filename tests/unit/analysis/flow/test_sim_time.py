@@ -1,0 +1,125 @@
+"""REP203 — sim-time discipline inside repro.sim/online/cluster."""
+
+
+RULE = "REP203"
+
+
+class TestWallClock:
+    def test_time_time_in_sim_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/sim/engine.py": """
+                import time
+
+                def step():
+                    return time.time()
+                """
+            },
+            RULE,
+        )
+        assert found and "wall-clock read time.time()" in found[0].message
+
+    def test_aliased_import_still_resolved(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/online/executor.py": """
+                from time import monotonic as mono
+
+                def step():
+                    return mono()
+                """
+            },
+            RULE,
+        )
+        assert found
+
+    def test_datetime_now_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/cluster/state.py": """
+                import datetime
+
+                def stamp():
+                    return datetime.datetime.now()
+                """
+            },
+            RULE,
+        )
+        assert found
+
+    def test_wall_clock_outside_scope_is_clean(self, flow_hits):
+        # repro.utils.timing is where wall-clock measurement belongs.
+        assert not flow_hits(
+            {
+                "repro/utils/timing.py": """
+                import time
+
+                def elapsed(start):
+                    return time.monotonic() - start
+                """
+            },
+            RULE,
+        )
+
+
+class TestFloatArithmetic:
+    def test_float_literal_on_now_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/sim/kernel.py": """
+                def advance(now):
+                    return now + 1.5
+                """
+            },
+            RULE,
+        )
+        assert found and "float literal" in found[0].message
+
+    def test_true_division_on_time_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/sim/kernel.py": """
+                def half(sim_time):
+                    return sim_time / 2
+                """
+            },
+            RULE,
+        )
+        assert found and "true division" in found[0].message
+
+    def test_attribute_time_name_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/sim/kernel.py": """
+                def drift(clock):
+                    return clock.now + 0.1
+                """
+            },
+            RULE,
+        )
+        assert found
+
+    def test_integer_arithmetic_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "repro/sim/kernel.py": """
+                def advance(now, delta):
+                    return now + delta
+
+                def half(now):
+                    return now // 2
+                """
+            },
+            RULE,
+        )
+
+    def test_float_math_on_non_time_names_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "repro/sim/kernel.py": """
+                def score(weight):
+                    return weight * 0.5
+                """
+            },
+            RULE,
+        )

@@ -15,6 +15,7 @@ EXPECTED_GROUPS = {
     "faults",
     "online",
     "telemetry",
+    "lint",
 }
 
 
