@@ -3,7 +3,8 @@
 The discrete-event kernel's whole guarantee is an *integer* clock:
 ``repro.sim`` orders events by ``(time, class, seq)`` with exact
 equality, and every layer above it (``repro.online``, ``repro.cluster``)
-counts slots.  One wall-clock read or one float leaking into time
+counts slots — as does the open-system layer (``repro.streaming``)
+above them.  One wall-clock read or one float leaking into time
 arithmetic silently re-introduces the nondeterminism the kernel
 extraction removed — bit-identical replays stop replaying.
 
@@ -20,7 +21,9 @@ Inside the simulation packages this rule flags:
   time-named operands where floor division keeps the clock integral.
 
 Scope is by module name (``repro.sim``, ``repro.online``,
-``repro.cluster``), which per-module AST rules cannot express reliably;
+``repro.cluster``, ``repro.streaming`` — the streaming package hosts an
+asyncio daemon, where a stray ``time.time()`` would leak wall time into
+request sim-times), which per-module AST rules cannot express reliably;
 the project graph gives every file its dotted name.
 """
 
@@ -78,11 +81,12 @@ class SimTimeRule(FlowRule):
     rule_id = "REP203"
     description = (
         "wall-clock read or float time arithmetic inside repro.sim/"
-        "repro.online/repro.cluster; sim time is an integer slot count"
+        "repro.online/repro.cluster/repro.streaming; sim time is an "
+        "integer slot count"
     )
 
     #: package prefixes the discipline applies to.
-    scoped_packages = ("repro.sim", "repro.online", "repro.cluster")
+    scoped_packages = ("repro.sim", "repro.online", "repro.cluster", "repro.streaming")
 
     def check(self, project: ProjectGraph) -> Iterable[LintViolation]:
         violations: List[LintViolation] = []

@@ -417,6 +417,61 @@ def _setup_online_faulty(seed: int) -> Callable[[], None]:
 
 
 # --------------------------------------------------------------------- #
+# streaming group
+# --------------------------------------------------------------------- #
+
+
+def _setup_streaming_arrival_step(seed: int) -> Callable[[], None]:
+    """Per-arrival cost of the open-system admission path.
+
+    One thunk runs a short Poisson stream under a tight concurrency
+    limit, so every arrival exercises the full chain — lazy stream pull,
+    feasibility check, admission decision, backlog churn — on top of the
+    kernel loop.  Per-arrival time is the steady-state serving overhead
+    an operator pays per submitted job.
+    """
+    from ..config import ClusterConfig
+    from ..online import sjf_ranker
+    from ..streaming import (
+        AdmissionConfig,
+        PoissonProcess,
+        StreamingSimulator,
+        layered_job_factory,
+    )
+
+    process = PoissonProcess(0.5, 60, layered_job_factory(), seed=seed)
+    simulator = StreamingSimulator(ClusterConfig(capacities=(10, 10), horizon=8))
+    admission = AdmissionConfig(max_concurrent=3, max_queue=8)
+
+    def thunk() -> None:
+        simulator.run(process, sjf_ranker, admission=admission)
+
+    thunk.ops = process.num_jobs  # type: ignore[attr-defined]
+    return thunk
+
+
+def _setup_streaming_steady_1k_jobs(seed: int) -> Callable[[], None]:
+    """A 1000-job steady-state horizon, end to end.
+
+    The tentpole scale claim: thousands of concurrent DAGs through the
+    lazy arrival chain without materializing the stream.  Per-job time
+    here is the number that must stay flat as the streaming layer grows.
+    """
+    from ..config import ClusterConfig
+    from ..online import sjf_ranker
+    from ..streaming import PoissonProcess, StreamingSimulator, layered_job_factory
+
+    process = PoissonProcess(0.3, 1000, layered_job_factory(), seed=seed)
+    simulator = StreamingSimulator(ClusterConfig(capacities=(20, 20), horizon=8))
+
+    def thunk() -> None:
+        simulator.run(process, sjf_ranker)
+
+    thunk.ops = process.num_jobs  # type: ignore[attr-defined]
+    return thunk
+
+
+# --------------------------------------------------------------------- #
 # lint group
 # --------------------------------------------------------------------- #
 
@@ -526,6 +581,22 @@ def default_suite() -> List[BenchmarkSpec]:
             _setup_online_faulty,
             repeats=10,
             quick_repeats=3,
+            warmup=1,
+        ),
+        BenchmarkSpec(
+            "streaming.arrival_step",
+            "streaming",
+            _setup_streaming_arrival_step,
+            repeats=10,
+            quick_repeats=3,
+            warmup=1,
+        ),
+        BenchmarkSpec(
+            "streaming.steady_1k_jobs",
+            "streaming",
+            _setup_streaming_steady_1k_jobs,
+            repeats=5,
+            quick_repeats=1,
             warmup=1,
         ),
         BenchmarkSpec(

@@ -13,6 +13,11 @@ Subcommands::
     repro motivating
     repro online     --jobs 10 --faults crashes=2,transient=0.05 \
                      --reschedule heft [--verify-executed] [--check-recoveries]
+    repro stream     --arrival poisson:rate=0.05,n=1000 --seed 0 \
+                     [--max-concurrent 32 --max-queue 64] [--horizon 5000] \
+                     [--metrics-out m.json] [--gate-p99 400] [--verify-executed]
+    repro serve      --scheduler tetris --port 7077 [--batch-max 16]
+    repro serve      --smoke --requests 3 [--frames-out frames.jsonl]
     repro verify     schedule.json --graph graph.json [--capacities 20,20]
     repro lint       src/repro [--flow] [--format json|sarif]
                      [--select REP101,REP205] [--baseline lint-baseline.json]
@@ -204,6 +209,127 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         default=None,
         help="run with telemetry enabled; write the JSONL trace here",
+    )
+
+    stream = sub.add_parser(
+        "stream",
+        help="continuous-arrival steady-state simulation (open system)",
+    )
+    stream.add_argument(
+        "--arrival",
+        default="poisson:rate=0.05,n=200",
+        help="arrival spec: poisson:rate=R,n=N | uniform:interarrival=K,n=N "
+        "| trace:path=t.json,mean=M (see repro.streaming.parse_arrival_spec)",
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--ranker", default="sjf", help="dispatch order: fifo|sjf|cp|tetris"
+    )
+    stream.add_argument(
+        "--tasks", type=int, default=8, help="tasks per generated job DAG"
+    )
+    stream.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="admission limit on jobs in the cluster (default: unbounded)",
+    )
+    stream.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="backlog capacity once --max-concurrent is hit; a full "
+        "backlog sheds (rejects) new arrivals",
+    )
+    stream.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="run length in slots from the first arrival; later arrivals "
+        "are cut off (in-flight work drains)",
+    )
+    stream.add_argument(
+        "--faults",
+        default=None,
+        help="fault spec, e.g. crashes=2,transient=0.05 "
+        "(see repro.faults.parse_fault_spec)",
+    )
+    stream.add_argument(
+        "--fault-horizon",
+        type=int,
+        default=None,
+        help="crash-time horizon in slots (default: --horizon or 1000)",
+    )
+    stream.add_argument(
+        "--reschedule",
+        default=None,
+        help="scheduler spec replanning residual DAGs (e.g. heft)",
+    )
+    stream.add_argument(
+        "--fallback", default=None, help="degradation spec for --reschedule"
+    )
+    stream.add_argument(
+        "--replan-budget",
+        type=float,
+        default=None,
+        help="per-replan wall-clock budget in seconds",
+    )
+    stream.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the deterministic steady-state metrics JSON here "
+        "(byte-identical across runs of the same spec+seed)",
+    )
+    stream.add_argument(
+        "--verify-executed",
+        action="store_true",
+        help="verify every executed schedule against the realized DAGs "
+        "(exit 1 on any violation)",
+    )
+    stream.add_argument(
+        "--gate-p99",
+        type=float,
+        default=None,
+        help="exit 1 if the p99 JCT exceeds this many slots (CI gate)",
+    )
+    stream.add_argument(
+        "--trace-out",
+        default=None,
+        help="run with telemetry enabled; write the JSONL trace here",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="scheduling daemon speaking newline-delimited JSON"
+    )
+    serve.add_argument(
+        "--scheduler",
+        default="tetris",
+        help="registry spec served to clients (see: repro schedulers)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        help="most requests planned in one serving tick",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="in-process round trip: start the daemon, submit --requests "
+        "concurrent requests, drain, and exit (CI gate)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=3, help="--smoke request count"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--frames-out",
+        default=None,
+        help="--smoke: write every exchanged frame here as JSONL",
     )
 
     verify = sub.add_parser(
@@ -679,6 +805,176 @@ def _cmd_online(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .errors import ConfigError
+    from .online import (
+        cp_ranker,
+        fifo_ranker,
+        sjf_ranker,
+        tetris_ranker,
+        verify_execution,
+    )
+    from .streaming import (
+        AdmissionConfig,
+        StreamingSimulator,
+        layered_job_factory,
+        parse_arrival_spec,
+        streaming_workload,
+    )
+
+    known = {
+        "fifo": fifo_ranker,
+        "sjf": sjf_ranker,
+        "cp": cp_ranker,
+        "tetris": tetris_ranker,
+    }
+    ranker = known.get(args.ranker)
+    if ranker is None:
+        print(
+            f"unknown ranker {args.ranker!r}; choose from {sorted(known)}",
+            file=sys.stderr,
+        )
+        return 2
+    env_config = EnvConfig(process_until_completion=True)
+    capacities = env_config.cluster.capacities
+    try:
+        factory = layered_job_factory(streaming_workload(num_tasks=args.tasks))
+        arrivals = parse_arrival_spec(args.arrival, factory, seed=args.seed)
+        admission = None
+        if args.max_concurrent is not None or args.max_queue is not None:
+            admission = AdmissionConfig(
+                max_concurrent=args.max_concurrent, max_queue=args.max_queue
+            )
+        faults = None
+        if args.faults:
+            from .faults import parse_fault_spec
+
+            fault_horizon = (
+                args.fault_horizon
+                if args.fault_horizon is not None
+                else (args.horizon if args.horizon is not None else 1000)
+            )
+            faults = parse_fault_spec(
+                args.faults, capacities, fault_horizon, seed=args.seed
+            )
+        rescheduler = None
+        if args.reschedule:
+            from .schedulers.registry import compose_scheduler
+
+            rescheduler = compose_scheduler(
+                args.reschedule,
+                env_config,
+                reschedule=True,
+                fallback=args.fallback,
+                replan_budget=args.replan_budget,
+            )
+        elif args.fallback or args.replan_budget is not None:
+            raise ConfigError("--fallback/--replan-budget require --reschedule")
+        simulator = StreamingSimulator(cluster=env_config.cluster)
+        result = simulator.run(
+            arrivals,
+            ranker,
+            admission=admission,
+            horizon=args.horizon,
+            faults=faults,
+            rescheduler=rescheduler,
+        )
+    except ConfigError as exc:
+        print(f"stream: {exc}", file=sys.stderr)
+        return 2
+    print(f"Streaming: {args.arrival} | ranker {args.ranker} | seed {args.seed}")
+    print(result.report())
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(result.metrics_dict(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.verify_executed:
+        # The process is restartable, so re-materializing it recovers
+        # each outcome's original graph by stream index.
+        jobs = list(arrivals.jobs())
+        reports = verify_execution(result.online, jobs, capacities)
+        bad = [r for r in reports if r is not None and not r.ok]
+        for report in bad:
+            print(f"stream: {report.summary()}", file=sys.stderr)
+        print(
+            "executed-schedule verification: "
+            + ("clean" if not bad else f"{len(bad)} job(s) violated")
+        )
+        if bad:
+            return 1
+    if args.gate_p99 is not None and result.p99_jct > args.gate_p99:
+        print(
+            f"stream: p99 JCT {result.p99_jct:.0f} exceeds the "
+            f"--gate-p99 bound {args.gate_p99:g}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .errors import ConfigError, ProtocolError
+    from .schedulers.registry import make_scheduler
+    from .streaming.service import run_serve, run_smoke
+
+    env_config = EnvConfig(process_until_completion=True)
+    try:
+        scheduler = make_scheduler(args.scheduler, env_config)
+    except ConfigError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    if args.smoke:
+        try:
+            summary = run_smoke(
+                scheduler,
+                requests=args.requests,
+                batch_max=args.batch_max,
+                seed=args.seed,
+                capacities=env_config.cluster.capacities,
+            )
+        except ProtocolError as exc:
+            print(f"serve: smoke failed: {exc}", file=sys.stderr)
+            return 1
+        if args.frames_out:
+            lines = [json.dumps(r, sort_keys=True) for r in summary["replies"]]
+            lines.append(json.dumps(summary["drain"], sort_keys=True))
+            Path(args.frames_out).write_text(
+                "\n".join(lines) + "\n", encoding="utf-8"
+            )
+            print(f"wrote {len(lines)} frames to {args.frames_out}")
+        stats = summary["stats"]
+        print(
+            f"serve smoke: {len(summary['replies'])} replies over "
+            f"{stats['batches']} batch(es) (max batch {stats['max_batch']}), "
+            f"drained clean ({stats['served']} served, {stats['errors']} errors)"
+        )
+        return 0
+    stats = run_serve(
+        scheduler,
+        host=args.host,
+        port=args.port,
+        batch_max=args.batch_max,
+        on_ready=lambda addr: print(
+            f"serving {args.scheduler} on {addr[0]}:{addr[1]} "
+            "(send a drain frame to stop)",
+            flush=True,
+        ),
+    )
+    print(
+        f"drained: served {stats.served}, errors {stats.errors}, "
+        f"batches {stats.batches}"
+    )
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -849,6 +1145,8 @@ _COMMANDS = {
     "motivating": _cmd_motivating,
     "compare": _cmd_compare,
     "online": _cmd_online,
+    "stream": _cmd_stream,
+    "serve": _cmd_serve,
     "verify": _cmd_verify,
     "lint": _cmd_lint,
     "bench": _cmd_bench,

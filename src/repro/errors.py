@@ -20,6 +20,7 @@ __all__ = [
     "EnvironmentStateError",
     "CheckpointError",
     "TraceError",
+    "ProtocolError",
 ]
 
 
@@ -68,3 +69,7 @@ class CheckpointError(ReproError):
 
 class TraceError(ReproError):
     """A workload trace file is malformed or inconsistent."""
+
+
+class ProtocolError(ReproError):
+    """A wire frame of the scheduling service protocol is malformed."""

@@ -1,0 +1,209 @@
+"""Open-system steady-state simulator over the :mod:`repro.sim` kernel.
+
+:class:`StreamingSimulator` is the continuous-arrival sibling of
+:class:`repro.online.OnlineSimulator`: the same execution, policy and
+reporting layers on the same kernel, but the workload is an
+:class:`~repro.streaming.arrivals.ArrivalProcess` consumed lazily (one
+pending arrival scheduled at a time) through admission control, so
+thousand-DAG horizons never materialize the whole stream and overload is
+shed instead of crashing the run.
+
+The event loop is a superset of the online loop — gauges, next-event
+target, utilization accounting, tick, dispatch — with three additions
+that are all no-ops in the closed-batch configuration (all arrivals
+known, unbounded admission, no horizon):
+
+* **horizon cut-off** — when the next pending arrival falls past
+  ``start + horizon`` the stream is closed: the pending kernel event is
+  *cancelled* (a queue tombstone) and the iterator is never pulled
+  again; work already in the system drains normally;
+* **backlog release** — after each settled instant, jobs queued by the
+  admission controller are admitted while the concurrency limit allows,
+  in FIFO order, before the dispatch round fills the cluster;
+* **in-system sampling** — the jobs-in-system step series (active plus
+  backlogged) is appended after every settled instant.
+
+Because the additions are no-ops there, a finite stream with unbounded
+admission reproduces :class:`~repro.online.OnlineSimulator` event for
+event — the property suite pins the results as *equal*, executed
+schedules included.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import ClusterConfig
+from ..errors import ConfigError, EnvironmentStateError
+from ..faults.plan import FaultPlan
+from ..online.execution import ExecutionLayer
+from ..online.policy import PolicyLayer
+from ..online.rankers import Ranker
+from ..schedulers.base import Scheduler
+from ..sim import SimKernel
+from ..telemetry import runtime as _telemetry
+from ..telemetry.config import TelemetryConfig
+from .admission import AdmissionConfig, AdmissionController
+from .arrivals import ArrivalProcess
+from .reporting import StreamingReportingLayer
+from .results import StreamingResult
+from .workload import StreamingWorkloadLayer
+
+__all__ = ["StreamingSimulator"]
+
+
+class StreamingSimulator:
+    """Continuous-arrival simulation of an open system.
+
+    Args:
+        cluster: capacities (defaults to the paper's 20x20).
+        max_steps: global safety cap on settled instants.
+        telemetry: where serving metrics report (``streaming.*`` events
+            and gauges on top of the online layer's).  ``None`` defers
+            to the globally active pipeline.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterConfig | None = None,
+        max_steps: int = 5_000_000,
+        telemetry: Optional[TelemetryConfig] = None,
+    ) -> None:
+        self.cluster_config = cluster if cluster is not None else ClusterConfig()
+        self.max_steps = max_steps
+        self.telemetry = telemetry
+
+    def run(
+        self,
+        arrivals: ArrivalProcess,
+        ranker: Ranker,
+        admission: Optional[AdmissionConfig] = None,
+        horizon: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+        rescheduler: Optional[Scheduler] = None,
+    ) -> StreamingResult:
+        """Run the arrival process to completion (or the horizon).
+
+        Args:
+            arrivals: the open workload source.
+            ranker: base dispatch order (see :mod:`repro.online.rankers`).
+            admission: backpressure limits; ``None`` admits everything.
+            horizon: run length in slots from the first arrival; the
+                stream is cut off past it (in-flight work drains).
+            faults: seeded fault model; ``None`` runs fault-free.
+            rescheduler: context-aware scheduler replanning residual
+                DAGs, exactly as in the online simulator.
+
+        Raises:
+            ConfigError: on an empty stream or invalid limits.
+            EnvironmentStateError: if the step cap is exceeded or the
+                system wedges with work it can never place.
+        """
+        if horizon is not None and horizon < 0:
+            raise ConfigError(f"horizon must be >= 0, got {horizon}")
+        tm = _telemetry.for_config(self.telemetry)
+        with tm.span(
+            "streaming.run",
+            ranker=type(ranker).__name__,
+            bounded=admission is not None,
+            horizon=-1 if horizon is None else horizon,
+            faults=faults is not None and not faults.is_null,
+            rescheduler=rescheduler.name if rescheduler is not None else "",
+        ) as span:
+            result = self._run(arrivals, ranker, tm, admission, horizon, faults, rescheduler)
+            if tm.enabled:
+                span.set(
+                    arrivals=result.arrivals,
+                    admitted=result.admitted,
+                    rejected=len(result.rejected),
+                    makespan=result.online.makespan,
+                    p50_jct=result.p50_jct,
+                    p99_jct=result.p99_jct,
+                    mean_queueing_delay=result.mean_queueing_delay,
+                    peak_in_system=result.peak_in_system,
+                )
+                tm.inc("streaming.jobs", result.arrivals)
+        return result
+
+    def _run(
+        self,
+        arrivals: ArrivalProcess,
+        ranker: Ranker,
+        tm: _telemetry.TelemetryLike,
+        admission: Optional[AdmissionConfig],
+        horizon: Optional[int],
+        faults: Optional[FaultPlan],
+        rescheduler: Optional[Scheduler],
+    ) -> StreamingResult:
+        capacities = self.cluster_config.capacities
+        if faults is not None and not faults.is_null:
+            faults.validate_against(capacities)
+
+        stream = arrivals.jobs()
+        first = next(stream, None)
+        if first is None:
+            raise ConfigError("arrival process yielded no jobs")
+        # Global task handles are job_index * offset + task_id; the
+        # process's declared bound plays the role the batch simulator
+        # computes by scanning the whole stream.
+        offset = max(1, arrivals.task_id_bound)
+        start = first.arrival_time
+
+        kernel = SimKernel(start=start)
+        reporting = StreamingReportingLayer(capacities, tm, start_time=start)
+        execution = ExecutionLayer(capacities, kernel, reporting, offset, faults)
+        policy = PolicyLayer(ranker, rescheduler, kernel, execution)
+        execution.policy = policy
+        reporting.exec_label = policy.exec_label
+        controller = AdmissionController(admission)
+        workload = StreamingWorkloadLayer(
+            first, stream, kernel, execution, policy, controller, reporting, capacities
+        )
+        cutoff = None if horizon is None else start + horizon
+
+        def in_system() -> int:
+            return len(execution.active) + len(controller.backlog)
+
+        # Settle the opening instant (first arrivals, pre-history
+        # faults) and fill the cluster once before the loop gauges.
+        kernel.drain_due()
+        policy.dispatch_round()
+        reporting.sample_in_system(kernel.now, in_system())
+
+        steps = 0
+        while execution.active or workload.has_pending:
+            steps += 1
+            if steps > self.max_steps:
+                raise EnvironmentStateError("streaming simulation exceeded step cap")
+            reporting.gauges(execution)
+            if cutoff is not None:
+                due = workload.pending_arrival_time
+                if due is not None and due > cutoff:
+                    workload.close(cutoff)
+                    if not execution.active and not workload.has_pending:
+                        break
+            target = kernel.next_event_time()
+            if target is None:
+                if not execution.active and controller.backlog:
+                    # Everything in flight drained at the last instant;
+                    # the backlog alone remains.  Admit from it now.
+                    workload.release_backlog()
+                    policy.dispatch_round()
+                    reporting.sample_in_system(kernel.now, in_system())
+                    continue
+                if execution.fstate is not None:
+                    # Permanently stuck (e.g. unrecovered capacity loss
+                    # below some task's demand): report, don't lose.
+                    execution.fail_stuck()
+                    continue
+                raise EnvironmentStateError(
+                    "idle cluster with active jobs but nothing ready: "
+                    "inconsistent DAG state"
+                )
+            reporting.account(execution.state, target)
+            kernel.tick_to(target)
+            workload.release_backlog()
+            policy.dispatch_round()
+            reporting.sample_in_system(kernel.now, in_system())
+
+        return reporting.finalize_streaming(execution.state.now, execution.fstate)

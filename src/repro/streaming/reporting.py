@@ -1,0 +1,114 @@
+"""Streaming reporting: admission accounting over the online layer.
+
+Extends :class:`repro.online.reporting.ReportingLayer` — outcomes,
+executed schedules, fault records and utilization integrals are
+inherited unchanged (which is what keeps closed-batch streaming
+bit-identical to the online simulator) — and adds the open-system
+ledger: admission timestamps (queueing delay), shed arrivals, and the
+compressed jobs-in-system step series.
+
+Telemetry mirrors every admission decision as a ``streaming.<decision>``
+event and keeps ``streaming.backlog`` / ``streaming.in_system`` gauges
+current, so a live dashboard sees backpressure engage in real time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..online.reporting import ReportingLayer
+from ..telemetry import runtime as _telemetry
+from .results import RejectedJob, StreamingResult
+
+__all__ = ["StreamingReportingLayer"]
+
+
+class StreamingReportingLayer(ReportingLayer):
+    """Run ledger for one open-system simulation.
+
+    Args:
+        capacities: nominal capacities (utilization denominator).
+        tm: telemetry pipeline facade (may be disabled).
+        start_time: the first arrival; horizon origin.
+    """
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        tm: _telemetry.TelemetryLike,
+        start_time: int,
+    ) -> None:
+        super().__init__(capacities, tm, start_time)
+        self.admit_times: Dict[int, int] = {}
+        self.arrivals_seen = 0
+        self.rejections: List[RejectedJob] = []
+        self.in_system_series: List[Tuple[int, int]] = []
+        self.horizon_cutoff: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # admission ledger
+    # ------------------------------------------------------------------ #
+
+    def record_arrival(self) -> None:
+        """One arrival was offered to admission."""
+        self.arrivals_seen += 1
+
+    def record_admission(self, index: int, admit_at: int) -> None:
+        """Job ``index`` entered the cluster at ``admit_at``."""
+        self.admit_times[index] = admit_at
+        if self.tm_enabled:
+            self.tm.event("streaming.admit", job=index, at=admit_at)
+
+    def record_queued(self, index: int, at: int, backlog: int) -> None:
+        """Job ``index`` hit the concurrency limit and joined the backlog."""
+        if self.tm_enabled:
+            self.tm.event("streaming.queue", job=index, at=at, backlog=backlog)
+            self.tm.gauge("streaming.backlog", float(backlog))
+
+    def record_rejection(self, index: int, at: int, reason: str) -> None:
+        """Job ``index`` was shed; it appears in the result, not silently."""
+        self.rejections.append(RejectedJob(index, at, reason))
+        if self.tm_enabled:
+            self.tm.event("streaming.reject", job=index, at=at, reason=reason)
+
+    def record_cutoff(self, at: int) -> None:
+        """The run horizon was reached; later arrivals are shed."""
+        if self.horizon_cutoff is None:
+            self.horizon_cutoff = at
+            if self.tm_enabled:
+                self.tm.event("streaming.horizon_cutoff", at=at)
+
+    def sample_in_system(self, at: int, count: int) -> None:
+        """Append to the step series; consecutive duplicates compress."""
+        series = self.in_system_series
+        if series and series[-1][1] == count:
+            return
+        if series and series[-1][0] == at:
+            series[-1] = (at, count)
+            return
+        series.append((at, count))
+        if self.tm_enabled:
+            self.tm.gauge("streaming.in_system", float(count))
+
+    # ------------------------------------------------------------------ #
+    # final assembly
+    # ------------------------------------------------------------------ #
+
+    def finalize_streaming(self, makespan: int, fstate) -> StreamingResult:
+        """Assemble the :class:`StreamingResult` once the loop drains."""
+        online = self.finalize(makespan, fstate)
+        delays = tuple(
+            self.admit_times[o.job_index] - o.arrival_time
+            for o in online.outcomes
+        )
+        return StreamingResult(
+            online=online,
+            queueing_delays=delays,
+            rejected=tuple(self.rejections),
+            in_system=tuple(self.in_system_series),
+            arrivals=self.arrivals_seen,
+            start_time=self.start_time,
+            horizon_cutoff=(
+                self.horizon_cutoff if self.horizon_cutoff is not None else -1
+            ),
+        )

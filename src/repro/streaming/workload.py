@@ -1,0 +1,193 @@
+"""Streaming workload layer: lazy arrivals, admission, backlog release.
+
+The closed-batch :class:`repro.online.workload.WorkloadLayer` pushes
+every arrival into the kernel up front; an open process may be thousands
+of jobs long (or conceptually endless), so this layer keeps **exactly
+one** future arrival scheduled: when it fires, the next is pulled from
+the :class:`~repro.streaming.arrivals.ArrivalProcess` and scheduled.
+Within the ``ARRIVAL`` priority class the kernel's push-sequence
+tie-break then reproduces stream order at shared instants — the chained
+schedule is order-equivalent to the batch pre-push, which the
+closed-batch equivalence property pins.
+
+Each firing arrival is validated (an infeasible job is *rejected*, not
+fatal — an open system keeps serving) and offered to the
+:class:`~repro.streaming.admission.AdmissionController`; backlogged jobs
+are released by the engine after each settled instant.  :meth:`close`
+implements the horizon cut-off: the pending scheduled arrival is
+*cancelled* — a tombstone in the kernel's event queue — and the stream
+is never pulled again.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..cluster.resources import validate_demands
+from ..errors import ConfigError, EnvironmentStateError
+from ..online.execution import ExecutionLayer
+from ..online.policy import PolicyLayer
+from ..online.results import ArrivingJob
+from ..online.workload import ARRIVAL_KIND
+from ..sim import Event, EventClass, SimKernel
+from .admission import ADMIT, QUEUE, AdmissionController, QueuedJob
+from .reporting import StreamingReportingLayer
+
+__all__ = ["StreamingWorkloadLayer"]
+
+
+class StreamingWorkloadLayer:
+    """Feeds an open arrival process through admission into execution.
+
+    Args:
+        first: the already-pulled first job (the engine peeks it to
+            anchor the kernel clock at the first arrival).
+        rest: iterator over the remaining stream, nondecreasing times.
+        kernel: the simulation kernel.
+        execution: where admitted jobs live.
+        policy: notified of each admission (initial replan).
+        admission: backpressure decision state.
+        reporting: the streaming ledger.
+        capacities: cluster capacities (per-arrival feasibility check).
+    """
+
+    def __init__(
+        self,
+        first: ArrivingJob,
+        rest: Iterator[ArrivingJob],
+        kernel: SimKernel,
+        execution: ExecutionLayer,
+        policy: PolicyLayer,
+        admission: AdmissionController,
+        reporting: StreamingReportingLayer,
+        capacities: Sequence[int],
+    ) -> None:
+        self.kernel = kernel
+        self.execution = execution
+        self.policy = policy
+        self.admission = admission
+        self.reporting = reporting
+        self.capacities = tuple(capacities)
+        self._rest = rest
+        self._next_index = 0
+        self._last_arrival = first.arrival_time
+        self._pending: Optional[Event] = None
+        self._closed = False
+        kernel.register(ARRIVAL_KIND, self._on_arrival)
+        self._schedule(first)
+
+    # ------------------------------------------------------------------ #
+    # stream plumbing
+    # ------------------------------------------------------------------ #
+
+    def _schedule(self, job: ArrivingJob) -> None:
+        if job.arrival_time < self._last_arrival:
+            raise ConfigError(
+                f"arrival process went backwards: job {self._next_index} at "
+                f"{job.arrival_time} after {self._last_arrival}"
+            )
+        self._last_arrival = job.arrival_time
+        self._pending = self.kernel.schedule(
+            job.arrival_time,
+            EventClass.ARRIVAL,
+            ARRIVAL_KIND,
+            (self._next_index, job),
+        )
+        self._next_index += 1
+
+    def _schedule_next(self) -> None:
+        if self._closed:
+            return
+        job = next(self._rest, None)
+        if job is None:
+            self._closed = True
+            return
+        self._schedule(job)
+
+    def close(self, at: int) -> None:
+        """Horizon cut-off: tombstone the pending arrival, stop pulling."""
+        if self._pending is not None and not self._pending.cancelled:
+            self.kernel.queue.cancel(self._pending)
+            self.reporting.record_rejection(
+                self._pending.payload[0],
+                self._pending.payload[1].arrival_time,
+                "horizon",
+            )
+            self.reporting.record_arrival()
+        self._pending = None
+        self._closed = True
+        self.reporting.record_cutoff(at)
+
+    # ------------------------------------------------------------------ #
+    # arrival handling
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pending_arrival_time(self) -> Optional[int]:
+        """Due time of the scheduled (not yet fired) arrival, if any."""
+        if self._pending is None or self._pending.cancelled:
+            return None
+        return self._pending.time
+
+    @property
+    def has_pending(self) -> bool:
+        """Work remains outside the execution layer (stream or backlog)."""
+        return self.pending_arrival_time is not None or bool(self.admission.backlog)
+
+    def _feasible(self, job: ArrivingJob) -> Optional[str]:
+        graph = job.graph
+        if graph.num_resources != len(self.capacities):
+            return (
+                f"job has {graph.num_resources} resource dims, "
+                f"cluster has {len(self.capacities)}"
+            )
+        try:
+            for task in graph:
+                validate_demands(task.demands, self.capacities, label=task.label())
+        except ConfigError as exc:
+            return str(exc)
+        return None
+
+    def _on_arrival(self, event: Event) -> None:
+        self._pending = None
+        index, job = event.payload
+        reporting = self.reporting
+        reporting.record_arrival()
+        reason = self._feasible(job)
+        if reason is not None:
+            reporting.record_rejection(index, job.arrival_time, reason)
+            self._schedule_next()
+            return
+        queued = QueuedJob(index, job.arrival_time, job.graph)
+        decision = self.admission.offer(queued, len(self.execution.active))
+        if decision == ADMIT:
+            self._admit(queued, job.arrival_time)
+        elif decision == QUEUE:
+            reporting.record_queued(
+                index, job.arrival_time, len(self.admission.backlog)
+            )
+        else:
+            reporting.record_rejection(index, job.arrival_time, "backpressure")
+        self._schedule_next()
+
+    def _admit(self, queued: QueuedJob, admit_at: int) -> None:
+        active_job = self.execution.admit(
+            queued.index, queued.arrival_time, queued.graph
+        )
+        self.reporting.record_admission(queued.index, admit_at)
+        self.policy.on_admit(active_job)
+
+    def release_backlog(self) -> None:
+        """Admit backlogged jobs freed by departures at the settled instant."""
+        if not self.admission.backlog:
+            return
+        released = self.admission.release(len(self.execution.active))
+        if not released:
+            return
+        admit_at = self.kernel.now
+        for queued in released:
+            if admit_at < queued.arrival_time:  # pragma: no cover - defensive
+                raise EnvironmentStateError(
+                    "backlog release before the job's own arrival"
+                )
+            self._admit(queued, admit_at)

@@ -1,0 +1,163 @@
+"""Streaming-engine properties.
+
+The load-bearing one is closed-batch equivalence: a finite stream fed
+through :class:`~repro.streaming.StreamingSimulator` via
+:class:`~repro.streaming.TraceArrivals` with unbounded admission must
+reproduce :class:`~repro.online.OnlineSimulator` *exactly* — the same
+outcomes, makespan, fault log, and executed schedules — with every
+queueing delay zero.  That pins the open-system layer as a strict
+superset of the closed-batch engine: arrivals-as-events, backlog
+release, and in-system sampling must all be no-ops when backpressure
+never engages.
+
+The rest are open-system invariants: determinism of the metrics
+surface, and conservation of jobs under bounded admission (every
+arrival is admitted or reported rejected, never lost).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ClusterConfig, WorkloadConfig
+from repro.dag.generators import random_layered_dag
+from repro.faults import (
+    FaultPlan,
+    RetryPolicy,
+    TransientFaults,
+    random_crash_plan,
+)
+from repro.online import (
+    ArrivingJob,
+    OnlineSimulator,
+    cp_ranker,
+    fifo_ranker,
+    sjf_ranker,
+    tetris_ranker,
+)
+from repro.streaming import (
+    AdmissionConfig,
+    PoissonProcess,
+    StreamingSimulator,
+    TraceArrivals,
+    layered_job_factory,
+    streaming_workload,
+)
+
+CAPACITIES = (10, 10)
+CLUSTER = ClusterConfig(capacities=CAPACITIES, horizon=8)
+RANKERS = {
+    "fifo": fifo_ranker,
+    "sjf": sjf_ranker,
+    "cp": cp_ranker,
+    "tetris": tetris_ranker,
+}
+
+
+@st.composite
+def job_streams(draw, max_gap=6):
+    n_jobs = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    gap = draw(st.integers(min_value=0, max_value=max_gap))
+    workload = WorkloadConfig(
+        num_tasks=6, max_runtime=5, max_demand=4, runtime_mean=3.0, demand_mean=2.0
+    )
+    return [
+        ArrivingJob(gap * i, random_layered_dag(workload, seed=seed + i))
+        for i in range(n_jobs)
+    ]
+
+
+@st.composite
+def fault_plans(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    transient = draw(st.floats(min_value=0.0, max_value=0.3))
+    n_crashes = draw(st.integers(min_value=0, max_value=2))
+    crashes = random_crash_plan(
+        n_crashes, CAPACITIES, horizon=60, fraction=0.3, seed=seed
+    )
+    return FaultPlan(
+        crashes=crashes,
+        transient=TransientFaults(transient),
+        retry=RetryPolicy(max_attempts=3, backoff_base=1, backoff_cap=4),
+        seed=seed,
+    )
+
+
+def assert_closed_batch_equivalent(streaming, online):
+    assert streaming.online.outcomes == online.outcomes
+    assert streaming.online.makespan == online.makespan
+    assert streaming.online.fault_events == online.fault_events
+    assert streaming.online.executed == online.executed
+    assert streaming.online == online
+    assert streaming.queueing_delays == (0,) * len(online.outcomes)
+    assert not streaming.rejected
+    assert streaming.horizon_cutoff == -1
+
+
+@given(stream=job_streams(max_gap=0), ranker_name=st.sampled_from(sorted(RANKERS)))
+@settings(max_examples=25, deadline=None)
+def test_batch_at_t0_reproduces_online_simulator(stream, ranker_name):
+    """All arrivals at t=0 + unbounded admission == OnlineSimulator."""
+    ranker = RANKERS[ranker_name]
+    online = OnlineSimulator(CLUSTER).run(stream, ranker)
+    streaming = StreamingSimulator(CLUSTER).run(TraceArrivals(stream), ranker)
+    assert_closed_batch_equivalent(streaming, online)
+
+
+@given(stream=job_streams(), ranker_name=st.sampled_from(sorted(RANKERS)))
+@settings(max_examples=25, deadline=None)
+def test_staggered_batch_reproduces_online_simulator(stream, ranker_name):
+    ranker = RANKERS[ranker_name]
+    online = OnlineSimulator(CLUSTER).run(stream, ranker)
+    streaming = StreamingSimulator(CLUSTER).run(TraceArrivals(stream), ranker)
+    assert_closed_batch_equivalent(streaming, online)
+
+
+@given(plan=fault_plans(), stream=job_streams())
+@settings(max_examples=15, deadline=None)
+def test_faulty_batch_reproduces_online_simulator(plan, stream):
+    online = OnlineSimulator(CLUSTER).run(stream, sjf_ranker, faults=plan)
+    streaming = StreamingSimulator(CLUSTER).run(
+        TraceArrivals(stream), sjf_ranker, faults=plan
+    )
+    assert_closed_batch_equivalent(streaming, online)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rate=st.floats(min_value=0.05, max_value=0.8),
+)
+@settings(max_examples=15, deadline=None)
+def test_streaming_run_is_deterministic(seed, rate):
+    def run():
+        arrivals = PoissonProcess(
+            rate, 12, layered_job_factory(streaming_workload(num_tasks=5)), seed=seed
+        )
+        return StreamingSimulator(CLUSTER).run(arrivals, sjf_ranker)
+
+    a, b = run(), run()
+    assert a == b
+    assert a.metrics_dict() == b.metrics_dict()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    max_concurrent=st.integers(min_value=1, max_value=4),
+    max_queue=st.none() | st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_bounded_admission_conserves_jobs(seed, max_concurrent, max_queue):
+    """arrivals == admitted + rejected; backpressure sheds loudly."""
+    arrivals = PoissonProcess(
+        0.6, 15, layered_job_factory(streaming_workload(num_tasks=5)), seed=seed
+    )
+    admission = AdmissionConfig(max_concurrent=max_concurrent, max_queue=max_queue)
+    result = StreamingSimulator(CLUSTER).run(arrivals, sjf_ranker, admission=admission)
+    assert result.arrivals == 15
+    assert result.admitted + len(result.rejected) == result.arrivals
+    if max_queue is None:
+        assert not result.rejected
+    # in-system counts active + backlog, bounded by both limits when set
+    if max_queue is not None:
+        assert result.peak_in_system <= max_concurrent + max_queue
+    assert all(delay >= 0 for delay in result.queueing_delays)

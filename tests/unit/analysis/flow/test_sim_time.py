@@ -1,4 +1,4 @@
-"""REP203 — sim-time discipline inside repro.sim/online/cluster."""
+"""REP203 — sim-time discipline inside repro.sim/online/cluster/streaming."""
 
 
 RULE = "REP203"
@@ -56,6 +56,92 @@ class TestWallClock:
 
                 def elapsed(start):
                     return time.monotonic() - start
+                """
+            },
+            RULE,
+        )
+
+
+class TestStreamingScope:
+    """repro.streaming hosts an asyncio daemon; REP203 must cover it."""
+
+    def test_wall_clock_in_streaming_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/streaming/service.py": """
+                import time
+
+                def tick():
+                    return int(time.time())
+                """
+            },
+            RULE,
+        )
+        assert found and "wall-clock read time.time()" in found[0].message
+
+    def test_loop_time_shim_flagged(self, flow_hits):
+        # Reaching for time.monotonic() to timestamp batches is the
+        # classic leak an asyncio loop invites; ticks must stay logical.
+        found = flow_hits(
+            {
+                "repro/streaming/service.py": """
+                from time import monotonic
+
+                def stamp_batch(batch):
+                    return monotonic(), batch
+                """
+            },
+            RULE,
+        )
+        assert found
+
+    def test_float_drift_on_streaming_clock_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/streaming/engine.py": """
+                def sample(now):
+                    return now + 0.5
+                """
+            },
+            RULE,
+        )
+        assert found
+
+    def test_serve_loop_without_wall_clock_is_clean(self, flow_hits):
+        # The shape of the real daemon: asyncio plumbing, logical ticks
+        # incremented per batch, client sim-times passed through verbatim.
+        assert not flow_hits(
+            {
+                "repro/streaming/service.py": """
+                import asyncio
+
+                async def worker(queue, plan):
+                    tick = 0
+                    while True:
+                        head = await queue.get()
+                        batch = [head]
+                        while True:
+                            try:
+                                batch.append(queue.get_nowait())
+                            except asyncio.QueueEmpty:
+                                break
+                        tick += 1
+                        loop = asyncio.get_running_loop()
+                        await loop.run_in_executor(None, plan, batch, tick)
+                """
+            },
+            RULE,
+        )
+
+    def test_streaming_integer_time_math_clean(self, flow_hits):
+        assert not flow_hits(
+            {
+                "repro/streaming/engine.py": """
+                def cutoff(now, horizon):
+                    return now + horizon
+
+                def delay(admit_at, arrival):
+                    return admit_at - arrival
                 """
             },
             RULE,

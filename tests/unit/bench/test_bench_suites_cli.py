@@ -14,6 +14,7 @@ EXPECTED_GROUPS = {
     "observation",
     "faults",
     "online",
+    "streaming",
     "telemetry",
     "lint",
 }

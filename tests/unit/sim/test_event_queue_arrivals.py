@@ -1,0 +1,117 @@
+"""EventQueue behaviour under interleaved ARRIVAL events.
+
+The streaming layer leans on two kernel guarantees the closed-batch
+engine never stressed: the same-instant class ordering must slot
+ARRIVAL events between RETRY_READY and REPLAN (admission reads a fully
+settled cluster instant, replanning sees the arrival), and a cancelled
+pending arrival (the horizon cut-off's tombstone) must be skipped by
+pop/peek without disturbing anything else in the heap.
+"""
+
+import pytest
+
+from repro.errors import EnvironmentStateError
+from repro.sim import EventClass, EventQueue
+
+
+class TestSameInstantOrdering:
+    def test_arrival_slots_between_retry_and_replan(self):
+        q = EventQueue()
+        # pushed in deliberately scrambled order, all at t=7
+        q.push(7, EventClass.REPLAN, "replan")
+        q.push(7, EventClass.ARRIVAL, "arrival")
+        q.push(7, EventClass.COMPLETION, "completion")
+        q.push(7, EventClass.RETRY_READY, "retry_ready")
+        q.push(7, EventClass.CRASH, "crash")
+        q.push(7, EventClass.RECOVERY, "recovery")
+        kinds = [q.pop().kind for _ in range(len(q))]
+        assert kinds == [
+            "crash",
+            "recovery",
+            "completion",
+            "retry_ready",
+            "arrival",
+            "replan",
+        ]
+
+    def test_same_instant_arrivals_pop_in_push_order(self):
+        q = EventQueue()
+        events = [q.push(3, EventClass.ARRIVAL, "arrival", payload=i) for i in range(5)]
+        assert [q.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+
+    def test_earlier_arrival_beats_earlier_pushed_completion(self):
+        q = EventQueue()
+        q.push(10, EventClass.COMPLETION, "completion")
+        q.push(4, EventClass.ARRIVAL, "arrival")
+        assert q.pop().kind == "arrival"
+        assert q.pop().kind == "completion"
+
+    def test_arrival_burst_interleaved_with_completions(self):
+        # A burst slot shared by completions and arrivals must settle all
+        # completion follow-ups before any admission decision fires.
+        q = EventQueue()
+        q.push(5, EventClass.ARRIVAL, "arrival", payload="a0")
+        q.push(5, EventClass.COMPLETION, "completion", payload="c0")
+        q.push(5, EventClass.ARRIVAL, "arrival", payload="a1")
+        q.push(5, EventClass.COMPLETION, "completion", payload="c1")
+        popped = [(e.kind, e.payload) for e in (q.pop() for _ in range(4))]
+        assert popped == [
+            ("completion", "c0"),
+            ("completion", "c1"),
+            ("arrival", "a0"),
+            ("arrival", "a1"),
+        ]
+
+
+class TestArrivalTombstones:
+    def test_cancelled_arrival_skipped_at_pop(self):
+        q = EventQueue()
+        pending = q.push(4, EventClass.ARRIVAL, "arrival", payload="shed")
+        q.push(9, EventClass.COMPLETION, "completion")
+        q.cancel(pending)
+        assert len(q) == 1
+        assert q.peek_time() == 9
+        assert q.pop().kind == "completion"
+        assert not q
+
+    def test_cancel_head_of_same_instant_run(self):
+        q = EventQueue()
+        first = q.push(2, EventClass.ARRIVAL, "arrival", payload=0)
+        q.push(2, EventClass.ARRIVAL, "arrival", payload=1)
+        q.push(2, EventClass.ARRIVAL, "arrival", payload=2)
+        q.cancel(first)
+        assert [q.pop().payload for _ in range(len(q))] == [1, 2]
+
+    def test_double_cancel_is_noop(self):
+        q = EventQueue()
+        pending = q.push(1, EventClass.ARRIVAL, "arrival")
+        q.cancel(pending)
+        q.cancel(pending)
+        assert len(q) == 0 and not q
+        with pytest.raises(EnvironmentStateError):
+            q.pop()
+
+    def test_cancelled_arrival_invisible_to_pop_due(self):
+        q = EventQueue()
+        pending = q.push(3, EventClass.ARRIVAL, "arrival")
+        q.push(6, EventClass.ARRIVAL, "arrival", payload="live")
+        q.cancel(pending)
+        assert q.pop_due(3) is None
+        assert q.peek_time() == 6
+        due = q.pop_due(6)
+        assert due is not None and due.payload == "live"
+
+    def test_chain_reschedule_pattern(self):
+        # The streaming workload keeps exactly one pending arrival: pop
+        # it, push the next.  Tombstoning the pending one at cut-off must
+        # leave the queue empty even mid-chain.
+        q = EventQueue()
+        pending = q.push(0, EventClass.ARRIVAL, "arrival", payload=0)
+        for nxt in range(1, 4):
+            event = q.pop()
+            assert event.payload == nxt - 1
+            pending = q.push(event.time + 5, EventClass.ARRIVAL, "arrival", payload=nxt)
+        q.cancel(pending)
+        assert len(q) == 0
+        assert q.peek_time() is None

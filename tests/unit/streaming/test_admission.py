@@ -1,0 +1,80 @@
+"""Unit tests for admission control and bounded-queue backpressure."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.streaming import (
+    ADMIT,
+    QUEUE,
+    REJECT,
+    AdmissionConfig,
+    AdmissionController,
+    QueuedJob,
+    layered_job_factory,
+)
+
+
+def _job(index, arrival_time=0):
+    return QueuedJob(index, arrival_time, layered_job_factory()(index, index))
+
+
+class TestAdmissionConfig:
+    def test_defaults_unbounded(self):
+        config = AdmissionConfig()
+        assert config.max_concurrent is None and config.max_queue is None
+
+    def test_max_concurrent_floor(self):
+        with pytest.raises(ConfigError):
+            AdmissionConfig(max_concurrent=0)
+
+    def test_negative_queue_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionConfig(max_concurrent=2, max_queue=-1)
+
+    def test_queue_without_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionConfig(max_queue=4)
+
+
+class TestAdmissionController:
+    def test_unbounded_always_admits(self):
+        ctl = AdmissionController()
+        for index in range(5):
+            assert ctl.offer(_job(index), active_count=index) == ADMIT
+        assert len(ctl) == 0
+
+    def test_queues_at_limit(self):
+        ctl = AdmissionController(AdmissionConfig(max_concurrent=2))
+        assert ctl.offer(_job(0), active_count=1) == ADMIT
+        assert ctl.offer(_job(1), active_count=2) == QUEUE
+        assert len(ctl) == 1
+
+    def test_backlog_blocks_fresh_admits(self):
+        # FIFO fairness: while anything is queued, a new arrival may not
+        # jump the line even if a slot happens to be free.
+        ctl = AdmissionController(AdmissionConfig(max_concurrent=2))
+        assert ctl.offer(_job(0), active_count=2) == QUEUE
+        assert ctl.offer(_job(1), active_count=1) == QUEUE
+        assert len(ctl) == 2
+
+    def test_rejects_when_backlog_full(self):
+        ctl = AdmissionController(AdmissionConfig(max_concurrent=1, max_queue=1))
+        assert ctl.offer(_job(0), active_count=1) == QUEUE
+        assert ctl.offer(_job(1), active_count=1) == REJECT
+        assert len(ctl) == 1
+
+    def test_zero_queue_sheds_immediately(self):
+        ctl = AdmissionController(AdmissionConfig(max_concurrent=1, max_queue=0))
+        assert ctl.offer(_job(0), active_count=1) == REJECT
+        assert len(ctl) == 0
+
+    def test_release_respects_limit_and_order(self):
+        ctl = AdmissionController(AdmissionConfig(max_concurrent=3))
+        for index in range(4):
+            assert ctl.offer(_job(index), active_count=3) == QUEUE
+        released = ctl.release(active_count=1)
+        assert [job.index for job in released] == [0, 1]
+        assert len(ctl) == 2
+        assert ctl.release(active_count=3) == []
+        assert [job.index for job in ctl.release(active_count=0)] == [2, 3]
+        assert len(ctl) == 0

@@ -1,0 +1,135 @@
+"""Unit tests for the NDJSON wire protocol of the scheduling service."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.schedulers.base import ClusterSnapshot, ScheduleRequest
+from repro.streaming import layered_job_factory
+from repro.streaming.protocol import (
+    ERROR,
+    REPLY,
+    SCHEDULE,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    parse_schedule,
+    reply_frame,
+    schedule_frame,
+)
+
+
+def _request(with_cluster=True):
+    graph = layered_job_factory()(0, 42)
+    cluster = None
+    if with_cluster:
+        cluster = ClusterSnapshot(
+            capacities=(20, 20), available=(12, 7), now=5
+        )
+    return ScheduleRequest(graph=graph, cluster=cluster)
+
+
+class TestFraming:
+    def test_encode_is_one_compact_line(self):
+        wire = encode_frame({"type": "ping", "z": 1, "a": 2})
+        assert wire.endswith(b"\n") and wire.count(b"\n") == 1
+        assert b" " not in wire  # compact separators
+        assert wire.index(b'"a"') < wire.index(b'"z"')  # sorted keys
+
+    def test_round_trip(self):
+        frame = {"type": "ping", "id": "x"}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_decode_accepts_str_and_bytes(self):
+        assert decode_frame('{"type": "ping"}') == {"type": "ping"}
+        assert decode_frame(b'{"type": "ping"}') == {"type": "ping"}
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"\xff\xfe",  # not UTF-8
+            b"{not json",  # invalid JSON
+            b"[1, 2]",  # not an object
+            b"{}",  # no type
+            b'{"type": 7}',  # non-string type
+            b'{"type": ""}',  # empty type
+        ],
+    )
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            decode_frame(line)
+
+
+class TestScheduleFrames:
+    def test_request_round_trip(self):
+        request = _request()
+        frame = schedule_frame("job-1", request)
+        # the frame must survive the wire
+        decoded = decode_frame(encode_frame(frame))
+        request_id, parsed = parse_schedule(decoded)
+        assert request_id == "job-1"
+        assert parsed.graph == request.graph
+        assert parsed.cluster == request.cluster
+        assert parsed.frozen == {} and parsed.pinned == {}
+
+    def test_cluster_optional(self):
+        frame = schedule_frame("job-2", _request(with_cluster=False))
+        assert "cluster" not in frame
+        _, parsed = parse_schedule(frame)
+        assert parsed.cluster is None
+
+    def test_placements_round_trip(self):
+        request = ScheduleRequest(
+            graph=layered_job_factory()(0, 1),
+            frozen={0: (0, 3)},
+            pinned={2: (4, 9)},
+        )
+        _, parsed = parse_schedule(schedule_frame("job-3", request))
+        assert parsed.frozen == {0: (0, 3)}
+        assert parsed.pinned == {2: (4, 9)}
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda f: f.pop("id"),
+            lambda f: f.update(id=""),
+            lambda f: f.update(type="ping"),
+            lambda f: f.pop("graph"),
+            lambda f: f.update(graph={"bogus": True}),
+            lambda f: f.update(cluster=[1, 2]),
+            lambda f: f.update(cluster={"capacities": "nope"}),
+            lambda f: f.update(frozen={"x": [1]}),
+            lambda f: f.update(deadline="soon"),
+        ],
+    )
+    def test_malformed_schedule_frames_rejected(self, mutate):
+        frame = schedule_frame("job-4", _request())
+        mutate(frame)
+        with pytest.raises(ProtocolError):
+            parse_schedule(frame)
+
+
+class TestReplies:
+    def test_reply_carries_schedule_and_batch(self):
+        from repro.schedulers import make_scheduler
+
+        request = _request()
+        schedule = make_scheduler("tetris").plan(request)
+        frame = reply_frame("job-5", schedule, tick=3, batch_size=2)
+        assert frame["type"] == REPLY and frame["id"] == "job-5"
+        assert frame["batch"] == {"tick": 3, "size": 2}
+        payload = json.loads(encode_frame(frame).decode("utf-8"))
+        placements = payload["schedule"]["placements"]
+        assert len(placements) == len(request.graph.task_ids)
+
+    def test_error_frame_echoes_id_when_present(self):
+        assert error_frame("job-6", "boom") == {
+            "type": ERROR,
+            "id": "job-6",
+            "error": "boom",
+        }
+        assert "id" not in error_frame(None, "boom")
+
+    def test_type_constants_are_wire_values(self):
+        assert SCHEDULE == "schedule" and REPLY == "schedule.reply"

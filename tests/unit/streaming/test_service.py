@@ -1,0 +1,174 @@
+"""Unit tests for the asyncio scheduling daemon (`repro serve`)."""
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.schedulers import make_scheduler
+from repro.streaming import SchedulerService, run_smoke
+from repro.streaming import protocol
+
+
+def test_batch_max_validated():
+    with pytest.raises(ProtocolError):
+        SchedulerService(make_scheduler("tetris"), batch_max=0)
+
+
+class TestRunSmoke:
+    def test_round_trip_three_concurrent_requests(self):
+        summary = run_smoke(make_scheduler("tetris"), requests=3, seed=0)
+        replies = summary["replies"]
+        assert [r["id"] for r in replies] == ["smoke-0", "smoke-1", "smoke-2"]
+        assert all(r["type"] == protocol.REPLY for r in replies)
+        stats = summary["stats"]
+        assert stats["accepted"] == 3 and stats["served"] == 3
+        assert stats["errors"] == 0
+        assert summary["drain"]["type"] == protocol.DRAIN_ACK
+        assert summary["drain"]["served"] == 3
+
+    def test_replies_name_their_batch_tick(self):
+        summary = run_smoke(make_scheduler("sjf"), requests=4, seed=1)
+        for reply in summary["replies"]:
+            batch = reply["batch"]
+            assert batch["tick"] >= 1
+            assert 1 <= batch["size"] <= 4
+        # ticks partition the requests: batch sizes grouped by tick agree
+        sizes = {}
+        for reply in summary["replies"]:
+            sizes.setdefault(reply["batch"]["tick"], []).append(
+                reply["batch"]["size"]
+            )
+        for tick, batch_sizes in sizes.items():
+            assert len(set(batch_sizes)) == 1
+            assert len(batch_sizes) == batch_sizes[0]
+
+    def test_batch_max_one_serializes_ticks(self):
+        summary = run_smoke(make_scheduler("tetris"), requests=3, batch_max=1)
+        assert all(r["batch"]["size"] == 1 for r in summary["replies"])
+        assert summary["stats"]["batches"] == 3
+
+    def test_needs_at_least_one_request(self):
+        with pytest.raises(ProtocolError):
+            run_smoke(make_scheduler("tetris"), requests=0)
+
+
+class _Client:
+    """Minimal NDJSON test client against a live service."""
+
+    def __init__(self, port):
+        self.port = port
+
+    async def __aenter__(self):
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.port
+        )
+        return self
+
+    async def __aexit__(self, *exc):
+        self.writer.close()
+        with contextlib.suppress(Exception):
+            await self.writer.wait_closed()
+
+    async def send(self, frame):
+        self.writer.write(protocol.encode_frame(frame))
+        await self.writer.drain()
+
+    async def recv(self):
+        line = await asyncio.wait_for(self.reader.readline(), timeout=10)
+        return protocol.decode_frame(line)
+
+
+def _serve(coro_factory):
+    """Run one scenario against a started service; always stop it."""
+
+    async def main():
+        service = SchedulerService(make_scheduler("tetris"), port=0, batch_max=4)
+        _, port = await service.start()
+        try:
+            return await asyncio.wait_for(coro_factory(service, port), timeout=30)
+        finally:
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+class TestServiceProtocol:
+    def test_malformed_frame_keeps_connection_alive(self):
+        async def scenario(service, port):
+            async with _Client(port) as client:
+                client.writer.write(b"{broken\n")
+                await client.writer.drain()
+                error = await client.recv()
+                await client.send({"type": protocol.PING})
+                pong = await client.recv()
+                return error, pong
+
+        error, pong = _serve(scenario)
+        assert error["type"] == protocol.ERROR
+        assert pong["type"] == protocol.PONG
+
+    def test_unknown_frame_type_reports_error(self):
+        async def scenario(service, port):
+            async with _Client(port) as client:
+                await client.send({"type": "warp", "id": "x"})
+                return await client.recv()
+
+        reply = _serve(scenario)
+        assert reply["type"] == protocol.ERROR and reply["id"] == "x"
+        assert "warp" in reply["error"]
+
+    def test_bad_schedule_payload_counts_as_error(self):
+        async def scenario(service, port):
+            async with _Client(port) as client:
+                await client.send({"type": protocol.SCHEDULE, "id": "bad"})
+                reply = await client.recv()
+                return reply, service.stats.errors
+
+        reply, errors = _serve(scenario)
+        assert reply["type"] == protocol.ERROR and reply["id"] == "bad"
+        assert errors == 1
+
+    def test_draining_rejects_new_schedules(self):
+        async def scenario(service, port):
+            service._draining = True
+            async with _Client(port) as client:
+                frame = protocol.schedule_frame(
+                    "late", _smoke_request()
+                )
+                await client.send(frame)
+                return await client.recv()
+
+        reply = _serve(scenario)
+        assert reply["type"] == protocol.ERROR
+        assert "draining" in reply["error"]
+
+    def test_subscriber_sees_batch_telemetry(self):
+        async def scenario(service, port):
+            async with _Client(port) as sub, _Client(port) as client:
+                await sub.send({"type": protocol.SUBSCRIBE})
+                ack = await sub.recv()
+                await client.send(
+                    protocol.schedule_frame("job", _smoke_request())
+                )
+                reply = await client.recv()
+                telemetry = await sub.recv()
+                return ack, reply, telemetry
+
+        ack, reply, telemetry = _serve(scenario)
+        assert ack["type"] == protocol.SUBSCRIBE_ACK
+        assert reply["type"] == protocol.REPLY
+        assert telemetry["type"] == protocol.TELEMETRY
+        assert telemetry["event"] == "serve.batch"
+        assert telemetry["size"] == 1
+
+
+def _smoke_request():
+    from repro.schedulers.base import ClusterSnapshot, ScheduleRequest
+    from repro.streaming import layered_job_factory
+
+    return ScheduleRequest(
+        graph=layered_job_factory()(0, 7),
+        cluster=ClusterSnapshot(capacities=(20, 20), available=(20, 20), now=0),
+    )

@@ -242,3 +242,145 @@ class TestOnlineFaults:
         assert code == 0
         assert trace.exists()
         capsys.readouterr()
+
+
+class TestStreamCommand:
+    def test_poisson_stream_smoke(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--arrival",
+                "poisson:rate=0.2,n=10",
+                "--seed",
+                "3",
+                "--ranker",
+                "sjf",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Streaming: poisson:rate=0.2,n=10" in out
+        assert "arrivals 10" in out
+        assert "throughput" in out
+
+    def test_metrics_out_is_byte_deterministic(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            code = main(
+                [
+                    "stream",
+                    "--arrival",
+                    "poisson:rate=0.1,n=20",
+                    "--seed",
+                    "5",
+                    "--metrics-out",
+                    str(path),
+                ]
+            )
+            assert code == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        import json
+
+        metrics = json.loads(paths[0].read_text())
+        assert metrics["schema"] == 1
+        assert metrics["jobs"]["arrivals"] == 20
+
+    def test_verify_executed_clean(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--arrival",
+                "uniform:interarrival=5,n=6",
+                "--seed",
+                "1",
+                "--verify-executed",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "executed-schedule verification: clean" in out
+
+    def test_gate_p99_failure_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--arrival",
+                "poisson:rate=0.2,n=10",
+                "--seed",
+                "3",
+                "--gate-p99",
+                "0.5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "exceeds the --gate-p99 bound" in captured.err
+
+    def test_admission_limits_reported(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--arrival",
+                "uniform:interarrival=0,n=8",
+                "--tasks",
+                "4",
+                "--max-concurrent",
+                "2",
+                "--max-queue",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rejected 4" in out
+
+    def test_unknown_ranker_exits_2(self, capsys):
+        assert main(["stream", "--ranker", "warp"]) == 2
+        assert "unknown ranker" in capsys.readouterr().err
+
+    def test_bad_arrival_spec_exits_2(self, capsys):
+        assert main(["stream", "--arrival", "meteors:n=3"]) == 2
+        assert "unknown arrival kind" in capsys.readouterr().err
+
+    def test_fallback_requires_reschedule(self, capsys):
+        assert main(["stream", "--fallback", "cp"]) == 2
+        assert "--reschedule" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_smoke_round_trip(self, capsys):
+        code = main(
+            ["serve", "--smoke", "--requests", "3", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serve smoke: 3 replies" in out
+        assert "drained clean (3 served, 0 errors)" in out
+
+    def test_smoke_frames_out(self, tmp_path, capsys):
+        import json
+
+        frames = tmp_path / "frames.jsonl"
+        code = main(
+            [
+                "serve",
+                "--smoke",
+                "--requests",
+                "2",
+                "--frames-out",
+                str(frames),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        lines = [json.loads(l) for l in frames.read_text().splitlines()]
+        assert [f["type"] for f in lines] == [
+            "schedule.reply",
+            "schedule.reply",
+            "drain.ack",
+        ]
+
+    def test_unknown_scheduler_exits_2(self, capsys):
+        assert main(["serve", "--smoke", "--scheduler", "warp"]) == 2
+        assert capsys.readouterr().err
