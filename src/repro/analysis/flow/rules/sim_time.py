@@ -81,12 +81,18 @@ class SimTimeRule(FlowRule):
     rule_id = "REP203"
     description = (
         "wall-clock read or float time arithmetic inside repro.sim/"
-        "repro.online/repro.cluster/repro.streaming; sim time is an "
-        "integer slot count"
+        "repro.online/repro.cluster/repro.streaming/repro.federation; "
+        "sim time is an integer slot count"
     )
 
     #: package prefixes the discipline applies to.
-    scoped_packages = ("repro.sim", "repro.online", "repro.cluster", "repro.streaming")
+    scoped_packages = (
+        "repro.sim",
+        "repro.online",
+        "repro.cluster",
+        "repro.streaming",
+        "repro.federation",
+    )
 
     def check(self, project: ProjectGraph) -> Iterable[LintViolation]:
         violations: List[LintViolation] = []

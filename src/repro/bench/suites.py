@@ -472,6 +472,61 @@ def _setup_streaming_steady_1k_jobs(seed: int) -> Callable[[], None]:
 
 
 # --------------------------------------------------------------------- #
+# federation group
+# --------------------------------------------------------------------- #
+
+
+def _setup_federation_route_step(seed: int) -> Callable[[], None]:
+    """Per-arrival cost of the federated routing path.
+
+    Same open-system shape as streaming.arrival_step, but every arrival
+    additionally pays the ROUTE event hop, the per-shard feasibility
+    scan, and the least-loaded placement decision across two shards.
+    The delta against streaming.arrival_step is the routing overhead.
+    """
+    from ..federation import FederatedStreamingSimulator, ShardSpec
+    from ..online import sjf_ranker
+    from ..streaming import AdmissionConfig, PoissonProcess, layered_job_factory
+
+    process = PoissonProcess(0.5, 60, layered_job_factory(), seed=seed)
+    admission = AdmissionConfig(max_concurrent=3, max_queue=8)
+    specs = [ShardSpec((5, 5), sjf_ranker, admission=admission) for _ in range(2)]
+    simulator = FederatedStreamingSimulator(specs, router="least-load")
+
+    def thunk() -> None:
+        simulator.run(process)
+
+    thunk.ops = process.num_jobs  # type: ignore[attr-defined]
+    return thunk
+
+
+def _setup_federation_steady_2shard(seed: int) -> Callable[[], None]:
+    """A steady-state 2-shard federation with stealing enabled.
+
+    End-to-end per-job cost of the full federated stack — shared kernel,
+    namespaced shard processes, routing, imbalance checks after every
+    settle — at a scale where the work stealer actually fires.  Per-job
+    time here must stay comparable to the single-scheduler streaming
+    path for the federation to be worth its overhead.
+    """
+    from ..federation import FederatedStreamingSimulator, ShardSpec
+    from ..online import sjf_ranker
+    from ..streaming import PoissonProcess, layered_job_factory
+
+    process = PoissonProcess(0.3, 400, layered_job_factory(), seed=seed)
+    specs = [ShardSpec((10, 10), sjf_ranker) for _ in range(2)]
+    simulator = FederatedStreamingSimulator(
+        specs, router="hash:salt=1", steal_threshold=1
+    )
+
+    def thunk() -> None:
+        simulator.run(process)
+
+    thunk.ops = process.num_jobs  # type: ignore[attr-defined]
+    return thunk
+
+
+# --------------------------------------------------------------------- #
 # lint group
 # --------------------------------------------------------------------- #
 
@@ -595,6 +650,22 @@ def default_suite() -> List[BenchmarkSpec]:
             "streaming.steady_1k_jobs",
             "streaming",
             _setup_streaming_steady_1k_jobs,
+            repeats=5,
+            quick_repeats=1,
+            warmup=1,
+        ),
+        BenchmarkSpec(
+            "federation.route_step",
+            "federation",
+            _setup_federation_route_step,
+            repeats=10,
+            quick_repeats=3,
+            warmup=1,
+        ),
+        BenchmarkSpec(
+            "federation.steady_2shard",
+            "federation",
+            _setup_federation_steady_2shard,
             repeats=5,
             quick_repeats=1,
             warmup=1,

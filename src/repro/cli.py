@@ -298,6 +298,108 @@ def build_parser() -> argparse.ArgumentParser:
         help="run with telemetry enabled; write the JSONL trace here",
     )
 
+    federate = sub.add_parser(
+        "federate",
+        help="sharded multi-scheduler federation with routing and stealing",
+    )
+    federate.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="number of shards the cluster capacity is split into",
+    )
+    federate.add_argument(
+        "--router",
+        default="least-load",
+        help="placement policy spec: round-robin | least-load:metric=jobs|tasks"
+        " | hash:salt=N | affinity:spill=N "
+        "(see repro.federation.parse_router_spec)",
+    )
+    federate.add_argument(
+        "--steal-threshold",
+        type=int,
+        default=None,
+        help="migrate work when the jobs-in-system gap between the most- "
+        "and least-loaded shard exceeds this (default: stealing off)",
+    )
+    federate.add_argument(
+        "--scheduler",
+        action="append",
+        default=None,
+        help="rescheduler spec replanning residual DAGs (e.g. heft). Give "
+        "once for all shards, or once per shard for a heterogeneous "
+        "federation; 'none' leaves a shard ranker-only",
+    )
+    federate.add_argument(
+        "--arrival",
+        default="poisson:rate=0.05,n=200",
+        help="arrival spec: poisson:rate=R,n=N | uniform:interarrival=K,n=N "
+        "| trace:path=t.json,mean=M (see repro.streaming.parse_arrival_spec)",
+    )
+    federate.add_argument("--seed", type=int, default=0)
+    federate.add_argument(
+        "--ranker", default="sjf", help="dispatch order: fifo|sjf|cp|tetris"
+    )
+    federate.add_argument(
+        "--tasks", type=int, default=8, help="tasks per generated job DAG"
+    )
+    federate.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="per-shard admission limit on jobs in the shard "
+        "(default: unbounded)",
+    )
+    federate.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="per-shard backlog capacity once --max-concurrent is hit",
+    )
+    federate.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="run length in slots from the first arrival; later arrivals "
+        "are cut off (in-flight work drains)",
+    )
+    federate.add_argument(
+        "--faults",
+        default=None,
+        help="per-shard fault spec, e.g. crashes=1,transient=0.05; each "
+        "shard gets its own seeded plan validated against its slice "
+        "(the shard is the fault domain)",
+    )
+    federate.add_argument(
+        "--fault-horizon",
+        type=int,
+        default=None,
+        help="crash-time horizon in slots (default: --horizon or 1000)",
+    )
+    federate.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the deterministic federation metrics JSON here "
+        "(byte-identical across runs of the same spec+seed)",
+    )
+    federate.add_argument(
+        "--gate-p99",
+        type=float,
+        default=None,
+        help="exit 1 if the aggregate p99 JCT exceeds this many slots",
+    )
+    federate.add_argument(
+        "--compare-global",
+        action="store_true",
+        help="also run an equal-total-capacity single-scheduler baseline "
+        "on the same stream and report the deltas",
+    )
+    federate.add_argument(
+        "--trace-out",
+        default=None,
+        help="run with telemetry enabled; write the JSONL trace here",
+    )
+
     serve = sub.add_parser(
         "serve", help="scheduling daemon speaking newline-delimited JSON"
     )
@@ -677,28 +779,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_online(args: argparse.Namespace) -> int:
     from .errors import ConfigError
     from .experiments.reporting import format_table
-    from .online import (
-        OnlineSimulator,
-        cp_ranker,
-        fifo_ranker,
-        sjf_ranker,
-        tetris_ranker,
-        verify_execution,
-    )
+    from .online import OnlineSimulator, resolve_ranker, verify_execution
     from .traces.arrivals import poisson_arrivals
     from .traces.synthetic import TraceConfig, generate_production_trace
 
-    known = {
-        "fifo": fifo_ranker,
-        "sjf": sjf_ranker,
-        "cp": cp_ranker,
-        "tetris": tetris_ranker,
-    }
     names = [n.strip() for n in args.rankers.split(",") if n.strip()]
-    unknown = [n for n in names if n not in known]
+    known = {}
+    unknown = []
+    for name in names:
+        try:
+            known[name] = resolve_ranker(name)
+        except KeyError:
+            unknown.append(name)
     if unknown:
         print(
-            f"unknown rankers {unknown}; choose from {sorted(known)}",
+            f"unknown rankers {unknown}; choose from "
+            "['cp', 'fifo', 'sjf', 'tetris']",
             file=sys.stderr,
         )
         return 2
@@ -810,13 +906,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .errors import ConfigError
-    from .online import (
-        cp_ranker,
-        fifo_ranker,
-        sjf_ranker,
-        tetris_ranker,
-        verify_execution,
-    )
+    from .online import resolve_ranker, verify_execution
     from .streaming import (
         AdmissionConfig,
         StreamingSimulator,
@@ -825,18 +915,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         streaming_workload,
     )
 
-    known = {
-        "fifo": fifo_ranker,
-        "sjf": sjf_ranker,
-        "cp": cp_ranker,
-        "tetris": tetris_ranker,
-    }
-    ranker = known.get(args.ranker)
-    if ranker is None:
-        print(
-            f"unknown ranker {args.ranker!r}; choose from {sorted(known)}",
-            file=sys.stderr,
-        )
+    try:
+        ranker = resolve_ranker(args.ranker)
+    except KeyError as exc:
+        print(f"stream: {exc.args[0]}", file=sys.stderr)
         return 2
     env_config = EnvConfig(process_until_completion=True)
     capacities = env_config.cluster.capacities
@@ -910,6 +992,162 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.gate_p99 is not None and result.p99_jct > args.gate_p99:
         print(
             f"stream: p99 JCT {result.p99_jct:.0f} exceeds the "
+            f"--gate-p99 bound {args.gate_p99:g}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_federate(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .errors import ConfigError
+    from .federation import (
+        FederatedStreamingSimulator,
+        FederationComparison,
+        ShardSpec,
+        parse_router_spec,
+        split_capacities,
+    )
+    from .online import resolve_ranker
+    from .streaming import (
+        AdmissionConfig,
+        StreamingSimulator,
+        layered_job_factory,
+        parse_arrival_spec,
+        streaming_workload,
+    )
+
+    try:
+        ranker = resolve_ranker(args.ranker)
+    except KeyError as exc:
+        print(f"federate: {exc.args[0]}", file=sys.stderr)
+        return 2
+    env_config = EnvConfig(process_until_completion=True)
+    total = env_config.cluster.capacities
+    try:
+        router = parse_router_spec(args.router)
+        slices = split_capacities(total, args.shards)
+        scheduler_specs = list(args.scheduler or [])
+        if len(scheduler_specs) not in (0, 1, args.shards):
+            raise ConfigError(
+                f"--scheduler given {len(scheduler_specs)} times; give it "
+                f"once for all shards or once per shard ({args.shards})"
+            )
+        if len(scheduler_specs) == 1:
+            scheduler_specs = scheduler_specs * args.shards
+        admission = None
+        if args.max_concurrent is not None or args.max_queue is not None:
+            admission = AdmissionConfig(
+                max_concurrent=args.max_concurrent, max_queue=args.max_queue
+            )
+        fault_horizon = (
+            args.fault_horizon
+            if args.fault_horizon is not None
+            else (args.horizon if args.horizon is not None else 1000)
+        )
+
+        def build_rescheduler(spec_str, capacities):
+            if not spec_str or spec_str == "none":
+                return None
+            import dataclasses
+
+            from .config import ClusterConfig
+            from .schedulers.registry import compose_scheduler
+
+            shard_env = dataclasses.replace(
+                env_config,
+                cluster=ClusterConfig(
+                    capacities=capacities, horizon=env_config.cluster.horizon
+                ),
+            )
+            return compose_scheduler(spec_str, shard_env, reschedule=True)
+
+        def build_faults(capacities, seed):
+            if not args.faults:
+                return None
+            from .faults import parse_fault_spec
+
+            return parse_fault_spec(args.faults, capacities, fault_horizon, seed=seed)
+
+        specs = []
+        for k, capacities in enumerate(slices):
+            specs.append(
+                ShardSpec(
+                    capacities=capacities,
+                    ranker=ranker,
+                    rescheduler=build_rescheduler(
+                        scheduler_specs[k] if scheduler_specs else None, capacities
+                    ),
+                    admission=admission,
+                    # seed + k: each shard is its own seeded fault domain.
+                    faults=build_faults(capacities, args.seed + k),
+                )
+            )
+        factory = layered_job_factory(streaming_workload(num_tasks=args.tasks))
+        arrivals = parse_arrival_spec(args.arrival, factory, seed=args.seed)
+        simulator = FederatedStreamingSimulator(
+            specs, router=router, steal_threshold=args.steal_threshold
+        )
+        result = simulator.run(arrivals, horizon=args.horizon)
+
+        comparison = None
+        if args.compare_global:
+            # Equal-total-capacity single scheduler on the *same* stream:
+            # per-shard admission limits scale by the shard count so the
+            # two systems admit the same aggregate load.
+            global_admission = None
+            if admission is not None:
+                global_admission = AdmissionConfig(
+                    max_concurrent=(
+                        None
+                        if admission.max_concurrent is None
+                        else admission.max_concurrent * args.shards
+                    ),
+                    max_queue=(
+                        None
+                        if admission.max_queue is None
+                        else admission.max_queue * args.shards
+                    ),
+                )
+            global_run = StreamingSimulator(cluster=env_config.cluster).run(
+                parse_arrival_spec(args.arrival, factory, seed=args.seed),
+                ranker,
+                admission=global_admission,
+                horizon=args.horizon,
+                faults=build_faults(total, args.seed),
+                rescheduler=build_rescheduler(
+                    scheduler_specs[0] if scheduler_specs else None, total
+                ),
+            )
+            comparison = FederationComparison(result, global_run)
+    except ConfigError as exc:
+        print(f"federate: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"Federation: {args.shards} shards of {total} | router {args.router} "
+        f"| ranker {args.ranker} | seed {args.seed}"
+    )
+    if comparison is not None:
+        print(comparison.report())
+    else:
+        print(result.report())
+    if args.metrics_out:
+        payload = (
+            comparison.metrics_dict()
+            if comparison is not None
+            else result.metrics_dict()
+        )
+        Path(args.metrics_out).write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.gate_p99 is not None and result.aggregate.p99_jct > args.gate_p99:
+        print(
+            f"federate: p99 JCT {result.aggregate.p99_jct:.0f} exceeds the "
             f"--gate-p99 bound {args.gate_p99:g}",
             file=sys.stderr,
         )
@@ -1146,6 +1384,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "online": _cmd_online,
     "stream": _cmd_stream,
+    "federate": _cmd_federate,
     "serve": _cmd_serve,
     "verify": _cmd_verify,
     "lint": _cmd_lint,

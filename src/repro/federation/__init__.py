@@ -1,0 +1,80 @@
+"""Sharded multi-scheduler federation over the :mod:`repro.sim` kernel.
+
+One cluster, many schedulers: the capacity vector is partitioned into
+**shards**, each owned by a full online scheduling stack (any ranker /
+registry-spec rescheduler / admission configuration of its own), and a
+**routing layer** places every arrival on one shard while a **work
+stealer** migrates jobs across shards when load drifts past a
+threshold.  All shards cooperate on a single shared deterministic event
+kernel — ``ROUTE`` and ``STEAL`` are ordinary event classes interleaved
+with crashes, completions and arrivals — so a federated run is exactly
+as reproducible as a single-scheduler one.
+
+Layout:
+
+* :mod:`~repro.federation.shard` — :class:`ShardSpec` (declarative
+  configuration), :class:`Shard` (the live stack), capacity splitting;
+* :mod:`~repro.federation.kernelview` — kind-namespaced kernel views
+  that let N online stacks share one kernel without handler collisions;
+* :mod:`~repro.federation.routing` — the :class:`Router` protocol and
+  the round-robin / least-load / hash / affinity policies behind
+  ``"policy:key=val"`` spec strings;
+* :mod:`~repro.federation.stealing` — threshold rebalancing and crash
+  rescue as ``STEAL`` kernel events;
+* :mod:`~repro.federation.workload` — one arrival stream fanned across
+  shards via ``ROUTE`` events;
+* :mod:`~repro.federation.engine` — the federated streaming loop;
+* :mod:`~repro.federation.results` — per-shard reports, the
+  streaming-equivalent aggregate, the global-baseline comparison.
+
+The load-bearing invariant, pinned by the property suite: a 1-shard
+federation is a *strict superset* of
+:class:`repro.streaming.StreamingSimulator` — same arrivals, same
+ranker, same faults produce an **equal** result object.
+"""
+
+from .engine import FederatedStreamingSimulator
+from .ledger import FROM_ADMITTED, FROM_BACKLOG, RESCUE, FederationLedger, StealRecord
+from .results import (
+    FederationComparison,
+    FederationResult,
+    ShardReport,
+    aggregate_result,
+)
+from .routing import (
+    AffinityRouter,
+    HashRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    Router,
+    parse_router_spec,
+)
+from .shard import Shard, ShardSpec, split_capacities
+from .stealing import STEAL_KIND, WorkStealer
+from .workload import ROUTE_KIND, FederationWorkloadLayer
+
+__all__ = [
+    "AffinityRouter",
+    "FROM_ADMITTED",
+    "FROM_BACKLOG",
+    "FederatedStreamingSimulator",
+    "FederationComparison",
+    "FederationLedger",
+    "FederationResult",
+    "FederationWorkloadLayer",
+    "HashRouter",
+    "LeastLoadedRouter",
+    "RESCUE",
+    "ROUTE_KIND",
+    "RoundRobinRouter",
+    "Router",
+    "STEAL_KIND",
+    "Shard",
+    "ShardReport",
+    "ShardSpec",
+    "StealRecord",
+    "WorkStealer",
+    "aggregate_result",
+    "parse_router_spec",
+    "split_capacities",
+]

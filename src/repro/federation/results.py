@@ -1,0 +1,263 @@
+"""Federation results: per-shard views, the aggregate, the comparison.
+
+The aggregate of a federated run is assembled as a genuine
+:class:`~repro.streaming.results.StreamingResult` — same outcome
+ordering, same utilization formulas over the summed slot-time
+integrals, same rejection/arrival ledger semantics — so everything that
+consumes streaming results (metrics schema, gates, reports) consumes
+federation results unchanged, and the 1-shard equivalence property can
+pin the federation as a strict superset by comparing results for
+*equality*.
+
+:class:`FederationResult` wraps the aggregate with the federation-only
+accounting: one :class:`ShardReport` per shard (its shard-local
+streaming view plus routing/stealing counters) and the full ordered
+steal record.  :class:`FederationComparison` pairs a federated run with
+an equal-total-capacity single-scheduler baseline for the
+``--compare-global`` CLI artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..faults.events import FaultEvent
+from ..online.results import OnlineResult
+from ..streaming.results import RejectedJob, StreamingResult
+from .ledger import FROM_ADMITTED, FROM_BACKLOG, RESCUE, FederationLedger, StealRecord
+from .shard import Shard
+
+__all__ = [
+    "FederationComparison",
+    "FederationResult",
+    "ShardReport",
+    "aggregate_result",
+]
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """One shard's view of a federated run.
+
+    Attributes:
+        shard_id: stable shard identity.
+        capacities: the shard's nominal capacity slice.
+        result: the shard-local streaming result (outcomes, utilization
+            integrals, fault record of *this* fault domain).  Its
+            ``arrivals`` field is 0 — arrivals are federation-level.
+        routed: jobs the router placed here.
+        stolen_in: jobs migrated in by the work stealer.
+        stolen_out: jobs migrated away by the work stealer.
+    """
+
+    shard_id: int
+    capacities: Tuple[int, ...]
+    result: StreamingResult
+    routed: int
+    stolen_in: int
+    stolen_out: int
+
+
+def aggregate_result(
+    shards: Sequence[Shard],
+    ledger: FederationLedger,
+    makespan: int,
+    start: int,
+) -> StreamingResult:
+    """Merge the shards' ledgers into one streaming-equivalent result.
+
+    Every formula mirrors
+    :meth:`repro.online.reporting.ReportingLayer.finalize` /
+    :meth:`~repro.streaming.reporting.StreamingReportingLayer.finalize_streaming`
+    over the *summed* busy/capacity integrals, which is what makes the
+    1-shard aggregate equal (not merely equivalent) to a standalone
+    streaming run.
+    """
+    dims = len(shards[0].capacities)
+    nominal_caps = [0] * dims
+    busy = [0] * dims
+    cap_area = [0] * dims
+    outcomes = []
+    executed_by_index: Dict[int, Any] = {}
+    admit_times: Dict[int, int] = {}
+    tagged_faults: List[Tuple[int, int, int, FaultEvent]] = []
+    rejections: List[RejectedJob] = list(ledger.rejections)
+    crashes = recoveries = retries = 0
+
+    for shard in shards:
+        reporting = shard.reporting
+        reporting.account(shard.execution.state, makespan)
+        for r in range(dims):
+            nominal_caps[r] += reporting.nominal_capacities[r]
+            busy[r] += reporting.busy_area[r]
+            cap_area[r] += reporting.capacity_area[r]
+        outcomes.extend(reporting.outcomes)
+        executed_by_index.update(reporting.executed)
+        admit_times.update(reporting.admit_times)
+        for idx, event in enumerate(reporting.fault_events):
+            tagged_faults.append((event.time, shard.id, idx, event))
+        rejections.extend(reporting.rejections)
+        fstate = shard.execution.fstate
+        if fstate is not None:
+            crashes += fstate.crashes
+            recoveries += fstate.recoveries
+            retries += fstate.total_retries
+
+    horizon = max(1, makespan - start)
+    nominal = tuple(busy[r] / (horizon * nominal_caps[r]) for r in range(dims))
+    effective = tuple(
+        busy[r] / cap_area[r] if cap_area[r] > 0 else nominal[r]
+        for r in range(dims)
+    )
+    outcomes.sort(key=lambda o: o.job_index)
+    tagged_faults.sort(key=lambda t: (t[0], t[1], t[2]))
+    rejections.sort(key=lambda r: r.index)
+    online = OnlineResult(
+        outcomes=tuple(outcomes),
+        makespan=makespan,
+        mean_utilization=effective,
+        nominal_utilization=nominal,
+        crashes=crashes,
+        recoveries=recoveries,
+        total_retries=retries,
+        fault_events=tuple(event for _, _, _, event in tagged_faults),
+        executed=tuple(executed_by_index[o.job_index] for o in outcomes),
+    )
+    delays = tuple(admit_times[o.job_index] - o.arrival_time for o in outcomes)
+    return StreamingResult(
+        online=online,
+        queueing_delays=delays,
+        rejected=tuple(rejections),
+        in_system=tuple(ledger.in_system_series),
+        arrivals=ledger.arrivals_seen,
+        start_time=start,
+        horizon_cutoff=(
+            ledger.horizon_cutoff if ledger.horizon_cutoff is not None else -1
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class FederationResult:
+    """Aggregate outcome of one federated run.
+
+    Attributes:
+        aggregate: the federation-wide streaming-equivalent result.
+        shards: per-shard views, ascending shard id.
+        steals: every cross-shard migration, in occurrence order.
+        router: the routing policy's name.
+        steal_threshold: the configured imbalance threshold, or -1 when
+            stealing was disabled.
+    """
+
+    aggregate: StreamingResult
+    shards: Tuple[ShardReport, ...]
+    steals: Tuple[StealRecord, ...]
+    router: str
+    steal_threshold: int = -1
+
+    def steal_counts(self) -> Dict[str, int]:
+        """Migration counts by candidate source."""
+        counts = {FROM_BACKLOG: 0, FROM_ADMITTED: 0, RESCUE: 0}
+        for steal in self.steals:
+            counts[steal.source] = counts.get(steal.source, 0) + 1
+        return counts
+
+    def metrics_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON-ready summary: streaming schema + shards."""
+        base = self.aggregate.metrics_dict()
+        base["federation"] = {
+            "router": self.router,
+            "steal_threshold": self.steal_threshold,
+            "steals": {"total": len(self.steals), **self.steal_counts()},
+            "shards": [
+                {
+                    "id": report.shard_id,
+                    "capacities": list(report.capacities),
+                    "routed": report.routed,
+                    "admitted": report.result.admitted,
+                    "completed": report.result.online.completed_jobs,
+                    "failed": report.result.online.failed_jobs,
+                    "rejected": len(report.result.rejected),
+                    "stolen_in": report.stolen_in,
+                    "stolen_out": report.stolen_out,
+                    "utilization": list(report.result.online.mean_utilization),
+                    "p99_jct": report.result.p99_jct,
+                }
+                for report in self.shards
+            ],
+        }
+        return base
+
+    def report(self) -> str:
+        """Plain-text operator summary: aggregate plus per-shard lines."""
+        lines = [self.aggregate.report()]
+        counts = self.steal_counts()
+        lines.append(
+            f"federation: {len(self.shards)} shards, router {self.router}, "
+            f"steals {len(self.steals)} "
+            f"(backlog {counts[FROM_BACKLOG]}, admitted {counts[FROM_ADMITTED]}, "
+            f"rescue {counts[RESCUE]})"
+        )
+        for report in self.shards:
+            util = "/".join(
+                f"{u:.0%}" for u in report.result.online.mean_utilization
+            )
+            lines.append(
+                f"  shard {report.shard_id} {report.capacities}: "
+                f"routed {report.routed} admitted {report.result.admitted} "
+                f"completed {report.result.online.completed_jobs} "
+                f"failed {report.result.online.failed_jobs} "
+                f"steal +{report.stolen_in}/-{report.stolen_out} "
+                f"util {util} p99 {report.result.p99_jct:.0f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FederationComparison:
+    """A federated run against its equal-capacity global baseline.
+
+    The baseline is a single :class:`~repro.streaming.StreamingSimulator`
+    over the *total* capacity vector, same arrival stream, same fault
+    spec — the "one big scheduler" the federation trades against.
+    """
+
+    federation: FederationResult
+    global_run: StreamingResult
+
+    def metrics_dict(self) -> Dict[str, Any]:
+        fed = self.federation.aggregate
+        glob = self.global_run
+        return {
+            "schema": 1,
+            "mode": "federation_vs_global",
+            "federation": self.federation.metrics_dict(),
+            "global": glob.metrics_dict(),
+            "delta": {
+                "p99_jct": fed.p99_jct - glob.p99_jct,
+                "mean_jct": (
+                    (fed.online.mean_jct if fed.online.outcomes else 0.0)
+                    - (glob.online.mean_jct if glob.online.outcomes else 0.0)
+                ),
+                "throughput_jobs_per_slot": fed.throughput - glob.throughput,
+                "completed": fed.online.completed_jobs - glob.online.completed_jobs,
+            },
+        }
+
+    def report(self) -> str:
+        fed = self.federation.aggregate
+        glob = self.global_run
+        return "\n".join(
+            [
+                "== federation ==",
+                self.federation.report(),
+                "== global baseline ==",
+                glob.report(),
+                "== delta (federation - global) ==",
+                f"p99 JCT {fed.p99_jct - glob.p99_jct:+.0f} slots | "
+                f"throughput {fed.throughput - glob.throughput:+.4f} jobs/slot | "
+                f"completed {fed.online.completed_jobs - glob.online.completed_jobs:+d}",
+            ]
+        )

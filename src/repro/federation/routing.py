@@ -1,0 +1,233 @@
+"""Routing policies: which shard an arriving job is placed on.
+
+A :class:`Router` maps each routable arrival to one of the shards that
+can feasibly run it.  Routing fires as a ``ROUTE`` kernel event (class
+5 — after every same-instant ``ARRIVAL``, before ``STEAL`` and
+``REPLAN``), so a policy reads fully settled shard loads and two runs
+of the same spec route identically.
+
+Policies, selectable by ``"policy:key=val,..."`` spec strings via
+:func:`parse_router_spec`:
+
+* ``round-robin`` — cycle through the feasible shards in arrival
+  order; the trivial policy (and the 1-shard equivalence pin's router);
+* ``least-load:metric=jobs|tasks`` — the shard with the lowest load
+  (jobs in system, or remaining tasks), lowest id on ties;
+* ``hash:salt=N`` — stateless deterministic spreading by a Knuth
+  multiplicative mix of the arrival index (never Python's ``hash()``,
+  which is process-randomized);
+* ``affinity:spill=N`` — locality: arrival ``i`` homes on shard
+  ``i % num_shards``; with ``spill=`` set, a home already carrying at
+  least ``N`` jobs overflows to the least-loaded feasible shard.
+
+No policy ever invents randomness: every choice is a pure function of
+(arrival index, shard loads, shard ids).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Sequence
+
+from ..errors import ConfigError
+from ..online.results import ArrivingJob
+from .shard import Shard
+
+__all__ = [
+    "AffinityRouter",
+    "HashRouter",
+    "LeastLoadedRouter",
+    "RoundRobinRouter",
+    "Router",
+    "parse_router_spec",
+]
+
+
+class Router(Protocol):
+    """Placement policy: pick one feasible shard per routable arrival."""
+
+    name: str
+
+    def route(
+        self,
+        index: int,
+        job: ArrivingJob,
+        feasible: Sequence[Shard],
+        num_shards: int,
+    ) -> Shard:
+        """Choose among ``feasible`` (nonempty, ascending shard id).
+
+        Args:
+            index: arrival index of the job (the stream position).
+            job: the arriving job (graph and arrival time).
+            feasible: shards whose capacities can run every task.
+            num_shards: size of the whole shard universe (affinity
+                homes are computed over it, not the feasible subset).
+        """
+
+
+class RoundRobinRouter:
+    """Cycle through feasible shards; position advances per routed job."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(
+        self,
+        index: int,
+        job: ArrivingJob,
+        feasible: Sequence[Shard],
+        num_shards: int,
+    ) -> Shard:
+        del index, job, num_shards
+        shard = feasible[self._next % len(feasible)]
+        self._next += 1
+        return shard
+
+
+class LeastLoadedRouter:
+    """Lowest load wins; ties break to the lowest shard id.
+
+    Args:
+        metric: ``"jobs"`` counts jobs in system (active + backlog);
+            ``"tasks"`` counts remaining tasks, which weighs wide DAGs
+            more honestly under heterogeneous job sizes.
+    """
+
+    name = "least-load"
+
+    def __init__(self, metric: str = "jobs") -> None:
+        if metric not in ("jobs", "tasks"):
+            raise ConfigError(
+                f"least-load metric must be jobs or tasks, got {metric!r}"
+            )
+        self.metric = metric
+
+    def _load(self, shard: Shard) -> int:
+        return shard.load() if self.metric == "jobs" else shard.task_load()
+
+    def route(
+        self,
+        index: int,
+        job: ArrivingJob,
+        feasible: Sequence[Shard],
+        num_shards: int,
+    ) -> Shard:
+        del index, job, num_shards
+        return min(feasible, key=lambda s: (self._load(s), s.id))
+
+
+class HashRouter:
+    """Stateless spreading by a multiplicative hash of the arrival index.
+
+    Args:
+        salt: mixed into the hash so distinct federations decorrelate.
+    """
+
+    name = "hash"
+
+    _KNUTH = 2654435761  # golden-ratio multiplier, 2**32 scale
+
+    def __init__(self, salt: int = 0) -> None:
+        self.salt = int(salt)
+
+    def route(
+        self,
+        index: int,
+        job: ArrivingJob,
+        feasible: Sequence[Shard],
+        num_shards: int,
+    ) -> Shard:
+        del job, num_shards
+        mixed = ((index + self.salt) * self._KNUTH) % (2**32)
+        return feasible[mixed % len(feasible)]
+
+
+class AffinityRouter:
+    """Locality first: arrival ``i`` homes on shard ``i % num_shards``.
+
+    Args:
+        spill: when set, a home shard already at ``spill`` or more jobs
+            in system overflows the arrival to the least-loaded feasible
+            shard (load-aware escape hatch for hot homes).
+    """
+
+    name = "affinity"
+
+    def __init__(self, spill: Optional[int] = None) -> None:
+        if spill is not None and spill < 1:
+            raise ConfigError(f"affinity spill must be >= 1, got {spill}")
+        self.spill = spill
+
+    def route(
+        self,
+        index: int,
+        job: ArrivingJob,
+        feasible: Sequence[Shard],
+        num_shards: int,
+    ) -> Shard:
+        del job
+        home_id = index % num_shards
+        home = next((s for s in feasible if s.id == home_id), None)
+        if home is not None and (self.spill is None or home.load() < self.spill):
+            return home
+        return min(feasible, key=lambda s: (s.load(), s.id))
+
+
+def _parse_options(raw: str, spec: str) -> Dict[str, str]:
+    options: Dict[str, str] = {}
+    for part in [p.strip() for p in raw.split(",") if p.strip()]:
+        if "=" not in part:
+            raise ConfigError(
+                f"router option {part!r} in {spec!r} is not key=value"
+            )
+        key, _, value = part.partition("=")
+        options[key.strip()] = value.strip()
+    return options
+
+
+def _pop_int(options: Dict[str, str], key: str, spec: str) -> int:
+    try:
+        return int(options.pop(key))
+    except ValueError as exc:
+        raise ConfigError(f"router spec {spec!r}: bad integer for {key}") from exc
+
+
+def parse_router_spec(spec: str) -> Router:
+    """Build a :class:`Router` from a ``policy:key=value,...`` spec.
+
+    Supported policies::
+
+        round-robin                 cycle through feasible shards
+        least-load:metric=jobs      lowest load (metric: jobs|tasks)
+        hash:salt=7                 stateless index hashing
+        affinity:spill=4            index % shards, spill when hot
+
+    Raises:
+        ConfigError: on unknown policies, unknown keys, or bad values.
+    """
+    kind, _, raw = spec.partition(":")
+    kind = kind.strip()
+    options = _parse_options(raw, spec)
+    router: Router
+    if kind == "round-robin":
+        router = RoundRobinRouter()
+    elif kind == "least-load":
+        router = LeastLoadedRouter(metric=options.pop("metric", "jobs"))
+    elif kind == "hash":
+        salt = _pop_int(options, "salt", spec) if "salt" in options else 0
+        router = HashRouter(salt=salt)
+    elif kind == "affinity":
+        spill = _pop_int(options, "spill", spec) if "spill" in options else None
+        router = AffinityRouter(spill=spill)
+    else:
+        raise ConfigError(
+            f"unknown router policy {kind!r}; expected round-robin, "
+            "least-load, hash or affinity"
+        )
+    if options:
+        raise ConfigError(
+            f"unknown router option(s) {sorted(options)} in {spec!r}"
+        )
+    return router

@@ -1,0 +1,216 @@
+"""Cross-shard work stealing: threshold rebalancing and crash rescue.
+
+After each settled instant the engine asks the stealer whether the
+shard loads have drifted past the configured imbalance threshold; if
+so, a ``STEAL`` kernel event (class 6 — after any same-instant routing,
+before replans see the final population) is scheduled at the current
+instant and drained immediately, so every migration is an ordered,
+recorded kernel occurrence.
+
+The balancing loop repeatedly moves one job from the most- to the
+least-loaded shard (ties to the lowest id) and stops when the gap is
+within the threshold or no candidate can move.  Candidates, in order:
+
+1. the donor's **backlog tail** — the newest queued job (FIFO fairness
+   keeps the oldest waiting jobs at their original shard);
+2. an **admitted job with no attempts started** — nothing has run,
+   nothing is running, and no retry/backoff event can reference it, so
+   its bookkeeping moves wholesale (the original admission time travels
+   with it, keeping queueing-delay accounting honest).
+
+Termination is structural: a move only happens when the donor–thief gap
+is at least 2, and each move shrinks that gap by exactly 2, so the sum
+of squared loads strictly decreases — the loop cannot ping-pong.
+
+:meth:`WorkStealer.rescue` is the fault-domain escape hatch: when the
+whole federation is wedged (nothing runnable anywhere, typically after
+a permanent capacity loss), never-started jobs are force-moved off
+their shard to any shard whose *current* (post-crash) capacities can
+host them, regardless of the threshold.  Jobs that already ran attempts
+stay put and fail loudly, exactly as in a standalone streaming run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..online.execution import ActiveJob
+from ..sim import Event, EventClass, SimKernel
+from ..streaming.admission import ADMIT, QUEUE, QueuedJob
+from .ledger import FROM_ADMITTED, FROM_BACKLOG, RESCUE, FederationLedger, StealRecord
+from .shard import Shard
+
+__all__ = ["STEAL_KIND", "WorkStealer"]
+
+STEAL_KIND = "federation.steal"
+
+_BALANCE = "balance"
+
+
+class WorkStealer:
+    """Threshold-triggered migration between a federation's shards.
+
+    Args:
+        shards: the shard universe, ascending id.
+        threshold: steal when ``max(load) - min(load)`` exceeds this
+            (>= 0; the load metric is jobs in system).
+        kernel: the shared federation kernel (steals are its events).
+        ledger: where migrations are recorded.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Shard],
+        threshold: int,
+        kernel: SimKernel,
+        ledger: FederationLedger,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError(f"steal threshold must be >= 0, got {threshold}")
+        self.shards = list(shards)
+        self.threshold = threshold
+        self.kernel = kernel
+        self.ledger = ledger
+        self._moved = False
+        kernel.register(STEAL_KIND, self._on_steal)
+
+    # ------------------------------------------------------------------ #
+    # engine entry points
+    # ------------------------------------------------------------------ #
+
+    def maybe_rebalance(self) -> None:
+        """Schedule and drain a STEAL event if loads drifted too far."""
+        if len(self.shards) < 2:
+            return
+        loads = [shard.load() for shard in self.shards]
+        gap = max(loads) - min(loads)
+        if gap <= self.threshold or gap < 2:
+            return
+        self.kernel.schedule(
+            self.kernel.now, EventClass.STEAL, STEAL_KIND, _BALANCE
+        )
+        self.kernel.drain_due()
+
+    def rescue(self) -> bool:
+        """Force-move never-started jobs off a wedged federation.
+
+        Returns:
+            True when at least one job migrated (the engine retries the
+            dispatch loop); False when nothing could move (the engine
+            falls through to per-shard ``fail_stuck``).
+        """
+        if len(self.shards) < 2:
+            return False
+        self._moved = False
+        self.kernel.schedule(self.kernel.now, EventClass.STEAL, STEAL_KIND, RESCUE)
+        self.kernel.drain_due()
+        return self._moved
+
+    # ------------------------------------------------------------------ #
+    # the STEAL event handler
+    # ------------------------------------------------------------------ #
+
+    def _on_steal(self, event: Event) -> None:
+        if event.payload == RESCUE:
+            self._rescue_round()
+        else:
+            self._balance_round()
+
+    def _balance_round(self) -> None:
+        now = self.kernel.now
+        while True:
+            donor = min(self.shards, key=lambda s: (-s.load(), s.id))
+            thief = min(self.shards, key=lambda s: (s.load(), s.id))
+            gap = donor.load() - thief.load()
+            if donor.id == thief.id or gap <= self.threshold or gap < 2:
+                return
+            if not self._move_one(donor, thief, now):
+                return
+
+    def _move_one(self, donor: Shard, thief: Shard, now: int) -> bool:
+        if donor.admission.backlog:
+            return self._steal_backlog(donor, thief, now)
+        return self._steal_admitted(donor, thief, now)
+
+    def _steal_backlog(self, donor: Shard, thief: Shard, now: int) -> bool:
+        queued = donor.admission.backlog.pop()
+        if thief.feasibility(queued.graph) is not None:
+            donor.admission.backlog.append(queued)
+            return False
+        decision = thief.admission.offer(queued, len(thief.execution.active))
+        if decision == ADMIT:
+            thief.admit(queued, now)
+        elif decision == QUEUE:
+            thief.reporting.record_queued(
+                queued.index, now, len(thief.admission.backlog)
+            )
+        else:  # thief backlog full: undo, stop stealing this instant
+            donor.admission.backlog.append(queued)
+            return False
+        self._record(donor, thief, queued.index, now, FROM_BACKLOG)
+        return True
+
+    def _steal_admitted(self, donor: Shard, thief: Shard, now: int) -> bool:
+        candidates = [
+            job for job in donor.execution.active.values() if not job.attempts
+        ]
+        if not candidates:
+            return False
+        # Newest arrival first: it has accrued the least shard locality.
+        job = max(candidates, key=lambda j: (j.arrival, j.index))
+        if thief.feasibility(job.graph) is not None or not thief.would_admit():
+            return False
+        self._migrate_admitted(donor, thief, job, now, FROM_ADMITTED)
+        return True
+
+    def _rescue_round(self) -> None:
+        now = self.kernel.now
+        for donor in self.shards:
+            movable: List[ActiveJob] = sorted(
+                (j for j in donor.execution.active.values() if not j.attempts),
+                key=lambda j: j.index,
+            )
+            for job in movable:
+                thief = self._rescue_target(donor, job)
+                if thief is not None:
+                    self._migrate_admitted(donor, thief, job, now, RESCUE)
+                    self._moved = True
+
+    def _rescue_target(self, donor: Shard, job: ActiveJob) -> Optional[Shard]:
+        for shard in self.shards:
+            if shard.id == donor.id:
+                continue
+            if shard.can_host_now(job.graph) and shard.would_admit():
+                return shard
+        return None
+
+    # ------------------------------------------------------------------ #
+    # migration mechanics
+    # ------------------------------------------------------------------ #
+
+    def _migrate_admitted(
+        self, donor: Shard, thief: Shard, job: ActiveJob, now: int, source: str
+    ) -> None:
+        """Move an admitted, never-started job's bookkeeping wholesale."""
+        del donor.execution.active[job.index]
+        donor.policy.forget(job.index)
+        admitted_at = donor.reporting.admit_times[job.index]
+        fresh = thief.execution.admit(job.index, job.arrival, job.graph)
+        thief.reporting.record_admission(job.index, admitted_at)
+        thief.policy.on_admit(fresh)
+        self._record(donor, thief, job.index, now, source)
+
+    def _record(
+        self, donor: Shard, thief: Shard, index: int, now: int, source: str
+    ) -> None:
+        donor.stolen_out += 1
+        thief.stolen_in += 1
+        self.ledger.record_steal(
+            StealRecord(
+                time=now,
+                job_index=index,
+                from_shard=donor.id,
+                to_shard=thief.id,
+                source=source,
+            )
+        )

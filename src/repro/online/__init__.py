@@ -20,6 +20,7 @@ from .rankers import (
     cp_ranker,
     tetris_ranker,
     plan_priority_ranker,
+    resolve_ranker,
 )
 from .simulator import (
     ArrivingJob,
@@ -36,6 +37,7 @@ __all__ = [
     "cp_ranker",
     "tetris_ranker",
     "plan_priority_ranker",
+    "resolve_ranker",
     "ArrivingJob",
     "JobOutcome",
     "OnlineResult",

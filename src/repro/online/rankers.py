@@ -25,6 +25,7 @@ __all__ = [
     "cp_ranker",
     "tetris_ranker",
     "plan_priority_ranker",
+    "resolve_ranker",
 ]
 
 
@@ -77,6 +78,27 @@ def tetris_ranker(ctx: TaskContext) -> Tuple:
     """Highest alignment score against free capacity first."""
     score = sum(d * f for d, f in zip(ctx.task.demands, ctx.free))
     return (-score, ctx.job_index, ctx.task.task_id)
+
+
+def resolve_ranker(name: str) -> Ranker:
+    """Map a CLI ranker name (``fifo|sjf|cp|tetris``) to its function.
+
+    Raises:
+        KeyError: with the sorted list of known names, for the CLI's
+            uniform "unknown ranker" error path.
+    """
+    known: Dict[str, Ranker] = {
+        "fifo": fifo_ranker,
+        "sjf": sjf_ranker,
+        "cp": cp_ranker,
+        "tetris": tetris_ranker,
+    }
+    ranker = known.get(name)
+    if ranker is None:
+        raise KeyError(
+            f"unknown ranker {name!r}; choose from {sorted(known)}"
+        )
+    return ranker
 
 
 def plan_priority_ranker(

@@ -50,7 +50,8 @@ every fault event; dispatch then follows the plan's priority order
 
 Determinism: every occurrence is a kernel event ordered by
 ``(time, priority_class, seq)`` with the documented class table
-(crash < recovery < completion < retry-ready < arrival < replan);
+(crash < recovery < completion < retry-ready < arrival < route <
+steal < replan);
 candidate order under equal ranker keys falls back to (job index, task
 id); all fault draws are keyed by (seed, job, task, attempt).  The same
 seed reproduces the run bit-for-bit, retry counts included.

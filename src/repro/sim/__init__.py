@@ -10,7 +10,8 @@ events).
 
 Determinism contract: two events never race.  At equal times the
 documented priority classes order them (crash < recovery < completion <
-retry-ready < arrival < replan — see :class:`EventClass`), and within
+retry-ready < arrival < route < steal < replan — see
+:class:`EventClass`), and within
 one ``(time, class)`` bucket the monotonically increasing push sequence
 number breaks the tie, so a run's realized event order is a pure
 function of what was scheduled.  The online executor

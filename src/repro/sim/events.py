@@ -16,7 +16,10 @@ class           value rationale
                       the capacity itself is released when the clock advances
 ``RETRY_READY`` 3     a backed-off attempt re-enters the ready set
 ``ARRIVAL``     4     admission reads the fully settled cluster instant
-``REPLAN``      5     replanning sees everything that happened at this time
+``ROUTE``       5     federation placement runs after every same-instant
+                      arrival has been offered, so routing sees them all
+``STEAL``       6     cross-shard rebalancing reads post-placement loads
+``REPLAN``      7     replanning sees everything that happened at this time
 =============== ===== ==========================================================
 
 Note the ``COMPLETION`` caveat: resource *release* is not an event — it
@@ -47,7 +50,9 @@ class EventClass(IntEnum):
     COMPLETION = 2
     RETRY_READY = 3
     ARRIVAL = 4
-    REPLAN = 5
+    ROUTE = 5
+    STEAL = 6
+    REPLAN = 7
 
 
 @dataclass

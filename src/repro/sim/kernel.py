@@ -22,8 +22,8 @@ One :meth:`tick` is one simulated instant, in three phases:
    on the settled instant.
 
 The kernel is deliberately policy-free: it never inspects payloads and
-has no notion of jobs, tasks or faults.  Layers own their semantics;
-the kernel owns *when* and *in what order*.
+has no notion of jobs, tasks, shards or faults.  Layers own their
+semantics; the kernel owns *when* and *in what order*.
 """
 
 from __future__ import annotations

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Iterator, Optional, Sequence
 
 from ..cluster.resources import validate_demands
-from ..errors import ConfigError, EnvironmentStateError
+from ..errors import CapacityError, ConfigError, EnvironmentStateError
 from ..online.execution import ExecutionLayer
 from ..online.policy import PolicyLayer
 from ..online.results import ArrivingJob
@@ -144,7 +144,7 @@ class StreamingWorkloadLayer:
         try:
             for task in graph:
                 validate_demands(task.demands, self.capacities, label=task.label())
-        except ConfigError as exc:
+        except (CapacityError, ConfigError) as exc:
             return str(exc)
         return None
 

@@ -117,6 +117,76 @@ class TestEntryPoints:
         assert found and "global '_TOTAL' rebound" in found[0].message
 
 
+class TestFederationPaths:
+    """Federation code fanned out to pool workers must stay write-free.
+
+    REP205 is entry-point driven (not package-scoped), so these pin that
+    federation-shaped modules — per-shard fan-out is the obvious place
+    to reach for a pool — get the same treatment as everything else.
+    """
+
+    def test_shard_worker_writing_route_table_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/federation/parallel.py": """
+                import multiprocessing
+
+                _ROUTES = {}
+
+                def _run_shard(spec):
+                    _ROUTES[spec.shard_id] = spec
+                    return spec.shard_id
+
+                def run_all(specs):
+                    with multiprocessing.Pool(4) as pool:
+                        return pool.map(_run_shard, specs)
+                """
+            },
+            RULE,
+        )
+        assert found and "_ROUTES" in found[0].message
+
+    def test_steal_counter_rebound_in_worker_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/federation/parallel.py": """
+                import multiprocessing
+
+                _STEALS = 0
+
+                def _run_shard(spec):
+                    global _STEALS
+                    _STEALS = _STEALS + 1
+                    return spec
+
+                def run_all(specs):
+                    with multiprocessing.Pool(2) as pool:
+                        return pool.map(_run_shard, specs)
+                """
+            },
+            RULE,
+        )
+        assert found and "global '_STEALS' rebound" in found[0].message
+
+    def test_pure_shard_fanout_is_clean(self, flow_hits):
+        # The legitimate shape: workers return results; the parent merges.
+        assert not flow_hits(
+            {
+                "repro/federation/parallel.py": """
+                import multiprocessing
+
+                def _run_shard(spec):
+                    return spec.shard_id, spec.capacities
+
+                def run_all(specs):
+                    with multiprocessing.Pool(4) as pool:
+                        return pool.map(_run_shard, specs)
+                """
+            },
+            RULE,
+        )
+
+
 class TestNegatives:
     def test_pure_worker_is_clean(self, flow_hits):
         assert not flow_hits(

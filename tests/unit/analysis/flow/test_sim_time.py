@@ -1,4 +1,4 @@
-"""REP203 — sim-time discipline inside repro.sim/online/cluster/streaming."""
+"""REP203 — sim-time discipline in repro.sim/online/cluster/streaming/federation."""
 
 
 RULE = "REP203"
@@ -142,6 +142,67 @@ class TestStreamingScope:
 
                 def delay(admit_at, arrival):
                     return admit_at - arrival
+                """
+            },
+            RULE,
+        )
+
+
+class TestFederationScope:
+    """repro.federation runs on the shared kernel; REP203 must cover it."""
+
+    def test_wall_clock_in_federation_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/federation/stealing.py": """
+                import time
+
+                def steal_deadline():
+                    return time.time()
+                """
+            },
+            RULE,
+        )
+        assert found and "wall-clock read time.time()" in found[0].message
+
+    def test_float_drift_on_federation_clock_flagged(self, flow_hits):
+        # A "soft" steal threshold expressed as a fractional instant is
+        # exactly the drift the integer-slot discipline forbids.
+        found = flow_hits(
+            {
+                "repro/federation/engine.py": """
+                def steal_at(now):
+                    return now + 0.5
+                """
+            },
+            RULE,
+        )
+        assert found
+
+    def test_monotonic_in_router_flagged(self, flow_hits):
+        found = flow_hits(
+            {
+                "repro/federation/routing.py": """
+                from time import monotonic
+
+                def route_stamp(index):
+                    return index, monotonic()
+                """
+            },
+            RULE,
+        )
+        assert found
+
+    def test_integer_federation_time_math_clean(self, flow_hits):
+        # The shape of the real stealer/engine: integer loads and instants.
+        assert not flow_hits(
+            {
+                "repro/federation/stealing.py": """
+                def gap(loads):
+                    return max(loads) - min(loads)
+
+                def settle(now, horizon):
+                    return now + horizon
                 """
             },
             RULE,

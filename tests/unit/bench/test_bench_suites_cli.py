@@ -15,6 +15,7 @@ EXPECTED_GROUPS = {
     "faults",
     "online",
     "streaming",
+    "federation",
     "telemetry",
     "lint",
 }

@@ -42,6 +42,8 @@ class TestEventQueue:
         q = EventQueue()
         order = [
             EventClass.REPLAN,
+            EventClass.STEAL,
+            EventClass.ROUTE,
             EventClass.ARRIVAL,
             EventClass.RETRY_READY,
             EventClass.COMPLETION,
@@ -52,6 +54,18 @@ class TestEventQueue:
             q.push(9, klass)
         popped = [q.pop().klass for _ in range(len(order))]
         assert popped == sorted(order, key=int)
+
+    def test_federation_classes_order_after_arrivals(self):
+        # The federation contract: at one instant every arrival is
+        # offered before placement runs, placements settle before
+        # stealing reads the loads, and replans react last.
+        q = EventQueue()
+        q.push(7, EventClass.REPLAN, "replan")
+        q.push(7, EventClass.STEAL, "steal")
+        q.push(7, EventClass.ARRIVAL, "arrival")
+        q.push(7, EventClass.ROUTE, "route")
+        kinds = [q.pop().kind for _ in range(4)]
+        assert kinds == ["arrival", "route", "steal", "replan"]
 
     def test_equal_key_events_pop_in_insertion_order(self):
         q = EventQueue()
