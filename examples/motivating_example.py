@@ -11,7 +11,7 @@ Run:
     python examples/motivating_example.py
 """
 
-from repro import EnvConfig, MctsConfig, make_scheduler, motivating_example
+from repro import EnvConfig, MctsConfig, ScheduleRequest, make_scheduler, motivating_example
 from repro.config import ClusterConfig
 from repro.dag.examples import MOTIVATING_CAPACITY, MOTIVATING_T
 from repro.mcts import MctsScheduler
@@ -30,7 +30,7 @@ def main() -> None:
           f"{MOTIVATING_CAPACITY} (CPU, memory)\n")
 
     # The exact optimum, certified by branch and bound.
-    optimal = make_scheduler("optimal", env_config).schedule(graph)
+    optimal = make_scheduler("optimal", env_config).plan(ScheduleRequest(graph))
     validate_schedule(optimal, graph, MOTIVATING_CAPACITY)
     print(f"optimal (branch & bound): {optimal.makespan} slots "
           f"({optimal.makespan // MOTIVATING_T}T)")
@@ -38,7 +38,7 @@ def main() -> None:
     print()
 
     # Tetris: dependency-blind packing -> 3T.
-    tetris = make_scheduler("tetris", env_config).schedule(graph)
+    tetris = make_scheduler("tetris", env_config).plan(ScheduleRequest(graph))
     validate_schedule(tetris, graph, MOTIVATING_CAPACITY)
     print(f"tetris (greedy packing): {tetris.makespan} slots "
           f"({tetris.makespan // MOTIVATING_T}T)")
@@ -49,7 +49,7 @@ def main() -> None:
     mcts = MctsScheduler(
         MctsConfig(initial_budget=200, min_budget=20), env_config, seed=0
     )
-    found = mcts.schedule(graph)
+    found = mcts.plan(ScheduleRequest(graph))
     validate_schedule(found, graph, MOTIVATING_CAPACITY)
     print(f"mcts (budget 200): {found.makespan} slots "
           f"({found.makespan // MOTIVATING_T}T)")

@@ -12,7 +12,7 @@ Run (takes ~1 minute):
     python examples/parallel_search_tournament.py
 """
 
-from repro import EnvConfig, MctsConfig, WorkloadConfig, random_layered_dag
+from repro import EnvConfig, MctsConfig, ScheduleRequest, WorkloadConfig, random_layered_dag
 from repro.experiments import run_tournament
 from repro.mcts import MctsScheduler, RootParallelMcts
 from repro.schedulers import make_scheduler
@@ -39,8 +39,8 @@ def main() -> None:
     )
     print("root parallelization (same per-worker budget):")
     for i, graph in enumerate(graphs):
-        one = single.schedule(graph).makespan
-        best = parallel.schedule(graph).makespan
+        one = single.plan(ScheduleRequest(graph)).makespan
+        best = parallel.plan(ScheduleRequest(graph)).makespan
         print(f"  dag {i}: single search {one}, best of 4 {best}")
 
     # --- tournament across every baseline ------------------------------

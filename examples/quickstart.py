@@ -15,6 +15,7 @@ import sys
 from repro import (
     EnvConfig,
     MctsConfig,
+    ScheduleRequest,
     WorkloadConfig,
     make_scheduler,
     random_layered_dag,
@@ -42,7 +43,7 @@ def main() -> None:
 
     schedules = {}
     for name in ("tetris", "sjf", "cp", "graphene"):
-        schedule = make_scheduler(name, env_config).schedule(graph)
+        schedule = make_scheduler(name, env_config).plan(ScheduleRequest(graph))
         validate_schedule(schedule, graph, capacities)  # raises if infeasible
         schedules[name] = schedule
 
@@ -51,7 +52,7 @@ def main() -> None:
     mcts = MctsScheduler(
         MctsConfig(initial_budget=100, min_budget=20), env_config, seed=seed
     )
-    schedules["mcts"] = mcts.schedule(graph)
+    schedules["mcts"] = mcts.plan(ScheduleRequest(graph))
     validate_schedule(schedules["mcts"], graph, capacities)
 
     print()

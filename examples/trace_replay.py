@@ -10,7 +10,7 @@ Run (takes ~1 minute):
     python examples/trace_replay.py
 """
 
-from repro import EnvConfig, MctsConfig, make_scheduler, validate_schedule
+from repro import EnvConfig, MctsConfig, ScheduleRequest, make_scheduler, validate_schedule
 from repro.core import build_spear, train_spear_network
 from repro.config import TrainingConfig
 from repro.metrics import reduction
@@ -57,8 +57,8 @@ def main() -> None:
     print("\nreplaying the first 8 jobs (Fig. 9(c) metric):")
     reductions = []
     for job in trace.jobs[:8]:
-        ours = spear.schedule(job.graph)
-        base = graphene.schedule(job.graph)
+        ours = spear.plan(ScheduleRequest(job.graph))
+        base = graphene.plan(ScheduleRequest(job.graph))
         validate_schedule(ours, job.graph, capacities)
         validate_schedule(base, job.graph, capacities)
         r = reduction(ours.makespan, base.makespan)

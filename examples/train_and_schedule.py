@@ -19,6 +19,7 @@ from pathlib import Path
 from repro import (
     EnvConfig,
     MctsConfig,
+    ScheduleRequest,
     TrainingConfig,
     WorkloadConfig,
     load_checkpoint,
@@ -74,8 +75,8 @@ def main() -> None:
     spear_makespans, graphene_makespans = [], []
     capacities = env_config.cluster.capacities
     for i, graph in enumerate(graphs):
-        ours = spear.schedule(graph)
-        base = graphene.schedule(graph)
+        ours = spear.plan(ScheduleRequest(graph))
+        base = graphene.plan(ScheduleRequest(graph))
         validate_schedule(ours, graph, capacities)
         validate_schedule(base, graph, capacities)
         spear_makespans.append(ours.makespan)

@@ -11,7 +11,7 @@ Run (takes ~1 minute):
     python examples/value_network_extension.py
 """
 
-from repro import EnvConfig, MctsConfig, WorkloadConfig, random_layered_dag
+from repro import EnvConfig, MctsConfig, ScheduleRequest, WorkloadConfig, random_layered_dag
 from repro.core import NetworkExpansion, TruncatedRollout, build_spear, train_spear_network
 from repro.config import TrainingConfig
 from repro.mcts import MctsScheduler
@@ -68,8 +68,8 @@ def main() -> None:
     print("\nfull rollouts vs value-truncated rollouts (same budget):")
     capacities = env_config.cluster.capacities
     for i, graph in enumerate(eval_graphs):
-        a = full.schedule(graph)
-        b = truncated.schedule(graph)
+        a = full.plan(ScheduleRequest(graph))
+        b = truncated.plan(ScheduleRequest(graph))
         validate_schedule(a, graph, capacities)
         validate_schedule(b, graph, capacities)
         print(

@@ -36,6 +36,8 @@ from .env import PROCESS, SchedulingEnv
 from .metrics import Schedule, validate_schedule, compare_makespans
 from .schedulers import (
     GrapheneScheduler,
+    Scheduler,
+    ScheduleRequest,
     TetrisPolicy,
     available_schedulers,
     make_scheduler,
@@ -65,6 +67,8 @@ __all__ = [
     "validate_schedule",
     "compare_makespans",
     "GrapheneScheduler",
+    "Scheduler",
+    "ScheduleRequest",
     "TetrisPolicy",
     "available_schedulers",
     "make_scheduler",

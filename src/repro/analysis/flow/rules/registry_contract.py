@@ -27,6 +27,14 @@ This rule cross-checks all three statically:
 * spec-string literals (including f-strings with holes) whose name is
   registered but whose keys are not in that scheduler's schema or the
   wrapper set.
+
+The closed-kind spec families share the same grammar
+(:mod:`repro.specs`) and publish their schemas as dict literals in
+``repro.specs.catalog`` (``ARRIVAL_SPEC_SCHEMAS``,
+``ROUTER_SPEC_SCHEMAS``).  The rule reads those literals statically and
+applies the same spec-literal check to ``"poisson:rate=..."`` and
+``"least-load:metric=..."`` strings — without the wrapper-key allowance,
+which is a scheduler-only concept.
 """
 
 from __future__ import annotations
@@ -48,11 +56,31 @@ _WRAPPER_KEYS = frozenset({"verify", "telemetry", "fallback", "replan_budget"})
 #: placeholder standing in for an f-string interpolation hole.
 _HOLE = "\x00"
 
+#: Names may contain hyphens (``round-robin``, ``least-load``); option
+#: keys may not (they must be valid ``**kwargs`` identifiers).
 _SPEC_RE = re.compile(
-    r"^(?P<name>[A-Za-z_\x00][A-Za-z0-9_\x00]*):"
+    r"^(?P<name>[A-Za-z_\x00][A-Za-z0-9_\x00-]*):"
     r"(?P<opts>[A-Za-z_\x00][A-Za-z0-9_\x00]*=[^,\s]+"
     r"(?:,[A-Za-z_\x00][A-Za-z0-9_\x00]*=[^,\s]+)*)$"
 )
+
+#: ``repro.specs.catalog`` assignments holding closed-kind schemas, and
+#: the noun spec-literal violations use for each family.
+_CATALOG_TABLES = {
+    "ARRIVAL_SPEC_SCHEMAS": "arrival kind",
+    "ROUTER_SPEC_SCHEMAS": "router policy",
+}
+
+
+@dataclass(frozen=True)
+class _SpecFamily:
+    """One checkable spec-name family: who owns the name, what keys it
+    takes, and which extra keys are always legal (wrapper keys for
+    schedulers, nothing for the closed-kind families)."""
+
+    noun: str
+    keys: Optional[Set[str]]  #: None when not statically known
+    extra: frozenset = frozenset()
 
 
 @dataclass
@@ -140,9 +168,14 @@ class RegistryContractRule(FlowRule):
         registrations = self._find_registrations(project)
         violations: List[LintViolation] = []
         violations.extend(self._check_registrations(project, registrations))
-        schemas = self._merged_schemas(registrations)
-        if schemas:
-            violations.extend(self._check_spec_literals(project, schemas))
+        families: Dict[str, _SpecFamily] = {
+            name: _SpecFamily("scheduler", keys, _WRAPPER_KEYS)
+            for name, keys in self._merged_schemas(registrations).items()
+        }
+        for kind, family in self._catalog_families(project).items():
+            families.setdefault(kind, family)
+        if families:
+            violations.extend(self._check_spec_literals(project, families))
         return violations
 
     # ------------------------------------------------------------------ #
@@ -272,8 +305,46 @@ class RegistryContractRule(FlowRule):
     # spec-literal checks
     # ------------------------------------------------------------------ #
 
+    def _catalog_families(
+        self, project: ProjectGraph
+    ) -> Dict[str, _SpecFamily]:
+        """Closed-kind schemas published as dict literals by the shared
+        grammar's catalog (``repro.specs.catalog``)."""
+        families: Dict[str, _SpecFamily] = {}
+        for module in project.modules.values():
+            for node in module.tree.body:
+                if isinstance(node, ast.Assign):
+                    targets = [
+                        t for t in node.targets if isinstance(t, ast.Name)
+                    ]
+                    value: Optional[ast.expr] = node.value
+                elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    targets = [node.target]
+                    value = node.value
+                else:
+                    continue
+                for target in targets:
+                    noun = _CATALOG_TABLES.get(target.id)
+                    if noun is None or not isinstance(value, ast.Dict):
+                        continue
+                    for kind_node, schema_node in zip(value.keys, value.values):
+                        kind = _constant_str(kind_node)
+                        if kind is None:
+                            continue
+                        keys: Optional[Set[str]] = None
+                        if isinstance(schema_node, ast.Dict):
+                            literal = [
+                                _constant_str(k) for k in schema_node.keys
+                            ]
+                            if all(k is not None for k in literal):
+                                keys = {k for k in literal if k is not None}
+                        families.setdefault(kind, _SpecFamily(noun, keys))
+        return families
+
     def _check_spec_literals(
-        self, project: ProjectGraph, schemas: Dict[str, Optional[Set[str]]]
+        self, project: ProjectGraph, families: Dict[str, _SpecFamily]
     ) -> Iterable[LintViolation]:
         violations: List[LintViolation] = []
         for module in project.modules.values():
@@ -287,12 +358,12 @@ class RegistryContractRule(FlowRule):
                 if match is None:
                     continue
                 name = match.group("name")
-                if _HOLE in name or name not in schemas:
-                    continue  # dynamic or unregistered name: out of scope
-                schema = schemas[name]
-                if schema is None:
-                    continue  # schema not statically known
-                known = schema | _WRAPPER_KEYS
+                if _HOLE in name:
+                    continue  # dynamic name: out of scope
+                family = families.get(name)
+                if family is None or family.keys is None:
+                    continue  # unregistered name or non-literal schema
+                known = family.keys | family.extra
                 for entry in match.group("opts").split(","):
                     key = entry.partition("=")[0]
                     if _HOLE in key or key in known:
@@ -302,7 +373,7 @@ class RegistryContractRule(FlowRule):
                             node,
                             module.path,
                             f"spec string {text.replace(_HOLE, '{…}')!r} "
-                            f"uses option {key!r}, unknown to scheduler "
+                            f"uses option {key!r}, unknown to {family.noun} "
                             f"{name!r} (known: {sorted(known)})",
                         )
                     )

@@ -20,8 +20,10 @@ from ..config import EnvConfig, MctsConfig
 from ..dag.graph import TaskGraph
 from ..env.actions import PROCESS
 from ..env.scheduling_env import SchedulingEnv
+from ..envarr.backend import AnyEnv, make_env
 from ..experiments.fig6 import generate_dags
 from ..experiments.scale import resolve_scale
+from ..schedulers.base import ScheduleRequest
 from ..utils.rng import as_generator
 from .runner import BenchmarkSpec
 
@@ -33,8 +35,8 @@ def _fig6_graph(seed: int) -> TaskGraph:
     return generate_dags(resolve_scale(None), seed=seed)[0]
 
 
-def _env(seed: int) -> SchedulingEnv:
-    return SchedulingEnv(
+def _env(seed: int) -> AnyEnv:
+    return make_env(
         _fig6_graph(seed), EnvConfig(process_until_completion=True)
     )
 
@@ -190,11 +192,11 @@ def _setup_mcts_search(seed: int) -> Callable[[], None]:
     # The iteration count is deterministic for a fixed seed and workload,
     # so per-budget-unit time is wall time divided by a constant.
     probe = make_scheduler()
-    probe.schedule(graph)
+    probe.plan(ScheduleRequest(graph))
     iterations = probe.last_statistics.iterations
 
     def thunk() -> None:
-        make_scheduler().schedule(graph)
+        make_scheduler().plan(ScheduleRequest(graph))
 
     thunk.ops = iterations  # type: ignore[attr-defined]
     return thunk
@@ -299,6 +301,94 @@ def _setup_telemetry_span_enabled(seed: int) -> Callable[[], None]:
 # --------------------------------------------------------------------- #
 # faults group
 # --------------------------------------------------------------------- #
+
+
+# --------------------------------------------------------------------- #
+# envarr group (array backend)
+# --------------------------------------------------------------------- #
+
+
+def _setup_envarr_batch_playouts(seed: int) -> Callable[[], None]:
+    """256 lockstep random playouts through the batched kernel."""
+    from ..envarr.batch import BatchedPlayouts
+
+    graph = _fig6_graph(seed)
+    config = EnvConfig(process_until_completion=True, backend="array")
+    env = make_env(graph, config)
+    kernel = BatchedPlayouts(
+        env.arrays,
+        config.cluster.capacities,
+        until_completion=config.process_until_completion,
+        max_ready=config.max_ready,
+    )
+    lanes = [env] * 256  # run() copies lane state; inputs are never mutated
+    limit = 50 * (int(env.arrays.durations.sum()) + graph.num_tasks)
+    rng_seed = seed + 40_000
+
+    def thunk() -> None:
+        kernel.run(lanes, as_generator(rng_seed), limit)
+
+    thunk.ops = len(lanes)  # type: ignore[attr-defined]
+    return thunk
+
+
+def _setup_envarr_search_budget_unit(seed: int) -> Callable[[], None]:
+    """Array-backend MCTS with batched leaf collection, per budget unit.
+
+    Same workload as ``mcts.search_budget_unit`` but at a wide-wave
+    configuration (flat 512 budget, ``rollout_batch=512``) where the
+    fused playout kernel amortizes: most of each budget unit is rollout
+    work, which is exactly what the array backend batches.  Under the
+    decayed per-decision budgets of the object benchmark the waves are
+    too small to win — tree descent dominates — so this entry prices
+    the regime the backend is built for.
+    """
+    from ..mcts.search import MctsScheduler
+
+    graph = _fig6_graph(seed)
+    env_config = EnvConfig(process_until_completion=True, backend="array")
+    config = MctsConfig(
+        initial_budget=512,
+        min_budget=512,
+        use_budget_decay=False,
+        rollout_batch=512,
+    )
+
+    def make_scheduler() -> MctsScheduler:
+        return MctsScheduler(config, env_config, seed=seed)
+
+    probe = make_scheduler()
+    probe.plan(ScheduleRequest(graph))
+    iterations = probe.last_statistics.iterations
+
+    def thunk() -> None:
+        make_scheduler().plan(ScheduleRequest(graph))
+
+    thunk.ops = iterations  # type: ignore[attr-defined]
+    return thunk
+
+
+def _setup_envarr_observation_batch(seed: int) -> Callable[[], None]:
+    """Batched observation build over clones along one episode."""
+    from ..envarr.observation import BatchObservationBuilder
+
+    graph = _fig6_graph(seed)
+    config = EnvConfig(process_until_completion=True, backend="array")
+    env = make_env(graph, config)
+    rng = as_generator(seed + 50_000)
+    lanes = []
+    sim = env.clone()
+    while not sim.done and len(lanes) < 128:
+        lanes.append(sim.clone())
+        actions = sim.expansion_actions(work_conserving=True)
+        sim.step(actions[int(rng.integers(0, len(actions)))])
+    builder = BatchObservationBuilder(graph, config)
+
+    def thunk() -> None:
+        builder.build_batch(lanes)
+
+    thunk.ops = len(lanes)  # type: ignore[attr-defined]
+    return thunk
 
 
 def _setup_faults_inject_step(seed: int) -> Callable[[], None]:
@@ -616,6 +706,30 @@ def default_suite() -> List[BenchmarkSpec]:
             "observation",
             _setup_observation_build,
             inner_ops=100,
+        ),
+        BenchmarkSpec(
+            "envarr.batch_playouts",
+            "envarr",
+            _setup_envarr_batch_playouts,
+            repeats=10,
+            quick_repeats=3,
+            warmup=1,
+        ),
+        BenchmarkSpec(
+            "envarr.search_budget_unit",
+            "envarr",
+            _setup_envarr_search_budget_unit,
+            repeats=10,
+            quick_repeats=3,
+            warmup=1,
+        ),
+        BenchmarkSpec(
+            "envarr.observation_batch",
+            "envarr",
+            _setup_envarr_observation_batch,
+            repeats=20,
+            quick_repeats=3,
+            warmup=1,
         ),
         BenchmarkSpec(
             "faults.inject_step",

@@ -547,6 +547,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .dag.generators import random_layered_dag
     from .errors import ConfigError
     from .metrics.schedule import validate_schedule
+    from .schedulers.base import ScheduleRequest
     from .schedulers.registry import make_scheduler
 
     graph = random_layered_dag(WorkloadConfig(num_tasks=args.tasks), seed=args.seed)
@@ -558,7 +559,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         print(f"simulate: {exc}", file=sys.stderr)
         return 2
-    schedule = scheduler.schedule(graph)
+    schedule = scheduler.plan(ScheduleRequest(graph))
     validate_schedule(schedule, graph, env_config.cluster.capacities)
     print(
         f"{args.scheduler}: {graph.num_tasks} tasks, makespan "
@@ -731,6 +732,7 @@ def _cmd_motivating(_: argparse.Namespace) -> int:
     from .config import ClusterConfig
     from .dag.examples import MOTIVATING_CAPACITY, MOTIVATING_T, motivating_example
     from .metrics.schedule import validate_schedule
+    from .schedulers.base import ScheduleRequest
     from .schedulers.registry import make_scheduler
 
     graph = motivating_example()
@@ -739,7 +741,7 @@ def _cmd_motivating(_: argparse.Namespace) -> int:
     )
     print("Fig. 3 motivating example (T =", MOTIVATING_T, "slots):")
     for name in ("optimal", "tetris", "sjf", "cp", "graphene"):
-        schedule = make_scheduler(name, env_config).schedule(graph)
+        schedule = make_scheduler(name, env_config).plan(ScheduleRequest(graph))
         validate_schedule(schedule, graph, MOTIVATING_CAPACITY)
         print(f"  {name:<9} makespan {schedule.makespan} "
               f"({schedule.makespan / MOTIVATING_T:.0f}T)")

@@ -20,7 +20,12 @@ __all__ = ["ResourceVector", "fits", "subtract", "add", "validate_demands"]
 def fits(demands: Sequence[int], available: Sequence[int]) -> bool:
     """True iff ``demands[r] <= available[r]`` for every resource ``r``."""
 
-    return all(d <= a for d, a in zip(demands, available))
+    # Plain loop: this is the innermost simulator check (millions of
+    # calls per run) and a generator expression costs a frame per call.
+    for d, a in zip(demands, available):
+        if d > a:
+            return False
+    return True
 
 
 def subtract(available: Sequence[int], demands: Sequence[int]) -> ResourceVector:

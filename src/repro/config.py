@@ -127,6 +127,15 @@ class MctsConfig:
             expansion; ``"clone"`` stores an environment clone in every
             node (the original, memory-hungrier design).  Both produce
             bit-identical schedules; see DESIGN.md.
+        rollout_batch: number of random rollouts fused into one vectorized
+            playout call (DESIGN.md Sec. 15).  ``1`` (default) keeps the
+            sequential, bit-identical search; ``> 1`` collects that many
+            leaves per round under virtual loss and simulates them with
+            :func:`repro.envarr.batch_random_playouts` — a throughput mode
+            whose schedules remain valid and seed-deterministic but are not
+            draw-for-draw identical to the sequential search.  Requires the
+            array environment backend and a random rollout policy; other
+            configurations fall back to sequential simulation.
 
     Rollout truncation is a property of the rollout policy, not the
     search: see :class:`repro.core.guidance.TruncatedRollout`.
@@ -139,6 +148,7 @@ class MctsConfig:
     use_budget_decay: bool = True
     use_max_value_ucb: bool = True
     state_restore: str = "undo"
+    rollout_batch: int = 1
 
     def __post_init__(self) -> None:
         _require(self.initial_budget >= 1, "initial_budget must be >= 1")
@@ -148,6 +158,7 @@ class MctsConfig:
             self.state_restore in ("undo", "clone"),
             f"state_restore must be 'undo' or 'clone', got {self.state_restore!r}",
         )
+        _require(self.rollout_batch >= 1, "rollout_batch must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -256,6 +267,12 @@ class EnvConfig:
             (:func:`repro.telemetry.active`); an enabled config binds all
             environments sharing this ``EnvConfig`` to one dedicated
             pipeline (see :func:`repro.telemetry.for_config`).
+        backend: which environment implementation
+            :func:`repro.envarr.make_env` constructs — ``"object"`` (the
+            original :class:`repro.env.SchedulingEnv`) or ``"array"``
+            (:class:`repro.envarr.ArraySchedulingEnv`, the vectorized core
+            of DESIGN.md Sec. 15).  Both produce bit-identical schedules;
+            the array backend additionally supports batched playouts.
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
@@ -264,9 +281,14 @@ class EnvConfig:
     include_graph_features: bool = True
     verify_terminal: bool = False
     telemetry: Optional[TelemetryConfig] = None
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         _require(self.max_ready >= 1, "max_ready must be >= 1")
+        _require(
+            self.backend in ("object", "array"),
+            f"backend must be 'object' or 'array', got {self.backend!r}",
+        )
 
 
 def paper_scale(enabled: bool = True) -> Tuple[WorkloadConfig, MctsConfig]:

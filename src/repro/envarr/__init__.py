@@ -1,0 +1,42 @@
+"""Array-native environment core (ROADMAP item 1).
+
+``repro.envarr`` re-expresses the scheduling MDP over flat vectors instead
+of the object graph the rest of the library grew up on:
+
+* :class:`GraphArrays` — a :class:`~repro.dag.graph.TaskGraph` compiled to
+  CSR adjacency (``child_indptr``/``child_indices``) plus flat duration /
+  demand / indegree vectors, with the Sec. III-D graph features (b-level,
+  t-level, b-load) computed as level-bucketed NumPy segment sweeps rather
+  than per-node recursion.
+* :class:`ArrayClusterState` — capacity/free vectors and a dense
+  finish-time vector with a vectorized event sweep in place of the
+  running-task heap.
+* :class:`ArraySchedulingEnv` — a drop-in :class:`~repro.env.SchedulingEnv`
+  twin over those vectors: same actions, same rewards, same RNG stream,
+  bit-identical schedules (the Hypothesis equivalence suite pins this).
+* :class:`BatchedPlayouts` — many random playouts advanced in NumPy
+  lockstep per call, the throughput mode batched MCTS builds on.
+* :func:`make_env` — the ``EnvConfig(backend="array"|"object")`` switch
+  every environment construction site routes through.
+
+See DESIGN.md Sec. 15 for the array layout and the measured speedups.
+"""
+
+from .batch import BatchedPlayouts, batch_random_playouts
+from .backend import available_backends, make_env
+from .cluster import ArrayClusterState
+from .env import ArraySchedulingEnv
+from .graphdata import GraphArrays, graph_arrays
+from .observation import BatchObservationBuilder
+
+__all__ = [
+    "ArrayClusterState",
+    "ArraySchedulingEnv",
+    "BatchObservationBuilder",
+    "BatchedPlayouts",
+    "GraphArrays",
+    "available_backends",
+    "batch_random_playouts",
+    "graph_arrays",
+    "make_env",
+]

@@ -1,0 +1,53 @@
+"""The ``backend="array"|"object"`` environment switch.
+
+Every environment construction site in the library routes through
+:func:`make_env` instead of instantiating :class:`SchedulingEnv` directly,
+so flipping ``EnvConfig(backend="array")`` swaps the vectorized core in
+under `core.spear`, `online`, `streaming` and `federation` without any
+caller changes.  Both backends implement the same MDP bit-for-bit (the
+equivalence suite pins this), so the switch is purely a performance knob.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from ..config import EnvConfig
+from ..dag.graph import TaskGraph
+from ..env.scheduling_env import SchedulingEnv
+from ..errors import ConfigError
+from .env import ArraySchedulingEnv
+
+__all__ = ["AnyEnv", "available_backends", "make_env"]
+
+#: Either backend; they are call-compatible duck types.
+AnyEnv = Union[SchedulingEnv, ArraySchedulingEnv]
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names accepted by ``EnvConfig.backend``, object backend first."""
+    return ("object", "array")
+
+
+def make_env(graph: TaskGraph, config: EnvConfig | None = None) -> AnyEnv:
+    """Construct the scheduling environment ``config.backend`` selects.
+
+    Args:
+        graph: the job to schedule.
+        config: environment shape; ``None`` means ``EnvConfig()`` (object
+            backend, matching the pre-switch behaviour).
+
+    Raises:
+        ConfigError: on an unknown backend name (only reachable by
+            sidestepping ``EnvConfig`` validation).
+    """
+    if config is None:
+        config = EnvConfig()
+    backend = config.backend
+    if backend == "object":
+        return SchedulingEnv(graph, config)
+    if backend == "array":
+        return ArraySchedulingEnv(graph, config)
+    raise ConfigError(
+        f"unknown env backend {backend!r}; expected one of {available_backends()}"
+    )

@@ -1,0 +1,224 @@
+"""Cluster occupancy as capacity/free vectors + a dense finish-time vector.
+
+:class:`ArrayClusterState` replaces the running-task min-heap of
+:class:`repro.cluster.state.ClusterState` with one dense ``finish`` vector
+indexed by dense task index: ``finish[i]`` is the completion slot of task
+``i`` while it runs and :data:`INF` otherwise.  The event sweep is then a
+vectorized min + mask instead of repeated heap pops, and — because the
+dense index order *is* the task-id order — releasing the masked indices in
+ascending order reproduces the heap's ``(finish_time, task_id)`` completion
+order exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..cluster.state import RunningTask
+from ..errors import CapacityError, EnvironmentStateError
+from .graphdata import GraphArrays
+
+__all__ = ["ArrayClusterState", "INF"]
+
+#: Finish-time sentinel for "not running" (int64 max, so ``finish.min()``
+#: over an idle cluster is the sentinel itself).
+INF: int = int(np.iinfo(np.int64).max)
+
+
+class ArrayClusterState:
+    """Vectorized cluster state over one compiled :class:`GraphArrays`.
+
+    The external query surface mirrors :class:`ClusterState` — ``now``,
+    ``available``, ``is_idle``, ``running_tasks()``, ``running_ids()``,
+    ``earliest_finish_time()``, ``utilization()``, ``signature()`` — so
+    observation builders and policies that inspect ``env.cluster`` work
+    against either backend.  Mutation happens in dense-index terms
+    (:meth:`start_index`, :meth:`sweep`): the environment owns the
+    id ↔ index mapping.
+    """
+
+    __slots__ = ("arrays", "capacities_arr", "free", "finish", "now", "_num_running")
+
+    def __init__(self, arrays: GraphArrays, capacities: Tuple[int, ...]) -> None:
+        if not capacities or any(c <= 0 for c in capacities):
+            raise CapacityError(f"invalid capacities {tuple(capacities)}")
+        self.arrays = arrays
+        self.capacities_arr = np.asarray(capacities, dtype=np.int64)
+        self.free = self.capacities_arr.copy()
+        self.finish = np.full(arrays.num_tasks, INF, dtype=np.int64)
+        self.now: int = 0
+        self._num_running: int = 0
+
+    # ------------------------------------------------------------------ #
+    # ClusterState-compatible queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacities(self) -> Tuple[int, ...]:
+        """Total slots per resource dimension."""
+        return tuple(int(c) for c in self.capacities_arr)
+
+    @property
+    def available(self) -> Tuple[int, ...]:
+        """Currently free slots per resource."""
+        return tuple(int(f) for f in self.free)
+
+    @property
+    def num_resources(self) -> int:
+        """Resource dimensionality."""
+        return len(self.capacities_arr)
+
+    @property
+    def num_running(self) -> int:
+        """Number of tasks currently occupying the cluster."""
+        return self._num_running
+
+    @property
+    def is_idle(self) -> bool:
+        """True iff no task is running."""
+        return self._num_running == 0
+
+    def running_indices(self) -> List[int]:
+        """Dense indices of running tasks in ``(finish, index)`` order."""
+        running = np.nonzero(self.finish != INF)[0]
+        if running.size > 1:
+            running = running[np.argsort(self.finish[running], kind="stable")]
+        return [int(i) for i in running]
+
+    def running_tasks(self) -> List[RunningTask]:
+        """Running tasks as :class:`RunningTask` entries, completion order."""
+        arrays = self.arrays
+        return [
+            RunningTask(
+                int(self.finish[i]), arrays.ids_list[i], arrays.demands_list[i]
+            )
+            for i in self.running_indices()
+        ]
+
+    def running_ids(self) -> List[int]:
+        """Ids of running tasks, in completion order."""
+        ids = self.arrays.ids_list
+        return [ids[i] for i in self.running_indices()]
+
+    def can_fit_index(self, index: int) -> bool:
+        """True iff dense ``index``'s demands fit in free capacity."""
+        return bool((self.arrays.demands[index] <= self.free).all())
+
+    def earliest_finish_time(self) -> int:
+        """Finish time of the next task to complete.
+
+        Raises:
+            EnvironmentStateError: if the cluster is idle.
+        """
+        if self._num_running == 0:
+            raise EnvironmentStateError("no running tasks: no next event")
+        return int(self.finish.min())
+
+    def utilization(self) -> Tuple[float, ...]:
+        """Fraction of each resource currently in use."""
+        return tuple(
+            (int(cap) - int(avail)) / int(cap)
+            for cap, avail in zip(self.capacities_arr, self.free)
+        )
+
+    # ------------------------------------------------------------------ #
+    # mutation (dense-index interface)
+    # ------------------------------------------------------------------ #
+
+    def start_index(self, index: int) -> None:
+        """Begin running dense ``index`` now, occupying its demands.
+
+        The caller checks fit first (the environment raises the
+        backend-identical :class:`CapacityError`); this method is the
+        unconditional occupy.
+        """
+        arrays = self.arrays
+        self.free -= arrays.demands[index]
+        self.finish[index] = self.now + arrays.durations_list[index]
+        self._num_running += 1
+
+    def release_index(self, index: int) -> None:
+        """Forget dense ``index``'s occupancy (undo of :meth:`start_index`)."""
+        self.finish[index] = INF
+        self.free += self.arrays.demands[index]
+        self._num_running -= 1
+
+    def sweep(self) -> Tuple[int, List[int]]:
+        """Vectorized event sweep: jump to the earliest finish time.
+
+        Returns:
+            ``(dt, released)`` — released dense indices in ascending order,
+            which equals the object backend's ``(finish, id)`` heap order.
+
+        Raises:
+            EnvironmentStateError: if the cluster is idle.
+        """
+        if self._num_running == 0:
+            raise EnvironmentStateError("no running tasks: no next event")
+        finish = self.finish
+        target = int(finish.min())
+        dt = target - self.now
+        self.now = target
+        released = np.nonzero(finish == target)[0]
+        self.free += self.arrays.demands[released].sum(axis=0)
+        finish[released] = INF
+        self._num_running -= len(released)
+        return dt, [int(i) for i in released]
+
+    def advance(self, dt: int) -> List[int]:
+        """Move time forward ``dt`` slots; release every reached finish.
+
+        The unit-granularity twin of :meth:`sweep` (for
+        ``process_until_completion=False``).
+
+        Raises:
+            EnvironmentStateError: if ``dt`` is not positive.
+        """
+        if dt < 1:
+            raise EnvironmentStateError(f"dt must be >= 1, got {dt}")
+        self.now += int(dt)
+        finish = self.finish
+        released = np.nonzero(finish <= self.now)[0]
+        if released.size:
+            self.free += self.arrays.demands[released].sum(axis=0)
+            finish[released] = INF
+            self._num_running -= len(released)
+        return [int(i) for i in released]
+
+    def reoccupy(self, indices: List[int], finish_times: List[int]) -> None:
+        """Re-occupy previously released indices (undo of a sweep/advance)."""
+        for index, finish_time in zip(indices, finish_times):
+            self.finish[index] = finish_time
+            self.free -= self.arrays.demands[index]
+        self._num_running += len(indices)
+
+    # ------------------------------------------------------------------ #
+    # copying / equality
+    # ------------------------------------------------------------------ #
+
+    def clone(self) -> "ArrayClusterState":
+        """Independent copy sharing the immutable compiled graph."""
+        copy = ArrayClusterState.__new__(ArrayClusterState)
+        copy.arrays = self.arrays
+        copy.capacities_arr = self.capacities_arr
+        copy.free = self.free.copy()
+        copy.finish = self.finish.copy()
+        copy.now = self.now
+        copy._num_running = self._num_running
+        return copy
+
+    def signature(self) -> Tuple:
+        """Hashable snapshot, equal to the object backend's for equal states."""
+        return (
+            self.now,
+            self.available,
+            tuple(sorted(self.running_tasks())),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayClusterState(now={self.now}, available={self.available}, "
+            f"running={self._num_running})"
+        )

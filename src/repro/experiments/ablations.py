@@ -25,7 +25,7 @@ from ..dag.graph import TaskGraph
 from ..mcts.search import MctsScheduler
 from ..metrics.schedule import validate_schedule
 from ..rl.network import PolicyNetwork
-from ..schedulers.base import Scheduler
+from ..schedulers.base import Scheduler, ScheduleRequest
 from .fig6 import generate_dags
 from .networks import cached_network, training_config_for_scale
 from .reporting import format_table
@@ -73,7 +73,7 @@ def _evaluate(
     for variant, scheduler in schedulers.items():
         values = []
         for graph in graphs:
-            schedule = scheduler.schedule(graph)
+            schedule = scheduler.plan(ScheduleRequest(graph))
             validate_schedule(schedule, graph, capacities)
             values.append(schedule.makespan)
         makespans[variant] = values
@@ -238,7 +238,7 @@ def feature_ablation(
         )
         values = []
         for graph in graphs:
-            schedule = scheduler.schedule(graph)
+            schedule = scheduler.plan(ScheduleRequest(graph))
             validate_schedule(
                 schedule, graph, eval_env_configs[variant].cluster.capacities
             )

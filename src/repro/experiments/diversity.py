@@ -22,6 +22,7 @@ from ..dag.suites import (
 )
 from ..mcts.search import MctsScheduler
 from ..metrics.schedule import validate_schedule
+from ..schedulers.base import ScheduleRequest
 from ..schedulers.registry import make_scheduler
 from .reporting import format_table
 from .scale import resolve_scale
@@ -105,7 +106,7 @@ def diversity_study(
     makespans: Dict[str, Dict[str, int]] = {name: {} for name in families}
     for family, graph in families.items():
         for name in schedulers:
-            schedule = make_scheduler(name, env_config).schedule(graph)
+            schedule = make_scheduler(name, env_config).plan(ScheduleRequest(graph))
             validate_schedule(schedule, graph, capacities)
             makespans[family][name] = schedule.makespan
         if include_mcts:
@@ -117,7 +118,7 @@ def diversity_study(
                 env_config,
                 seed=seed,
             )
-            schedule = mcts.schedule(graph)
+            schedule = mcts.plan(ScheduleRequest(graph))
             validate_schedule(schedule, graph, capacities)
             makespans[family]["mcts"] = schedule.makespan
     return DiversityResult(

@@ -21,7 +21,7 @@ from ..dag.graph import TaskGraph
 from ..metrics.comparison import ComparisonRow, compare_makespans, win_rate
 from ..metrics.schedule import validate_schedule
 from ..rl.network import PolicyNetwork
-from ..schedulers.base import Scheduler
+from ..schedulers.base import Scheduler, ScheduleRequest
 from ..schedulers.registry import make_scheduler
 from ..telemetry import runtime as _telemetry
 from ..utils.rng import as_generator, spawn
@@ -134,7 +134,7 @@ def makespan_comparison(
             "fig6.scheduler", scheduler=name, dags=len(graphs)
         ) as span:
             for index, graph in enumerate(graphs):
-                schedule = scheduler.schedule(graph)
+                schedule = scheduler.plan(ScheduleRequest(graph))
                 validate_schedule(schedule, graph, capacities)
                 makespans.append(schedule.makespan)
                 times.append(schedule.wall_time)

@@ -17,6 +17,7 @@ from ..dag.graph import TaskGraph
 from ..mcts.search import MctsScheduler
 from ..metrics.comparison import win_rate
 from ..metrics.schedule import validate_schedule
+from ..schedulers.base import ScheduleRequest
 from ..schedulers.registry import make_scheduler
 from ..utils.rng import as_generator, spawn
 from .reporting import format_table
@@ -94,7 +95,7 @@ def budget_sweep(
     tetris = make_scheduler("tetris", env_config)
     tetris_makespans: List[int] = []
     for graph in graphs:
-        schedule = tetris.schedule(graph)
+        schedule = tetris.plan(ScheduleRequest(graph))
         validate_schedule(schedule, graph, capacities)
         tetris_makespans.append(schedule.makespan)
 
@@ -107,7 +108,7 @@ def budget_sweep(
         )
         makespans: List[int] = []
         for graph in graphs:
-            schedule = mcts.schedule(graph)
+            schedule = mcts.plan(ScheduleRequest(graph))
             validate_schedule(schedule, graph, capacities)
             makespans.append(schedule.makespan)
         points.append(

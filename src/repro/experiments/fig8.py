@@ -24,6 +24,7 @@ from ..metrics.comparison import ComparisonRow, compare_makespans
 from ..metrics.schedule import validate_schedule
 from ..rl.network import PolicyNetwork
 from ..rl.reinforce import EpochStats, ReinforceTrainer
+from ..schedulers.base import ScheduleRequest
 from ..schedulers.registry import make_scheduler
 from ..utils.rng import as_generator, spawn
 from .fig6 import generate_dags
@@ -124,7 +125,7 @@ def budget_reduction(
     for name, scheduler in schedulers.items():
         makespans = []
         for graph in graphs:
-            schedule = scheduler.schedule(graph)
+            schedule = scheduler.plan(ScheduleRequest(graph))
             validate_schedule(schedule, graph, capacities)
             makespans.append(schedule.makespan)
         result.makespans[name] = makespans
@@ -193,7 +194,7 @@ def learning_curve(
         scheduler = make_scheduler(name, env_config)
         makespans = []
         for graph in graphs:
-            schedule = scheduler.schedule(graph)
+            schedule = scheduler.plan(ScheduleRequest(graph))
             validate_schedule(schedule, graph, capacities)
             makespans.append(schedule.makespan)
         references[name] = sum(makespans) / len(makespans)

@@ -20,6 +20,7 @@ from ..metrics.cdf import empirical_cdf, percentile
 from ..metrics.comparison import reduction_series
 from ..metrics.schedule import validate_schedule
 from ..rl.network import PolicyNetwork
+from ..schedulers.base import ScheduleRequest
 from ..schedulers.registry import make_scheduler
 from ..traces.job import Trace
 from ..traces.stats import TraceStatistics, trace_statistics
@@ -127,10 +128,10 @@ def reduction_cdf(
     spear_makespans: List[int] = []
     graphene_makespans: List[int] = []
     for job in trace:
-        spear_schedule = spear.schedule(job.graph)
+        spear_schedule = spear.plan(ScheduleRequest(job.graph))
         validate_schedule(spear_schedule, job.graph, capacities)
         spear_makespans.append(spear_schedule.makespan)
-        graphene_schedule = graphene.schedule(job.graph)
+        graphene_schedule = graphene.plan(ScheduleRequest(job.graph))
         validate_schedule(graphene_schedule, job.graph, capacities)
         graphene_makespans.append(graphene_schedule.makespan)
 

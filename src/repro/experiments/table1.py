@@ -15,6 +15,7 @@ from ..config import EnvConfig, MctsConfig, WorkloadConfig
 from ..dag.generators import random_layered_dag
 from ..mcts.search import MctsScheduler
 from ..metrics.schedule import validate_schedule
+from ..schedulers.base import ScheduleRequest
 from ..utils.rng import as_generator, derive_seed
 from .reporting import format_table
 from .scale import resolve_scale
@@ -84,7 +85,7 @@ def runtime_grid(
                 env_config,
                 seed=derive_seed(rng),
             )
-            schedule = scheduler.schedule(graphs[size])
+            schedule = scheduler.plan(ScheduleRequest(graphs[size]))
             validate_schedule(schedule, graphs[size], capacities)
             seconds[(size, budget)] = schedule.wall_time
             makespans[(size, budget)] = schedule.makespan

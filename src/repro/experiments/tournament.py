@@ -20,7 +20,7 @@ from ..config import EnvConfig
 from ..dag.graph import TaskGraph
 from ..metrics.comparison import ComparisonRow, compare_makespans, win_rate
 from ..metrics.schedule import validate_schedule
-from ..schedulers.base import Scheduler
+from ..schedulers.base import Scheduler, ScheduleRequest
 from ..telemetry import runtime as _telemetry
 from .reporting import format_table
 
@@ -128,7 +128,7 @@ def run_tournament(
     ):
         for index, graph in enumerate(graphs):
             for name, scheduler in schedulers.items():
-                schedule = scheduler.schedule(graph)
+                schedule = scheduler.plan(ScheduleRequest(graph))
                 validate_schedule(schedule, graph, capacities)
                 makespans[name].append(schedule.makespan)
                 wall_times[name].append(schedule.wall_time)

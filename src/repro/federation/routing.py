@@ -26,10 +26,18 @@ No policy ever invents randomness: every choice is a pure function of
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol, Sequence
+from typing import Any, Optional, Protocol, Sequence
 
 from ..errors import ConfigError
 from ..online.results import ArrivingJob
+from ..specs import (
+    ROUTER_GRAMMAR,
+    ROUTER_SPEC_SCHEMAS,
+    pop_option,
+    reject_unknown_options,
+    tokenize_spec,
+    unknown_kind_error,
+)
 from .shard import Shard
 
 __all__ = [
@@ -175,25 +183,6 @@ class AffinityRouter:
         return min(feasible, key=lambda s: (s.load(), s.id))
 
 
-def _parse_options(raw: str, spec: str) -> Dict[str, str]:
-    options: Dict[str, str] = {}
-    for part in [p.strip() for p in raw.split(",") if p.strip()]:
-        if "=" not in part:
-            raise ConfigError(
-                f"router option {part!r} in {spec!r} is not key=value"
-            )
-        key, _, value = part.partition("=")
-        options[key.strip()] = value.strip()
-    return options
-
-
-def _pop_int(options: Dict[str, str], key: str, spec: str) -> int:
-    try:
-        return int(options.pop(key))
-    except ValueError as exc:
-        raise ConfigError(f"router spec {spec!r}: bad integer for {key}") from exc
-
-
 def parse_router_spec(spec: str) -> Router:
     """Build a :class:`Router` from a ``policy:key=value,...`` spec.
 
@@ -204,30 +193,33 @@ def parse_router_spec(spec: str) -> Router:
         hash:salt=7                 stateless index hashing
         affinity:spill=4            index % shards, spill when hot
 
+    Shared-grammar parsing (:mod:`repro.specs`): option schemas live in
+    :data:`repro.specs.ROUTER_SPEC_SCHEMAS` and unknown policies/keys
+    come back with did-you-mean suggestions.
+
     Raises:
         ConfigError: on unknown policies, unknown keys, or bad values.
     """
-    kind, _, raw = spec.partition(":")
-    kind = kind.strip()
-    options = _parse_options(raw, spec)
+    kind, options = tokenize_spec(spec, ROUTER_GRAMMAR)
+
+    def _pop(key: str, typ: type, default: Any = None) -> Any:
+        return pop_option(
+            options, key, typ, spec=spec, grammar=ROUTER_GRAMMAR,
+            default=default,
+        )
+
     router: Router
     if kind == "round-robin":
         router = RoundRobinRouter()
     elif kind == "least-load":
-        router = LeastLoadedRouter(metric=options.pop("metric", "jobs"))
+        router = LeastLoadedRouter(metric=_pop("metric", str, default="jobs"))
     elif kind == "hash":
-        salt = _pop_int(options, "salt", spec) if "salt" in options else 0
-        router = HashRouter(salt=salt)
+        router = HashRouter(salt=_pop("salt", int, default=0))
     elif kind == "affinity":
-        spill = _pop_int(options, "spill", spec) if "spill" in options else None
-        router = AffinityRouter(spill=spill)
+        router = AffinityRouter(spill=_pop("spill", int))
     else:
-        raise ConfigError(
-            f"unknown router policy {kind!r}; expected round-robin, "
-            "least-load, hash or affinity"
-        )
-    if options:
-        raise ConfigError(
-            f"unknown router option(s) {sorted(options)} in {spec!r}"
-        )
+        raise unknown_kind_error(kind, ROUTER_SPEC_SCHEMAS, ROUTER_GRAMMAR)
+    reject_unknown_options(
+        options, ROUTER_SPEC_SCHEMAS[kind], spec=spec, grammar=ROUTER_GRAMMAR
+    )
     return router

@@ -47,6 +47,7 @@ class Node:
         "max_value",
         "sum_value",
         "terminal",
+        "vloss",
     )
 
     def __init__(
@@ -66,6 +67,9 @@ class Node:
         self.max_value: float = -math.inf
         self.sum_value: float = 0.0
         self.terminal: bool = terminal
+        #: Pending virtual losses: number of in-flight (collected but not
+        #: yet backpropagated) batched simulations through this node.
+        self.vloss: int = 0
 
     # ------------------------------------------------------------------ #
 
@@ -109,7 +113,9 @@ class Node:
         explore = c * math.sqrt(math.log(max(self.visits, 1)) / child.visits)
         return exploit + explore
 
-    def best_child(self, c: float, use_max: bool = True) -> "Node":
+    def best_child(
+        self, c: float, use_max: bool = True, virtual_loss: bool = False
+    ) -> "Node":
         """Child maximizing :meth:`ucb_score`; mean value breaks ties,
         then visit count, then action id (determinism).
 
@@ -117,27 +123,63 @@ class Node:
         would build: ``log(visits)`` is hoisted out of the child loop and
         no per-child lambda frame is allocated — this runs once per edge
         of every selection descent.
+
+        With ``virtual_loss`` (batched leaf collection) each child's
+        pending in-flight count depresses its score: in-flight simulations
+        inflate the exploration denominator, an unvisited child with
+        in-flight work scores ``-inf`` instead of ``inf`` (so one batch
+        fans out over distinct leaves), and each pending loss subtracts one
+        exploration-scale unit from the exploitation term.  With the flag
+        off (every sequential search path) the scoring is bit-identical to
+        the pre-virtual-loss implementation.
         """
         if not self.children:
             raise ValueError("node has no children")
+        if len(self.children) == 1:
+            # Forced move (single-candidate chains are common deep in the
+            # tree): the argmax over one child is that child.
+            return next(iter(self.children.values()))
         log_n = math.log(self.visits) if self.visits > 1 else 0.0
         sqrt = math.sqrt
         best: Optional["Node"] = None
-        best_key = None
+        best_score = best_mean = -math.inf
+        best_visits = 0
+        best_neg_action = 0
         for child in self.children.values():
             visits = child.visits
+            pending = child.vloss if virtual_loss else 0
             if visits == 0:
-                score = math.inf
+                score = -math.inf if pending else math.inf
                 mean = 0.0
             else:
                 mean = child.sum_value / visits
                 exploit = child.max_value if use_max else mean
-                score = exploit + c * sqrt(log_n / visits)
+                score = exploit + c * sqrt(log_n / (visits + pending))
+                if pending:
+                    score -= c * pending
+            # Ordered comparison on (score, mean, visits, -action) without
+            # building the key tuple: scores almost always differ, so the
+            # tie-break fields are only touched on exact score ties.
+            if best is not None:
+                if score < best_score:
+                    continue
+                if score == best_score:
+                    if mean < best_mean:
+                        continue
+                    if mean == best_mean:
+                        if visits < best_visits:
+                            continue
+                        if visits == best_visits:
+                            action = child.action
+                            neg = -(action if action is not None else 0)
+                            if neg <= best_neg_action:
+                                continue
+            best = child
+            best_score = score
+            best_mean = mean
+            best_visits = visits
             action = child.action
-            key = (score, mean, visits, -(action if action is not None else 0))
-            if best is None or key > best_key:
-                best = child
-                best_key = key
+            best_neg_action = -(action if action is not None else 0)
         assert best is not None
         return best
 

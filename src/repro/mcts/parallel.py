@@ -18,11 +18,10 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..config import EnvConfig, MctsConfig
-from ..dag.graph import TaskGraph
 from ..dag.io import graph_from_dict, graph_to_dict
 from ..errors import ConfigError
 from ..metrics.schedule import Schedule
-from ..schedulers.base import Scheduler
+from ..schedulers.base import Scheduler, ScheduleRequest, _planning_config
 from ..telemetry import runtime as _telemetry
 from ..utils.rng import SeedLike, as_generator, derive_seed
 from ..utils.timing import Stopwatch
@@ -42,7 +41,7 @@ def _worker(
     graph_dict, config, env_config, seed = payload
     graph = graph_from_dict(graph_dict)
     scheduler = MctsScheduler(config, env_config, seed=seed)
-    schedule = scheduler.schedule(graph)
+    schedule = scheduler.plan(ScheduleRequest(graph))
     return schedule.makespan, {
         p.task_id: p.start for p in schedule.placements
     }
@@ -84,8 +83,17 @@ class RootParallelMcts(Scheduler):
         self.use_processes = use_processes
         self._rng = as_generator(seed)
 
-    def schedule(self, graph: TaskGraph) -> Schedule:
+    def plan(self, request: ScheduleRequest) -> Schedule:
         """Run all workers and return the best schedule found.
+
+        The canonical entrypoint (``schedule(graph)`` routes here through
+        the base shim).  Replan context is honoured the same way
+        :class:`MctsScheduler` honours it: the request's cluster snapshot
+        resolves the planning capacities, and every worker searches
+        against them.  Workers inherit the full search/env configuration —
+        including ``EnvConfig.backend`` and ``MctsConfig.rollout_batch``,
+        so each process runs the array backend's batched-leaf search under
+        virtual loss when those are set.
 
         With telemetry active, wraps the fan-out in one
         ``mcts.parallel_schedule`` span and emits an ``mcts.worker``
@@ -93,6 +101,8 @@ class RootParallelMcts(Scheduler):
         the parent — workers in separate processes have their own
         (default-disabled) pipelines, so all reporting is parent-side.
         """
+        graph = request.graph
+        env_config = _planning_config(self.env_config, request)
         tm = _telemetry.active()
         watch = Stopwatch()
         with watch, tm.span(
@@ -103,7 +113,7 @@ class RootParallelMcts(Scheduler):
         ) as span:
             seeds = [derive_seed(self._rng) for _ in range(self.workers)]
             payloads = [
-                (graph_to_dict(graph), self.config, self.env_config, seed)
+                (graph_to_dict(graph), self.config, env_config, seed)
                 for seed in seeds
             ]
             if self.use_processes and self.workers > 1:

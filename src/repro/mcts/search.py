@@ -27,6 +27,8 @@ from typing import List, Optional
 from ..config import EnvConfig, MctsConfig
 from ..dag.graph import TaskGraph
 from ..env.scheduling_env import SchedulingEnv
+from ..envarr.backend import AnyEnv, make_env
+from ..envarr.batch import BatchedPlayouts
 from ..errors import ConfigError
 from ..metrics.schedule import Schedule
 from ..schedulers.base import Scheduler, ScheduleRequest, _planning_config
@@ -132,8 +134,33 @@ class MctsScheduler(Scheduler):
             state_restore=self.config.state_restore,
             scheduler=self.name,
         ) as search_span:
-            env = SchedulingEnv(graph, env_config)
+            env = make_env(graph, env_config)
             exploration = self._exploration_constant(graph, stats, env_config)
+            # Batched leaf evaluation: collect ``rollout_batch`` leaves
+            # under virtual loss, then play all their rollouts in one
+            # lockstep kernel call.  Requires the array backend and the
+            # random rollout policy (the kernel implements exactly that
+            # policy); any other combination falls back to the sequential
+            # one-leaf-one-rollout loop.  Batched collection always works
+            # on clone-mode nodes (leaf lanes must be materialized
+            # environments), so it overrides ``state_restore="undo"``.
+            batched = (
+                self.config.rollout_batch > 1
+                and env_config.backend == "array"
+                and isinstance(self.rollout, RandomRollout)
+            )
+            if batched:
+                undo_mode = False
+            kernel: Optional[BatchedPlayouts] = None
+            rollout_limit = 0
+            if batched:
+                kernel = BatchedPlayouts(
+                    env.arrays,
+                    env_config.cluster.capacities,
+                    until_completion=env_config.process_until_completion,
+                    max_ready=env_config.max_ready,
+                )
+                rollout_limit = self.rollout._step_limit(env)
             root = Node(
                 None if undo_mode else env.clone(),
                 untried=self._candidates(env),
@@ -151,7 +178,17 @@ class MctsScheduler(Scheduler):
                 with tm.span(
                     "mcts.decision", depth=depth, budget=budget
                 ) as decision_span:
-                    if undo_mode:
+                    if batched:
+                        assert kernel is not None
+                        self._run_budget_batched(
+                            root,
+                            exploration,
+                            stats,
+                            budget,
+                            kernel,
+                            rollout_limit,
+                        )
+                    elif undo_mode:
                         for _ in range(budget):
                             self._iterate_undo(root, env, exploration, stats)
                             stats.iterations += 1
@@ -196,7 +233,7 @@ class MctsScheduler(Scheduler):
 
     # ------------------------------------------------------------------ #
 
-    def _candidates(self, env: SchedulingEnv) -> List[int]:
+    def _candidates(self, env: AnyEnv) -> List[int]:
         """Expansion candidates after the (configurable) Sec. III-C filters."""
         actions = env.expansion_actions(
             work_conserving=self.config.use_expansion_filters
@@ -214,7 +251,7 @@ class MctsScheduler(Scheduler):
     ) -> float:
         """Scale ``c`` to the instance: greedy-packing makespan estimate
         times the configured multiplier (Sec. IV)."""
-        probe = SchedulingEnv(
+        probe = make_env(
             graph, env_config if env_config is not None else self.env_config
         )
         estimate = GreedyRollout().rollout(probe)
@@ -223,7 +260,7 @@ class MctsScheduler(Scheduler):
     def _iterate_undo(
         self,
         root: Node,
-        env: SchedulingEnv,
+        env: AnyEnv,
         exploration: float,
         stats: SearchStatistics,
     ) -> None:
@@ -276,6 +313,141 @@ class MctsScheduler(Scheduler):
         # Restore the environment to the root state.
         while undo_stack:
             env.undo(undo_stack.pop())
+
+    # ----------------------- batched leaf evaluation ------------------ #
+
+    def _run_budget_batched(
+        self,
+        root: Node,
+        exploration: float,
+        stats: SearchStatistics,
+        budget: int,
+        kernel: BatchedPlayouts,
+        rollout_limit: int,
+    ) -> None:
+        """Spend one decision's budget ``rollout_batch`` leaves at a time.
+
+        Each round collects up to ``rollout_batch`` distinct leaves by
+        descending under virtual loss (each selected edge's pending count
+        rises, steering later descents elsewhere), then plays every
+        non-terminal leaf's rollout in one lockstep kernel call and
+        backpropagates the values, clearing the virtual losses on the way
+        up.  One collected leaf costs one budget unit, exactly like one
+        sequential iteration.
+        """
+        rollout_rng = self.rollout._rng  # type: ignore[attr-defined]
+        spent = 0
+        while spent < budget:
+            want = min(self.config.rollout_batch, budget - spent)
+            leaves: List[Node] = []
+            lanes: List[AnyEnv] = []
+            while want > 0:
+                taken = self._collect_wave(
+                    root, exploration, want, leaves, lanes, stats
+                )
+                spent += taken
+                want -= taken
+            if lanes:
+                makespans, _starts = kernel.run(lanes, rollout_rng, rollout_limit)
+                stats.rollouts += len(lanes)
+                for node, makespan in zip(leaves, makespans):
+                    self._backpropagate(node, float(-int(makespan)), stats)
+
+    def _collect_wave(
+        self,
+        root: Node,
+        exploration: float,
+        want: int,
+        leaves: List[Node],
+        lanes: List[AnyEnv],
+        stats: SearchStatistics,
+    ) -> int:
+        """One virtual-loss descent collecting up to ``want`` leaves.
+
+        Descends to the most promising expandable node, then expands up to
+        ``want`` of its untried actions as sibling leaves in one go — the
+        same frontier repeated single-leaf descents would reach (virtual
+        loss steers consecutive descents into a node's remaining untried
+        actions anyway), at one descent's cost instead of ``k``.  Terminal
+        leaves are evaluated and backpropagated immediately; the rest are
+        appended to ``leaves`` / ``lanes`` for the batched rollout.
+        Returns the number of budget units consumed (= leaves collected).
+        """
+        use_max = self.config.use_max_value_ucb
+        node = root
+        path: List[Node] = []  # nodes whose vloss this descent incremented
+        while not node.terminal and not node.untried and node.children:
+            node = node.best_child(exploration, use_max, virtual_loss=True)
+            node.vloss += 1
+            path.append(node)
+        if node.terminal:
+            # Re-selected terminal node: one more (immediate) evaluation.
+            stats.iterations += 1
+            self._backpropagate(node, float(-node.env.makespan), stats)
+            return 1
+        if not node.untried:
+            # Dead end without being terminal cannot happen on a live
+            # environment; guard so a livelock is loud, not silent.
+            raise ConfigError("MCTS selection reached a non-terminal dead end")
+        if len(node.untried) > 1:
+            node.untried = self.expansion.prioritize(node.env, node.untried)
+        taken = 0
+        parent_env = node.env
+        terminal_children: List[Node] = []
+        while node.untried and taken < want:
+            action = node.untried.pop(0)
+            child_env = parent_env.clone()
+            child_env.step(action)
+            done = child_env.done
+            child = Node(
+                child_env,
+                parent=node,
+                action=action,
+                untried=self._candidates(child_env) if not done else [],
+                terminal=done,
+            )
+            node.children[action] = child
+            taken += 1
+            stats.iterations += 1
+            if done:
+                terminal_children.append(child)
+            else:
+                child.vloss += 1
+                leaves.append(child)
+                lanes.append(child_env)
+        # Each of the ``taken`` eventual backpropagations decrements every
+        # path node once; the descent incremented them once, so top the
+        # path up to keep pending counts balanced across the round.
+        if taken > 1 and path:
+            extra = taken - 1
+            for ancestor in path:
+                ancestor.vloss += extra
+        for child in terminal_children:
+            self._backpropagate(child, float(-child.env.makespan), stats)
+        return taken
+
+    def _backpropagate(
+        self, node: Node, value: float, stats: SearchStatistics
+    ) -> None:
+        """Fold one simulation value into the leaf's path, releasing the
+        virtual losses the collection pass placed there.
+
+        The statistics fold is ``Node.update`` inlined: this loop runs
+        once per tree edge per simulation, and the method call alone is
+        measurable at batched-search rates.
+        """
+        depth = 0
+        walker: Optional[Node] = node
+        while walker is not None:
+            walker.visits += 1
+            walker.sum_value += value
+            if value > walker.max_value:
+                walker.max_value = value
+            if walker.vloss:
+                walker.vloss -= 1
+            walker = walker.parent
+            depth += 1
+        stats.max_tree_depth = max(stats.max_tree_depth, depth)
 
     def _iterate(self, root: Node, exploration: float, stats: SearchStatistics) -> None:
         """One budget unit: select, expand, simulate, backpropagate."""

@@ -57,6 +57,11 @@ class PolicyLayer:
         )
         self.exec_label = rescheduler.name if rescheduler is not None else "online"
         self._replan_scheduled_at: Optional[int] = None
+        # For static_key rankers: job_index -> {tid -> ranker key}.  The
+        # key of such a ranker never changes over a job's lifetime, so
+        # it is computed once per (job, task) rather than once per
+        # dispatch comparison.
+        self._static_keys: Dict[int, Dict[int, Tuple]] = {}
         kernel.register(REPLAN_KIND, self._on_replan)
 
     # ------------------------------------------------------------------ #
@@ -88,9 +93,10 @@ class PolicyLayer:
         self.replan_all(event.payload)
 
     def forget(self, job_index: int) -> None:
-        """Drop a finished/failed job's plan ranks."""
+        """Drop a finished/failed job's plan ranks and cached keys."""
         if self.plan_rank is not None:
             self.plan_rank.pop(job_index, None)
+        self._static_keys.pop(job_index, None)
 
     # ------------------------------------------------------------------ #
     # replanning
@@ -170,6 +176,9 @@ class PolicyLayer:
         active = execution.active
         plan_rank = self.plan_rank
         ranker = self.ranker
+        if getattr(ranker, "static_key", False):
+            self._dispatch_static()
+            return
         while True:
             free = state.available
             candidates: List[Tuple[Tuple, int, int]] = []
@@ -201,3 +210,56 @@ class PolicyLayer:
                 return
             _, job_index, tid = min(candidates)
             execution.start_attempt(active[job_index], tid)
+
+    def _dispatch_static(self) -> None:
+        """One sorted sweep for rankers with context-invariant keys.
+
+        Within a dispatch round free capacity only shrinks and no task
+        becomes ready (attempt runtimes are >= 1, so completions land at
+        strictly later instants).  When the ranker's key ignores the
+        live context, repeatedly starting the minimum-key fitting
+        candidate is therefore equivalent to ranking the initially
+        fitting candidates once, sorting, and starting each in order
+        that still fits — a candidate that does not fit can never fit
+        again this round.  Keys are additionally cached per (job, task)
+        across rounds, since a ``static_key`` ranker's key never changes
+        over a job's lifetime.
+        """
+        execution = self.execution
+        state = execution.state
+        active = execution.active
+        plan_rank = self.plan_rank
+        ranker = self.ranker
+        free = state.available
+        candidates: List[Tuple[Tuple, int, int, Tuple[int, ...]]] = []
+        for job in active.values():
+            ranks = plan_rank.get(job.index) if plan_rank is not None else None
+            cached = self._static_keys.setdefault(job.index, {})
+            task_of = job.graph.task
+            for tid in job.ready:
+                task = task_of(tid)
+                if not fits(task.demands, free):
+                    continue
+                if ranks is not None and tid in ranks:
+                    key: Tuple = (0, job.arrival, job.index, ranks[tid], tid)
+                else:
+                    key = cached.get(tid)  # type: ignore[assignment]
+                    if key is None:
+                        ctx = TaskContext(
+                            task=task,
+                            job_index=job.index,
+                            arrival_time=job.arrival,
+                            features=job.features,
+                            free=free,
+                            now=state.now,
+                        )
+                        key = (1,) + tuple(ranker(ctx))
+                        cached[tid] = key
+                candidates.append((key, job.index, tid, task.demands))
+        candidates.sort()
+        for _, job_index, tid, demands in candidates:
+            job = active.get(job_index)
+            if job is None or tid not in job.ready:
+                continue
+            if fits(demands, state.available):
+                execution.start_attempt(job, tid)

@@ -51,6 +51,12 @@ class TaskContext:
 
 
 #: Smaller keys are scheduled first.
+#:
+#: A ranker whose key ignores the *live* context fields (``free`` and
+#: ``now``) may declare ``static_key = True`` on the function; the
+#: dispatch loop then caches keys per (job, task) and fills each round
+#: with one sorted sweep instead of re-ranking after every start (see
+#: :meth:`repro.online.policy.PolicyLayer.dispatch_round`).
 Ranker = Callable[[TaskContext], Tuple]
 
 
@@ -59,9 +65,15 @@ def fifo_ranker(ctx: TaskContext) -> Tuple:
     return (ctx.arrival_time, ctx.job_index, ctx.task.task_id)
 
 
+fifo_ranker.static_key = True  # type: ignore[attr-defined]
+
+
 def sjf_ranker(ctx: TaskContext) -> Tuple:
     """Shortest task first across all jobs."""
     return (ctx.task.runtime, ctx.job_index, ctx.task.task_id)
+
+
+sjf_ranker.static_key = True  # type: ignore[attr-defined]
 
 
 def cp_ranker(ctx: TaskContext) -> Tuple:
@@ -72,6 +84,9 @@ def cp_ranker(ctx: TaskContext) -> Tuple:
         ctx.job_index,
         ctx.task.task_id,
     )
+
+
+cp_ranker.static_key = True  # type: ignore[attr-defined]
 
 
 def tetris_ranker(ctx: TaskContext) -> Tuple:
@@ -122,4 +137,5 @@ def plan_priority_ranker(
         rank = job_ranks.get(ctx.task.task_id, len(job_ranks))
         return (ctx.job_index, rank, ctx.task.task_id)
 
+    ranker.static_key = True  # type: ignore[attr-defined]
     return ranker

@@ -23,7 +23,7 @@ from ..config import EnvConfig, TrainingConfig
 from ..dag.graph import TaskGraph
 from ..env.actions import PROCESS
 from ..env.observation import ObservationBuilder
-from ..env.scheduling_env import SchedulingEnv
+from ..envarr.backend import make_env
 from ..errors import EnvironmentStateError
 from ..schedulers.base import Policy
 from ..schedulers.policies import CriticalPathPolicy
@@ -94,7 +94,7 @@ class ImitationTrainer:
         actions: List[int] = []
         process_index = self.network.num_actions - 1
         for graph in graphs:
-            env = SchedulingEnv(graph, self.env_config)
+            env = make_env(graph, self.env_config)
             builder = ObservationBuilder(graph, self.env_config)
             teacher = self.teacher_factory()
             teacher.begin_episode(env)

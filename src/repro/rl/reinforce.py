@@ -22,7 +22,7 @@ import numpy as np
 
 from ..config import EnvConfig, TrainingConfig
 from ..dag.graph import TaskGraph
-from ..env.scheduling_env import SchedulingEnv
+from ..envarr.backend import make_env
 from ..telemetry import runtime as _telemetry
 from ..telemetry.config import TelemetryConfig
 from ..telemetry.sinks import stderr_line
@@ -94,7 +94,7 @@ class ReinforceTrainer:
         children = spawn(self._rng, self.training.rollouts_per_example)
         trajectories = []
         for child in children:
-            env = SchedulingEnv(graph, self.env_config)
+            env = make_env(graph, self.env_config)
             policy = NetworkPolicy(self.network, mode="sample", seed=child)
             trajectories.append(
                 rollout_trajectory(env, policy, self.training.max_episode_steps)
@@ -245,7 +245,7 @@ class ReinforceTrainer:
         """Makespan of the current policy on each graph (greedy by default)."""
         results = []
         for graph in graphs:
-            env = SchedulingEnv(graph, self.env_config)
+            env = make_env(graph, self.env_config)
             mode = "greedy" if greedy else "sample"
             policy = NetworkPolicy(self.network, mode=mode, seed=self._rng)
             trajectory = rollout_trajectory(

@@ -24,13 +24,16 @@ Migration notes (see DESIGN.md Sec. 10.4):
 * Legacy schedulers that override ``schedule(graph)`` keep working: the
   base ``plan`` detects the override and delegates with ``request.graph``
   (the context is ignored, which is exactly the legacy behaviour).
-* Callers should migrate to ``plan(as_schedule_request(...))``; calling
-  ``schedule(graph)`` remains supported indefinitely.
+* Callers must migrate to ``plan(ScheduleRequest(graph))`` (or
+  ``plan(as_schedule_request(...))``); the ``schedule(graph)`` shim still
+  works but now emits a :class:`DeprecationWarning`.  Every internal call
+  site — CLI, experiments, benches, examples — goes through ``plan``.
 """
 
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping, Optional, Tuple, Union
 
@@ -38,6 +41,7 @@ from ..config import EnvConfig
 from ..dag.graph import TaskGraph
 from ..env.actions import Action
 from ..env.scheduling_env import SchedulingEnv
+from ..envarr.backend import AnyEnv, make_env
 from ..errors import ConfigError, EnvironmentStateError
 from ..metrics.schedule import Schedule
 from ..utils.timing import Stopwatch
@@ -183,8 +187,18 @@ class Scheduler(abc.ABC):
         )
 
     def schedule(self, graph: Union[TaskGraph, ScheduleRequest]) -> Schedule:
-        """Compatibility shim: accept a graph (or request), call :meth:`plan`."""
+        """Deprecated shim: accept a graph (or request), call :meth:`plan`.
 
+        ``plan(ScheduleRequest(graph))`` is the sole canonical entrypoint;
+        this shim survives for old callers and warns them once per site.
+        """
+
+        warnings.warn(
+            "Scheduler.schedule(graph) is deprecated; call "
+            "plan(ScheduleRequest(graph)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.plan(as_schedule_request(graph))
 
 
@@ -230,7 +244,7 @@ class SchedulerWrapper(Scheduler):
 
 
 def run_policy(
-    env: SchedulingEnv,
+    env: AnyEnv,
     policy: Policy,
     max_steps: Optional[int] = None,
 ) -> Schedule:
@@ -315,7 +329,7 @@ class PolicyScheduler(Scheduler):
         self.name = name if name is not None else policy_factory().name
 
     def plan(self, request: ScheduleRequest) -> Schedule:
-        env = SchedulingEnv(request.graph, _planning_config(self._config, request))
+        env = make_env(request.graph, _planning_config(self._config, request))
         policy = self._factory()
         schedule = run_policy(env, policy)
         return Schedule(

@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 from ..config import EnvConfig
 from ..errors import ConfigError
 from ..metrics.schedule import Schedule
+from ..specs import SCHEDULER_GRAMMAR, coerce_option, suggest, tokenize_spec
 from ..telemetry import runtime as _telemetry
 from .base import (
     PolicyScheduler,
@@ -134,70 +135,24 @@ def parse_scheduler_spec(spec: str) -> Tuple[str, Dict[str, str]]:
 
     A bare name parses to ``(name, {})``.  Values stay strings here;
     :func:`make_scheduler` coerces them against the registered schema.
+    Thin layer over the shared grammar in :mod:`repro.specs`.
 
     Raises:
         ConfigError: on an empty name, a non-``key=value`` entry, or a
             duplicated key.
     """
-    name, sep, rest = spec.partition(":")
-    name = name.strip()
-    if not name:
-        raise ConfigError(f"scheduler spec {spec!r} has an empty name")
-    options: Dict[str, str] = {}
-    if sep and rest.strip():
-        for part in rest.split(","):
-            part = part.strip()
-            if not part:
-                continue
-            if "=" not in part:
-                raise ConfigError(
-                    f"scheduler spec entry {part!r} is not key=value"
-                )
-            key, _, raw = part.partition("=")
-            key = key.strip()
-            if key in options:
-                raise ConfigError(f"scheduler spec repeats key {key!r}")
-            options[key] = raw.strip()
-    return name, options
-
-
-_TRUE = ("1", "true", "yes", "on")
-_FALSE = ("0", "false", "no", "off")
+    return tokenize_spec(spec, SCHEDULER_GRAMMAR)
 
 
 def _coerce(name: str, key: str, raw: Any, typ: OptionType) -> Any:
-    """Coerce one raw option value to its declared type."""
-    if not isinstance(raw, str):
-        # Programmatic kwargs arrive pre-typed; accept int where float is
-        # declared, pass custom-typed options (e.g. a network object for
-        # ``spear``) straight to the factory, reject plain mismatches.
-        if typ not in (int, float, bool, str):
-            return raw
-        if typ is float and isinstance(raw, int) and not isinstance(raw, bool):
-            return float(raw)
-        if typ is bool and not isinstance(raw, bool):
-            raise ConfigError(f"{name}: option {key}={raw!r} is not a bool")
-        if isinstance(raw, typ):  # type: ignore[arg-type]
-            return raw
-        raise ConfigError(
-            f"{name}: option {key}={raw!r} is not a {typ.__name__}"
-        )
-    if typ is bool:
-        lowered = raw.lower()
-        if lowered in _TRUE:
-            return True
-        if lowered in _FALSE:
-            return False
-        raise ConfigError(
-            f"{name}: option {key}={raw!r} is not a bool "
-            f"(use true/false)"
-        )
-    try:
-        return typ(raw)
-    except (TypeError, ValueError):
-        raise ConfigError(
-            f"{name}: option {key}={raw!r} is not a {typ.__name__}"
-        ) from None
+    """Coerce one raw option value to its declared type.
+
+    Shared-grammar coercion (:func:`repro.specs.coerce_option`):
+    programmatic kwargs arrive pre-typed — an int where a float is
+    declared is widened, custom-typed options (e.g. a network object for
+    ``spear``) pass straight to the factory, plain mismatches raise.
+    """
+    return coerce_option(name, key, raw, typ)
 
 
 def _resolve_factory(name: str) -> Callable[..., Scheduler]:
@@ -364,7 +319,7 @@ def make_scheduler(
             known = sorted(schema) + list(_WRAPPER_KEYS)
             raise ConfigError(
                 f"unknown option {key!r} for scheduler {name!r}; "
-                f"known: {known}"
+                f"known: {known}{suggest(key, known)}"
             )
 
     scheduler = factory(config, **typed) if typed else factory(config)

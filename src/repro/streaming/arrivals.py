@@ -26,13 +26,21 @@ strings (``poisson:rate=0.05,n=1000``) onto these classes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Protocol, Sequence
+from typing import Any, Callable, Iterator, List, Optional, Protocol, Sequence
 
 from ..config import WorkloadConfig
 from ..dag.generators import random_layered_dag
 from ..dag.graph import TaskGraph
 from ..errors import ConfigError
 from ..online.results import ArrivingJob
+from ..specs import (
+    ARRIVAL_GRAMMAR,
+    ARRIVAL_SPEC_SCHEMAS,
+    pop_option,
+    reject_unknown_options,
+    tokenize_spec,
+    unknown_kind_error,
+)
 from ..utils.rng import as_generator
 
 __all__ = [
@@ -211,36 +219,6 @@ class TraceArrivals:
         return iter(self._jobs)
 
 
-def _parse_options(raw: str) -> Dict[str, str]:
-    options: Dict[str, str] = {}
-    for part in [p.strip() for p in raw.split(",") if p.strip()]:
-        if "=" not in part:
-            raise ConfigError(
-                f"arrival option {part!r} is not key=value"
-            )
-        key, _, value = part.partition("=")
-        options[key.strip()] = value.strip()
-    return options
-
-
-def _pop_int(options: Dict[str, str], key: str, spec: str) -> int:
-    try:
-        return int(options.pop(key))
-    except KeyError:
-        raise ConfigError(f"arrival spec {spec!r} is missing {key}=") from None
-    except ValueError as exc:
-        raise ConfigError(f"arrival spec {spec!r}: bad integer for {key}") from exc
-
-
-def _pop_float(options: Dict[str, str], key: str, spec: str) -> float:
-    try:
-        return float(options.pop(key))
-    except KeyError:
-        raise ConfigError(f"arrival spec {spec!r} is missing {key}=") from None
-    except ValueError as exc:
-        raise ConfigError(f"arrival spec {spec!r}: bad number for {key}") from exc
-
-
 def parse_arrival_spec(
     spec: str,
     job_factory: Optional[JobFactory] = None,
@@ -264,40 +242,43 @@ def parse_arrival_spec(
 
     Raises:
         ConfigError: on unknown kinds, missing/unknown keys, or bad
-            values.
+            values.  Shared-grammar parsing (:mod:`repro.specs`): the
+            option schemas live in
+            :data:`repro.specs.ARRIVAL_SPEC_SCHEMAS` and unknown
+            kinds/keys come back with did-you-mean suggestions.
     """
-    kind, _, raw = spec.partition(":")
-    kind = kind.strip()
-    options = _parse_options(raw)
+    kind, options = tokenize_spec(spec, ARRIVAL_GRAMMAR)
+
+    def _pop(key: str, typ: type, required: bool = False) -> Any:
+        return pop_option(
+            options, key, typ, spec=spec, grammar=ARRIVAL_GRAMMAR,
+            required=required,
+        )
+
     factory = job_factory if job_factory is not None else layered_job_factory()
     process: ArrivalProcess
     if kind == "poisson":
-        rate = _pop_float(options, "rate", spec)
-        n = _pop_int(options, "n", spec)
+        rate = _pop("rate", float, required=True)
+        n = _pop("n", int, required=True)
         process = PoissonProcess(rate, n, factory, seed=seed)
     elif kind == "uniform":
-        interarrival = _pop_int(options, "interarrival", spec)
-        n = _pop_int(options, "n", spec)
+        interarrival = _pop("interarrival", int, required=True)
+        n = _pop("n", int, required=True)
         process = UniformProcess(interarrival, n, factory, seed=seed)
     elif kind == "trace":
-        path = options.pop("path", None)
-        if path is None:
-            raise ConfigError(f"arrival spec {spec!r} is missing path=")
+        path = _pop("path", str, required=True)
         from ..traces.arrivals import poisson_arrivals, uniform_arrivals
         from ..traces.job import Trace
 
         trace = Trace.load(path)
         if "interarrival" in options:
-            stream = uniform_arrivals(trace, _pop_int(options, "interarrival", spec))
+            stream = uniform_arrivals(trace, _pop("interarrival", int))
         else:
-            stream = poisson_arrivals(trace, _pop_float(options, "mean", spec), seed=seed)
+            stream = poisson_arrivals(trace, _pop("mean", float, required=True), seed=seed)
         process = TraceArrivals(stream)
     else:
-        raise ConfigError(
-            f"unknown arrival kind {kind!r}; expected poisson, uniform or trace"
-        )
-    if options:
-        raise ConfigError(
-            f"unknown arrival option(s) {sorted(options)} in {spec!r}"
-        )
+        raise unknown_kind_error(kind, ARRIVAL_SPEC_SCHEMAS, ARRIVAL_GRAMMAR)
+    reject_unknown_options(
+        options, ARRIVAL_SPEC_SCHEMAS[kind], spec=spec, grammar=ARRIVAL_GRAMMAR
+    )
     return process

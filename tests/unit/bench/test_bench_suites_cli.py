@@ -12,6 +12,7 @@ EXPECTED_GROUPS = {
     "cluster",
     "mcts",
     "observation",
+    "envarr",
     "faults",
     "online",
     "streaming",

@@ -1,0 +1,174 @@
+"""Lockstep batched playouts and virtual-loss bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, EnvConfig, MctsConfig, WorkloadConfig
+from repro.dag import random_layered_dag
+from repro.envarr.batch import BatchedPlayouts, batch_random_playouts
+from repro.envarr.env import ArraySchedulingEnv
+from repro.errors import EnvironmentStateError
+from repro.utils.rng import as_generator
+
+CAPS = (10, 10)
+WORKLOAD = WorkloadConfig(
+    num_tasks=20, max_runtime=6, max_demand=8, runtime_mean=3, demand_mean=4
+)
+
+
+def make_config(until_completion=True):
+    return EnvConfig(
+        cluster=ClusterConfig(capacities=CAPS, horizon=8),
+        process_until_completion=until_completion,
+        backend="array",
+    )
+
+
+def make_lanes(seed, batch, until_completion=True, advance=0):
+    graph = random_layered_dag(WORKLOAD, seed=seed)
+    config = make_config(until_completion)
+    base = ArraySchedulingEnv(graph, config)
+    rng = as_generator(seed + 1)
+    for _ in range(advance):
+        if base.done:
+            break
+        actions = base.legal_actions()
+        base.step(actions[int(rng.integers(len(actions)))])
+    lanes = [base.clone() for _ in range(batch)]
+    kernel = BatchedPlayouts(
+        base.arrays,
+        CAPS,
+        until_completion=until_completion,
+        max_ready=config.max_ready,
+    )
+    limit = 50 * (int(base.arrays.durations.sum()) + base.arrays.num_tasks)
+    return base, lanes, kernel, limit
+
+
+class TestBatchedPlayouts:
+    def test_seeded_runs_are_identical(self):
+        _, lanes, kernel, limit = make_lanes(0, batch=17)
+        first, _ = kernel.run(lanes, as_generator(42), limit)
+        second, _ = kernel.run(lanes, as_generator(42), limit)
+        assert np.array_equal(first, second)
+
+    def test_input_lanes_are_never_mutated(self):
+        _, lanes, kernel, limit = make_lanes(1, batch=5, advance=3)
+        before = [env.signature() for env in lanes]
+        kernel.run(lanes, as_generator(7), limit)
+        assert [env.signature() for env in lanes] == before
+
+    def test_recorded_starts_form_feasible_schedules(self):
+        base, lanes, kernel, limit = make_lanes(2, batch=9)
+        arrays = base.arrays
+        makespans, starts = kernel.run(
+            lanes, as_generator(3), limit, record_starts=True
+        )
+        assert starts is not None and starts.shape == (9, arrays.num_tasks)
+        durations = arrays.durations
+        for lane in range(starts.shape[0]):
+            lane_starts = starts[lane]
+            assert (lane_starts >= 0).all()
+            finishes = lane_starts + durations
+            assert int(finishes.max()) == int(makespans[lane])
+            # Precedence: every child starts at or after each parent's
+            # finish.
+            for i in range(arrays.num_tasks):
+                for c in arrays.children_of(i):
+                    assert lane_starts[int(c)] >= finishes[i]
+            # Capacity: accumulate demand over the occupied slots.
+            horizon = int(finishes.max())
+            usage = np.zeros((horizon, arrays.num_resources), dtype=np.int64)
+            for i in range(arrays.num_tasks):
+                usage[lane_starts[i] : finishes[i]] += arrays.demands[i]
+            assert (usage <= np.asarray(CAPS)).all()
+
+    def test_mid_episode_lanes_complete_consistently(self):
+        base, lanes, kernel, limit = make_lanes(3, batch=6, advance=5)
+        makespans, _ = kernel.run(lanes, as_generator(11), limit)
+        # Every lane continues the shared prefix, so no lane can finish
+        # before the time already committed in it.
+        assert (makespans >= base.now).all()
+
+    def test_unit_granularity_mode(self):
+        _, lanes, kernel, limit = make_lanes(4, batch=4, until_completion=False)
+        makespans, _ = kernel.run(lanes, as_generator(5), limit)
+        assert (makespans > 0).all()
+
+    def test_foreign_lane_rejected(self):
+        _, lanes, kernel, limit = make_lanes(5, batch=2)
+        other = ArraySchedulingEnv(
+            random_layered_dag(WORKLOAD, seed=99), make_config()
+        )
+        with pytest.raises(EnvironmentStateError):
+            kernel.run([other], as_generator(1), limit)
+
+    def test_convenience_wrapper_matches_kernel(self):
+        _, lanes, kernel, limit = make_lanes(6, batch=8)
+        direct, _ = kernel.run(lanes, as_generator(21), limit)
+        wrapped = batch_random_playouts(lanes, as_generator(21), limit)
+        assert np.array_equal(direct, np.asarray(wrapped))
+
+
+class TestVirtualLossBookkeeping:
+    def test_vloss_returns_to_zero_after_budget(self):
+        """Every virtual loss taken during wave collection is repaid."""
+        from repro.envarr.batch import BatchedPlayouts
+        from repro.mcts.node import Node
+        from repro.mcts.search import MctsScheduler, SearchStatistics
+
+        graph = random_layered_dag(WORKLOAD, seed=8)
+        config = make_config()
+        scheduler = MctsScheduler(
+            MctsConfig(
+                initial_budget=48,
+                min_budget=48,
+                use_budget_decay=False,
+                rollout_batch=12,
+            ),
+            config,
+            seed=0,
+        )
+        env = ArraySchedulingEnv(graph, config)
+        kernel = BatchedPlayouts(
+            env.arrays,
+            CAPS,
+            until_completion=True,
+            max_ready=config.max_ready,
+        )
+        root = Node(env.clone(), untried=scheduler._candidates(env))
+        stats = SearchStatistics()
+        limit = scheduler.rollout._step_limit(env)
+        scheduler._run_budget_batched(root, 1.4, stats, 48, kernel, limit)
+
+        assert stats.iterations == 48
+        stack = [root]
+        visited = 0
+        while stack:
+            node = stack.pop()
+            visited += 1
+            assert node.vloss == 0, "virtual loss must be repaid by backprop"
+            stack.extend(node.children.values())
+        assert visited > 1, "the budget must have grown the tree"
+
+    def test_batched_and_sequential_search_visit_counts_agree(self):
+        """Total root visits equal the spent budget in both modes."""
+        from repro.mcts.search import MctsScheduler
+        from repro.schedulers.base import ScheduleRequest
+
+        graph = random_layered_dag(WORKLOAD, seed=9)
+        for batch in (1, 8):
+            scheduler = MctsScheduler(
+                MctsConfig(
+                    initial_budget=32,
+                    min_budget=32,
+                    use_budget_decay=False,
+                    rollout_batch=batch,
+                ),
+                make_config(),
+                seed=0,
+            )
+            scheduler.plan(ScheduleRequest(graph))
+            stats = scheduler.last_statistics
+            assert stats is not None
+            assert stats.iterations == sum(stats.budgets)

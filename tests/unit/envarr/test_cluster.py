@@ -1,0 +1,120 @@
+"""Vectorized cluster state and its event sweep (repro.envarr.cluster)."""
+
+import pytest
+
+from repro.dag import motivating_example
+from repro.envarr.cluster import ArrayClusterState
+from repro.envarr.graphdata import graph_arrays
+from repro.errors import CapacityError, EnvironmentStateError
+
+
+def make_state(capacities=(100, 100)):
+    arrays = graph_arrays(motivating_example())
+    return arrays, ArrayClusterState(arrays, capacities)
+
+
+class TestConstruction:
+    def test_rejects_bad_capacities(self):
+        arrays = graph_arrays(motivating_example())
+        with pytest.raises(CapacityError):
+            ArrayClusterState(arrays, ())
+        with pytest.raises(CapacityError):
+            ArrayClusterState(arrays, (100, 0))
+
+    def test_starts_idle_and_full(self):
+        _, state = make_state()
+        assert state.is_idle
+        assert state.num_running == 0
+        assert state.available == state.capacities == (100, 100)
+        assert state.utilization() == (0.0, 0.0)
+        with pytest.raises(EnvironmentStateError):
+            state.earliest_finish_time()
+        with pytest.raises(EnvironmentStateError):
+            state.sweep()
+
+
+class TestOccupancyBookkeeping:
+    def test_start_occupies_and_release_undoes(self):
+        arrays, state = make_state()
+        before = state.available
+        state.start_index(0)
+        demands = arrays.demands_list[0]
+        assert state.available == tuple(
+            b - d for b, d in zip(before, demands)
+        )
+        assert state.num_running == 1
+        assert state.running_ids() == [arrays.ids_list[0]]
+        assert state.earliest_finish_time() == arrays.durations_list[0]
+        state.release_index(0)
+        assert state.available == before
+        assert state.is_idle
+
+    def test_can_fit_index_tracks_free_capacity(self):
+        arrays, state = make_state(capacities=(100, 100))
+        index = 0
+        assert state.can_fit_index(index)
+        # Drain capacity below the task's demands; the answer flips.
+        state.free[:] = 0
+        assert not state.can_fit_index(index)
+
+
+class TestEventSweep:
+    def test_sweep_jumps_to_earliest_finish_and_releases_all_due(self):
+        arrays, state = make_state(capacities=(200, 200))
+        # Start three tasks; the sweep must land on the smallest finish
+        # and release exactly the tasks finishing there.
+        for index in (0, 1, 2):
+            state.start_index(index)
+        finishes = {i: arrays.durations_list[i] for i in (0, 1, 2)}
+        earliest = min(finishes.values())
+        due = sorted(i for i, f in finishes.items() if f == earliest)
+        dt, released = state.sweep()
+        assert dt == earliest
+        assert state.now == earliest
+        assert released == due
+        assert state.num_running == 3 - len(due)
+
+    def test_sweep_matches_stepwise_advance(self):
+        arrays, _ = make_state()
+        a = ArrayClusterState(arrays, (200, 200))
+        b = ArrayClusterState(arrays, (200, 200))
+        for index in (0, 1, 2, 3):
+            a.start_index(index)
+            b.start_index(index)
+        while a.num_running:
+            dt, swept = a.sweep()
+            stepped = []
+            for _ in range(dt):
+                stepped.extend(b.advance(1))
+            assert swept == sorted(stepped)
+            assert a.now == b.now
+            assert a.available == b.available
+            assert a.signature() == b.signature()
+
+    def test_reoccupy_is_exact_sweep_inverse(self):
+        arrays, state = make_state(capacities=(200, 200))
+        for index in (0, 1, 2):
+            state.start_index(index)
+        before = state.clone()
+        dt, released = state.sweep()
+        finish_times = [before.now + arrays.durations_list[i] for i in released]
+        state.reoccupy(released, finish_times)
+        state.now -= dt
+        assert state.signature() == before.signature()
+        assert state.num_running == before.num_running
+
+    def test_advance_rejects_non_positive_dt(self):
+        _, state = make_state()
+        with pytest.raises(EnvironmentStateError):
+            state.advance(0)
+
+
+class TestCloneIndependence:
+    def test_clone_does_not_alias_mutable_state(self):
+        _, state = make_state()
+        state.start_index(0)
+        copy = state.clone()
+        assert copy.signature() == state.signature()
+        state.sweep()
+        assert copy.signature() != state.signature()
+        assert copy.num_running == 1

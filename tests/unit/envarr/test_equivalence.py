@@ -1,0 +1,203 @@
+"""Hypothesis equivalence: the array backend must be indistinguishable
+from the object backend through the public environment surface.
+
+Every test drives both backends through identical action sequences (or
+identical searches) over randomly drawn DAG shapes and seeds and asserts
+the full observable surface matches: legal actions, masks, visible-ready
+windows, clock, observations, final schedules and makespans.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.config import ClusterConfig, EnvConfig, MctsConfig, WorkloadConfig
+from repro.dag.generators import random_layered_dag
+from repro.env.observation import ObservationBuilder
+from repro.env.scheduling_env import SchedulingEnv
+from repro.envarr.env import ArraySchedulingEnv
+from repro.envarr.observation import BatchObservationBuilder
+
+CAPS = (10, 10)
+
+
+def make_graph(seed, num_tasks):
+    workload = WorkloadConfig(
+        num_tasks=num_tasks,
+        max_runtime=6,
+        max_demand=8,
+        runtime_mean=3,
+        runtime_std=2,
+        demand_mean=4,
+        demand_std=2,
+    )
+    return random_layered_dag(workload, seed=seed)
+
+
+def make_config(until_completion, backend="object", max_ready=6):
+    return EnvConfig(
+        cluster=ClusterConfig(capacities=CAPS, horizon=8),
+        max_ready=max_ready,
+        process_until_completion=until_completion,
+        backend=backend,
+    )
+
+
+def lockstep_pair(graph, until_completion):
+    obj = SchedulingEnv(graph, make_config(until_completion, "object"))
+    arr = ArraySchedulingEnv(graph, make_config(until_completion, "array"))
+    return obj, arr
+
+
+def assert_same_surface(obj, arr):
+    assert obj.done == arr.done
+    assert obj.now == arr.now
+    assert obj.visible_ready() == arr.visible_ready()
+    assert obj.legal_actions() == arr.legal_actions()
+    assert obj.action_mask() == arr.action_mask()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_tasks=st.integers(1, 18),
+    play_seed=st.integers(0, 1000),
+    until_completion=st.booleans(),
+)
+def test_random_play_is_bit_identical(
+    seed, num_tasks, play_seed, until_completion
+):
+    graph = make_graph(seed, num_tasks)
+    obj, arr = lockstep_pair(graph, until_completion)
+    rng = np.random.default_rng(play_seed)
+    for _ in range(100_000):
+        assert_same_surface(obj, arr)
+        if obj.done:
+            break
+        actions = obj.legal_actions()
+        action = actions[int(rng.integers(len(actions)))]
+        obj_result = obj.step(action)
+        arr_result = arr.step(action)
+        assert obj_result.reward == arr_result.reward
+        assert obj_result.done == arr_result.done
+
+    assert obj.done and arr.done
+    assert obj.makespan == arr.makespan
+    obj_schedule = obj.to_schedule("object")
+    arr_schedule = arr.to_schedule("array")
+    assert obj_schedule.placements == arr_schedule.placements
+    assert obj_schedule.makespan == arr_schedule.makespan
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_tasks=st.integers(1, 14),
+    play_seed=st.integers(0, 1000),
+)
+def test_observations_match_along_episode(seed, num_tasks, play_seed):
+    graph = make_graph(seed, num_tasks)
+    obj, arr = lockstep_pair(graph, until_completion=True)
+    config = make_config(True)
+    obj_builder = ObservationBuilder(graph, config)
+    arr_builder = BatchObservationBuilder(graph, config)
+    rng = np.random.default_rng(play_seed)
+    for _ in range(100_000):
+        np.testing.assert_allclose(
+            obj_builder.build(obj),
+            arr_builder.build(arr),
+            rtol=0,
+            atol=1e-12,
+        )
+        batched = arr_builder.build_batch([arr, arr])
+        np.testing.assert_allclose(
+            batched[0], arr_builder.build(arr), rtol=0, atol=1e-12
+        )
+        if obj.done:
+            break
+        actions = obj.legal_actions()
+        action = actions[int(rng.integers(len(actions)))]
+        obj.step(action)
+        arr.step(action)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_tasks=st.integers(1, 14),
+    play_seed=st.integers(0, 1000),
+)
+def test_clone_and_signature_agree(seed, num_tasks, play_seed):
+    graph = make_graph(seed, num_tasks)
+    obj, arr = lockstep_pair(graph, until_completion=True)
+    rng = np.random.default_rng(play_seed)
+    steps = int(rng.integers(0, 6))
+    for _ in range(steps):
+        if obj.done:
+            break
+        actions = obj.legal_actions()
+        action = actions[int(rng.integers(len(actions)))]
+        obj.step(action)
+        arr.step(action)
+    assert obj.signature() == arr.signature()
+    arr_clone = arr.clone()
+    assert arr_clone.signature() == arr.signature()
+    if not arr.done:
+        arr.step(arr.legal_actions()[0])
+        assert arr_clone.signature() != arr.signature()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    num_tasks=st.integers(2, 10),
+    search_seed=st.integers(0, 100),
+)
+def test_mcts_search_is_backend_identical(seed, num_tasks, search_seed):
+    """Sequential search must pick identical schedules on both backends."""
+    from repro.mcts.search import MctsScheduler
+    from repro.schedulers.base import ScheduleRequest
+
+    graph = make_graph(seed, num_tasks)
+    config = MctsConfig(
+        initial_budget=24,
+        min_budget=8,
+        rollout_batch=1,
+    )
+    schedules = []
+    for backend in ("object", "array"):
+        scheduler = MctsScheduler(
+            config, make_config(True, backend), seed=search_seed
+        )
+        schedules.append(scheduler.plan(ScheduleRequest(graph)))
+    assert schedules[0].placements == schedules[1].placements
+    assert schedules[0].makespan == schedules[1].makespan
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    num_tasks=st.integers(2, 12),
+    degrade=st.integers(0, 4),
+)
+def test_degraded_replan_is_backend_identical(seed, num_tasks, degrade):
+    """Deterministic policy planning under a degraded (post-crash)
+    cluster snapshot matches across backends — the replan path the
+    online fault executor exercises."""
+    from repro.schedulers import PolicyScheduler, TetrisPolicy
+    from repro.schedulers.base import ClusterSnapshot, ScheduleRequest
+
+    graph = make_graph(seed, num_tasks)
+    capacities = tuple(c - degrade for c in CAPS)
+    snapshot = ClusterSnapshot(
+        capacities=capacities, available=capacities, now=0
+    )
+    schedules = []
+    for backend in ("object", "array"):
+        scheduler = PolicyScheduler(
+            TetrisPolicy, config=make_config(True, backend)
+        )
+        request = ScheduleRequest(graph, cluster=snapshot)
+        schedules.append(scheduler.plan(request))
+    assert schedules[0].placements == schedules[1].placements
+    assert schedules[0].makespan == schedules[1].makespan

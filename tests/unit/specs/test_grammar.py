@@ -1,0 +1,144 @@
+"""The shared ``name:key=value,...`` grammar (repro.specs)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.specs import (
+    ARRIVAL_GRAMMAR,
+    ARRIVAL_REQUIRED_KEYS,
+    ARRIVAL_SPEC_SCHEMAS,
+    ROUTER_GRAMMAR,
+    ROUTER_SPEC_SCHEMAS,
+    SCHEDULER_GRAMMAR,
+    coerce_option,
+    pop_option,
+    reject_unknown_options,
+    suggest,
+    tokenize_spec,
+    unknown_kind_error,
+)
+
+
+class TestTokenizer:
+    def test_bare_name(self):
+        assert tokenize_spec("heft", SCHEDULER_GRAMMAR) == ("heft", {})
+
+    def test_options_split_and_strip(self):
+        name, opts = tokenize_spec(
+            " mcts : budget = 200 , seed=3 ", SCHEDULER_GRAMMAR
+        )
+        assert name == "mcts"
+        assert opts == {"budget": "200", "seed": "3"}
+
+    def test_empty_entries_skipped(self):
+        assert tokenize_spec("a:,x=1,", ARRIVAL_GRAMMAR) == ("a", {"x": "1"})
+
+    def test_empty_name_rejected_when_required(self):
+        with pytest.raises(ConfigError, match="empty name"):
+            tokenize_spec(":budget=1", SCHEDULER_GRAMMAR)
+
+    def test_empty_name_tolerated_for_kind_families(self):
+        # Closed-kind families report an unknown kind instead.
+        assert tokenize_spec(":x=1", ROUTER_GRAMMAR)[0] == ""
+
+    def test_duplicate_key_rejected_in_every_family(self):
+        for grammar in (SCHEDULER_GRAMMAR, ARRIVAL_GRAMMAR, ROUTER_GRAMMAR):
+            with pytest.raises(ConfigError, match="repeats key"):
+                tokenize_spec("name:a=1,a=2", grammar)
+
+    def test_family_phrasing_preserved(self):
+        with pytest.raises(ConfigError, match="scheduler spec entry 'x'"):
+            tokenize_spec("mcts:x", SCHEDULER_GRAMMAR)
+        with pytest.raises(ConfigError, match="arrival option 'x'"):
+            tokenize_spec("poisson:x", ARRIVAL_GRAMMAR)
+        with pytest.raises(ConfigError, match="router option 'x' in"):
+            tokenize_spec("hash:x", ROUTER_GRAMMAR)
+
+
+class TestPopOption:
+    def grammar(self):
+        return ARRIVAL_GRAMMAR
+
+    def test_typed_pop(self):
+        opts = {"rate": "0.5", "n": "10", "path": "t.json"}
+        g = self.grammar()
+        assert pop_option(opts, "rate", float, spec="s", grammar=g) == 0.5
+        assert pop_option(opts, "n", int, spec="s", grammar=g) == 10
+        assert pop_option(opts, "path", str, spec="s", grammar=g) == "t.json"
+        assert opts == {}
+
+    def test_missing_required(self):
+        with pytest.raises(ConfigError, match="is missing rate="):
+            pop_option({}, "rate", float, spec="s", grammar=self.grammar(),
+                       required=True)
+
+    def test_missing_optional_returns_default(self):
+        assert pop_option({}, "salt", int, spec="s", grammar=ROUTER_GRAMMAR,
+                          default=0) == 0
+
+    def test_bad_integer_and_number(self):
+        with pytest.raises(ConfigError, match="bad integer for n"):
+            pop_option({"n": "x"}, "n", int, spec="s", grammar=self.grammar())
+        with pytest.raises(ConfigError, match="bad number for rate"):
+            pop_option({"rate": "x"}, "rate", float, spec="s",
+                       grammar=self.grammar())
+
+    def test_bool_words(self):
+        g = self.grammar()
+        assert pop_option({"v": "yes"}, "v", bool, spec="s", grammar=g) is True
+        assert pop_option({"v": "0"}, "v", bool, spec="s", grammar=g) is False
+        with pytest.raises(ConfigError, match="bad flag for v"):
+            pop_option({"v": "maybe"}, "v", bool, spec="s", grammar=g)
+
+
+class TestCoerceOption:
+    def test_string_coercion(self):
+        assert coerce_option("mcts", "budget", "50", int) == 50
+        assert coerce_option("mcts", "verify", "true", bool) is True
+
+    def test_pretyped_passthrough_and_widening(self):
+        assert coerce_option("mcts", "budget", 50, int) == 50
+        assert coerce_option("x", "replan_budget", 2, float) == 2.0
+
+    def test_mismatch_message(self):
+        with pytest.raises(ConfigError, match="not a int"):
+            coerce_option("mcts", "budget", "many", int)
+        with pytest.raises(ConfigError, match="not a bool"):
+            coerce_option("mcts", "verify", "maybe", bool)
+
+
+class TestDidYouMean:
+    def test_suggest_close_and_far(self):
+        assert suggest("poison", ["poisson", "uniform"]) == (
+            "; did you mean 'poisson'?"
+        )
+        assert suggest("zzz", ["poisson", "uniform"]) == ""
+
+    def test_unknown_kind_enumerates_in_order(self):
+        err = unknown_kind_error("poison", ARRIVAL_SPEC_SCHEMAS, ARRIVAL_GRAMMAR)
+        assert "expected poisson, uniform or trace" in str(err)
+        assert "did you mean 'poisson'" in str(err)
+        err = unknown_kind_error("xx", ROUTER_SPEC_SCHEMAS, ROUTER_GRAMMAR)
+        assert "round-robin, least-load, hash or affinity" in str(err)
+
+    def test_reject_unknown_suggests(self):
+        with pytest.raises(ConfigError, match="did you mean 'salt'"):
+            reject_unknown_options(
+                {"salty": "3"}, {"salt"}, spec="hash:salty=3",
+                grammar=ROUTER_GRAMMAR,
+            )
+
+
+class TestCatalog:
+    def test_required_keys_are_schema_subsets(self):
+        for kind, required in ARRIVAL_REQUIRED_KEYS.items():
+            assert set(required) <= set(ARRIVAL_SPEC_SCHEMAS[kind])
+
+    def test_parsers_agree_with_catalog(self):
+        # Every catalogued kind parses with its full documented key set.
+        from repro.federation.routing import parse_router_spec
+
+        parse_router_spec("round-robin")
+        parse_router_spec("least-load:metric=tasks")
+        parse_router_spec("hash:salt=7")
+        parse_router_spec("affinity:spill=4")
