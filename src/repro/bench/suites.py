@@ -391,6 +391,62 @@ def _setup_envarr_observation_batch(seed: int) -> Callable[[], None]:
     return thunk
 
 
+# --------------------------------------------------------------------- #
+# rl group
+# --------------------------------------------------------------------- #
+
+
+def _rl_lanes(seed: int, count: int = 64):
+    """Mid-episode array-backend lanes for batched policy evaluation."""
+    graph = _fig6_graph(seed)
+    config = EnvConfig(process_until_completion=True, backend="array")
+    env = make_env(graph, config)
+    rng = as_generator(seed + 70_000)
+    lanes = []
+    sim = env.clone()
+    while not sim.done and len(lanes) < count:
+        lanes.append(sim.clone())
+        actions = sim.expansion_actions(work_conserving=True)
+        sim.step(actions[int(rng.integers(0, len(actions)))])
+    return graph, config, lanes
+
+
+def _setup_rl_policy_forward_batch(seed: int) -> Callable[[], None]:
+    """Batched MLP leaf evaluation: one forward over all lanes.
+
+    This is the inner loop of batched-MCTS leaf priors and network
+    rollouts (``PolicyEvaluator.distributions``).
+    """
+    from ..core.pipeline import default_network
+    from ..rl.evaluator import PolicyEvaluator
+
+    graph, config, lanes = _rl_lanes(seed)
+    network = default_network(config, seed=seed)
+    evaluator = PolicyEvaluator(network, config, lanes[0].arrays)
+
+    def thunk() -> None:
+        evaluator.distributions(lanes)
+
+    thunk.ops = len(lanes)  # type: ignore[attr-defined]
+    return thunk
+
+
+def _setup_rl_gnn_forward(seed: int) -> Callable[[], None]:
+    """Batched GNN leaf evaluation: message passing over all lanes."""
+    from ..core.pipeline import default_graph_network
+    from ..rl.evaluator import PolicyEvaluator
+
+    graph, config, lanes = _rl_lanes(seed)
+    network = default_graph_network(config, seed=seed)
+    evaluator = PolicyEvaluator(network, config, lanes[0].arrays)
+
+    def thunk() -> None:
+        evaluator.distributions(lanes)
+
+    thunk.ops = len(lanes)  # type: ignore[attr-defined]
+    return thunk
+
+
 def _setup_faults_inject_step(seed: int) -> Callable[[], None]:
     """Per-dispatch cost of drawing one fault-injected task attempt.
 
@@ -727,6 +783,22 @@ def default_suite() -> List[BenchmarkSpec]:
             "envarr.observation_batch",
             "envarr",
             _setup_envarr_observation_batch,
+            repeats=20,
+            quick_repeats=3,
+            warmup=1,
+        ),
+        BenchmarkSpec(
+            "rl.policy_forward_batch",
+            "rl",
+            _setup_rl_policy_forward_batch,
+            repeats=20,
+            quick_repeats=3,
+            warmup=1,
+        ),
+        BenchmarkSpec(
+            "rl.gnn_forward",
+            "rl",
+            _setup_rl_gnn_forward,
             repeats=20,
             quick_repeats=3,
             warmup=1,

@@ -72,6 +72,24 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--out", default="spear-network.npz")
     train.add_argument("--log-every", type=int, default=10)
     train.add_argument(
+        "--algo",
+        choices=("reinforce", "ppo"),
+        default="reinforce",
+        help="rollout trainer (default: the paper's REINFORCE)",
+    )
+    train.add_argument(
+        "--policy",
+        choices=("mlp", "gnn"),
+        default="mlp",
+        help="model family: windowed MLP or scale-invariant graph policy",
+    )
+    train.add_argument(
+        "--grad-clip",
+        type=float,
+        default=0.0,
+        help="global-norm gradient clipping threshold (0 = off)",
+    )
+    train.add_argument(
         "--trace-out",
         default=None,
         help="run with telemetry enabled; write the JSONL trace here",
@@ -116,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig9ab",
             "fig9c",
             "table1",
+            "generalization",
         ],
     )
     experiment.add_argument("--paper-scale", action="store_true")
@@ -606,16 +625,22 @@ def _cmd_train(args: argparse.Namespace) -> int:
         example_num_tasks=args.example_tasks,
         rollouts_per_example=args.rollouts,
         epochs=args.epochs,
+        max_grad_norm=args.grad_clip,
     )
     network, history = train_spear_network(
         env_config=EnvConfig(process_until_completion=True),
         training=training,
         seed=args.seed,
         log_every=args.log_every,
+        algo=args.algo,
+        policy=args.policy,
     )
     save_checkpoint(network, args.out)
     final = history[-1].mean_makespan if history else float("nan")
-    print(f"trained {args.epochs} epochs; final mean makespan {final:.1f}")
+    print(
+        f"trained {args.epochs} epochs ({args.algo}, {args.policy}); "
+        f"final mean makespan {final:.1f}"
+    )
     print(f"checkpoint written to {args.out}")
     return 0
 
@@ -705,6 +730,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(experiments.reduction_cdf(scale, seed=args.seed).report())
     elif name == "table1":
         print(experiments.runtime_grid(scale, seed=args.seed).report())
+    elif name == "generalization":
+        print(experiments.generalization_study(scale, seed=args.seed).report())
     else:  # pragma: no cover - argparse restricts choices
         return 2
     return 0

@@ -33,6 +33,7 @@ __all__ = [
     "WorkloadConfig",
     "MctsConfig",
     "NetworkConfig",
+    "GnnConfig",
     "TrainingConfig",
     "GrapheneConfig",
     "EnvConfig",
@@ -149,6 +150,15 @@ class MctsConfig:
     use_max_value_ucb: bool = True
     state_restore: str = "undo"
     rollout_batch: int = 1
+    #: Batched leaf guidance (DESIGN.md Sec. 16): ``"auto"`` lets a
+    #: network-guided search batch-evaluate each wave's fresh leaves with
+    #: a :class:`repro.rl.evaluator.PolicyEvaluator` (one forward pass
+    #: orders every new leaf's expansion candidates); ``"off"`` keeps the
+    #: per-node sequential prioritization.  Only takes effect in the
+    #: batched collection mode (``rollout_batch > 1``, array backend)
+    #: when the scheduler carries a leaf network; sequential searches are
+    #: unaffected either way.
+    leaf_policy: str = "auto"
 
     def __post_init__(self) -> None:
         _require(self.initial_budget >= 1, "initial_budget must be >= 1")
@@ -159,6 +169,10 @@ class MctsConfig:
             f"state_restore must be 'undo' or 'clone', got {self.state_restore!r}",
         )
         _require(self.rollout_batch >= 1, "rollout_batch must be >= 1")
+        _require(
+            self.leaf_policy in ("auto", "off"),
+            f"leaf_policy must be 'auto' or 'off', got {self.leaf_policy!r}",
+        )
 
 
 @dataclass(frozen=True)
@@ -184,6 +198,30 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class GnnConfig:
+    """Graph policy architecture (DESIGN.md Sec. 16).
+
+    Per-node embeddings over the DAG: a linear+ReLU encoder over static
+    and dynamic node features, ``rounds`` of parent/child message
+    passing on the CSR adjacency, a mean-pooled global readout joined
+    with cluster features, and a scale-invariant per-ready-task score
+    head (shared weights, no ``max_ready`` window — the same parameters
+    score a 10-task and a 250-task DAG).
+    """
+
+    hidden_size: int = 32
+    rounds: int = 2
+    head_hidden: int = 16
+    global_hidden: int = 32
+
+    def __post_init__(self) -> None:
+        _require(self.hidden_size >= 1, "hidden_size must be >= 1")
+        _require(self.rounds >= 0, "rounds must be >= 0")
+        _require(self.head_hidden >= 1, "head_hidden must be >= 1")
+        _require(self.global_hidden >= 1, "global_hidden must be >= 1")
+
+
+@dataclass(frozen=True)
 class TrainingConfig:
     """REINFORCE + imitation training parameters (Sec. IV, Fig. 8(b)).
 
@@ -204,6 +242,17 @@ class TrainingConfig:
     entropy_bonus: float = 0.0
     max_episode_steps: int = 5000
     seed: int = 0
+    #: Global-norm gradient clipping (0 disables; every trainer honors it).
+    max_grad_norm: float = 0.0
+    # PPO (repro train --algo ppo): clipped-surrogate hyper-parameters.
+    ppo_clip: float = 0.2
+    ppo_epochs: int = 4
+    ppo_minibatch: int = 64
+    gae_lambda: float = 0.95
+    gamma: float = 1.0
+    value_learning_rate: float = 1e-3
+    value_epochs: int = 3
+    normalize_advantages: bool = True
 
     def __post_init__(self) -> None:
         _require(self.learning_rate > 0, "learning_rate must be > 0")
@@ -217,6 +266,14 @@ class TrainingConfig:
         _require(self.supervised_epochs >= 0, "supervised_epochs >= 0")
         _require(self.entropy_bonus >= 0, "entropy_bonus >= 0")
         _require(self.max_episode_steps >= 1, "max_episode_steps >= 1")
+        _require(self.max_grad_norm >= 0, "max_grad_norm >= 0")
+        _require(self.ppo_clip > 0, "ppo_clip must be > 0")
+        _require(self.ppo_epochs >= 1, "ppo_epochs >= 1")
+        _require(self.ppo_minibatch >= 1, "ppo_minibatch >= 1")
+        _require(0.0 <= self.gae_lambda <= 1.0, "gae_lambda in [0, 1]")
+        _require(0.0 < self.gamma <= 1.0, "gamma in (0, 1]")
+        _require(self.value_learning_rate > 0, "value_learning_rate > 0")
+        _require(self.value_epochs >= 1, "value_epochs >= 1")
 
 
 @dataclass(frozen=True)

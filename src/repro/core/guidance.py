@@ -36,9 +36,9 @@ class NetworkExpansion(ExpansionPolicy):
             so probabilities are computed over the same action set.
     """
 
-    def __init__(self, network: PolicyNetwork, work_conserving: bool = True) -> None:
-        self._policy = NetworkPolicy(
-            network, mode="greedy", work_conserving=work_conserving
+    def __init__(self, network, work_conserving: bool = True) -> None:
+        self._policy = network.make_policy(
+            mode="greedy", work_conserving=work_conserving
         )
 
     def prioritize(self, env: SchedulingEnv, actions: List[Action]) -> List[Action]:
@@ -63,21 +63,25 @@ class NetworkRollout(RolloutPolicy):
 
     def __init__(
         self,
-        network: PolicyNetwork,
+        network,
         seed: SeedLike = None,
         mode: str = "sample",
         work_conserving: bool = True,
         max_steps_factor: int = 50,
     ) -> None:
-        self._policy = NetworkPolicy(
-            network, mode=mode, seed=seed, work_conserving=work_conserving
+        self._policy = network.make_policy(
+            mode=mode, seed=seed, work_conserving=work_conserving
         )
         self._max_steps_factor = max_steps_factor
+        self._evaluator = None
 
-    def rollout(self, env: SchedulingEnv) -> int:
-        limit = self._max_steps_factor * (
+    def _step_limit(self, env: SchedulingEnv) -> int:
+        return self._max_steps_factor * (
             sum(task.runtime for task in env.graph) + env.graph.num_tasks
         )
+
+    def rollout(self, env: SchedulingEnv) -> int:
+        limit = self._step_limit(env)
         steps = 0
         while not env.done:
             if steps >= limit:
@@ -85,6 +89,24 @@ class NetworkRollout(RolloutPolicy):
             env.step(self._policy.select(env))
             steps += 1
         return env.makespan
+
+    def rollout_many(self, envs: List, limit: int) -> List[int]:
+        """Batched-MCTS hook: play clones of all lanes to completion with
+        one network forward per simulation step (see
+        :class:`repro.rl.evaluator.PolicyEvaluator`).  Never mutates the
+        input environments."""
+        from ..rl.evaluator import PolicyEvaluator
+
+        if self._evaluator is None or self._evaluator.graph is not envs[0].graph:
+            self._evaluator = PolicyEvaluator(
+                self._policy.network,
+                envs[0].config,
+                envs[0].graph,
+                work_conserving=self._policy.work_conserving,
+            )
+        return self._evaluator.rollout_many(
+            envs, limit, mode=self._policy.mode, rng=self._policy._rng
+        )
 
 
 class TruncatedRollout(RolloutPolicy):

@@ -18,9 +18,12 @@ from typing import Optional, Union
 from ..config import EnvConfig, MctsConfig
 from ..errors import ConfigError
 from ..mcts.search import MctsScheduler
+from ..rl.gnn import GraphPolicyNetwork
 from ..rl.network import PolicyNetwork
 from ..utils.rng import SeedLike, as_generator
 from .guidance import NetworkExpansion, NetworkRollout
+
+AnyPolicyNetwork = Union[PolicyNetwork, GraphPolicyNetwork]
 
 __all__ = ["SpearScheduler"]
 
@@ -30,8 +33,10 @@ class SpearScheduler(MctsScheduler):
 
     Args:
         network: a trained policy network (see
-            :func:`repro.core.pipeline.train_spear_network`); its
-            ``max_ready`` must match ``env_config.max_ready``.
+            :func:`repro.core.pipeline.train_spear_network`) — the
+            windowed MLP (its ``max_ready`` must match
+            ``env_config.max_ready``) or a scale-invariant
+            :class:`~repro.rl.gnn.GraphPolicyNetwork`.
         config: search parameters.  The paper uses a much smaller budget
             than pure MCTS (100/50 on the production trace); pass your own
             :class:`MctsConfig` to control it.
@@ -42,7 +47,7 @@ class SpearScheduler(MctsScheduler):
 
     def __init__(
         self,
-        network: PolicyNetwork,
+        network: AnyPolicyNetwork,
         config: MctsConfig | None = None,
         env_config: EnvConfig | None = None,
         seed: SeedLike = None,
@@ -66,6 +71,7 @@ class SpearScheduler(MctsScheduler):
             rollout=rollout,
             seed=rng,
             name="spear",
+            leaf_network=network,
         )
         self.network = network
 
@@ -76,13 +82,20 @@ class SpearScheduler(MctsScheduler):
 
 
 def _mcts_config(
-    budget: Optional[int], min_budget: Optional[int]
+    budget: Optional[int],
+    min_budget: Optional[int],
+    rollout_batch: Optional[int] = None,
+    leaf_policy: Optional[str] = None,
 ) -> MctsConfig:
     cfg = MctsConfig()
     if budget is not None:
         cfg = replace(cfg, initial_budget=budget)
     if min_budget is not None:
         cfg = replace(cfg, min_budget=min_budget)
+    if rollout_batch is not None:
+        cfg = replace(cfg, rollout_batch=rollout_batch)
+    if leaf_policy is not None:
+        cfg = replace(cfg, leaf_policy=leaf_policy)
     return cfg
 
 
@@ -112,8 +125,10 @@ def _make_spear(
     budget: Optional[int] = None,
     min_budget: Optional[int] = None,
     seed: int = 0,
-    network: Union[str, PolicyNetwork, None] = None,
+    network: Union[str, AnyPolicyNetwork, None] = None,
     rollout_mode: str = "sample",
+    rollout_batch: Optional[int] = None,
+    leaf_policy: Optional[str] = None,
 ) -> SpearScheduler:
     """Registry factory: ``make_scheduler("spear:budget=100,fallback=heft")``.
 
@@ -126,23 +141,25 @@ def _make_spear(
     pure MCTS's 1000/100.
     """
     if isinstance(network, str):
-        from ..rl.checkpoints import load_checkpoint
+        from ..rl.checkpoints import load_policy_checkpoint
 
-        net = load_checkpoint(network)
+        net = load_policy_checkpoint(network)
     elif network is None:
         from .pipeline import default_network
 
         net = default_network(env_config, seed=seed)
-    elif isinstance(network, PolicyNetwork):
+    elif isinstance(network, (PolicyNetwork, GraphPolicyNetwork)):
         net = network
     else:
         raise ConfigError(
-            f"spear: network must be a checkpoint path or PolicyNetwork, "
-            f"got {type(network).__name__}"
+            f"spear: network must be a checkpoint path or a policy "
+            f"network, got {type(network).__name__}"
         )
     cfg = _mcts_config(
         budget if budget is not None else 100,
         min_budget if min_budget is not None else 20,
+        rollout_batch,
+        leaf_policy,
     )
     return SpearScheduler(
         net,
@@ -170,6 +187,8 @@ def _register() -> None:
             "seed": int,
             "network": checkpoint,
             "rollout_mode": str,
+            "rollout_batch": int,
+            "leaf_policy": str,
         },
     )
 

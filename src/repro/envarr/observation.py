@@ -23,7 +23,97 @@ from .cluster import INF
 from .env import ArraySchedulingEnv
 from .graphdata import GraphArrays, graph_arrays
 
-__all__ = ["BatchObservationBuilder"]
+__all__ = ["BatchObservationBuilder", "task_feature_table", "node_state_batch"]
+
+#: Dynamic per-node state channels rendered by :func:`node_state_batch`:
+#: visible-ready, ready (incl. backlog), running, finished, remaining-runtime.
+NODE_STATE_CHANNELS = 5
+
+#: Global feature channels beyond the per-resource free fractions:
+#: progress, backlog, normalized clock.
+GLOBAL_EXTRA_CHANNELS = 3
+
+
+def task_feature_table(arrays: GraphArrays, config: EnvConfig) -> np.ndarray:
+    """Static per-task features as an ``(N, 2R + 3)`` matrix.
+
+    Rows match :meth:`repro.env.observation.ObservationBuilder`'s
+    ``task_features`` layout — demands | runtime | b-level | #children |
+    b-loads — with the same ``>= 1`` normalizers.  Shared by the batched
+    window observation builder and the graph policy's node encoder.
+    """
+    n = arrays.num_tasks
+    resources = arrays.num_resources
+    capacities = np.asarray(config.cluster.capacities, dtype=np.float64)
+    max_runtime = max(1, int(arrays.durations.max()))
+    critical_path = max(1, arrays.critical_path)
+    max_children = max(1, int(arrays.num_children.max()))
+    max_bload = np.maximum(arrays.b_load.max(axis=0), 1).astype(np.float64)
+    table = np.empty((n, resources * 2 + 3), dtype=np.float64)
+    table[:, :resources] = arrays.demands / capacities[None, :]
+    table[:, resources] = arrays.durations / max_runtime
+    if config.include_graph_features:
+        table[:, resources + 1] = arrays.b_level / critical_path
+        table[:, resources + 2] = arrays.num_children / max_children
+        table[:, resources + 3 :] = arrays.b_load / max_bload[None, :]
+    else:
+        table[:, resources + 1 :] = 0.0
+    return table
+
+
+def node_state_batch(
+    arrays: GraphArrays,
+    config: EnvConfig,
+    envs: Sequence[ArraySchedulingEnv],
+):
+    """Dynamic per-node state for ``B`` array-backend lanes at once.
+
+    Returns ``(node_states, globals_vec, ready_lists)``:
+
+    * ``node_states`` — ``(B, N, 5)``: visible-ready, ready (incl.
+      backlog), running, finished flags plus the remaining-runtime
+      fraction of running tasks;
+    * ``globals_vec`` — ``(B, R + 3)``: per-resource free fraction,
+      progress, backlog and clock (normalized by the critical path);
+    * ``ready_lists`` — each lane's visible ready window as dense task
+      indices, in slot order (the graph policy's action layout).
+
+    The object-backend equivalent is
+    :meth:`repro.rl.gnn.GraphObservationBuilder.build`; lane ``b`` here
+    matches it element-for-element (pinned by the unit tests).
+    """
+    batch = len(envs)
+    n = arrays.num_tasks
+    resources = arrays.num_resources
+    capacities = np.asarray(config.cluster.capacities, dtype=np.float64)
+    max_runtime = max(1, int(arrays.durations.max()))
+    critical_path = max(1, arrays.critical_path)
+    max_ready = config.max_ready
+
+    node_states = np.zeros((batch, n, NODE_STATE_CHANNELS), dtype=np.float64)
+    globals_vec = np.empty(
+        (batch, resources + GLOBAL_EXTRA_CHANNELS), dtype=np.float64
+    )
+    ready_lists = []
+    finish = np.stack([env.cluster.finish for env in envs])
+    now = np.fromiter((env.cluster.now for env in envs), np.int64, batch)
+    running = finish != INF
+    remaining = np.where(running, finish - now[:, None], 0)
+    node_states[:, :, 2] = running
+    node_states[:, :, 4] = remaining / max_runtime
+    for b, env in enumerate(envs):
+        ready = env._ready
+        visible = ready[:max_ready]
+        ready_lists.append(list(visible))
+        node_states[b, visible, 0] = 1.0
+        node_states[b, ready, 1] = 1.0
+        if env._finished:
+            node_states[b, list(env._finished), 3] = 1.0
+        globals_vec[b, :resources] = env.cluster.free / capacities
+        globals_vec[b, resources] = env.num_finished / n
+        globals_vec[b, resources + 1] = env.backlog_size / max(1, n)
+        globals_vec[b, resources + 2] = now[b] / critical_path
+    return node_states, globals_vec, ready_lists
 
 
 class BatchObservationBuilder:
@@ -46,25 +136,8 @@ class BatchObservationBuilder:
         capacities = np.asarray(config.cluster.capacities, dtype=np.float64)
         self._capacities = capacities
         self._horizon = config.cluster.horizon
-        n = arrays.num_tasks
         resources = arrays.num_resources
-        # Per-task feature table, rows matching ObservationBuilder
-        # .task_features layout: demands | runtime | b-level | #children |
-        # b-loads, with the same >= 1 normalizers.
-        max_runtime = max(1, int(arrays.durations.max()))
-        critical_path = max(1, arrays.critical_path)
-        max_children = max(1, int(arrays.num_children.max()))
-        max_bload = np.maximum(arrays.b_load.max(axis=0), 1).astype(np.float64)
-        table = np.empty((n, resources * 2 + 3), dtype=np.float64)
-        table[:, :resources] = arrays.demands / capacities[None, :]
-        table[:, resources] = arrays.durations / max_runtime
-        if config.include_graph_features:
-            table[:, resources + 1] = arrays.b_level / critical_path
-            table[:, resources + 2] = arrays.num_children / max_children
-            table[:, resources + 3 :] = arrays.b_load / max_bload[None, :]
-        else:
-            table[:, resources + 1 :] = 0.0
-        self._task_table = table
+        self._task_table = task_feature_table(arrays, config)
         self._per_task = resources * 2 + 3
 
     # ------------------------------------------------------------------ #

@@ -34,6 +34,7 @@ from .ablations import run_ablation, feature_ablation, exploration_sensitivity, 
 from .tournament import TournamentResult, run_tournament, sign_test
 from .diversity import DiversityResult, diversity_study, workload_families
 from .replication import ReplicationResult, replicate
+from .generalization import GeneralizationResult, generalization_study
 
 __all__ = [
     "ExperimentScale",
@@ -61,4 +62,6 @@ __all__ = [
     "workload_families",
     "ReplicationResult",
     "replicate",
+    "GeneralizationResult",
+    "generalization_study",
 ]

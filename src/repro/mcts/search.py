@@ -84,6 +84,7 @@ class MctsScheduler(Scheduler):
         rollout: Optional[RolloutPolicy] = None,
         seed: SeedLike = None,
         name: str = "mcts",
+        leaf_network=None,
     ) -> None:
         self.config = config if config is not None else MctsConfig()
         if env_config is None:
@@ -92,6 +93,10 @@ class MctsScheduler(Scheduler):
         rng = as_generator(seed)
         self.expansion = expansion if expansion is not None else RandomExpansion(rng)
         self.rollout = rollout if rollout is not None else RandomRollout(rng)
+        #: Policy network whose batched evaluation sets leaf priors in
+        #: batched mode (``config.leaf_policy="auto"``); ``None`` keeps
+        #: leaf ordering with the expansion policy.
+        self.leaf_network = leaf_network
         self.name = name
         self.last_statistics: Optional[SearchStatistics] = None
         # Telemetry scratch state, live only inside one schedule() call.
@@ -138,29 +143,47 @@ class MctsScheduler(Scheduler):
             exploration = self._exploration_constant(graph, stats, env_config)
             # Batched leaf evaluation: collect ``rollout_batch`` leaves
             # under virtual loss, then play all their rollouts in one
-            # lockstep kernel call.  Requires the array backend and the
-            # random rollout policy (the kernel implements exactly that
-            # policy); any other combination falls back to the sequential
-            # one-leaf-one-rollout loop.  Batched collection always works
-            # on clone-mode nodes (leaf lanes must be materialized
-            # environments), so it overrides ``state_restore="undo"``.
+            # batched call — the lockstep kernel for the random rollout
+            # policy (the kernel implements exactly that policy), or the
+            # rollout policy's own ``rollout_many`` (network rollouts
+            # amortize their forward passes across the wave the same
+            # way).  Requires the array backend; any other combination
+            # falls back to the sequential one-leaf-one-rollout loop.
+            # Batched collection always works on clone-mode nodes (leaf
+            # lanes must be materialized environments), so it overrides
+            # ``state_restore="undo"``.
+            random_rollout = isinstance(self.rollout, RandomRollout)
             batched = (
                 self.config.rollout_batch > 1
                 and env_config.backend == "array"
-                and isinstance(self.rollout, RandomRollout)
+                and (random_rollout or hasattr(self.rollout, "rollout_many"))
             )
             if batched:
                 undo_mode = False
             kernel: Optional[BatchedPlayouts] = None
+            evaluator = None
             rollout_limit = 0
             if batched:
-                kernel = BatchedPlayouts(
-                    env.arrays,
-                    env_config.cluster.capacities,
-                    until_completion=env_config.process_until_completion,
-                    max_ready=env_config.max_ready,
-                )
+                if random_rollout:
+                    kernel = BatchedPlayouts(
+                        env.arrays,
+                        env_config.cluster.capacities,
+                        until_completion=env_config.process_until_completion,
+                        max_ready=env_config.max_ready,
+                    )
                 rollout_limit = self.rollout._step_limit(env)
+                if (
+                    self.leaf_network is not None
+                    and self.config.leaf_policy == "auto"
+                ):
+                    from ..rl.evaluator import PolicyEvaluator
+
+                    evaluator = PolicyEvaluator(
+                        self.leaf_network,
+                        env_config,
+                        env.arrays,
+                        work_conserving=self.config.use_expansion_filters,
+                    )
             root = Node(
                 None if undo_mode else env.clone(),
                 untried=self._candidates(env),
@@ -179,7 +202,6 @@ class MctsScheduler(Scheduler):
                     "mcts.decision", depth=depth, budget=budget
                 ) as decision_span:
                     if batched:
-                        assert kernel is not None
                         self._run_budget_batched(
                             root,
                             exploration,
@@ -187,6 +209,7 @@ class MctsScheduler(Scheduler):
                             budget,
                             kernel,
                             rollout_limit,
+                            evaluator,
                         )
                     elif undo_mode:
                         for _ in range(budget):
@@ -322,20 +345,27 @@ class MctsScheduler(Scheduler):
         exploration: float,
         stats: SearchStatistics,
         budget: int,
-        kernel: BatchedPlayouts,
+        kernel: Optional[BatchedPlayouts],
         rollout_limit: int,
+        evaluator=None,
     ) -> None:
         """Spend one decision's budget ``rollout_batch`` leaves at a time.
 
         Each round collects up to ``rollout_batch`` distinct leaves by
         descending under virtual loss (each selected edge's pending count
         rises, steering later descents elsewhere), then plays every
-        non-terminal leaf's rollout in one lockstep kernel call and
-        backpropagates the values, clearing the virtual losses on the way
-        up.  One collected leaf costs one budget unit, exactly like one
-        sequential iteration.
+        non-terminal leaf's rollout in one batched call — the lockstep
+        kernel (random rollouts) or the rollout policy's ``rollout_many``
+        — and backpropagates the values, clearing the virtual losses on
+        the way up.  One collected leaf costs one budget unit, exactly
+        like one sequential iteration.
+
+        With a leaf ``evaluator``, each wave's fresh leaves also get
+        their ``untried`` candidates ordered by the policy's batched
+        priors before the rollouts run (the lanes still hold the leaf
+        states then) — one forward pass replaces per-node expansion
+        calls.
         """
-        rollout_rng = self.rollout._rng  # type: ignore[attr-defined]
         spent = 0
         while spent < budget:
             want = min(self.config.rollout_batch, budget - spent)
@@ -348,7 +378,21 @@ class MctsScheduler(Scheduler):
                 spent += taken
                 want -= taken
             if lanes:
-                makespans, _starts = kernel.run(lanes, rollout_rng, rollout_limit)
+                if evaluator is not None:
+                    priors = evaluator.action_probabilities(lanes)
+                    for node, prior in zip(leaves, priors):
+                        if len(node.untried) > 1:
+                            node.untried.sort(
+                                key=lambda a: (-prior.get(a, 0.0), a)
+                            )
+                        node.ordered = True
+                if kernel is not None:
+                    rollout_rng = self.rollout._rng  # type: ignore[attr-defined]
+                    makespans, _starts = kernel.run(
+                        lanes, rollout_rng, rollout_limit
+                    )
+                else:
+                    makespans = self.rollout.rollout_many(lanes, rollout_limit)
                 stats.rollouts += len(lanes)
                 for node, makespan in zip(leaves, makespans):
                     self._backpropagate(node, float(-int(makespan)), stats)
@@ -389,7 +433,7 @@ class MctsScheduler(Scheduler):
             # Dead end without being terminal cannot happen on a live
             # environment; guard so a livelock is loud, not silent.
             raise ConfigError("MCTS selection reached a non-terminal dead end")
-        if len(node.untried) > 1:
+        if len(node.untried) > 1 and not node.ordered:
             node.untried = self.expansion.prioritize(node.env, node.untried)
         taken = 0
         parent_env = node.env
@@ -457,7 +501,7 @@ class MctsScheduler(Scheduler):
             node = node.best_child(exploration, self.config.use_max_value_ucb)
         # Expansion: realize the most promising untried action.
         if not node.is_terminal and node.untried:
-            if len(node.untried) > 1:
+            if len(node.untried) > 1 and not node.ordered:
                 node.untried = self.expansion.prioritize(node.env, node.untried)
             action = node.untried.pop(0)
             child_env = node.env.clone()

@@ -11,16 +11,32 @@ A from-scratch NumPy reproduction of the paper's Theano model:
   heuristic ("it is necessary to teach the network to imitate a greedy
   heuristic approach", Sec. IV).
 * :class:`ReinforceTrainer` — REINFORCE with a 20-rollout average baseline.
+
+The package is organized as three pluggable layers (DESIGN.md Sec. 16):
+
+* **models** — :mod:`repro.rl.modules` (differentiable NumPy module
+  stack) underneath :class:`PolicyNetwork`, :class:`ValueNetwork` and the
+  scale-invariant :class:`GraphPolicyNetwork`;
+* **trainers** — the :class:`Trainer` skeleton with
+  :class:`ReinforceTrainer`, :class:`PpoTrainer` and
+  :class:`ImitationTrainer` as thin loss definitions;
+* **inference** — the per-episode policy adapters plus
+  :class:`PolicyEvaluator`, the batched leaf/rollout evaluator MCTS uses.
 """
 
 from .network import PolicyNetwork
-from .optimizers import RmsProp
+from .gnn import GraphNetworkPolicy, GraphPolicyNetwork
+from .optimizers import RmsProp, clip_global_norm
 from .agent import NetworkPolicy
+from .trainer import Trainer, TrainerBase
 from .imitation import ImitationTrainer
 from .reinforce import ReinforceTrainer, EpochStats
+from .ppo import PpoTrainer
+from .evaluator import PolicyEvaluator
 from .checkpoints import (
     save_checkpoint,
     load_checkpoint,
+    load_policy_checkpoint,
     save_value_checkpoint,
     load_value_checkpoint,
 )
@@ -29,13 +45,21 @@ from .value_training import collect_value_dataset, train_value_network
 
 __all__ = [
     "PolicyNetwork",
+    "GraphPolicyNetwork",
+    "GraphNetworkPolicy",
     "RmsProp",
+    "clip_global_norm",
     "NetworkPolicy",
+    "Trainer",
+    "TrainerBase",
     "ImitationTrainer",
     "ReinforceTrainer",
+    "PpoTrainer",
+    "PolicyEvaluator",
     "EpochStats",
     "save_checkpoint",
     "load_checkpoint",
+    "load_policy_checkpoint",
     "save_value_checkpoint",
     "load_value_checkpoint",
     "ValueNetwork",

@@ -110,6 +110,16 @@ class NetworkPolicy(Policy):
         assert self._builder is not None
         return self._builder
 
+    def observe(self, env: SchedulingEnv) -> Tuple[np.ndarray, np.ndarray]:
+        """(observation, mask) without a network forward — for recording
+        teacher decisions in the model's own featurization."""
+        builder = self._ensure_builder(env)
+        observation = builder.build(env)
+        mask = build_action_mask(
+            env, self.network.num_actions, self.work_conserving
+        )
+        return observation, mask
+
     def distribution(
         self, env: SchedulingEnv
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

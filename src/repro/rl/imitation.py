@@ -9,7 +9,12 @@ extremely long and meaningless trajectories."
 The trainer rolls the teacher policy over the training graphs, records
 (state, mask, teacher action) triples at every decision, and minimizes the
 cross-entropy of the network's masked softmax against the teacher's
-choices with rmsprop mini-batches.
+choices with rmsprop mini-batches.  The optimizer/minibatch plumbing is
+shared with the rollout trainers (:mod:`repro.rl.trainer`); this class
+is just the cross-entropy loss.  Works with any policy model: the MLP
+keeps its historical stacked-array dataset (bit-identical numerics), the
+graph policy records per-step graph observations via the model's own
+policy adapter.
 """
 
 from __future__ import annotations
@@ -24,15 +29,16 @@ from ..dag.graph import TaskGraph
 from ..env.actions import PROCESS
 from ..env.observation import ObservationBuilder
 from ..envarr.backend import make_env
-from ..errors import EnvironmentStateError
+from ..errors import ConfigError, EnvironmentStateError
 from ..schedulers.base import Policy
 from ..schedulers.policies import CriticalPathPolicy
 from ..telemetry import runtime as _telemetry
 from ..telemetry.config import TelemetryConfig
-from ..utils.rng import SeedLike, as_generator
+from ..utils.rng import SeedLike
 from .agent import build_action_mask
 from .network import PolicyNetwork
-from .optimizers import RmsProp
+from .trainer import TrainerBase, iterate_minibatches
+from .trajectories import Step
 
 __all__ = ["ImitationTrainer", "ImitationDataset"]
 
@@ -49,11 +55,11 @@ class ImitationDataset:
         return self.states.shape[0]
 
 
-class ImitationTrainer:
+class ImitationTrainer(TrainerBase):
     """Cross-entropy imitation of a heuristic teacher.
 
     Args:
-        network: the policy network to initialize.
+        network: the policy network to initialize (MLP or graph policy).
         env_config: environment shape for teacher rollouts.
         teacher_factory: builds the teacher per episode (default: the
             critical-path heuristic the paper names).
@@ -64,6 +70,8 @@ class ImitationTrainer:
             defers to the globally active pipeline.
     """
 
+    algo = "imitation"
+
     def __init__(
         self,
         network: PolicyNetwork,
@@ -73,22 +81,25 @@ class ImitationTrainer:
         seed: SeedLike = None,
         telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
-        self.network = network
-        self.env_config = env_config if env_config is not None else EnvConfig()
+        super().__init__(network, env_config, training, seed, telemetry)
         self.teacher_factory = (
             teacher_factory if teacher_factory is not None else CriticalPathPolicy
         )
-        self.training = training if training is not None else TrainingConfig()
-        self.optimizer = RmsProp(
-            self.training.learning_rate, self.training.rho, self.training.eps
-        )
-        self._rng = as_generator(seed)
-        self.telemetry = telemetry
 
     # ------------------------------------------------------------------ #
 
     def collect(self, graphs: Sequence[TaskGraph]) -> ImitationDataset:
-        """Roll the teacher over ``graphs`` and record every decision."""
+        """Roll the teacher over ``graphs`` and record every decision.
+
+        Only available for fixed-window (MLP) policies, whose decisions
+        stack into dense arrays; graph policies record via
+        :meth:`collect_steps`.
+        """
+        if getattr(self.network, "kind", "policy_mlp") != "policy_mlp":
+            raise ConfigError(
+                "stacked imitation datasets need a fixed action window; "
+                "use collect_steps() for graph policies"
+            )
         states: List[np.ndarray] = []
         masks: List[np.ndarray] = []
         actions: List[int] = []
@@ -116,20 +127,65 @@ class ImitationTrainer:
             actions=np.asarray(actions, dtype=int),
         )
 
+    def collect_steps(self, graphs: Sequence[TaskGraph]) -> List[Step]:
+        """Model-agnostic teacher decisions as trajectory :class:`Step`\\ s.
+
+        The network's own policy adapter featurizes each state, so the
+        recorded observations match what the model consumes — for the
+        graph policy that is a per-node graph observation, not a stacked
+        window.
+        """
+        # Full legal-action masks (not work-conserving), matching the
+        # stacked MLP dataset: any teacher decision must be in-mask.
+        observer = self.network.make_policy(mode="greedy", work_conserving=False)
+        records: List[Step] = []
+        for graph in graphs:
+            env = make_env(graph, self.env_config)
+            observer.begin_episode(env)
+            teacher = self.teacher_factory()
+            teacher.begin_episode(env)
+            steps = 0
+            while not env.done:
+                if steps >= self.training.max_episode_steps:
+                    raise EnvironmentStateError("teacher rollout livelocked")
+                action = teacher.select(env)
+                observation, mask = observer.observe(env)
+                index = len(mask) - 1 if action == PROCESS else int(action)
+                records.append(Step(observation, mask, index, 0))
+                env.step(action)
+                steps += 1
+        return records
+
+    # ------------------------------------------------------------------ #
+
     def train_epoch(self, dataset: ImitationDataset) -> float:
         """One pass of shuffled mini-batch cross-entropy; returns mean NLL."""
-        indices = self._rng.permutation(len(dataset))
-        batch_size = self.training.batch_size
         losses: List[float] = []
-        for start in range(0, len(dataset), batch_size):
-            batch = indices[start : start + batch_size]
+        for batch in iterate_minibatches(
+            self._rng, len(dataset), self.training.batch_size
+        ):
             grads, nll = self.network.policy_gradient(
                 dataset.states[batch],
                 dataset.masks[batch],
                 dataset.actions[batch],
                 np.ones(len(batch)),
             )
-            self.optimizer.step(self.network.params, grads)
+            self.apply_gradients(grads)
+            losses.append(nll)
+        return float(np.mean(losses))
+
+    def train_epoch_steps(self, records: Sequence[Step]) -> float:
+        """Model-agnostic variant of :meth:`train_epoch` over steps."""
+        losses: List[float] = []
+        for batch in iterate_minibatches(
+            self._rng, len(records), self.training.batch_size
+        ):
+            steps = [records[i] for i in batch]
+            actions = [step.action_index for step in steps]
+            grads, nll = self.network.policy_gradient_steps(
+                steps, actions, np.ones(len(batch))
+            )
+            self.apply_gradients(grads)
             losses.append(nll)
         return float(np.mean(losses))
 
@@ -146,13 +202,18 @@ class ImitationTrainer:
         """
         tm = _telemetry.for_config(self.telemetry)
         total = epochs if epochs is not None else self.training.supervised_epochs
+        mlp = getattr(self.network, "kind", "policy_mlp") == "policy_mlp"
         with tm.span(
             "imitation.fit", graphs=len(graphs), epochs=total
         ) as span:
-            dataset = self.collect(graphs)
+            dataset = self.collect(graphs) if mlp else self.collect_steps(graphs)
             losses: List[float] = []
             for epoch in range(total):
-                loss = self.train_epoch(dataset)
+                loss = (
+                    self.train_epoch(dataset)
+                    if mlp
+                    else self.train_epoch_steps(dataset)
+                )
                 losses.append(loss)
                 if tm.enabled:
                     tm.record("imitation.loss", epoch, loss)

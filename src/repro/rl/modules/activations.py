@@ -1,0 +1,32 @@
+"""Elementwise activations."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...errors import ConfigError
+from .base import Module
+
+__all__ = ["ReLU"]
+
+
+class ReLU(Module):
+    """``y = max(x, 0)``; backward masks on the cached pre-activation."""
+
+    def __init__(self) -> None:
+        self._pre: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, keep_cache: bool = False) -> np.ndarray:
+        if keep_cache:
+            self._pre = x
+        return np.maximum(x, 0.0)
+
+    def backward(
+        self, dout: np.ndarray, grads: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        if self._pre is None:
+            raise ConfigError("no cached forward for ReLU")
+        pre, self._pre = self._pre, None
+        return dout * (pre > 0)

@@ -1,0 +1,32 @@
+"""The module protocol: explicit forward/backward over a shared param dict."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["Module"]
+
+
+class Module(abc.ABC):
+    """One differentiable transformation.
+
+    A module reads its parameters (if any) out of a shared name->array
+    dict at call time and accumulates parameter gradients into a dict
+    the caller provides.  ``forward(..., keep_cache=True)`` retains
+    whatever intermediate state ``backward`` needs; the cache is
+    consumed by the matching ``backward`` (one backward per forward).
+    """
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, keep_cache: bool = False) -> np.ndarray:
+        """Compute the module's output for ``x``."""
+
+    @abc.abstractmethod
+    def backward(
+        self, dout: np.ndarray, grads: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Given ``dLoss/dout``, write parameter gradients into ``grads``
+        (keyed like the shared parameter dict) and return ``dLoss/dx``."""

@@ -1,0 +1,82 @@
+"""Affine layer reading its weights from a shared parameter dict."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...errors import ConfigError
+from .base import Module
+
+__all__ = ["Linear", "init_linear"]
+
+
+def init_linear(
+    params: Dict[str, np.ndarray],
+    weight: str,
+    bias: str,
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+    scale: Optional[float] = None,
+) -> None:
+    """He-initialize one affine layer into ``params``.
+
+    Draw order matters: callers initialize layers front-to-back so a
+    fixed seed reproduces the exact historical weight stream
+    (``W = N(0, sqrt(2/fan_in))``, ``b = 0``).  ``scale`` overrides the
+    He standard deviation (used by message-passing layers whose
+    pre-activation sums several matmuls).
+    """
+    if scale is None:
+        scale = np.sqrt(2.0 / fan_in)
+    params[weight] = rng.normal(0.0, scale, size=(fan_in, fan_out))
+    params[bias] = np.zeros(fan_out)
+
+
+class Linear(Module):
+    """``y = x @ W + b`` with ``W``/``b`` looked up by name at call time.
+
+    The layer deliberately holds the *dict*, not the arrays: the
+    optimizer updates arrays in place and ``set_params`` rebinds dict
+    entries, and both must be visible on the next forward.
+    """
+
+    def __init__(
+        self, params: Dict[str, np.ndarray], weight: str, bias: str
+    ) -> None:
+        self._params = params
+        self.weight = weight
+        self.bias = bias
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, keep_cache: bool = False) -> np.ndarray:
+        if keep_cache:
+            self._x = x
+        return x @ self._params[self.weight] + self._params[self.bias]
+
+    def backward(
+        self, dout: np.ndarray, grads: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        if self._x is None:
+            raise ConfigError(
+                f"no cached forward for linear layer {self.weight!r}"
+            )
+        x, self._x = self._x, None
+        grads[self.weight] = x.T @ dout
+        grads[self.bias] = dout.sum(axis=0)
+        return dout @ self._params[self.weight].T
+
+    def backward_params_only(
+        self, dout: np.ndarray, grads: Dict[str, np.ndarray]
+    ) -> None:
+        """Like :meth:`backward` but skips the input gradient — for the
+        bottom layer of a stack, where ``dout @ W.T`` is dead work."""
+        if self._x is None:
+            raise ConfigError(
+                f"no cached forward for linear layer {self.weight!r}"
+            )
+        x, self._x = self._x, None
+        grads[self.weight] = x.T @ dout
+        grads[self.bias] = dout.sum(axis=0)

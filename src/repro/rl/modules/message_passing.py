@@ -1,0 +1,80 @@
+"""Sparse DAG aggregation primitives for graph-structured policies.
+
+A DAG's precedence edges are held as flat ``(parent, child)`` index
+arrays (built once per graph from the memoized CSR adjacency of
+:mod:`repro.envarr.graphdata`).  Message passing then reduces to two
+scatter-sums per round:
+
+* **child aggregation** — node ``i`` receives the sum of its children's
+  embeddings: ``out[parent[k]] += h[child[k]]``;
+* **parent aggregation** — the transposed direction:
+  ``out[child[k]] += h[parent[k]]``.
+
+The two are adjoint (``A_childᵀ = A_parent``), which is exactly what the
+backward pass needs: the gradient of a child aggregation is a parent
+aggregation of the upstream gradient, and vice versa.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EdgeList", "segment_sum", "segment_sum_batch"]
+
+
+class EdgeList:
+    """Flat precedence edges ``parent[k] -> child[k]`` of one DAG."""
+
+    __slots__ = ("num_nodes", "parent", "child")
+
+    def __init__(
+        self, num_nodes: int, parent: np.ndarray, child: np.ndarray
+    ) -> None:
+        self.num_nodes = int(num_nodes)
+        self.parent = np.ascontiguousarray(parent, dtype=np.int64)
+        self.child = np.ascontiguousarray(child, dtype=np.int64)
+
+    @classmethod
+    def from_graph_arrays(cls, arrays) -> "EdgeList":
+        """Edges from a :class:`repro.envarr.graphdata.GraphArrays`."""
+        n = len(arrays.ids)
+        counts = np.diff(arrays.child_indptr)
+        parent = np.repeat(np.arange(n, dtype=np.int64), counts)
+        return cls(n, parent, arrays.child_indices)
+
+    @property
+    def num_edges(self) -> int:
+        return self.parent.shape[0]
+
+    # Directed aggregations ------------------------------------------- #
+
+    def aggregate_children(self, h: np.ndarray) -> np.ndarray:
+        """``out[i] = sum_{j in children(i)} h[j]`` (batched or not)."""
+        if h.ndim == 3:
+            return segment_sum_batch(h, self.child, self.parent, self.num_nodes)
+        return segment_sum(h, self.child, self.parent, self.num_nodes)
+
+    def aggregate_parents(self, h: np.ndarray) -> np.ndarray:
+        """``out[i] = sum_{j in parents(i)} h[j]`` — the adjoint of
+        :meth:`aggregate_children`."""
+        if h.ndim == 3:
+            return segment_sum_batch(h, self.parent, self.child, self.num_nodes)
+        return segment_sum(h, self.parent, self.child, self.num_nodes)
+
+
+def segment_sum(
+    h: np.ndarray, take: np.ndarray, put: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """``out[put[k]] += h[take[k]]`` over all edges; ``h`` is ``(N, H)``."""
+    out = np.zeros((num_nodes, h.shape[1]))
+    np.add.at(out, put, h[take])
+    return out
+
+
+def segment_sum_batch(
+    h: np.ndarray, take: np.ndarray, put: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Batched :func:`segment_sum` over ``h`` of shape ``(B, N, H)``."""
+    out = np.zeros((h.shape[0], num_nodes, h.shape[2]))
+    np.add.at(out, (slice(None), put), h[:, take])
+    return out

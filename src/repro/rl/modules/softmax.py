@@ -1,0 +1,58 @@
+"""Masked softmax and the entropy/cross-entropy logit gradients.
+
+These are functions, not stateful modules: both trainers differentiate
+losses of the form ``dLoss/dlogits = f(probs)``, so the probability
+computation and the closed-form logit gradients are all that is needed.
+Illegal entries are driven to an effective ``-inf`` before the softmax,
+giving them exactly zero probability and exactly zero gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigError
+
+__all__ = ["masked_softmax", "entropy_dlogits", "policy_entropy"]
+
+_NEG_INF = -1e30
+
+
+def masked_softmax(logits: np.ndarray, masks: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with illegal entries forced to probability 0.
+
+    Args:
+        logits: ``(B, A)`` raw scores.
+        masks: ``(B, A)`` booleans, True = legal.  Every row must have
+            at least one legal action.
+    """
+    masks = np.asarray(masks, dtype=bool)
+    if masks.shape != logits.shape:
+        raise ConfigError(
+            f"mask shape {masks.shape} != logits shape {logits.shape}"
+        )
+    if not np.all(masks.any(axis=1)):
+        raise ConfigError("a state has no legal action")
+    masked = np.where(masks, logits, _NEG_INF)
+    shifted = masked - masked.max(axis=1, keepdims=True)
+    exp = np.exp(shifted) * masks
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def policy_entropy(probs: np.ndarray) -> float:
+    """Mean per-row entropy of a batch of distributions (0 log 0 = 0)."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        plogp = np.where(probs > 0, probs * np.log(probs), 0.0)
+    return float(-plogp.sum(axis=1).mean())
+
+
+def entropy_dlogits(probs: np.ndarray) -> np.ndarray:
+    """``d(mean entropy)/dlogits`` for a batch of masked distributions.
+
+    Zero-probability (masked) entries receive exactly zero gradient.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        logp = np.where(probs > 0, np.log(probs), 0.0)
+    inner = -(logp + 1.0)
+    expected = (probs * inner).sum(axis=1, keepdims=True)
+    return probs * (inner - expected) / probs.shape[0]

@@ -5,7 +5,9 @@ activations and a masked softmax output ("a 3 hidden layer neural network
 with widths of 256, 32, and 32 ... at the output layer, a softmax function
 will be used").
 
-The network exposes exactly the two primitives both trainers need:
+The layer math lives in :mod:`repro.rl.modules` (shared with the value
+network and the graph policy); this class adds the action-space contract
+both trainers need:
 
 * :meth:`probabilities` — masked action distribution for a batch of
   states;
@@ -22,17 +24,17 @@ gradient.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..config import NetworkConfig
 from ..errors import ConfigError
 from ..utils.rng import SeedLike, as_generator
+from .modules import MLPStack
+from .modules import masked_softmax as _masked_softmax
 
 __all__ = ["PolicyNetwork"]
-
-_NEG_INF = -1e30
 
 
 class PolicyNetwork:
@@ -43,6 +45,9 @@ class PolicyNetwork:
         config: architecture (hidden widths, action count).
         seed: weight-initialization seed (He initialization for ReLU).
     """
+
+    #: Checkpoint/model-registry discriminator (see ``rl.checkpoints``).
+    kind = "policy_mlp"
 
     def __init__(
         self,
@@ -58,15 +63,10 @@ class PolicyNetwork:
         rng = as_generator(seed)
 
         sizes = [input_size, *self.config.hidden_sizes, self.num_actions]
-        self.params: Dict[str, np.ndarray] = {}
-        for layer, (fan_in, fan_out) in enumerate(zip(sizes, sizes[1:])):
-            scale = np.sqrt(2.0 / fan_in)
-            self.params[f"W{layer}"] = rng.normal(
-                0.0, scale, size=(fan_in, fan_out)
-            )
-            self.params[f"b{layer}"] = np.zeros(fan_out)
-        self.num_layers = len(sizes) - 1
-        self._cache: Optional[Dict[str, List[np.ndarray]]] = None
+        self._stack = MLPStack(sizes, rng)
+        #: Shared live parameter dict (the optimizer mutates it in place).
+        self.params: Dict[str, np.ndarray] = self._stack.params
+        self.num_layers = self._stack.num_layers
 
     # ------------------------------------------------------------------ #
     # forward
@@ -84,41 +84,9 @@ class PolicyNetwork:
                 f"state has {x.shape[1]} features, network expects "
                 f"{self.input_size}"
             )
-        pre_acts: List[np.ndarray] = []
-        acts: List[np.ndarray] = [x]
-        h = x
-        for layer in range(self.num_layers):
-            z = h @ self.params[f"W{layer}"] + self.params[f"b{layer}"]
-            pre_acts.append(z)
-            if layer < self.num_layers - 1:
-                h = np.maximum(z, 0.0)  # ReLU
-                acts.append(h)
-            else:
-                h = z
-        if keep_cache:
-            self._cache = {"pre": pre_acts, "act": acts}
-        return h
+        return self._stack.forward(x, keep_cache)
 
-    @staticmethod
-    def masked_softmax(logits: np.ndarray, masks: np.ndarray) -> np.ndarray:
-        """Row-wise softmax with illegal entries forced to probability 0.
-
-        Args:
-            logits: ``(B, A)`` raw scores.
-            masks: ``(B, A)`` booleans, True = legal.  Every row must have
-                at least one legal action.
-        """
-        masks = np.asarray(masks, dtype=bool)
-        if masks.shape != logits.shape:
-            raise ConfigError(
-                f"mask shape {masks.shape} != logits shape {logits.shape}"
-            )
-        if not np.all(masks.any(axis=1)):
-            raise ConfigError("a state has no legal action")
-        masked = np.where(masks, logits, _NEG_INF)
-        shifted = masked - masked.max(axis=1, keepdims=True)
-        exp = np.exp(shifted) * masks
-        return exp / exp.sum(axis=1, keepdims=True)
+    masked_softmax = staticmethod(_masked_softmax)
 
     def probabilities(
         self,
@@ -144,17 +112,10 @@ class PolicyNetwork:
             ConfigError: if no forward pass with ``keep_cache=True``
                 preceded this call.
         """
-        if self._cache is None:
+        if not self._stack.has_cache:
             raise ConfigError("no cached forward pass; call logits(keep_cache=True)")
-        pre, act = self._cache["pre"], self._cache["act"]
-        self._cache = None
-        grads: Dict[str, np.ndarray] = {}
-        delta = np.asarray(dlogits, dtype=np.float64)
-        for layer in range(self.num_layers - 1, -1, -1):
-            grads[f"W{layer}"] = act[layer].T @ delta
-            grads[f"b{layer}"] = delta.sum(axis=0)
-            if layer > 0:
-                delta = (delta @ self.params[f"W{layer}"].T) * (pre[layer - 1] > 0)
+        grads = self._stack.backward(np.asarray(dlogits, dtype=np.float64))
+        assert isinstance(grads, dict)
         return grads
 
     def policy_gradient(
@@ -189,6 +150,62 @@ class PolicyNetwork:
             -np.mean(np.log(probs[np.arange(batch), actions]))
         )
         return grads, nll
+
+    # ------------------------------------------------------------------ #
+    # trainer-facing batch interface (shared with GraphPolicyNetwork)
+    # ------------------------------------------------------------------ #
+
+    def make_policy(
+        self,
+        mode: str = "sample",
+        seed: SeedLike = None,
+        work_conserving: bool = True,
+    ):
+        """A :class:`repro.rl.agent.NetworkPolicy` driving this network."""
+        from .agent import NetworkPolicy
+
+        return NetworkPolicy(
+            self, mode=mode, seed=seed, work_conserving=work_conserving
+        )
+
+    @staticmethod
+    def _stack_steps(steps: Sequence) -> Tuple[np.ndarray, np.ndarray]:
+        states = np.stack([step.observation for step in steps])
+        masks = np.stack([step.mask for step in steps])
+        return states, masks
+
+    def policy_gradient_steps(
+        self,
+        steps: Sequence,
+        actions: Sequence[int],
+        weights: Sequence[float],
+    ) -> Tuple[Dict[str, np.ndarray], float]:
+        """:meth:`policy_gradient` over recorded trajectory steps."""
+        states, masks = self._stack_steps(steps)
+        return self.policy_gradient(states, masks, actions, weights)
+
+    def step_probabilities(self, steps: Sequence) -> np.ndarray:
+        """``(B, num_actions)`` action distributions for recorded steps."""
+        states, masks = self._stack_steps(steps)
+        return self.probabilities(states, masks)
+
+    def entropy_gradient_steps(self, steps: Sequence) -> Dict[str, np.ndarray]:
+        """Gradients of mean policy entropy over recorded steps."""
+        from .modules import entropy_dlogits
+
+        states, masks = self._stack_steps(steps)
+        probs = self.probabilities(states, masks, keep_cache=True)
+        return self.backward_from_dlogits(entropy_dlogits(probs))
+
+    #: Critic input width (the PPO value head trains on these features).
+    @property
+    def value_feature_size(self) -> int:
+        return self.input_size
+
+    def value_features(self, steps: Sequence) -> np.ndarray:
+        """``(B, value_feature_size)`` critic inputs for recorded steps —
+        for the window model, the observation itself."""
+        return np.stack([step.observation for step in steps])
 
     # ------------------------------------------------------------------ #
     # parameter plumbing

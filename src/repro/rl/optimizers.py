@@ -10,7 +10,37 @@ import numpy as np
 
 from ..errors import ConfigError
 
-__all__ = ["RmsProp"]
+__all__ = ["RmsProp", "clip_global_norm"]
+
+
+def clip_global_norm(
+    grads: Dict[str, np.ndarray], max_norm: float
+) -> float:
+    """Scale ``grads`` in place so their global L2 norm is <= ``max_norm``.
+
+    The global norm is taken over the concatenation of every gradient
+    array (the standard "clip_by_global_norm" used by PPO
+    implementations).  Gradients under the threshold are untouched —
+    with clipping disabled (the default everywhere) the update path is
+    bit-identical to the pre-clipping code.
+
+    Returns:
+        The pre-clip global norm (useful for telemetry).
+
+    Raises:
+        ConfigError: if ``max_norm`` is not positive.
+    """
+    if max_norm <= 0.0:
+        raise ConfigError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    for grad in grads.values():
+        total += float(np.sum(grad * grad))
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        factor = max_norm / norm
+        for grad in grads.values():
+            grad *= factor
+    return norm
 
 
 class RmsProp:

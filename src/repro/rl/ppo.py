@@ -1,0 +1,184 @@
+"""PPO with GAE: the modern baseline the plug-in trainer layer enables.
+
+REINFORCE (the paper's algorithm) takes exactly one gradient step per
+batch of experience — anything more would leave the on-policy regime.
+PPO's clipped surrogate objective (Schulman et al., 2017) makes the
+extra epochs safe: the ratio ``r_t = pi(a_t|s_t) / pi_old(a_t|s_t)`` is
+clipped to ``[1 - eps, 1 + eps]``, so a minibatch stops pushing once the
+policy has moved that far, and the same rollouts fund
+``ppo_epochs x`` minibatch passes.  Advantages come from generalized
+advantage estimation over a learned critic (a :class:`ValueNetwork` on
+the model's ``value_features``) instead of the cross-rollout mean
+baseline.
+
+The exact surrogate gradient is obtained through
+``policy_gradient_steps`` without new machinery: for active samples
+(clip not binding) the per-sample gradient of ``-r_t A_t`` is
+``-A_t r_t d log pi``, i.e. a weighted NLL gradient with the *detached*
+weight ``A_t r_t``; clipped samples contribute zero.  The trainer
+therefore masks clipped samples out of the weight vector and reuses the
+same backward pass REINFORCE uses — so PPO automatically works for
+every model implementing the step-batch interface (MLP and GNN alike).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import EnvConfig, TrainingConfig
+from ..dag.graph import TaskGraph
+from ..telemetry.config import TelemetryConfig
+from ..utils.rng import SeedLike
+from .trainer import EpochStats, Trainer, iterate_minibatches
+from .trajectories import Trajectory, returns_to_go
+from .value_network import ValueNetwork
+
+__all__ = ["PpoTrainer", "gae_advantages", "EpochStats"]
+
+
+def gae_advantages(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    gamma: float,
+    lam: float,
+) -> np.ndarray:
+    """Generalized advantage estimation for one episode.
+
+    ``values`` are state values *in return space* (``V(s_t) ~ G_t``, so
+    negative here: returns are negated makespans); the terminal state
+    bootstraps zero.
+    """
+    deltas = rewards + gamma * np.append(values[1:], 0.0) - values
+    advantages = np.empty_like(deltas)
+    acc = 0.0
+    for t in range(len(deltas) - 1, -1, -1):
+        acc = deltas[t] + gamma * lam * acc
+        advantages[t] = acc
+    return advantages
+
+
+class PpoTrainer(Trainer):
+    """Clipped-surrogate PPO over a fixed set of example DAGs.
+
+    Args:
+        network: any policy model implementing the step-batch interface
+            (:class:`PolicyNetwork` or :class:`GraphPolicyNetwork`).
+        graphs: the training examples.
+        env_config: environment shape used for every episode.
+        training: hyper-parameters — the PPO knobs are ``ppo_clip``,
+            ``ppo_epochs``, ``ppo_minibatch``, ``gamma``, ``gae_lambda``,
+            ``normalize_advantages`` and the critic's
+            ``value_learning_rate`` / ``value_epochs``.
+        seed: master seed for sampling and minibatch shuffles.
+        telemetry: per-epoch curves report as ``ppo.loss`` (mean clipped
+            surrogate), ``ppo.entropy``, ``ppo.return``, ``ppo.baseline``.
+    """
+
+    algo = "ppo"
+
+    def __init__(
+        self,
+        network,
+        graphs: Sequence[TaskGraph],
+        env_config: EnvConfig | None = None,
+        training: TrainingConfig | None = None,
+        seed: SeedLike = None,
+        telemetry: Optional[TelemetryConfig] = None,
+    ) -> None:
+        super().__init__(network, graphs, env_config, training, seed, telemetry)
+        #: The GAE critic: remaining makespan from the model's features.
+        self.value_network = ValueNetwork(
+            network.value_feature_size,
+            seed=self._rng,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _advantages(
+        self, trajectories: Sequence[Trajectory]
+    ) -> List[np.ndarray]:
+        """GAE over the critic (return-space values are negated makespans)."""
+        out = []
+        for trajectory in trajectories:
+            rewards = np.asarray(
+                [step.reward for step in trajectory.steps], dtype=np.float64
+            )
+            features = self.network.value_features(trajectory.steps)
+            values = -self.value_network.predict(features)
+            out.append(
+                gae_advantages(
+                    rewards, values, self.training.gamma,
+                    self.training.gae_lambda,
+                )
+            )
+        return out
+
+    def _update_batch(
+        self,
+        trajectories: Sequence[Trajectory],
+        advantage_arrays: Sequence[np.ndarray],
+    ) -> Tuple[float, float]:
+        """``ppo_epochs`` clipped-surrogate minibatch passes, then refit
+        the critic; returns (mean policy entropy, mean surrogate loss)."""
+        training = self.training
+        steps, actions = self.flatten_steps(trajectories)
+        advantages = np.concatenate(advantage_arrays)
+        if training.normalize_advantages and advantages.size > 1:
+            advantages = (advantages - advantages.mean()) / (
+                advantages.std() + 1e-8
+            )
+        # pi_old: the collection-time distribution.  Parameters have not
+        # moved since the rollouts, so recomputing it here is exact.
+        old_probs = self.network.step_probabilities(steps)
+        rows = np.arange(len(steps))
+        old_chosen = old_probs[rows, actions]
+        clip = training.ppo_clip
+        losses: List[float] = []
+        for _ in range(training.ppo_epochs):
+            for batch in iterate_minibatches(
+                self._rng, len(steps), training.ppo_minibatch
+            ):
+                sub = [steps[i] for i in batch]
+                sub_actions = actions[batch]
+                sub_adv = advantages[batch]
+                probs = self.network.step_probabilities(sub)
+                ratio = (
+                    probs[np.arange(len(batch)), sub_actions]
+                    / old_chosen[batch]
+                )
+                surrogate = np.minimum(
+                    ratio * sub_adv,
+                    np.clip(ratio, 1.0 - clip, 1.0 + clip) * sub_adv,
+                )
+                losses.append(float(-surrogate.mean()))
+                # Clip binding => zero gradient for that sample; active
+                # samples get the detached weight A_t * r_t (see module
+                # docstring), making this a weighted-NLL backward pass.
+                active = ~(
+                    ((sub_adv > 0) & (ratio > 1.0 + clip))
+                    | ((sub_adv < 0) & (ratio < 1.0 - clip))
+                )
+                weights = np.where(active, sub_adv * ratio, 0.0)
+                grads, _ = self.network.policy_gradient_steps(
+                    sub, sub_actions, weights
+                )
+                if training.entropy_bonus > 0.0:
+                    entropy_grads = self.network.entropy_gradient_steps(sub)
+                    for key in grads:
+                        grads[key] -= (
+                            training.entropy_bonus * entropy_grads[key]
+                        )
+                self.apply_gradients(grads)
+        returns = np.concatenate([returns_to_go(t) for t in trajectories])
+        self.value_network.fit(
+            self.network.value_features(steps),
+            -returns,
+            epochs=training.value_epochs,
+            batch_size=training.ppo_minibatch,
+            learning_rate=training.value_learning_rate,
+            seed=self._rng,
+            max_grad_norm=training.max_grad_norm,
+        )
+        return self.mean_entropy(steps), float(np.mean(losses))

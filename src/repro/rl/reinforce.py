@@ -7,6 +7,10 @@ and average the trajectories to obtain the baseline".  The advantage of a
 step is its reward-to-go minus the baseline at the same step index, and
 the policy-gradient update of Eq. (3) is applied with rmsprop.
 
+The collection/epoch machinery lives in :class:`repro.rl.trainer.Trainer`;
+this subclass is just the REINFORCE loss: one weighted-NLL gradient step
+per graph-batch, with an optional entropy bonus.
+
 The learning-curve experiment (Fig. 8(b)) is a thin wrapper over
 :meth:`ReinforceTrainer.train`: it records the mean makespan over all
 trajectories per epoch, which "steadily decreases with the number of
@@ -15,44 +19,28 @@ iterations" and eventually beats Tetris and SJF.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import EnvConfig, TrainingConfig
 from ..dag.graph import TaskGraph
-from ..envarr.backend import make_env
-from ..telemetry import runtime as _telemetry
 from ..telemetry.config import TelemetryConfig
-from ..telemetry.sinks import stderr_line
-from ..utils.rng import SeedLike, as_generator, spawn
-from .agent import NetworkPolicy
+from ..utils.rng import SeedLike
 from .network import PolicyNetwork
-from .optimizers import RmsProp
-from .trajectories import Trajectory, returns_to_go, rollout_trajectory
+from .trainer import EpochStats, Trainer
+from .trajectories import Trajectory
 
 __all__ = ["ReinforceTrainer", "EpochStats"]
 
 
-@dataclass(frozen=True)
-class EpochStats:
-    """Telemetry of one REINFORCE epoch."""
-
-    epoch: int
-    mean_makespan: float
-    best_makespan: int
-    worst_makespan: int
-    mean_entropy: float
-    num_trajectories: int
-    mean_loss: float = 0.0
-
-
-class ReinforceTrainer:
+class ReinforceTrainer(Trainer):
     """Policy-gradient training over a fixed set of example DAGs.
 
     Args:
-        network: policy network (typically pre-trained by imitation).
+        network: policy network (typically pre-trained by imitation);
+            either the MLP :class:`PolicyNetwork` or a
+            :class:`repro.rl.gnn.GraphPolicyNetwork`.
         graphs: the training examples (paper: 144 random 25-task DAGs).
         env_config: environment shape used for every episode.
         training: hyper-parameters (learning rate, rollouts, batch size).
@@ -65,6 +53,8 @@ class ReinforceTrainer:
             ``reinforce.baseline`` series.
     """
 
+    algo = "reinforce"
+
     def __init__(
         self,
         network: PolicyNetwork,
@@ -74,182 +64,26 @@ class ReinforceTrainer:
         seed: SeedLike = None,
         telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
-        if not graphs:
-            raise ValueError("need at least one training graph")
-        self.network = network
-        self.graphs = list(graphs)
-        self.env_config = env_config if env_config is not None else EnvConfig()
-        self.training = training if training is not None else TrainingConfig()
-        self.optimizer = RmsProp(
-            self.training.learning_rate, self.training.rho, self.training.eps
-        )
-        self._rng = as_generator(seed)
-        self.telemetry = telemetry
-        self.history: List[EpochStats] = []
+        super().__init__(network, graphs, env_config, training, seed, telemetry)
 
     # ------------------------------------------------------------------ #
 
-    def sample_trajectories(self, graph: TaskGraph) -> List[Trajectory]:
-        """``rollouts_per_example`` sampled episodes on one graph."""
-        children = spawn(self._rng, self.training.rollouts_per_example)
-        trajectories = []
-        for child in children:
-            env = make_env(graph, self.env_config)
-            policy = NetworkPolicy(self.network, mode="sample", seed=child)
-            trajectories.append(
-                rollout_trajectory(env, policy, self.training.max_episode_steps)
-            )
-        return trajectories
-
-    @staticmethod
-    def advantages(trajectories: Sequence[Trajectory]) -> List[np.ndarray]:
-        """Per-step advantages with the cross-rollout mean-return baseline.
-
-        Returns are aligned by step index; the baseline at index ``t`` is
-        the mean of ``G_t`` over every rollout long enough to have a step
-        ``t`` (the DeepRM/Spear convention for unequal-length episodes).
-        """
-        all_returns = [returns_to_go(t) for t in trajectories]
-        max_len = max(len(r) for r in all_returns)
-        sums = np.zeros(max_len)
-        counts = np.zeros(max_len)
-        for returns in all_returns:
-            sums[: len(returns)] += returns
-            counts[: len(returns)] += 1
-        baseline = sums / np.maximum(counts, 1)
-        return [returns - baseline[: len(returns)] for returns in all_returns]
-
-    def _apply_update(
+    def _update_batch(
         self,
         trajectories: Sequence[Trajectory],
         advantage_arrays: Sequence[np.ndarray],
-    ) -> tuple[float, float]:
+    ) -> Tuple[float, float]:
         """One policy-gradient step over all steps of all trajectories;
         returns (mean policy entropy, weighted NLL surrogate loss)."""
-        states = np.concatenate(
-            [[step.observation for step in t.steps] for t in trajectories]
-        )
-        masks = np.concatenate(
-            [[step.mask for step in t.steps] for t in trajectories]
-        )
-        actions = np.concatenate(
-            [[step.action_index for step in t.steps] for t in trajectories]
-        )
+        steps, actions = self.flatten_steps(trajectories)
         weights = np.concatenate(advantage_arrays)
-        grads, nll = self.network.policy_gradient(states, masks, actions, weights)
+        grads, nll = self.network.policy_gradient_steps(steps, actions, weights)
         if self.training.entropy_bonus > 0.0:
-            entropy_grads = self._entropy_gradients(states, masks)
+            entropy_grads = self.network.entropy_gradient_steps(steps)
             for key in grads:
                 grads[key] -= self.training.entropy_bonus * entropy_grads[key]
-        self.optimizer.step(self.network.params, grads)
-        probs = self.network.probabilities(states, masks)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            plogp = np.where(probs > 0, probs * np.log(probs), 0.0)
-        return float(-plogp.sum(axis=1).mean()), float(nll)
+        self.apply_gradients(grads)
+        return self.mean_entropy(steps), float(nll)
 
-    def _entropy_gradients(
-        self, states: np.ndarray, masks: np.ndarray
-    ) -> Dict[str, np.ndarray]:
-        """Gradients of mean policy entropy w.r.t. parameters."""
-        probs = self.network.probabilities(states, masks, keep_cache=True)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            logp = np.where(probs > 0, np.log(probs), 0.0)
-        inner = -(logp + 1.0)
-        expected = (probs * inner).sum(axis=1, keepdims=True)
-        dlogits = probs * (inner - expected) / probs.shape[0]
-        return self.network.backward_from_dlogits(dlogits)
-
-    def train_epoch(self, epoch: int) -> EpochStats:
-        """One epoch: sample, baseline, update — batched over examples.
-
-        With telemetry active the epoch lands as one point on each of
-        the training-curve series: ``reinforce.loss`` (weighted NLL
-        surrogate), ``reinforce.entropy``, ``reinforce.return`` (best
-        return achieved, i.e. negated best makespan) and
-        ``reinforce.baseline`` (the trajectory-average return the
-        advantage is centered on, i.e. negated mean makespan).
-        """
-        makespans: List[int] = []
-        entropies: List[float] = []
-        losses: List[float] = []
-        batch_size = self.training.batch_size
-        for start in range(0, len(self.graphs), batch_size):
-            batch_graphs = self.graphs[start : start + batch_size]
-            batch_trajectories: List[Trajectory] = []
-            batch_advantages: List[np.ndarray] = []
-            for graph in batch_graphs:
-                trajectories = self.sample_trajectories(graph)
-                batch_trajectories.extend(trajectories)
-                batch_advantages.extend(self.advantages(trajectories))
-                makespans.extend(t.makespan for t in trajectories)
-            entropy, loss = self._apply_update(
-                batch_trajectories, batch_advantages
-            )
-            entropies.append(entropy)
-            losses.append(loss)
-        stats = EpochStats(
-            epoch=epoch,
-            mean_makespan=float(np.mean(makespans)),
-            best_makespan=int(np.min(makespans)),
-            worst_makespan=int(np.max(makespans)),
-            mean_entropy=float(np.mean(entropies)),
-            num_trajectories=len(makespans),
-            mean_loss=float(np.mean(losses)),
-        )
-        self.history.append(stats)
-        tm = _telemetry.for_config(self.telemetry)
-        if tm.enabled:
-            tm.record("reinforce.loss", epoch, stats.mean_loss)
-            tm.record("reinforce.entropy", epoch, stats.mean_entropy)
-            tm.record("reinforce.return", epoch, -float(stats.best_makespan))
-            tm.record("reinforce.baseline", epoch, -stats.mean_makespan)
-            tm.inc("reinforce.trajectories", stats.num_trajectories)
-        return stats
-
-    def train(
-        self,
-        epochs: Optional[int] = None,
-        log_every: int = 0,
-    ) -> List[EpochStats]:
-        """Run ``epochs`` epochs (default from config); returns the curve.
-
-        ``log_every=k`` reports every k-th epoch: as a structured
-        ``reinforce.epoch`` log event when telemetry is active (the
-        stderr-summary sink echoes it live), else as a plain stderr
-        line — progress logging never lands on stdout.
-        """
-        total = epochs if epochs is not None else self.training.epochs
-        tm = _telemetry.for_config(self.telemetry)
-        with tm.span("reinforce.train", epochs=total, graphs=len(self.graphs)):
-            for epoch in range(total):
-                stats = self.train_epoch(epoch)
-                if log_every and epoch % log_every == 0:
-                    message = (
-                        f"epoch {stats.epoch}: mean makespan "
-                        f"{stats.mean_makespan:.1f} entropy "
-                        f"{stats.mean_entropy:.3f}"
-                    )
-                    if tm.enabled:
-                        tm.log(
-                            "reinforce.epoch",
-                            message=message,
-                            epoch=stats.epoch,
-                            mean_makespan=stats.mean_makespan,
-                            mean_entropy=stats.mean_entropy,
-                        )
-                    else:
-                        stderr_line(message)
-        return self.history
-
-    def evaluate(self, graphs: Sequence[TaskGraph], greedy: bool = True) -> List[int]:
-        """Makespan of the current policy on each graph (greedy by default)."""
-        results = []
-        for graph in graphs:
-            env = make_env(graph, self.env_config)
-            mode = "greedy" if greedy else "sample"
-            policy = NetworkPolicy(self.network, mode=mode, seed=self._rng)
-            trajectory = rollout_trajectory(
-                env, policy, self.training.max_episode_steps
-            )
-            results.append(trajectory.makespan)
-        return results
+    # Backwards-compatible alias for the historical private name.
+    _apply_update = _update_batch

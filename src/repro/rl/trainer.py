@@ -1,0 +1,295 @@
+"""The shared trainer skeleton behind REINFORCE, PPO and imitation.
+
+Concrete trainers differ only in *how a batch of experience turns into a
+gradient step*; everything else — rollout collection with per-rollout
+spawned RNG streams, the graph-batched epoch loop, advantage plumbing,
+telemetry series, evaluation — lives here.  :class:`ReinforceTrainer`
+and :class:`PpoTrainer` subclass :class:`Trainer` (on-policy rollout
+trainers); :class:`ImitationTrainer` shares the optimizer/gradient
+plumbing through :class:`TrainerBase`.
+
+The skeleton is model-agnostic: it talks to the policy network only
+through the step-batch interface (``make_policy``,
+``policy_gradient_steps``, ``step_probabilities``,
+``entropy_gradient_steps``), which both :class:`PolicyNetwork` (MLP) and
+:class:`GraphPolicyNetwork` (GNN) implement.  The refactored REINFORCE
+path is bit-identical to the historical monolithic trainer (pinned by
+the golden trace in ``tests/data/rl_golden.json``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import EnvConfig, TrainingConfig
+from ..dag.graph import TaskGraph
+from ..envarr.backend import make_env
+from ..telemetry import runtime as _telemetry
+from ..telemetry.config import TelemetryConfig
+from ..telemetry.sinks import stderr_line
+from ..utils.rng import SeedLike, as_generator, spawn
+from .modules import policy_entropy
+from .optimizers import RmsProp, clip_global_norm
+from .trajectories import Step, Trajectory, returns_to_go, rollout_trajectory
+
+__all__ = ["Trainer", "TrainerBase", "EpochStats", "iterate_minibatches"]
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Telemetry of one training epoch."""
+
+    epoch: int
+    mean_makespan: float
+    best_makespan: int
+    worst_makespan: int
+    mean_entropy: float
+    num_trajectories: int
+    mean_loss: float = 0.0
+
+
+def iterate_minibatches(
+    rng: np.random.Generator, n: int, batch_size: int
+) -> Iterator[np.ndarray]:
+    """Shuffled mini-batch index arrays covering ``range(n)`` once."""
+    indices = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        yield indices[start : start + batch_size]
+
+
+class TrainerBase:
+    """Optimizer/gradient plumbing shared by every trainer.
+
+    Args:
+        network: any policy model implementing the step-batch interface.
+        env_config: environment shape used for every episode.
+        training: hyper-parameters (learning rate, clipping, batching).
+        seed: master RNG seed.
+        telemetry: ``None`` defers to the globally active pipeline.
+    """
+
+    #: Telemetry prefix (``{algo}.loss``, ``{algo}.train`` span, ...).
+    algo: ClassVar[str] = "train"
+
+    def __init__(
+        self,
+        network,
+        env_config: EnvConfig | None = None,
+        training: TrainingConfig | None = None,
+        seed: SeedLike = None,
+        telemetry: Optional[TelemetryConfig] = None,
+    ) -> None:
+        self.network = network
+        self.env_config = env_config if env_config is not None else EnvConfig()
+        self.training = training if training is not None else TrainingConfig()
+        self.optimizer = RmsProp(
+            self.training.learning_rate, self.training.rho, self.training.eps
+        )
+        self._rng = as_generator(seed)
+        self.telemetry = telemetry
+
+    def apply_gradients(self, grads: Dict[str, np.ndarray]) -> None:
+        """Clip (when configured) and take one optimizer step."""
+        if self.training.max_grad_norm > 0.0:
+            clip_global_norm(grads, self.training.max_grad_norm)
+        self.optimizer.step(self.network.params, grads)
+
+    def make_policy(self, mode: str, seed: SeedLike = None):
+        """The network driving an episode (model decides the policy type)."""
+        return self.network.make_policy(mode=mode, seed=seed)
+
+
+class Trainer(TrainerBase, abc.ABC):
+    """On-policy rollout trainer over a fixed set of example DAGs.
+
+    Per epoch, for every training example, ``rollouts_per_example``
+    trajectories are sampled (paper: 20); subclasses turn each
+    graph-batch of trajectories plus advantages into gradient updates
+    via :meth:`_update_batch`.
+    """
+
+    def __init__(
+        self,
+        network,
+        graphs: Sequence[TaskGraph],
+        env_config: EnvConfig | None = None,
+        training: TrainingConfig | None = None,
+        seed: SeedLike = None,
+        telemetry: Optional[TelemetryConfig] = None,
+    ) -> None:
+        if not graphs:
+            raise ValueError("need at least one training graph")
+        super().__init__(network, env_config, training, seed, telemetry)
+        self.graphs = list(graphs)
+        self.history: List[EpochStats] = []
+
+    # ------------------------------------------------------------------ #
+    # experience collection
+    # ------------------------------------------------------------------ #
+
+    def sample_trajectories(self, graph: TaskGraph) -> List[Trajectory]:
+        """``rollouts_per_example`` sampled episodes on one graph."""
+        children = spawn(self._rng, self.training.rollouts_per_example)
+        trajectories = []
+        for child in children:
+            env = make_env(graph, self.env_config)
+            policy = self.make_policy("sample", seed=child)
+            trajectories.append(
+                rollout_trajectory(env, policy, self.training.max_episode_steps)
+            )
+        return trajectories
+
+    @staticmethod
+    def advantages(trajectories: Sequence[Trajectory]) -> List[np.ndarray]:
+        """Per-step advantages with the cross-rollout mean-return baseline.
+
+        Returns are aligned by step index; the baseline at index ``t`` is
+        the mean of ``G_t`` over every rollout long enough to have a step
+        ``t`` (the DeepRM/Spear convention for unequal-length episodes).
+        """
+        all_returns = [returns_to_go(t) for t in trajectories]
+        max_len = max(len(r) for r in all_returns)
+        sums = np.zeros(max_len)
+        counts = np.zeros(max_len)
+        for returns in all_returns:
+            sums[: len(returns)] += returns
+            counts[: len(returns)] += 1
+        baseline = sums / np.maximum(counts, 1)
+        return [returns - baseline[: len(returns)] for returns in all_returns]
+
+    def _advantages(
+        self, trajectories: Sequence[Trajectory]
+    ) -> List[np.ndarray]:
+        """Advantage estimator hook (default: rollout-mean baseline)."""
+        return self.advantages(trajectories)
+
+    # ------------------------------------------------------------------ #
+    # the epoch loop
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def _update_batch(
+        self,
+        trajectories: Sequence[Trajectory],
+        advantage_arrays: Sequence[np.ndarray],
+    ) -> Tuple[float, float]:
+        """Consume one graph-batch of experience; returns
+        ``(mean policy entropy, surrogate loss)``."""
+
+    def train_epoch(self, epoch: int) -> EpochStats:
+        """One epoch: sample, baseline, update — batched over examples.
+
+        With telemetry active the epoch lands as one point on each of
+        the training-curve series: ``{algo}.loss`` (surrogate loss),
+        ``{algo}.entropy``, ``{algo}.return`` (best return achieved,
+        i.e. negated best makespan) and ``{algo}.baseline`` (the
+        trajectory-average return the advantage is centered on, i.e.
+        negated mean makespan).
+        """
+        makespans: List[int] = []
+        entropies: List[float] = []
+        losses: List[float] = []
+        batch_size = self.training.batch_size
+        for start in range(0, len(self.graphs), batch_size):
+            batch_graphs = self.graphs[start : start + batch_size]
+            batch_trajectories: List[Trajectory] = []
+            batch_advantages: List[np.ndarray] = []
+            for graph in batch_graphs:
+                trajectories = self.sample_trajectories(graph)
+                batch_trajectories.extend(trajectories)
+                batch_advantages.extend(self._advantages(trajectories))
+                makespans.extend(t.makespan for t in trajectories)
+            entropy, loss = self._update_batch(
+                batch_trajectories, batch_advantages
+            )
+            entropies.append(entropy)
+            losses.append(loss)
+        stats = EpochStats(
+            epoch=epoch,
+            mean_makespan=float(np.mean(makespans)),
+            best_makespan=int(np.min(makespans)),
+            worst_makespan=int(np.max(makespans)),
+            mean_entropy=float(np.mean(entropies)),
+            num_trajectories=len(makespans),
+            mean_loss=float(np.mean(losses)),
+        )
+        self.history.append(stats)
+        tm = _telemetry.for_config(self.telemetry)
+        if tm.enabled:
+            tm.record(f"{self.algo}.loss", epoch, stats.mean_loss)
+            tm.record(f"{self.algo}.entropy", epoch, stats.mean_entropy)
+            tm.record(f"{self.algo}.return", epoch, -float(stats.best_makespan))
+            tm.record(f"{self.algo}.baseline", epoch, -stats.mean_makespan)
+            tm.inc(f"{self.algo}.trajectories", stats.num_trajectories)
+        return stats
+
+    def train(
+        self,
+        epochs: Optional[int] = None,
+        log_every: int = 0,
+    ) -> List[EpochStats]:
+        """Run ``epochs`` epochs (default from config); returns the curve.
+
+        ``log_every=k`` reports every k-th epoch: as a structured
+        ``{algo}.epoch`` log event when telemetry is active (the
+        stderr-summary sink echoes it live), else as a plain stderr
+        line — progress logging never lands on stdout.
+        """
+        total = epochs if epochs is not None else self.training.epochs
+        tm = _telemetry.for_config(self.telemetry)
+        with tm.span(
+            f"{self.algo}.train", epochs=total, graphs=len(self.graphs)
+        ):
+            for epoch in range(total):
+                stats = self.train_epoch(epoch)
+                if log_every and epoch % log_every == 0:
+                    message = (
+                        f"epoch {stats.epoch}: mean makespan "
+                        f"{stats.mean_makespan:.1f} entropy "
+                        f"{stats.mean_entropy:.3f}"
+                    )
+                    if tm.enabled:
+                        tm.log(
+                            f"{self.algo}.epoch",
+                            message=message,
+                            epoch=stats.epoch,
+                            mean_makespan=stats.mean_makespan,
+                            mean_entropy=stats.mean_entropy,
+                        )
+                    else:
+                        stderr_line(message)
+        return self.history
+
+    def evaluate(self, graphs: Sequence[TaskGraph], greedy: bool = True) -> List[int]:
+        """Makespan of the current policy on each graph (greedy by default)."""
+        results = []
+        for graph in graphs:
+            env = make_env(graph, self.env_config)
+            mode = "greedy" if greedy else "sample"
+            policy = self.make_policy(mode, seed=self._rng)
+            trajectory = rollout_trajectory(
+                env, policy, self.training.max_episode_steps
+            )
+            results.append(trajectory.makespan)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # shared step-batch helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def flatten_steps(
+        trajectories: Sequence[Trajectory],
+    ) -> Tuple[List[Step], np.ndarray]:
+        """All steps of a trajectory batch plus their action indices."""
+        steps = [step for t in trajectories for step in t.steps]
+        actions = np.asarray([step.action_index for step in steps], dtype=int)
+        return steps, actions
+
+    def mean_entropy(self, steps: Sequence[Step]) -> float:
+        """Mean policy entropy over recorded steps (current parameters)."""
+        return policy_entropy(self.network.step_probabilities(steps))

@@ -8,7 +8,8 @@ remaining-makespan) pairs from policy rollouts, used by
 :class:`repro.core.guidance.TruncatedRollout` to cap rollout depth.
 
 Architecture mirrors the policy trunk (ReLU MLP) with a single linear
-output; training is mean-squared-error with rmsprop.
+output, expressed over the shared :class:`repro.rl.modules.MLPStack`;
+training is mean-squared-error with rmsprop.
 """
 
 from __future__ import annotations
@@ -19,7 +20,8 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..utils.rng import SeedLike, as_generator
-from .optimizers import RmsProp
+from .modules import MLPStack
+from .optimizers import RmsProp, clip_global_norm
 
 __all__ = ["ValueNetwork"]
 
@@ -35,6 +37,9 @@ class ValueNetwork:
         seed: weight-initialization seed.
     """
 
+    #: Checkpoint discriminator (see ``rl.checkpoints``).
+    kind = "value"
+
     def __init__(
         self,
         input_size: int,
@@ -48,13 +53,10 @@ class ValueNetwork:
         self.input_size = input_size
         self.hidden_sizes = tuple(hidden_sizes)
         rng = as_generator(seed)
-        sizes = [input_size, *hidden_sizes, 1]
-        self.params: Dict[str, np.ndarray] = {}
-        for layer, (fan_in, fan_out) in enumerate(zip(sizes, sizes[1:])):
-            scale = np.sqrt(2.0 / fan_in)
-            self.params[f"W{layer}"] = rng.normal(0.0, scale, (fan_in, fan_out))
-            self.params[f"b{layer}"] = np.zeros(fan_out)
-        self.num_layers = len(sizes) - 1
+        self._stack = MLPStack([input_size, *hidden_sizes, 1], rng)
+        #: Shared live parameter dict (the optimizer mutates it in place).
+        self.params: Dict[str, np.ndarray] = self._stack.params
+        self.num_layers = self._stack.num_layers
         # Target normalization, fit on the first training batch.
         self._target_mean = 0.0
         self._target_std = 1.0
@@ -62,29 +64,17 @@ class ValueNetwork:
 
     # ------------------------------------------------------------------ #
 
-    def _forward(
-        self, states: np.ndarray
-    ) -> Tuple[np.ndarray, List[np.ndarray], List[np.ndarray]]:
+    def _forward(self, states: np.ndarray, keep_cache: bool = False) -> np.ndarray:
         x = np.atleast_2d(np.asarray(states, dtype=np.float64))
         if x.shape[1] != self.input_size:
             raise ConfigError(
                 f"state has {x.shape[1]} features, expected {self.input_size}"
             )
-        pre, act = [], [x]
-        h = x
-        for layer in range(self.num_layers):
-            z = h @ self.params[f"W{layer}"] + self.params[f"b{layer}"]
-            pre.append(z)
-            if layer < self.num_layers - 1:
-                h = np.maximum(z, 0.0)
-                act.append(h)
-            else:
-                h = z
-        return h[:, 0], pre, act
+        return self._stack.forward(x, keep_cache)[:, 0]
 
     def predict(self, states: np.ndarray) -> np.ndarray:
         """Predicted remaining makespans (slots, clipped to >= 0)."""
-        normalized, _, _ = self._forward(states)
+        normalized = self._forward(states)
         return np.maximum(
             normalized * self._target_std + self._target_mean, 0.0
         )
@@ -99,11 +89,14 @@ class ValueNetwork:
         batch_size: int = 32,
         learning_rate: float = 1e-3,
         seed: SeedLike = None,
+        max_grad_norm: float = 0.0,
     ) -> List[float]:
         """Train by mini-batch MSE; returns per-epoch losses.
 
         Targets are z-normalized internally using the first ``fit`` call's
-        statistics, so repeated fits refine the same scale.
+        statistics, so repeated fits refine the same scale.  A positive
+        ``max_grad_norm`` clips each mini-batch gradient to that global
+        L2 norm before the optimizer step.
         """
 
         states = np.atleast_2d(np.asarray(states, dtype=np.float64))
@@ -127,19 +120,15 @@ class ValueNetwork:
             epoch_losses = []
             for start in range(0, n, batch_size):
                 batch = order[start : start + batch_size]
-                predictions, pre, act = self._forward(states[batch])
+                predictions = self._forward(states[batch], keep_cache=True)
                 errors = predictions - normalized_targets[batch]
                 epoch_losses.append(float(np.mean(errors**2)))
                 # Backprop MSE: dL/dout = 2 * err / B.
                 delta = (2.0 * errors / len(batch))[:, None]
-                grads: Dict[str, np.ndarray] = {}
-                for layer in range(self.num_layers - 1, -1, -1):
-                    grads[f"W{layer}"] = act[layer].T @ delta
-                    grads[f"b{layer}"] = delta.sum(axis=0)
-                    if layer > 0:
-                        delta = (delta @ self.params[f"W{layer}"].T) * (
-                            pre[layer - 1] > 0
-                        )
+                grads = self._stack.backward(delta)
+                assert isinstance(grads, dict)
+                if max_grad_norm > 0.0:
+                    clip_global_norm(grads, max_grad_norm)
                 optimizer.step(self.params, grads)
             losses.append(float(np.mean(epoch_losses)))
         return losses

@@ -13,6 +13,7 @@ EXPECTED_GROUPS = {
     "mcts",
     "observation",
     "envarr",
+    "rl",
     "faults",
     "online",
     "streaming",

@@ -1,0 +1,58 @@
+"""Unit tests for the frozen-policy generalization study."""
+
+import pytest
+
+from repro.experiments.generalization import (
+    GeneralizationResult,
+    generalization_study,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return generalization_study(
+        seed=0, train_tasks=8, eval_factors=(2,), num_dags=2, epochs=1
+    )
+
+
+def test_all_schedulers_evaluated(result):
+    assert result.eval_sizes == (16,)
+    data = result.makespans[16]
+    assert set(data) == {"drl-gnn", "drl-mlp", "tetris", "sjf", "cp"}
+    assert all(len(v) == 2 for v in data.values())
+    assert all(m > 0 for v in data.values() for m in v)
+
+
+def test_parameter_counts_recorded(result):
+    assert result.num_parameters["drl-gnn"] > 0
+    # The whole point: the graph policy is much smaller than the
+    # windowed MLP at default shapes.
+    assert (
+        result.num_parameters["drl-gnn"] < result.num_parameters["drl-mlp"]
+    )
+
+
+def test_gap_is_relative_to_best_heuristic(result):
+    gap = result.gap_to_best_heuristic(16, "drl-gnn")
+    data = result.makespans[16]
+    best = min(
+        sum(data[h]) / len(data[h]) for h in ("tetris", "sjf", "cp")
+    )
+    mean = sum(data["drl-gnn"]) / len(data["drl-gnn"])
+    assert gap == pytest.approx(mean / best)
+
+
+def test_report_mentions_sizes_and_params(result):
+    report = result.report()
+    assert "16-task DAGs" in report
+    assert "params" in report
+    assert "gap to best heuristic" in report
+
+
+def test_result_type_roundtrip():
+    r = GeneralizationResult(train_tasks=4, eval_sizes=(8,), num_dags=1)
+    r.makespans[8] = {
+        "drl-gnn": [10], "drl-mlp": [12],
+        "tetris": [11], "sjf": [13], "cp": [12],
+    }
+    assert r.gap_to_best_heuristic(8, "drl-gnn") == pytest.approx(10 / 11)

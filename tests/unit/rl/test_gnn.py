@@ -1,0 +1,264 @@
+"""Unit tests for the scale-invariant graph policy (repro.rl.gnn)."""
+
+import numpy as np
+import pytest
+
+from repro.config import EnvConfig, GnnConfig, WorkloadConfig
+from repro.dag.generators import random_layered_dag
+from repro.dag.graph import TaskGraph
+from repro.dag.task import Task
+from repro.envarr.backend import make_env
+from repro.envarr.graphdata import graph_arrays
+from repro.envarr.observation import task_feature_table
+from repro.errors import ConfigError
+from repro.rl.gnn import (
+    GraphNetworkPolicy,
+    GraphObservationBuilder,
+    GraphPolicyNetwork,
+    build_graph_action_mask,
+)
+
+SMALL_GNN = GnnConfig(hidden_size=8, rounds=2, head_hidden=4, global_hidden=8)
+
+
+def _graph(num_tasks=10, seed=0):
+    return random_layered_dag(
+        WorkloadConfig(num_tasks=num_tasks, max_runtime=10, max_demand=10),
+        seed=seed,
+    )
+
+
+def _array_env(graph, config=None):
+    config = config if config is not None else EnvConfig(
+        process_until_completion=True, backend="array"
+    )
+    return make_env(graph, config)
+
+
+class TestPermutationInvariance:
+    def test_scores_follow_a_task_relabeling(self, rng):
+        """Relabeling the DAG's task ids permutes the per-node scores and
+        leaves the global (PROCESS) score unchanged."""
+        base = _graph(num_tasks=12, seed=4)
+        n = base.num_tasks
+        perm = rng.permutation(n)
+        tasks = [base.task(tid) for tid in sorted(t.task_id for t in base)]
+        relabeled = TaskGraph(
+            [
+                Task(int(perm[t.task_id]), t.runtime, t.demands)
+                for t in tasks
+            ],
+            [
+                (int(perm[u]), int(perm[v]))
+                for u in (t.task_id for t in tasks)
+                for v in base.children(u)
+            ],
+        )
+        a1, a2 = graph_arrays(base), graph_arrays(relabeled)
+        config = EnvConfig()
+        static1 = task_feature_table(a1, config)
+        static2 = task_feature_table(a2, config)
+        # Dense index i of the base graph maps to this dense index of the
+        # relabeled one.
+        to2 = np.array(
+            [a2.index_of[int(perm[a1.ids[i]])] for i in range(n)]
+        )
+        assert np.allclose(static2[to2], static1)
+
+        network = GraphPolicyNetwork(
+            a1.num_resources, SMALL_GNN, seed=7
+        )
+        batch = 3
+        node_state1 = rng.normal(size=(batch, n, 5))
+        node_state2 = np.empty_like(node_state1)
+        node_state2[:, to2] = node_state1
+        globals_vec = rng.normal(size=(batch, a1.num_resources + 3))
+        ready1 = [[0, 3, 5], [1], [2, 4]]
+        ready2 = [[int(to2[i]) for i in ready] for ready in ready1]
+        logits1 = network.forward_group(
+            a1, static1, node_state1, globals_vec, ready1
+        )
+        logits2 = network.forward_group(
+            a2, static2, node_state2, globals_vec, ready2
+        )
+        assert np.allclose(logits1, logits2, rtol=1e-10, atol=1e-10)
+
+
+class TestScaleInvariance:
+    def test_parameter_count_is_independent_of_dag_size(self):
+        network = GraphPolicyNetwork(2, SMALL_GNN, seed=0)
+        count = network.num_parameters
+        for num_tasks in (5, 40):
+            env = _array_env(_graph(num_tasks=num_tasks, seed=num_tasks))
+            policy = GraphNetworkPolicy(network, mode="greedy")
+            while not env.done:
+                env.step(policy.select(env))
+            assert env.makespan > 0
+        assert network.num_parameters == count
+
+    def test_no_visibility_window(self):
+        """A ready set wider than any MLP window still scores directly."""
+        network = GraphPolicyNetwork(2, SMALL_GNN, seed=1)
+        graph = _graph(num_tasks=30, seed=9)
+        arrays = graph_arrays(graph)
+        config = EnvConfig()
+        static = task_feature_table(arrays, config)
+        ready = [list(range(25))]
+        logits = network.forward_group(
+            arrays,
+            static,
+            np.zeros((1, 30, 5)),
+            np.zeros((1, 5)),
+            ready,
+        )
+        assert logits.shape == (1, 26)
+
+
+class TestGradients:
+    def test_backward_matches_finite_differences(self, rng):
+        network = GraphPolicyNetwork(2, SMALL_GNN, seed=3)
+        graph = _graph(num_tasks=8, seed=2)
+        arrays = graph_arrays(graph)
+        config = EnvConfig()
+        static = task_feature_table(arrays, config)
+        node_state = rng.normal(size=(2, 8, 5))
+        globals_vec = rng.normal(size=(2, 5))
+        ready = [[0, 2], [1, 3, 4]]
+        masks = np.array(
+            [[True, True, True, False], [True, False, True, True]]
+        )
+        actions = np.array([0, 2])
+
+        def nll():
+            logits = network.forward_group(
+                arrays, static, node_state, globals_vec, ready
+            )
+            from repro.rl.modules import masked_softmax
+
+            probs = masked_softmax(logits, masks)
+            chosen = probs[np.arange(2), actions]
+            return -float(np.log(chosen).sum()) / 2
+
+        from repro.rl.modules import masked_softmax
+
+        logits = network.forward_group(
+            arrays, static, node_state, globals_vec, ready, keep_cache=True
+        )
+        probs = masked_softmax(logits, masks)
+        dlogits = probs.copy()
+        dlogits[np.arange(2), actions] -= 1.0
+        dlogits /= 2
+        grads = network.backward_group(dlogits)
+        eps = 1e-6
+        for key in ["enc.W", "mp0.Wc", "mp1.Wp", "glob.W", "head.Wn",
+                    "head.w", "proc.W", "proc.c"]:
+            flat = network.params[key].ravel()
+            index = int(rng.integers(0, flat.size))
+            flat[index] += eps
+            up = nll()
+            flat[index] -= 2 * eps
+            down = nll()
+            flat[index] += eps
+            fd = (up - down) / (2 * eps)
+            assert grads[key].ravel()[index] == pytest.approx(
+                fd, rel=1e-4, abs=1e-8
+            ), key
+
+    def test_backward_without_cache_raises(self):
+        network = GraphPolicyNetwork(2, SMALL_GNN, seed=0)
+        with pytest.raises(ConfigError, match="no cached forward"):
+            network.backward_group(np.zeros((1, 2)))
+
+
+class TestCrossBackendParity:
+    def test_object_and_array_builders_agree(self):
+        graph = _graph(num_tasks=12, seed=6)
+        obj_env = make_env(graph, EnvConfig(process_until_completion=True))
+        arr_env = _array_env(graph)
+        builder_obj = GraphObservationBuilder(graph, obj_env.config)
+        builder_arr = GraphObservationBuilder(graph, arr_env.config)
+        rng = np.random.default_rng(11)
+        while not obj_env.done:
+            obs_o = builder_obj.build(obj_env)
+            obs_a = builder_arr.build(arr_env)
+            assert np.array_equal(obs_o.node_state, obs_a.node_state)
+            assert np.array_equal(obs_o.globals_vec, obs_a.globals_vec)
+            assert obs_o.ready == obs_a.ready
+            assert np.array_equal(
+                build_graph_action_mask(obj_env),
+                build_graph_action_mask(arr_env),
+            )
+            actions = obj_env.expansion_actions(work_conserving=True)
+            action = actions[int(rng.integers(0, len(actions)))]
+            obj_env.step(action)
+            arr_env.step(action)
+        assert arr_env.done
+
+
+class TestGraphNetworkPolicy:
+    def test_action_probabilities_sum_to_one(self):
+        network = GraphPolicyNetwork(2, SMALL_GNN, seed=5)
+        env = _array_env(_graph(seed=1))
+        policy = GraphNetworkPolicy(network, mode="sample", seed=0)
+        probs = policy.action_probabilities(env)
+        assert sum(probs.values()) == pytest.approx(1.0)
+        legal = set(env.expansion_actions(work_conserving=True))
+        assert set(probs) <= legal
+
+    def test_greedy_select_is_argmax(self):
+        network = GraphPolicyNetwork(2, SMALL_GNN, seed=5)
+        env = _array_env(_graph(seed=1))
+        policy = GraphNetworkPolicy(network, mode="greedy")
+        probs = policy.action_probabilities(env)
+        best = max(sorted(probs), key=lambda a: probs[a])
+        assert policy.select(env) == best
+
+    def test_episode_completes_with_sampling(self):
+        network = GraphPolicyNetwork(2, SMALL_GNN, seed=5)
+        env = _array_env(_graph(seed=2))
+        policy = GraphNetworkPolicy(network, mode="sample", seed=3)
+        steps = 0
+        while not env.done:
+            env.step(policy.select(env))
+            steps += 1
+            assert steps < 10_000
+        assert env.makespan > 0
+
+    def test_resource_mismatch_rejected(self):
+        network = GraphPolicyNetwork(3, SMALL_GNN, seed=0)
+        env = _array_env(_graph(seed=1))
+        policy = GraphNetworkPolicy(network)
+        with pytest.raises(ConfigError, match="resources"):
+            policy.begin_episode(env)
+
+    def test_unknown_mode_rejected(self):
+        network = GraphPolicyNetwork(2, SMALL_GNN, seed=0)
+        with pytest.raises(ConfigError, match="mode"):
+            GraphNetworkPolicy(network, mode="beam")
+
+
+class TestParams:
+    def test_get_set_roundtrip(self, rng):
+        a = GraphPolicyNetwork(2, SMALL_GNN, seed=1)
+        b = GraphPolicyNetwork(2, SMALL_GNN, seed=2)
+        b.set_params(a.get_params())
+        for key in a.params:
+            assert np.array_equal(a.params[key], b.params[key])
+
+    def test_missing_parameter_rejected(self):
+        network = GraphPolicyNetwork(2, SMALL_GNN, seed=1)
+        params = network.get_params()
+        params.pop("enc.W")
+        with pytest.raises(ConfigError, match="missing parameter"):
+            network.set_params(params)
+
+    def test_shape_mismatch_rejected(self):
+        network = GraphPolicyNetwork(2, SMALL_GNN, seed=1)
+        params = network.get_params()
+        params["enc.W"] = np.zeros((2, 2))
+        with pytest.raises(ConfigError):
+            network.set_params(params)
+
+    def test_invalid_num_resources(self):
+        with pytest.raises(ConfigError):
+            GraphPolicyNetwork(0)

@@ -1,0 +1,265 @@
+"""Unit tests for the differentiable module stack (repro.rl.modules)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rl.modules import (
+    EdgeList,
+    Linear,
+    MLPStack,
+    ReLU,
+    entropy_dlogits,
+    init_linear,
+    masked_softmax,
+    policy_entropy,
+    segment_sum,
+    segment_sum_batch,
+)
+
+
+class TestLinear:
+    def test_forward_matches_affine(self, rng):
+        params = {}
+        init_linear(params, "W", "b", 4, 3, rng)
+        layer = Linear(params, "W", "b")
+        x = rng.normal(size=(5, 4))
+        assert np.allclose(layer.forward(x), x @ params["W"] + params["b"])
+
+    def test_backward_gradients(self, rng):
+        params = {}
+        init_linear(params, "W", "b", 4, 3, rng)
+        layer = Linear(params, "W", "b")
+        x = rng.normal(size=(5, 4))
+        dout = rng.normal(size=(5, 3))
+        layer.forward(x, keep_cache=True)
+        grads = {}
+        dx = layer.backward(dout, grads)
+        assert np.allclose(grads["W"], x.T @ dout)
+        assert np.allclose(grads["b"], dout.sum(axis=0))
+        assert np.allclose(dx, dout @ params["W"].T)
+
+    def test_backward_without_cache_raises(self, rng):
+        params = {}
+        init_linear(params, "W", "b", 2, 2, rng)
+        layer = Linear(params, "W", "b")
+        with pytest.raises(ConfigError, match="no cached forward"):
+            layer.backward(np.zeros((1, 2)), {})
+
+    def test_sees_in_place_parameter_updates(self, rng):
+        # The optimizer mutates arrays in the shared dict; the layer must
+        # read the dict at call time, not hold stale references.
+        params = {}
+        init_linear(params, "W", "b", 2, 2, rng)
+        layer = Linear(params, "W", "b")
+        x = np.ones((1, 2))
+        before = layer.forward(x).copy()
+        params["W"] += 1.0
+        after = layer.forward(x)
+        assert not np.allclose(before, after)
+
+
+class TestReLU:
+    def test_forward_clamps(self):
+        x = np.array([[-1.0, 0.0, 2.0]])
+        assert np.array_equal(ReLU().forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_backward_gates_gradient(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 0.5, 2.0]])
+        relu.forward(x, keep_cache=True)
+        dx = relu.backward(np.ones((1, 3)), {})
+        assert np.array_equal(dx, [[0.0, 1.0, 1.0]])
+
+
+class TestMaskedSoftmax:
+    def test_rows_sum_to_one_and_masked_entries_are_zero(self, rng):
+        logits = rng.normal(size=(6, 5))
+        masks = rng.random(size=(6, 5)) > 0.4
+        masks[:, 0] = True  # every row keeps one legal action
+        probs = masked_softmax(logits, masks)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs[~masks] == 0.0)
+
+    def test_all_legal_matches_plain_softmax(self, rng):
+        logits = rng.normal(size=(3, 4))
+        probs = masked_softmax(logits, np.ones((3, 4), dtype=bool))
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        assert np.allclose(probs, exp / exp.sum(axis=1, keepdims=True))
+
+    def test_no_legal_action_raises(self):
+        with pytest.raises(ConfigError, match="no legal action"):
+            masked_softmax(np.zeros((2, 3)), np.zeros((2, 3), dtype=bool))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigError, match="mask shape"):
+            masked_softmax(np.zeros((2, 3)), np.ones((2, 4), dtype=bool))
+
+
+class TestEntropy:
+    def test_uniform_entropy(self):
+        probs = np.full((1, 4), 0.25)
+        assert policy_entropy(probs) == pytest.approx(np.log(4))
+
+    def test_entropy_dlogits_matches_finite_differences(self, rng):
+        logits = rng.normal(size=(3, 5))
+        masks = np.ones((3, 5), dtype=bool)
+        masks[0, 2:] = False
+        grad = entropy_dlogits(masked_softmax(logits, masks))
+        eps = 1e-6
+        for b, a in [(0, 0), (0, 3), (1, 2), (2, 4)]:
+            bumped = logits.copy()
+            bumped[b, a] += eps
+            up = policy_entropy(masked_softmax(bumped, masks))
+            bumped[b, a] -= 2 * eps
+            down = policy_entropy(masked_softmax(bumped, masks))
+            fd = (up - down) / (2 * eps)
+            assert grad[b, a] == pytest.approx(fd, abs=1e-6)
+
+    def test_masked_entries_get_zero_gradient(self, rng):
+        logits = rng.normal(size=(2, 4))
+        masks = np.array([[True, True, False, False], [True] * 4])
+        grad = entropy_dlogits(masked_softmax(logits, masks))
+        assert np.all(grad[~masks] == 0.0)
+
+
+class TestMLPStack:
+    def test_forward_matches_manual_loop(self, rng):
+        stack = MLPStack([4, 8, 3], rng=rng)
+        x = rng.normal(size=(5, 4))
+        h = np.maximum(x @ stack.params["W0"] + stack.params["b0"], 0.0)
+        expected = h @ stack.params["W1"] + stack.params["b1"]
+        assert np.allclose(stack.forward(x), expected)
+
+    def test_backward_matches_finite_differences(self, rng):
+        stack = MLPStack([3, 6, 2], rng=rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * float(np.sum((stack.forward(x) - target) ** 2))
+
+        out = stack.forward(x, keep_cache=True)
+        grads = stack.backward(out - target)
+        eps = 1e-6
+        for key in ["W0", "b0", "W1", "b1"]:
+            flat = stack.params[key].ravel()
+            index = int(rng.integers(0, flat.size))
+            flat[index] += eps
+            up = loss()
+            flat[index] -= 2 * eps
+            down = loss()
+            flat[index] += eps
+            fd = (up - down) / (2 * eps)
+            assert grads[key].ravel()[index] == pytest.approx(fd, rel=1e-4)
+
+    def test_need_dx_returns_input_gradient(self, rng):
+        stack = MLPStack([3, 4, 2], rng=rng)
+        x = rng.normal(size=(2, 3))
+        stack.forward(x, keep_cache=True)
+        grads = {}
+        dx = stack.backward(np.ones((2, 2)), grads=grads, need_dx=True)
+        assert dx.shape == x.shape
+        assert set(grads) == {"W0", "b0", "W1", "b1"}
+
+    def test_backward_without_forward_raises(self, rng):
+        stack = MLPStack([2, 2], rng=rng)
+        with pytest.raises(ConfigError, match="no cached forward"):
+            stack.backward(np.zeros((1, 2)))
+
+    def test_cache_is_consumed(self, rng):
+        stack = MLPStack([2, 2], rng=rng)
+        stack.forward(np.zeros((1, 2)), keep_cache=True)
+        assert stack.has_cache
+        stack.backward(np.zeros((1, 2)))
+        assert not stack.has_cache
+
+    def test_prefix_shares_one_param_dict(self, rng):
+        params = {}
+        a = MLPStack([3, 2], rng=rng, params=params, prefix="a.")
+        b = MLPStack([3, 2], rng=rng, params=params, prefix="b.")
+        assert set(params) == {"a.W0", "a.b0", "b.W0", "b.b0"}
+        assert a.params is b.params
+
+    def test_rebuild_from_existing_params_needs_no_rng(self, rng):
+        params = MLPStack([3, 4, 2], rng=rng).params
+        rebuilt = MLPStack([3, 4, 2], params=dict(params))
+        x = rng.normal(size=(2, 3))
+        assert np.array_equal(
+            rebuilt.forward(x), MLPStack([3, 4, 2], params=params).forward(x)
+        )
+
+    @pytest.mark.parametrize("sizes", [[4], [3, 0, 2]])
+    def test_invalid_sizes_raise(self, sizes, rng):
+        with pytest.raises(ConfigError):
+            MLPStack(sizes, rng=rng)
+
+    def test_missing_params_without_rng_raise(self):
+        with pytest.raises(ConfigError, match="no rng"):
+            MLPStack([2, 2])
+
+
+class TestEdgeList:
+    def _diamond(self):
+        # 0 -> {1, 2} -> 3
+        parent = np.array([0, 0, 1, 2])
+        child = np.array([1, 2, 3, 3])
+        return EdgeList(4, parent, child)
+
+    def test_aggregate_children(self):
+        edges = self._diamond()
+        h = np.arange(8, dtype=np.float64).reshape(4, 2)
+        out = edges.aggregate_children(h)
+        assert np.array_equal(out[0], h[1] + h[2])
+        assert np.array_equal(out[1], h[3])
+        assert np.array_equal(out[3], [0.0, 0.0])
+
+    def test_aggregate_parents(self):
+        edges = self._diamond()
+        h = np.arange(8, dtype=np.float64).reshape(4, 2)
+        out = edges.aggregate_parents(h)
+        assert np.array_equal(out[3], h[1] + h[2])
+        assert np.array_equal(out[0], [0.0, 0.0])
+
+    def test_directions_are_adjoint(self, rng):
+        # <u, A_child h> == <A_parent u, h> — exactly the identity the
+        # backward pass relies on.
+        edges = self._diamond()
+        h = rng.normal(size=(4, 3))
+        u = rng.normal(size=(4, 3))
+        lhs = float(np.sum(u * edges.aggregate_children(h)))
+        rhs = float(np.sum(edges.aggregate_parents(u) * h))
+        assert lhs == pytest.approx(rhs)
+
+    def test_batched_matches_loop(self, rng):
+        edges = self._diamond()
+        h = rng.normal(size=(3, 4, 2))
+        batched = edges.aggregate_children(h)
+        for b in range(3):
+            assert np.allclose(batched[b], edges.aggregate_children(h[b]))
+
+    def test_from_graph_arrays(self):
+        from repro.config import WorkloadConfig
+        from repro.dag.generators import random_layered_dag
+        from repro.envarr.graphdata import graph_arrays
+
+        graph = random_layered_dag(WorkloadConfig(num_tasks=12), seed=3)
+        arrays = graph_arrays(graph)
+        edges = EdgeList.from_graph_arrays(arrays)
+        assert edges.num_nodes == 12
+        assert edges.num_edges == graph.num_edges
+        # Every (parent, child) pair is a real precedence edge.
+        for p, c in zip(edges.parent, edges.child):
+            assert arrays.ids[c] in graph.children(arrays.ids[p])
+
+
+class TestSegmentSum:
+    def test_scatter_accumulates_duplicates(self):
+        h = np.array([[1.0], [2.0], [4.0]])
+        out = segment_sum(h, np.array([0, 1, 2]), np.array([1, 1, 0]), 3)
+        assert np.array_equal(out, [[4.0], [3.0], [0.0]])
+
+    def test_batch_variant(self):
+        h = np.array([[[1.0], [2.0]], [[3.0], [5.0]]])
+        out = segment_sum_batch(h, np.array([0, 1]), np.array([1, 1]), 2)
+        assert np.array_equal(out, [[[0.0], [3.0]], [[0.0], [8.0]]])

@@ -103,3 +103,137 @@ class TestCheckpoints:
         path = tmp_path / "deep" / "dir" / "net.npz"
         save_checkpoint(net, path)
         assert path.exists()
+
+
+class TestClipGlobalNorm:
+    def test_noop_below_threshold(self):
+        from repro.rl import clip_global_norm
+
+        grads = {"a": np.array([3.0, 4.0])}  # norm 5
+        norm = clip_global_norm(grads, 10.0)
+        assert norm == pytest.approx(5.0)
+        assert np.array_equal(grads["a"], [3.0, 4.0])
+
+    def test_scales_above_threshold(self):
+        from repro.rl import clip_global_norm
+
+        grads = {"a": np.array([3.0, 0.0]), "b": np.array([[0.0, 4.0]])}
+        norm = clip_global_norm(grads, 1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(
+            sum(float(np.sum(g * g)) for g in grads.values())
+        )
+        assert total == pytest.approx(1.0)
+        # Direction is preserved.
+        assert grads["a"][0] == pytest.approx(3.0 / 5.0)
+        assert grads["b"][0, 1] == pytest.approx(4.0 / 5.0)
+
+    def test_clips_in_place(self):
+        from repro.rl import clip_global_norm
+
+        grads = {"a": np.array([10.0])}
+        ref = grads["a"]
+        clip_global_norm(grads, 1.0)
+        assert grads["a"] is ref
+
+    @pytest.mark.parametrize("max_norm", [0.0, -1.0])
+    def test_nonpositive_max_norm_rejected(self, max_norm):
+        from repro.rl import clip_global_norm
+
+        with pytest.raises(ConfigError, match="max_norm"):
+            clip_global_norm({"a": np.ones(2)}, max_norm)
+
+
+class TestCheckpointV2:
+    """Schema v2: kind-discriminated policy checkpoints."""
+
+    def _gnn(self, seed=4):
+        from repro.config import GnnConfig
+        from repro.rl import GraphPolicyNetwork
+
+        config = GnnConfig(
+            hidden_size=8, rounds=1, head_hidden=4, global_hidden=8
+        )
+        return GraphPolicyNetwork(2, config, seed=seed)
+
+    def test_gnn_roundtrip(self, tmp_path):
+        from repro.rl import load_policy_checkpoint
+
+        net = self._gnn()
+        path = tmp_path / "gnn.npz"
+        save_checkpoint(net, path)
+        restored = load_policy_checkpoint(path)
+        assert restored.kind == "policy_gnn"
+        assert restored.num_resources == net.num_resources
+        assert restored.config == net.config
+        for key in net.params:
+            assert np.array_equal(restored.params[key], net.params[key])
+
+    def test_load_policy_checkpoint_dispatches_mlp(self, tmp_path):
+        from repro.rl import load_policy_checkpoint
+
+        net = PolicyNetwork(
+            12, NetworkConfig(hidden_sizes=(8, 4), max_ready=3), seed=2
+        )
+        path = tmp_path / "mlp.npz"
+        save_checkpoint(net, path)
+        restored = load_policy_checkpoint(path)
+        assert restored.kind == "policy_mlp"
+        assert restored.input_size == net.input_size
+
+    def test_legacy_v1_file_loads_as_mlp(self, tmp_path):
+        # A v1 checkpoint: version marker 1, no meta_kind.
+        net = PolicyNetwork(
+            12, NetworkConfig(hidden_sizes=(8, 4), max_ready=3), seed=2
+        )
+        path = tmp_path / "v1.npz"
+        payload = {f"param_{k}": v for k, v in net.params.items()}
+        payload["meta_version"] = np.asarray([1])
+        payload["meta_input_size"] = np.asarray([net.input_size])
+        payload["meta_hidden_sizes"] = np.asarray(net.config.hidden_sizes)
+        payload["meta_max_ready"] = np.asarray([net.config.max_ready])
+        np.savez(path, **payload)
+        restored = load_checkpoint(path)
+        for key in net.params:
+            assert np.array_equal(restored.params[key], net.params[key])
+
+    def test_kind_mismatch_raises_clear_error(self, tmp_path):
+        net = self._gnn()
+        path = tmp_path / "gnn.npz"
+        save_checkpoint(net, path)
+        with pytest.raises(CheckpointError, match="policy_gnn"):
+            load_checkpoint(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        from repro.rl import load_policy_checkpoint
+
+        net = self._gnn()
+        path = tmp_path / "future.npz"
+        save_checkpoint(net, path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["meta_version"] = np.asarray([99])
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError, match="version"):
+            load_policy_checkpoint(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        from repro.rl import load_policy_checkpoint
+
+        net = self._gnn()
+        path = tmp_path / "odd.npz"
+        save_checkpoint(net, path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["meta_kind"] = np.asarray(["policy_quantum"])
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError, match="unknown model kind"):
+            load_policy_checkpoint(path)
+
+    def test_unsaveable_model_rejected(self, tmp_path):
+        class Strange:
+            kind = "value"
+            params = {}
+
+        with pytest.raises(CheckpointError, match="cannot checkpoint"):
+            save_checkpoint(Strange(), tmp_path / "x.npz")
